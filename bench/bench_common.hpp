@@ -1,0 +1,55 @@
+// Shared scaffolding for the experiment binaries: each binary prints its
+// paper artifact (the reproduction) and then runs its registered
+// google-benchmark timings for the analysis hot paths.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ctwatch/core/ctwatch.hpp"
+
+namespace ctwatch::bench {
+
+inline void banner(const char* artifact, const char* note) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("%s\n", note);
+  std::printf("================================================================\n");
+}
+
+/// Builds the standard ecosystem and runs the 2013-2018 issuance timeline.
+/// `scale` is the fraction of real-world volume.
+inline sim::Ecosystem& timeline_ecosystem(double scale = 1.0 / 2000.0) {
+  static sim::Ecosystem ecosystem = [] {
+    sim::EcosystemOptions options;
+    options.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+    options.verify_submissions = false;
+    options.store_bodies = false;
+    return sim::Ecosystem(options);
+  }();
+  static bool ran = false;
+  if (!ran) {
+    ran = true;
+    sim::TimelineOptions options;
+    options.scale = scale;
+    sim::TimelineSimulator simulator(ecosystem, options);
+    const sim::TimelineStats stats = simulator.run();
+    std::printf("[timeline] issued %llu certificates, %llu log submissions, "
+                "%llu rejected for overload (scale %.5f)\n\n",
+                static_cast<unsigned long long>(stats.issued),
+                static_cast<unsigned long long>(stats.log_submissions),
+                static_cast<unsigned long long>(stats.overloaded), scale);
+  }
+  return ecosystem;
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ctwatch::bench

@@ -1,0 +1,170 @@
+// Attacker-model study (§6): CT-informed targeting vs. uninformed
+// address-space scanning — including the IPv6 case the paper's conclusion
+// highlights ("With the increase of IPv6 deployment, which challenges
+// scanning per se, we expect more incidents in which CT logs are
+// leveraged by attackers").
+//
+// A fleet of services comes online inside an IPv4 /16 and an IPv6 /48;
+// every service obtains a CT-logged certificate. Three attackers race to
+// find them: a blind IPv4 scanner, a blind IPv6 scanner, and a CT-fed
+// attacker that follows the log stream and resolves the leaked names.
+#include "bench_common.hpp"
+
+#include "ctwatch/ct/stream.hpp"
+
+#include <set>
+
+using namespace ctwatch;
+
+namespace {
+
+struct Service {
+  std::string fqdn;
+  net::IPv4 v4;
+  net::IPv6 v6;
+};
+
+void BM_CtFedTargeting(benchmark::State& state) {
+  // Cost of the informed attack step: stream entry -> name -> resolution.
+  dns::AuthoritativeServer server;
+  server.set_logging(false);
+  dns::Zone& zone = server.add_zone(dns::DnsName::parse_or_throw("svc.example"));
+  zone.add(dns::ResourceRecord{dns::DnsName::parse_or_throw("a.svc.example"), dns::RrType::A,
+                               300, net::IPv4(100, 64, 1, 1)});
+  dns::DnsUniverse universe;
+  universe.add_server(server);
+  const dns::RecursiveResolver resolver(
+      universe, dns::RecursiveResolver::Identity{net::IPv4(9, 9, 9, 9), 64500, "atk", false});
+  const dns::DnsName name = dns::DnsName::parse_or_throw("a.svc.example");
+  const SimTime when = SimTime::parse("2018-05-01");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve(name, dns::RrType::A, when));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CtFedTargeting);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("§6 attacker model — CT-informed targeting vs. blind scanning",
+                "services hidden in an IPv4 /16 and an IPv6 /48");
+  Rng rng(41);
+
+  // Deploy 200 services at random addresses; leak names only through CT.
+  ct::LogConfig config;
+  config.name = "Exposure Log";
+  config.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  config.verify_submissions = false;
+  ct::CtLog log(config);
+  sim::CertificateAuthority ca("Exposure CA", "Exposure Issuing CA",
+                               crypto::SignatureScheme::hmac_sha256_simulated);
+
+  dns::AuthoritativeServer authoritative;
+  authoritative.set_logging(false);
+  dns::Zone& zone = authoritative.add_zone(dns::DnsName::parse_or_throw("deploy.example"));
+  dns::DnsUniverse universe;
+  universe.add_server(authoritative);
+
+  const SimTime t0 = SimTime::parse("2018-05-01 08:00:00");
+  std::vector<Service> services;
+  std::set<std::uint32_t> used_v4;
+  for (int i = 0; i < 200; ++i) {
+    Service service;
+    service.fqdn = rng.alnum_label(10) + ".deploy.example";
+    std::uint32_t host = 0;
+    do {
+      host = static_cast<std::uint32_t>(rng.below(65536));
+    } while (!used_v4.insert(host).second);
+    service.v4 = net::IPv4(0x64400000u + host);  // inside 100.64.0.0/16
+    service.v6 = net::IPv6::from_hextets({0x2001, 0xdb8, 0x77, 0, 0, 0,
+                                          static_cast<std::uint16_t>(rng.below(65536)),
+                                          static_cast<std::uint16_t>(rng.below(65536))});
+    const dns::DnsName name = dns::DnsName::parse_or_throw(service.fqdn);
+    zone.add(dns::ResourceRecord{name, dns::RrType::A, 300, service.v4});
+    zone.add(dns::ResourceRecord{name, dns::RrType::AAAA, 300, service.v6});
+
+    sim::IssuanceRequest request;
+    request.subject_cn = service.fqdn;
+    request.sans = {x509::SanEntry::dns(service.fqdn)};
+    request.not_before = t0;
+    request.not_after = t0 + 90 * 86400;
+    request.logs = {&log};
+    ca.issue(request, t0 + i * 30);
+    services.push_back(std::move(service));
+  }
+
+  std::set<std::uint32_t> v4_targets;
+  std::set<std::string> v6_targets;
+  for (const Service& service : services) {
+    v4_targets.insert(service.v4.value());
+    v6_targets.insert(service.v6.to_string());
+  }
+
+  const std::uint64_t probe_budget = 50000;
+
+  // Attacker 1: blind IPv4 scan of the /16 (random order, no repeats
+  // assumed away — this is the generous case for the scanner).
+  std::set<std::uint32_t> v4_probed;
+  std::uint64_t blind_v4_hits = 0;
+  while (v4_probed.size() < probe_budget && v4_probed.size() < 65536) {
+    const std::uint32_t host = static_cast<std::uint32_t>(rng.below(65536));
+    if (!v4_probed.insert(0x64400000u + host).second) continue;
+    if (v4_targets.contains(0x64400000u + host)) ++blind_v4_hits;
+  }
+
+  // Attacker 2: blind IPv6 scan of the /48 (2^80 addresses).
+  std::uint64_t blind_v6_hits = 0;
+  for (std::uint64_t i = 0; i < probe_budget; ++i) {
+    const net::IPv6 probe = net::IPv6::from_hextets(
+        {0x2001, 0xdb8, 0x77, static_cast<std::uint16_t>(rng.below(65536)),
+         static_cast<std::uint16_t>(rng.below(65536)),
+         static_cast<std::uint16_t>(rng.below(65536)),
+         static_cast<std::uint16_t>(rng.below(65536)),
+         static_cast<std::uint16_t>(rng.below(65536))});
+    if (v6_targets.contains(probe.to_string())) ++blind_v6_hits;
+  }
+
+  // Attacker 3: follows the log, resolves every leaked name, probes the
+  // answers — one probe per service, both address families.
+  const dns::RecursiveResolver resolver(
+      universe,
+      dns::RecursiveResolver::Identity{net::IPv4(198, 18, 0, 66), 64666, "ct-fed", false});
+  std::uint64_t ct_probes = 0, ct_v4_hits = 0, ct_v6_hits = 0;
+  ct::BatchPoller poller(log);
+  for (const ct::LogEntry& entry : poller.poll()) {
+    for (const std::string& fqdn : entry.certificate.tbs.dns_names()) {
+      const auto name = dns::DnsName::parse(fqdn);
+      if (!name) continue;
+      const auto a = resolver.resolve(*name, dns::RrType::A, t0 + 7200);
+      ++ct_probes;
+      if (a.status == dns::ResolveStatus::ok && v4_targets.contains(a.first_a()->value())) {
+        ++ct_v4_hits;
+      }
+      const auto aaaa = resolver.resolve(*name, dns::RrType::AAAA, t0 + 7200);
+      ++ct_probes;
+      for (const auto& rr : aaaa.answers) {
+        if (rr.type == dns::RrType::AAAA && v6_targets.contains(rr.aaaa().to_string())) {
+          ++ct_v6_hits;
+        }
+      }
+    }
+  }
+
+  std::printf("services deployed: 200 (unique IPv4 in a /16, unique IPv6 in a /48)\n\n");
+  std::printf("%-28s %12s %12s %12s\n", "attacker", "probes", "v4 found", "v6 found");
+  std::printf("%-28s %12llu %12llu %12s\n", "blind IPv4 scan",
+              static_cast<unsigned long long>(probe_budget),
+              static_cast<unsigned long long>(blind_v4_hits), "-");
+  std::printf("%-28s %12llu %12s %12llu\n", "blind IPv6 scan",
+              static_cast<unsigned long long>(probe_budget), "-",
+              static_cast<unsigned long long>(blind_v6_hits));
+  std::printf("%-28s %12llu %12llu %12llu\n", "CT-fed targeting",
+              static_cast<unsigned long long>(ct_probes),
+              static_cast<unsigned long long>(ct_v4_hits),
+              static_cast<unsigned long long>(ct_v6_hits));
+  std::printf("\nthe CT-fed attacker finds every service with ~2 probes each; the blind\n"
+              "IPv6 scanner finds nothing at any feasible budget — CT cancels IPv6's\n"
+              "scanning resistance, exactly the paper's concern.\n\n");
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,72 @@
+// §4.3: constructing FQDNs from CT data and verifying them with DNS.
+//
+// Expected funnel shape (paper, full scale): 210.7M constructed candidates
+// -> 80.3M replies to test names, 61.5M replies to pseudo-random controls
+// (catch-all zones!), 18.8M confirmed new FQDNs, of which only 1.1M were
+// known to Sonar -> 17.7M novel. Our corpus runs at reduced scale; the
+// ratios are the reproduction target.
+//
+// Ablations: disabling the control probes or the routing filter inflates
+// the "discoveries" — quantified below.
+#include "bench_common.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+sim::DomainCorpus& corpus() {
+  static sim::DomainCorpus corpus;
+  return corpus;
+}
+
+void BM_DnsVerification(benchmark::State& state) {
+  const dns::RecursiveResolver resolver(
+      corpus().universe(),
+      dns::RecursiveResolver::Identity{net::IPv4(192, 0, 2, 53), 64496, "bench", false});
+  const auto& domains = corpus().registrable_domains();
+  std::size_t i = 0;
+  const SimTime when = SimTime::parse("2018-04-27");
+  for (auto _ : state) {
+    const auto name = dns::DnsName::parse("www." + domains[i % domains.size()]);
+    ++i;
+    if (name) benchmark::DoNotOptimize(resolver.resolve(*name, dns::RrType::A, when));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DnsVerification);
+
+void print_funnel(const char* title, const core::LeakageReport& report) {
+  std::printf("--- %s ---\n%s\n", title, core::LeakageStudy::render_funnel(report).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("§4.3 — subdomain enumeration funnel with DNS verification",
+                "constructed candidates -> replies -> control-filtered -> novel");
+  core::LeakageStudy study(corpus());
+
+  const core::LeakageReport full = study.run();
+  print_funnel("full methodology (controls + routing filter)", full);
+  const double confirm_rate = full.funnel.candidates > 0
+                                  ? 100.0 * static_cast<double>(full.funnel.confirmed) /
+                                        static_cast<double>(full.funnel.candidates)
+                                  : 0;
+  const double novel_rate = full.funnel.confirmed > 0
+                                ? 100.0 * static_cast<double>(full.funnel.novel) /
+                                      static_cast<double>(full.funnel.confirmed)
+                                : 0;
+  std::printf("confirm rate: %.1f%% of candidates (paper: 18.8M/210.7M = 8.9%%)\n", confirm_rate);
+  std::printf("novel rate:   %.1f%% of confirmed (paper: 17.7M/18.8M = 94%%)\n\n", novel_rate);
+
+  enumeration::EnumerationOptions no_controls;
+  no_controls.use_controls = false;
+  print_funnel("ablation: without pseudo-random controls (default-A zones pollute)",
+               study.run(no_controls));
+
+  enumeration::EnumerationOptions no_routing;
+  no_routing.use_routing_filter = false;
+  print_funnel("ablation: without the routing-table filter", study.run(no_routing));
+
+  return bench::run_benchmarks(argc, argv);
+}

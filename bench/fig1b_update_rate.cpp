@@ -1,0 +1,64 @@
+// Fig. 1b: relative per-CA logging rate over time.
+//
+// Expected shape (paper): DigiCert dominates the monthly volume for a long
+// period, with irregular bursts from Comodo, GlobalSign and StartCom; from
+// March 2018 Let's Encrypt (>2M precertificates/day) dwarfs everyone.
+#include "bench_common.hpp"
+
+#include "ctwatch/util/strings.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+void BM_MonthlyShareComputation(benchmark::State& state) {
+  sim::Ecosystem& ecosystem = bench::timeline_ecosystem();
+  core::LogEvolutionStudy study(ecosystem);
+  for (auto _ : state) {
+    const auto report = study.run();
+    benchmark::DoNotOptimize(report.monthly_share_by_ca);
+  }
+}
+BENCHMARK(BM_MonthlyShareComputation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Figure 1b — relative logging rate per CA and month",
+                "cells: CA share of that month's newly logged precertificates");
+  sim::Ecosystem& ecosystem = bench::timeline_ecosystem();
+  const core::LogEvolutionReport report = core::LogEvolutionStudy(ecosystem).run();
+
+  std::printf("%s", pad_right("month", 10).c_str());
+  std::vector<std::string> cas;
+  for (const auto& [ca, series] : report.monthly_share_by_ca) {
+    cas.push_back(ca);
+    std::printf("%s", pad_left(ca.substr(0, 13), 15).c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < report.months.size(); ++i) {
+    std::printf("%s", pad_right(report.months[i], 10).c_str());
+    for (const auto& ca : cas) {
+      const double share = report.monthly_share_by_ca.at(ca)[i];
+      char cell[16];
+      std::snprintf(cell, sizeof cell, "%.1f%%", share * 100.0);
+      std::printf("%s", pad_left(share > 0 ? cell : ".", 15).c_str());
+    }
+    std::printf("\n");
+  }
+  // The headline check: who dominates before and after Let's Encrypt starts.
+  auto share_at = [&](const std::string& ca, const std::string& month) -> double {
+    for (std::size_t i = 0; i < report.months.size(); ++i) {
+      if (report.months[i] == month) {
+        const auto it = report.monthly_share_by_ca.find(ca);
+        return it != report.monthly_share_by_ca.end() ? it->second[i] : 0.0;
+      }
+    }
+    return 0.0;
+  };
+  std::printf("\nDigiCert share 2017-06: %.1f%% (dominates pre-2018)\n",
+              share_at("DigiCert", "2017-06") * 100.0);
+  std::printf("Let's Encrypt share 2018-04: %.1f%% (paper: dominates after it starts logging)\n\n",
+              share_at("Let's Encrypt", "2018-04") * 100.0);
+  return bench::run_benchmarks(argc, argv);
+}

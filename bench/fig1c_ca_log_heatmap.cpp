@@ -1,0 +1,46 @@
+// Fig. 1c: distribution of precertificate logging by CA over CT logs for
+// April 2018.
+//
+// Expected shape (paper): a very sparsely populated matrix — each CA
+// publishes to a small fixed set of logs; Let's Encrypt's load lands on
+// Google logs plus Cloudflare Nimbus, which strains Nimbus (the
+// disqualification discussion / overload incident).
+#include "bench_common.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+void BM_MatrixConstruction(benchmark::State& state) {
+  sim::Ecosystem& ecosystem = bench::timeline_ecosystem();
+  core::LogEvolutionStudy study(ecosystem);
+  for (auto _ : state) {
+    const auto report = study.run("2018-04");
+    benchmark::DoNotOptimize(report.ca_log_matrix);
+  }
+}
+BENCHMARK(BM_MatrixConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Figure 1c — CA x log precertificate submissions, April 2018",
+                "'.' marks an empty cell; the matrix should be sparse");
+  sim::Ecosystem& ecosystem = bench::timeline_ecosystem();
+  const core::LogEvolutionReport report = core::LogEvolutionStudy(ecosystem).run("2018-04");
+  std::printf("%s\n", core::LogEvolutionStudy::render_matrix(report).c_str());
+  std::printf("matrix sparsity: %.1f%% of (CA, log) cells empty\n",
+              report.matrix_sparsity * 100.0);
+  std::printf("Let's Encrypt submissions by log:\n");
+  for (const auto& [log, share] : report.le_log_share) {
+    std::printf("  %-26s %5.1f%%\n", log.c_str(), share * 100.0);
+  }
+  std::printf("overload rejections (the Nimbus strain indicator):\n");
+  for (const auto& [log, count] : report.overload_rejections) {
+    if (count > 0) {
+      std::printf("  %-26s %llu\n", log.c_str(), static_cast<unsigned long long>(count));
+    }
+  }
+  std::printf("\n");
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,172 @@
+// Attack study: overwhelming a CT log with valid submissions (§3.4's
+// closing warning).
+//
+// "As CT logs accept all valid certificates, a mass submission of valid
+//  unlogged final certificates could be used to overwhelm logs, which
+//  could lead to log disqualification."
+//
+// The experiment: a victim log with finite capacity serves a legitimate CA
+// at a comfortable rate. An attacker then harvests valid, never-logged
+// final certificates and mass-submits them via add-chain. Because every
+// submission is *valid*, the log cannot reject them on merit; its capacity
+// drains, legitimate submissions start failing, and the operational health
+// monitor disqualifies the log — at which point certificates relying on it
+// lose Chrome CT compliance.
+#include "bench_common.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+void BM_FloodSubmission(benchmark::State& state) {
+  ct::LogConfig config;
+  config.name = "Flood Bench Log";
+  config.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  config.verify_submissions = true;
+  config.store_bodies = false;
+  ct::CtLog log(config);
+  sim::CertificateAuthority ca("Flood CA", "Flood Issuing CA",
+                               crypto::SignatureScheme::hmac_sha256_simulated);
+  const SimTime when = SimTime::parse("2018-05-01");
+  sim::IssuanceRequest request;
+  request.subject_cn = "flood.example.org";
+  request.sans = {x509::SanEntry::dns(request.subject_cn)};
+  request.not_before = when;
+  request.not_after = when + 90 * 86400;
+  const x509::Certificate cert = ca.issue_unlogged(request, when);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.add_chain(cert, ca.public_key(), when + (t++)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FloodSubmission);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Log-flooding attack — mass submission of valid unlogged certificates",
+                "capacity exhaustion -> legitimate rejections -> disqualification");
+
+  ct::LogConfig config;
+  config.name = "Victim Log";
+  config.operator_name = "VictimOp";
+  config.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  config.verify_submissions = true;
+  config.store_bodies = false;
+  config.capacity_per_hour = 200;
+  ct::CtLog victim(config);
+  ct::LogConfig google_config = config;
+  google_config.name = "Backup Google Log";
+  google_config.capacity_per_hour = 0;
+  ct::CtLog google_log(google_config);
+
+  ct::LogList log_list;
+  log_list.add_log(victim, SimTime::parse("2017-01-01"), /*google=*/false);
+  log_list.add_log(google_log, SimTime::parse("2015-01-01"), /*google=*/true);
+
+  sim::CertificateAuthority legit_ca("Legit CA", "Legit Issuing CA",
+                                     crypto::SignatureScheme::hmac_sha256_simulated);
+  sim::CertificateAuthority victim_ca("Harvested CA", "Harvested Issuing CA",
+                                      crypto::SignatureScheme::hmac_sha256_simulated);
+
+  // The attacker's ammunition: valid, unlogged final certificates. In the
+  // real attack these are harvested from scans; their validity is what
+  // makes them un-rejectable.
+  const SimTime base = SimTime::parse("2018-05-01 00:00:00");
+  std::vector<x509::Certificate> ammunition;
+  for (int i = 0; i < 3000; ++i) {
+    sim::IssuanceRequest request;
+    request.subject_cn = "victimsite" + std::to_string(i) + ".example.net";
+    request.sans = {x509::SanEntry::dns(request.subject_cn)};
+    request.not_before = base - 30 * 86400;
+    request.not_after = base + 60 * 86400;
+    ammunition.push_back(victim_ca.issue_unlogged(request, base - 30 * 86400));
+  }
+
+  // Hour-by-hour: legitimate issuance at 50/h; the attacker floods
+  // 1000 submissions/h during hours 3..6.
+  std::printf("%-6s %10s %12s %12s %14s\n", "hour", "legit ok", "legit fail", "flood sent",
+              "rejections");
+  Rng rng(3);
+  std::size_t ammo_cursor = 0;
+  bool disqualified = false;
+  SimTime disqualified_at;
+  for (int hour = 0; hour < 9; ++hour) {
+    const SimTime hour_start = base + hour * 3600;
+    std::uint64_t legit_ok = 0, legit_fail = 0, flood = 0;
+
+    // Interleave legitimate and attack traffic through the hour (arrival
+    // order matters: capacity is first-come-first-served).
+    const bool attacking = hour >= 3 && hour < 7;
+    const int legit_rate = 50;
+    const int flood_rate = attacking ? 1000 : 0;
+    const int total = legit_rate + flood_rate;
+    std::vector<bool> is_legit_at(static_cast<std::size_t>(total), false);
+    for (int i = 0; i < legit_rate; ++i) is_legit_at[static_cast<std::size_t>(i)] = true;
+    rng.shuffle(is_legit_at);
+    for (int i = 0; i < total; ++i) {
+      const SimTime when = hour_start + rng.between(0, 3599);
+      const bool is_legit = is_legit_at[static_cast<std::size_t>(i)];
+      if (is_legit) {
+        sim::IssuanceRequest request;
+        request.subject_cn =
+            "legit-" + std::to_string(hour) + "-" + std::to_string(i) + ".example.org";
+        request.sans = {x509::SanEntry::dns(request.subject_cn)};
+        request.not_before = when;
+        request.not_after = when + 90 * 86400;
+        request.logs = {&victim, &google_log};
+        const auto issued = legit_ca.issue(request, when);
+        if (issued.failed_logs.empty()) {
+          ++legit_ok;
+        } else {
+          ++legit_fail;
+        }
+      } else {
+        const auto& cert = ammunition[ammo_cursor++ % ammunition.size()];
+        victim.add_chain(cert, victim_ca.public_key(), when);
+        ++flood;
+      }
+    }
+    std::printf("%-6d %10llu %12llu %12llu %14llu\n", hour,
+                static_cast<unsigned long long>(legit_ok),
+                static_cast<unsigned long long>(legit_fail),
+                static_cast<unsigned long long>(flood),
+                static_cast<unsigned long long>(victim.overload_rejections()));
+
+    // The operator community reacts once rejections pile up.
+    if (!disqualified) {
+      const auto hit = ct::disqualify_overloaded_logs(log_list, {&victim}, 500,
+                                                      hour_start + 3600);
+      if (!hit.empty()) {
+        disqualified = true;
+        disqualified_at = hour_start + 3600;
+        std::printf("       >>> %s disqualified at %s <<<\n", hit[0].c_str(),
+                    disqualified_at.datetime_string().c_str());
+      }
+    }
+  }
+
+  // Policy impact: a certificate whose non-Google SCT came from the victim
+  // log is no longer Chrome-compliant after disqualification.
+  sim::IssuanceRequest request;
+  request.subject_cn = "collateral.example.org";
+  request.sans = {x509::SanEntry::dns(request.subject_cn)};
+  request.not_before = base;
+  request.not_after = base + 90 * 86400;
+  request.logs = {&victim, &google_log};
+  const auto issued = legit_ca.issue(request, base + 1800);  // before the flood
+  const ct::SignedEntry entry =
+      ct::make_precert_entry(issued.final_certificate, legit_ca.public_key());
+  const auto before = ct::evaluate_chrome_policy(issued.scts, entry, log_list,
+                                                 disqualified_at - 86400, request.not_before,
+                                                 request.not_after);
+  const auto after = ct::evaluate_chrome_policy(issued.scts, entry, log_list,
+                                                disqualified_at + 86400, request.not_before,
+                                                request.not_after);
+  std::printf("\ncollateral damage: certificate compliant before the incident: %s, "
+              "after disqualification: %s (%s)\n\n",
+              before.compliant ? "yes" : "no", after.compliant ? "yes" : "no",
+              after.reason.c_str());
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,93 @@
+// Countermeasure study: CT label redaction vs. the §4 leakage pipeline.
+//
+// The paper flags subdomain leakage as a core CT downside and points to
+// the (then-draft) label-redaction mechanism and Symantec's subdomain-
+// hiding Deneb log; its conclusion calls for work on countermeasures.
+// This bench implements that future work: it sweeps the fraction of
+// domain operators who redact and measures what is left of Table 2 and of
+// the §4.3 enumeration funnel.
+//
+// Expected shape: leaked labels and novel discoveries fall roughly in
+// proportion to redaction deployment; the redacted-name count rises to
+// match. Redaction protects exactly the information the honeypot study
+// shows attackers are harvesting.
+#include "bench_common.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+struct SweepPoint {
+  double fraction;
+  std::uint64_t valid_names;
+  std::uint64_t redacted_names;
+  std::uint64_t labels_learned;
+  std::uint64_t www_count;
+  std::uint64_t novel;
+};
+
+SweepPoint run_point(double fraction) {
+  sim::DomainCorpusOptions options;
+  options.registrable_count = 20000;
+  options.redaction_fraction = fraction;
+  options.seed = 7;  // same world, different deployment level
+  sim::DomainCorpus corpus(options);
+  core::LeakageStudy study(corpus);
+  enumeration::EnumerationOptions enum_options;
+  enum_options.min_label_count = 40;
+  const core::LeakageReport report = study.run(enum_options);
+
+  SweepPoint point;
+  point.fraction = fraction;
+  point.valid_names = report.extraction.valid_fqdns;
+  point.redacted_names = report.extraction.redacted;
+  point.labels_learned = report.funnel.labels_selected;
+  point.www_count = 0;
+  for (const auto& [label, count] : report.top_labels) {
+    if (label == "www") point.www_count = count;
+  }
+  point.novel = report.funnel.novel;
+  return point;
+}
+
+void BM_RedactionPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_point(0.5));
+  }
+}
+BENCHMARK(BM_RedactionPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Countermeasure ablation — CT label redaction vs. §4 leakage",
+                "sweeping the fraction of operators who redact their subdomains");
+  std::printf("%-10s %12s %12s %10s %10s %12s\n", "redaction", "valid names", "redacted",
+              "labels", "www count", "novel FQDNs");
+  SweepPoint baseline{};
+  for (const double fraction : {0.0, 0.25, 0.5, 0.9}) {
+    const SweepPoint point = run_point(fraction);
+    if (fraction == 0.0) baseline = point;
+    std::printf("%-10.2f %12llu %12llu %10llu %10llu %12llu\n", point.fraction,
+                static_cast<unsigned long long>(point.valid_names),
+                static_cast<unsigned long long>(point.redacted_names),
+                static_cast<unsigned long long>(point.labels_learned),
+                static_cast<unsigned long long>(point.www_count),
+                static_cast<unsigned long long>(point.novel));
+  }
+  const SweepPoint heavy = run_point(0.9);
+  std::printf("\nat 90%% deployment, novel discoveries drop to %.0f%% of the undefended"
+              " baseline.\n",
+              baseline.novel > 0
+                  ? 100.0 * static_cast<double>(heavy.novel) / static_cast<double>(baseline.novel)
+                  : 0.0);
+  std::printf("\nthe countermeasure's limit, quantified: common labels (www, mail, ...)\n"
+              "remain learnable from the minority who do not redact, and once a label is\n"
+              "known it can be prepended to *every* registrable domain — so enumeration\n"
+              "degrades only in proportion to the rare labels that vanish below the\n"
+              "frequency threshold (here: labels usable fell %llu -> %llu). Redaction\n"
+              "protects unusual subdomains; it cannot unpublish the common ones.\n\n",
+              static_cast<unsigned long long>(baseline.labels_learned),
+              static_cast<unsigned long long>(heavy.labels_learned));
+  return bench::run_benchmarks(argc, argv);
+}

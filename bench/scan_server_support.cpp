@@ -1,0 +1,103 @@
+// §3.3: server support seen by an active Internet-wide scan — and the
+// ablation showing why the scan view diverges from the passive view.
+//
+// Expected shape (paper): ~69 % of unique certificates carry embedded
+// SCTs, dominated by Cloudflare Nimbus2018 (~74 %) and Google Icarus
+// (~71 %) — the exact opposite of the traffic-weighted Table 1. The
+// divergence is driven by popularity skew: an ablation sweep over the Zipf
+// exponent shows the two views converging as skew disappears.
+#include "bench_common.hpp"
+
+#include "ctwatch/util/strings.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+void BM_ScanPipeline(benchmark::State& state) {
+  static sim::Ecosystem ecosystem = [] {
+    sim::EcosystemOptions options;
+    options.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+    options.verify_submissions = false;
+    options.store_bodies = false;
+    options.seed = 31;
+    return sim::Ecosystem(options);
+  }();
+  sim::PopulationOptions pop_options;
+  pop_options.site_count = 2000;
+  pop_options.popular_tier = 200;
+  static sim::ServerPopulation population(ecosystem, pop_options);
+  for (auto _ : state) {
+    monitor::PassiveMonitor monitor(ecosystem.log_list());
+    sim::ScanDriver scan(population, sim::ScanOptions{});
+    benchmark::DoNotOptimize(scan.run(monitor));
+  }
+}
+BENCHMARK(BM_ScanPipeline)->Unit(benchmark::kMillisecond);
+
+void run_ablation() {
+  std::printf("--- ablation: popularity skew drives the passive/scan divergence ---\n");
+  std::printf("%-18s %-22s %-20s\n", "zipf exponent", "passive cert-SCT conns",
+              "scan certs w/ SCT");
+  for (const double s : {0.6, 1.0, 1.3}) {
+    sim::EcosystemOptions eco_options;
+    eco_options.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+    eco_options.verify_submissions = false;
+    eco_options.store_bodies = false;
+    eco_options.seed = 77;
+    sim::Ecosystem ecosystem(eco_options);
+    sim::PopulationOptions pop_options;
+    pop_options.site_count = 6000;
+    pop_options.popular_tier = 600;
+    pop_options.zipf_exponent = s;
+    sim::ServerPopulation population(ecosystem, pop_options);
+
+    monitor::PassiveMonitor passive(ecosystem.log_list());
+    sim::TrafficOptions traffic_options;
+    traffic_options.start = "2018-01-01";
+    traffic_options.end = "2018-03-01";
+    traffic_options.connections_per_day = 2000;
+    traffic_options.burst_days = 0;
+    sim::TrafficGenerator traffic(population, traffic_options, Rng(5));
+    traffic.run(passive);
+
+    monitor::PassiveMonitor scan_monitor(ecosystem.log_list());
+    sim::ScanDriver scan(population, sim::ScanOptions{});
+    scan.run(scan_monitor);
+
+    const auto& pt = passive.totals();
+    const auto& st = scan_monitor.totals();
+    std::printf("%-18.1f %-22s %-20s\n", s,
+                percent(static_cast<double>(pt.sct_in_cert),
+                        static_cast<double>(pt.connections))
+                    .c_str(),
+                percent(static_cast<double>(st.unique_certs_with_embedded_sct),
+                        static_cast<double>(st.unique_certificates))
+                    .c_str());
+  }
+  std::printf("(the passive share is popularity-weighted; the scan share is uniform.\n"
+              " with low skew the passive view approaches the scan view.)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("§3.3 — active-scan view of server CT support",
+                "one connection per server, same pipeline as the passive monitor");
+  sim::EcosystemOptions eco_options;
+  eco_options.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  eco_options.verify_submissions = false;
+  eco_options.store_bodies = false;
+  eco_options.seed = 1702;
+  sim::Ecosystem ecosystem(eco_options);
+  sim::ServerPopulation population(ecosystem, sim::PopulationOptions{});
+  monitor::PassiveMonitor monitor(ecosystem.log_list());
+  sim::ScanDriver scan(population, sim::ScanOptions{});
+  const sim::ScanStats stats = scan.run(monitor);
+  std::printf("[scan] %llu servers scanned on 2018-05-18\n\n",
+              static_cast<unsigned long long>(stats.servers_scanned));
+  std::printf("%s\n", core::render_scan_view(monitor).c_str());
+
+  run_ablation();
+  return bench::run_benchmarks(argc, argv);
+}

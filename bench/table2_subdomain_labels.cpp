@@ -1,0 +1,69 @@
+// Table 2 + §4.2: the subdomain labels leaked through CT-logged
+// certificates.
+//
+// Expected shape (paper): an extreme head — www by far first, then mail,
+// webdisk, webmail, cpanel, autodiscover, and an operational tail (m,
+// shop, whm, dev, remote, test, api, blog, secure, admin, mobile, server,
+// cloud, smtp); per-suffix signatures such as git for .tech, autoconfig
+// for .email, api for .cloud, ftp for .design, sip for .gov, dialin for
+// .gov.uk.
+#include "bench_common.hpp"
+
+#include "ctwatch/util/strings.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+sim::DomainCorpus& corpus() {
+  static sim::DomainCorpus corpus;
+  return corpus;
+}
+
+void BM_CensusIngest(benchmark::State& state) {
+  const auto& names = corpus().ct_names();
+  for (auto _ : state) {
+    enumeration::SubdomainCensus census(corpus().psl());
+    census.add_names(names);
+    benchmark::DoNotOptimize(census.label_counts());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(names.size()));
+}
+BENCHMARK(BM_CensusIngest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Table 2 — top subdomain labels in CT-logged certificates",
+                "counts are scaled (~1/1000 of the paper's corpus)");
+  enumeration::SubdomainCensus census(corpus().psl());
+  census.add_names(corpus().ct_names());
+  const auto& stats = census.stats();
+  std::printf("names in corpus: %llu, valid FQDNs: %llu, rejected invalid: %llu\n\n",
+              static_cast<unsigned long long>(stats.names_in),
+              static_cast<unsigned long long>(stats.valid_fqdns),
+              static_cast<unsigned long long>(stats.invalid_rejected));
+
+  std::printf("%-6s %-16s %10s    (paper count, x1000)\n", "rank", "label", "count");
+  const auto& paper = sim::table2_labels();
+  std::size_t rank = 1;
+  for (const auto& [label, count] : census.top_labels(20)) {
+    double paper_count = 0;
+    for (const auto& spec : paper) {
+      if (label == spec.label) paper_count = spec.paper_count;
+    }
+    std::printf("%-6zu %-16s %10llu    %s\n", rank++, label.c_str(),
+                static_cast<unsigned long long>(count),
+                paper_count > 0 ? human_count(paper_count).c_str() : "-");
+  }
+
+  std::printf("\nper-suffix signature labels (§4.2):\n");
+  const auto signatures = census.top_label_per_suffix();
+  for (const char* suffix : {"tech", "email", "cloud", "design", "gov", "gov.uk"}) {
+    const auto it = signatures.find(suffix);
+    std::printf("  %-8s -> %s\n", suffix, it != signatures.end() ? it->second.c_str() : "-");
+  }
+  std::printf("\n");
+  return bench::run_benchmarks(argc, argv);
+}

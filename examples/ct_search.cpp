@@ -1,0 +1,83 @@
+// CT as a search engine (the crt.sh / Facebook-monitoring scenario):
+// build a queryable index over logs and run the lookups a domain owner —
+// or an attacker doing reconnaissance on a single target — would run, then
+// register a live watch for new issuances.
+//
+// Build & run:  ./build/examples/ct_search
+#include <cstdio>
+
+#include "ctwatch/ct/index.hpp"
+#include "ctwatch/sim/ca.hpp"
+
+using namespace ctwatch;
+
+int main() {
+  ct::LogConfig config;
+  config.name = "Search Log";
+  config.operator_name = "Example";
+  config.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  config.verify_submissions = false;
+  ct::CtLog log(config);
+  sim::CertificateAuthority enterprise_ca("Enterprise CA", "Enterprise Issuing CA",
+                                          crypto::SignatureScheme::hmac_sha256_simulated);
+  sim::CertificateAuthority budget_ca("Budget CA", "Budget DV CA",
+                                      crypto::SignatureScheme::hmac_sha256_simulated);
+
+  const dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  ct::LogIndex index(psl);
+  index.attach(log);
+
+  // A notification service like the ones the paper cites (Facebook's CT
+  // monitoring, CertSpotter): the owner of corp.example registers a watch.
+  ct::DomainWatcher watcher(psl);
+  watcher.attach(log);
+  watcher.watch("corp.example", [](const std::string& domain, const ct::IndexedEntry& entry) {
+    std::printf("  [watch:%s] new certificate logged: %s (issuer %s)\n", domain.c_str(),
+                entry.subject_cn.c_str(), entry.issuer_cn.c_str());
+  });
+
+  // History builds up...
+  SimTime now = SimTime::parse("2018-04-02 08:00:00");
+  auto issue = [&](sim::CertificateAuthority& ca, const std::string& cn) {
+    sim::IssuanceRequest request;
+    request.subject_cn = cn;
+    request.sans = {x509::SanEntry::dns(cn)};
+    request.not_before = now;
+    request.not_after = now + 90 * 86400;
+    request.logs = {&log};
+    ca.issue(request, now);
+    now += 3600;
+  };
+  std::printf("issuing into the log (watch alerts fire live):\n");
+  issue(enterprise_ca, "www.corp.example");
+  issue(enterprise_ca, "vpn.corp.example");
+  issue(enterprise_ca, "staging.corp.example");   // oops — internal name, now public
+  issue(budget_ca, "www.shop-site.de");
+  issue(budget_ca, "mail.other-site.fr");
+  // Someone else gets a certificate naming the watched domain — exactly
+  // what the notification service exists to catch.
+  issue(budget_ca, "login.corp.example");
+
+  // The owner's (or attacker's) queries.
+  std::printf("\ncrt.sh-style query %%.corp.example:\n");
+  for (const auto& entry : index.by_registrable_domain("corp.example")) {
+    std::printf("  #%llu %-28s issuer: %s\n", static_cast<unsigned long long>(entry.index),
+                entry.subject_cn.c_str(), entry.issuer_cn.c_str());
+  }
+  std::printf("\nby issuer 'Budget DV CA': %zu certificates\n",
+              index.by_issuer("Budget DV CA").size());
+  std::printf("exact-name lookup staging.corp.example: %zu hit(s)\n",
+              index.by_name("staging.corp.example").size());
+
+  // The interesting verdict: the unknown-issuer certificate for the watched
+  // domain is visible to its owner thanks to CT.
+  const auto corp = index.by_registrable_domain("corp.example");
+  bool foreign_issuer_spotted = false;
+  for (const auto& entry : corp) {
+    if (entry.issuer_cn != "Enterprise Issuing CA") foreign_issuer_spotted = true;
+  }
+  std::printf("\nforeign-issuer certificate for corp.example spotted: %s "
+              "(the owner can now investigate mis-issuance)\n",
+              foreign_issuer_spotted ? "yes" : "no");
+  return corp.size() == 4 && foreign_issuer_spotted && watcher.notifications_sent() == 4 ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+// ctwatch — command-line driver over the library's studies.
+//
+//   ctwatch_cli evolution [scale-denominator]   §2  Fig. 1a/1b/1c
+//   ctwatch_cli adoption  [conns-per-day]       §3  Fig. 2 + Table 1
+//   ctwatch_cli scan                            §3.3 active-scan view
+//   ctwatch_cli leakage   [registrable-count]   §4  Table 2 + funnel
+//   ctwatch_cli phishing                        §5  Table 3
+//   ctwatch_cli honeypot  [subdomains]          §6  Table 4
+//
+// Everything is deterministic; re-runs reproduce byte-identical reports.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ctwatch/core/ctwatch.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+sim::EcosystemOptions bulk_options() {
+  sim::EcosystemOptions options;
+  options.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  options.verify_submissions = false;
+  options.store_bodies = false;
+  options.seed = 1702;
+  return options;
+}
+
+int cmd_evolution(double denominator) {
+  sim::Ecosystem ecosystem(bulk_options());
+  sim::TimelineOptions options;
+  options.scale = 1.0 / denominator;
+  const sim::TimelineStats stats = sim::TimelineSimulator(ecosystem, options).run();
+  std::printf("timeline: %llu certificates issued at 1/%.0f scale\n\n",
+              static_cast<unsigned long long>(stats.issued), denominator);
+  const core::LogEvolutionReport report = core::LogEvolutionStudy(ecosystem).run();
+  std::printf("%s\n", core::LogEvolutionStudy::render_cumulative(report).c_str());
+  std::printf("%s\n", core::LogEvolutionStudy::render_matrix(report).c_str());
+  std::printf("top-5 CA share: %.1f%%, matrix sparsity: %.1f%%\n", report.top5_share * 100,
+              report.matrix_sparsity * 100);
+  return 0;
+}
+
+int cmd_adoption(std::uint64_t per_day) {
+  sim::Ecosystem ecosystem(bulk_options());
+  sim::ServerPopulation population(ecosystem, sim::PopulationOptions{});
+  monitor::PassiveMonitor monitor(ecosystem.log_list());
+  sim::TrafficOptions options;
+  options.connections_per_day = per_day;
+  sim::TrafficGenerator traffic(population, options, ecosystem.rng().fork());
+  traffic.run(monitor);
+  std::printf("%s\n", core::render_adoption_totals(monitor.totals()).c_str());
+  std::printf("%s\n", core::render_top_logs(monitor.log_usage()).c_str());
+  std::printf("%s\n", core::render_peaks(core::detect_peaks(monitor)).c_str());
+  return 0;
+}
+
+int cmd_scan() {
+  sim::Ecosystem ecosystem(bulk_options());
+  sim::ServerPopulation population(ecosystem, sim::PopulationOptions{});
+  monitor::PassiveMonitor monitor(ecosystem.log_list());
+  sim::ScanDriver scan(population, sim::ScanOptions{});
+  scan.run(monitor);
+  std::printf("%s\n", core::render_scan_view(monitor).c_str());
+  return 0;
+}
+
+int cmd_leakage(std::size_t registrable) {
+  sim::DomainCorpusOptions options;
+  options.registrable_count = registrable;
+  sim::DomainCorpus corpus(options);
+  core::LeakageStudy study(corpus);
+  enumeration::EnumerationOptions enum_options;
+  enum_options.min_label_count = std::max<std::uint64_t>(10, registrable / 600);
+  const core::LeakageReport report = study.run(enum_options);
+  std::printf("%s\n", core::LeakageStudy::render_table2(report).c_str());
+  std::printf("%s\n", core::LeakageStudy::render_funnel(report).c_str());
+  return 0;
+}
+
+int cmd_phishing() {
+  const sim::PhishingCorpus corpus = sim::generate_phishing_corpus();
+  const dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  phishing::PhishingDetector detector(psl, phishing::standard_rules());
+  const auto findings = detector.scan(corpus.names);
+  for (const auto& [brand, summary] : phishing::PhishingDetector::summarize(findings)) {
+    std::printf("%-12s %6llu   e.g. %s\n", brand.c_str(),
+                static_cast<unsigned long long>(summary.count), summary.example.c_str());
+  }
+  return 0;
+}
+
+int cmd_honeypot(int subdomains) {
+  sim::EcosystemOptions options = bulk_options();
+  options.store_bodies = true;
+  sim::Ecosystem ecosystem(options);
+  honeypot::CtHoneypot pot(ecosystem);
+  for (int i = 0; i < subdomains; ++i) {
+    pot.create_subdomain(SimTime::parse("2018-04-30 13:00:00") + i * 600);
+  }
+  honeypot::AttackerFleet fleet(pot, honeypot::standard_fleet(), ecosystem.rng().fork());
+  fleet.run();
+  std::printf("%s\n", honeypot::render_table4(honeypot::analyze(pot)).c_str());
+  return 0;
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s <command> [arg]\n"
+      "  evolution [scale-denominator=2000]   Fig. 1a/1b/1c (section 2)\n"
+      "  adoption  [conns-per-day=5000]       Fig. 2 + Table 1 (section 3)\n"
+      "  scan                                 active-scan view (section 3.3)\n"
+      "  leakage   [registrable-count=20000]  Table 2 + funnel (section 4)\n"
+      "  phishing                             Table 3 (section 5)\n"
+      "  honeypot  [subdomains=11]            Table 4 (section 6)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const char* arg = argc > 2 ? argv[2] : nullptr;
+  try {
+    if (command == "evolution") return cmd_evolution(arg ? std::atof(arg) : 2000.0);
+    if (command == "adoption") {
+      return cmd_adoption(arg ? static_cast<std::uint64_t>(std::atoll(arg)) : 5000ull);
+    }
+    if (command == "scan") return cmd_scan();
+    if (command == "leakage") {
+      return cmd_leakage(arg ? static_cast<std::size_t>(std::atoll(arg)) : 20000u);
+    }
+    if (command == "phishing") return cmd_phishing();
+    if (command == "honeypot") return cmd_honeypot(arg ? std::atoi(arg) : 11);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  usage(argv[0]);
+  return 2;
+}

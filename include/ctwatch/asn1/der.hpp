@@ -1,0 +1,134 @@
+// ASN.1 DER encoding and decoding (X.690), the subset X.509 needs.
+//
+// The §3.4 study depends on byte-level certificate encoding: the real-world
+// CA bugs it reproduces (SAN reordering, X.509 extension reordering between
+// precertificate and final certificate) only exist at the DER layer, so the
+// library encodes certificates for real rather than comparing structs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/util/encoding.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch::asn1 {
+
+/// Universal tag numbers (with constructed bit where conventional).
+enum : std::uint8_t {
+  kTagBoolean = 0x01,
+  kTagInteger = 0x02,
+  kTagBitString = 0x03,
+  kTagOctetString = 0x04,
+  kTagNull = 0x05,
+  kTagOid = 0x06,
+  kTagUtf8String = 0x0c,
+  kTagPrintableString = 0x13,
+  kTagIa5String = 0x16,
+  kTagUtcTime = 0x17,
+  kTagGeneralizedTime = 0x18,
+  kTagSequence = 0x30,
+  kTagSet = 0x31,
+};
+
+/// Context-specific tag: [n], primitive or constructed.
+constexpr std::uint8_t context_tag(unsigned n, bool constructed) {
+  return static_cast<std::uint8_t>(0x80 | (constructed ? 0x20 : 0x00) | (n & 0x1f));
+}
+
+/// An object identifier.
+struct Oid {
+  std::vector<std::uint32_t> arcs;
+
+  /// Parses "1.2.840.10045.4.3.2"-style text. Throws on malformed input.
+  static Oid parse(const std::string& dotted);
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Oid&, const Oid&) = default;
+  friend auto operator<=>(const Oid&, const Oid&) = default;
+};
+
+// ---------- Encoding ----------
+
+/// Encodes a definite length.
+Bytes encode_length(std::size_t length);
+/// tag + length + value.
+Bytes tlv(std::uint8_t tag, BytesView value);
+
+Bytes encode_boolean(bool value);
+/// Two's-complement minimal INTEGER from a signed 64-bit value.
+Bytes encode_integer(std::int64_t value);
+/// INTEGER from an unsigned big-endian magnitude (leading 0x00 added when
+/// the high bit is set; leading zeros stripped).
+Bytes encode_integer_unsigned(BytesView magnitude);
+Bytes encode_octet_string(BytesView value);
+/// BIT STRING with zero unused bits.
+Bytes encode_bit_string(BytesView value);
+Bytes encode_null();
+Bytes encode_oid(const Oid& oid);
+Bytes encode_utf8_string(const std::string& value);
+Bytes encode_printable_string(const std::string& value);
+Bytes encode_ia5_string(const std::string& value);
+/// UTCTime ("YYMMDDHHMMSSZ") for years in [1950, 2049], per RFC 5280.
+Bytes encode_utc_time(SimTime t);
+/// GeneralizedTime ("YYYYMMDDHHMMSSZ").
+Bytes encode_generalized_time(SimTime t);
+/// SEQUENCE of pre-encoded elements, in the given order.
+Bytes encode_sequence(const std::vector<Bytes>& elements);
+/// SET OF with DER canonical ordering (elements sorted bytewise).
+Bytes encode_set_of(std::vector<Bytes> elements);
+/// Explicitly tagged [n] wrapper.
+Bytes encode_explicit(unsigned n, BytesView inner);
+
+// ---------- Decoding ----------
+
+/// A decoded TLV: `tag`, the value bytes, and the full element (header
+/// included) for re-serialization.
+struct Tlv {
+  std::uint8_t tag = 0;
+  BytesView value;
+  BytesView raw;
+
+  [[nodiscard]] bool constructed() const { return tag & 0x20; }
+};
+
+/// Sequential DER parser over a buffer. Throws std::invalid_argument
+/// (with context) on malformed input.
+class Parser {
+ public:
+  explicit Parser(BytesView data) : data_(data) {}
+  /// The parser only views its input; constructing from a temporary buffer
+  /// would dangle immediately.
+  explicit Parser(Bytes&&) = delete;
+
+  [[nodiscard]] bool done() const { return pos_ >= data_.size(); }
+  /// Number of bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Reads the next TLV. Throws if input is exhausted or malformed.
+  Tlv next();
+  /// Reads the next TLV and checks its tag.
+  Tlv expect(std::uint8_t tag);
+  /// Peeks at the next tag without consuming (0 if done).
+  [[nodiscard]] std::uint8_t peek_tag() const;
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Value decoding helpers; each throws std::invalid_argument on mismatch.
+bool decode_boolean(const Tlv& tlv);
+std::int64_t decode_integer(const Tlv& tlv);
+/// Unsigned magnitude of an INTEGER (sign byte stripped); rejects negatives.
+Bytes decode_integer_unsigned(const Tlv& tlv);
+Oid decode_oid(const Tlv& tlv);
+std::string decode_string(const Tlv& tlv);
+/// Accepts UTCTime or GeneralizedTime.
+SimTime decode_time(const Tlv& tlv);
+/// BIT STRING payload; requires zero unused bits.
+BytesView decode_bit_string(const Tlv& tlv);
+
+}  // namespace ctwatch::asn1

@@ -1,0 +1,48 @@
+// §3: server deployment of CT — the passive view (Fig. 2, Table 1, the
+// §3.2 scalars) and the active-scan view (§3.3), both built on the shared
+// PassiveMonitor pipeline.
+#pragma once
+
+#include <string>
+
+#include "ctwatch/monitor/passive_monitor.hpp"
+
+namespace ctwatch::core {
+
+/// Renders the §3.2 headline block: total connections, SCT share per
+/// channel, channel overlaps, client signaling.
+std::string render_adoption_totals(const monitor::MonitorTotals& totals);
+
+/// Renders Fig. 2 as a text series: per day, % connections with an SCT,
+/// split by delivery channel. `stride` thins the series (e.g. weekly).
+std::string render_daily_series(const std::map<std::int64_t, monitor::DailyCounters>& daily,
+                                int stride = 7);
+
+/// Renders Table 1: top-n logs by observed SCTs, split cert/TLS-extension,
+/// with column shares.
+std::string render_top_logs(const std::map<std::string, monitor::LogUsage>& usage,
+                            std::size_t top_n = 15);
+
+/// Renders the §3.3 scan block: unique certificates, embedded-SCT share,
+/// and per-log share of SCT-bearing certificates.
+std::string render_scan_view(const monitor::PassiveMonitor& monitor);
+
+/// A day whose SCT share spikes above the series baseline, with the server
+/// responsible for most of that day's SCT-bearing connections — the
+/// automated version of the paper's manual peak inspection (which traced
+/// its Fig. 2 peaks to graph.facebook.com).
+struct PeakFinding {
+  std::int64_t day = 0;          ///< day index
+  double sct_share = 0;          ///< that day's with-SCT share
+  double baseline_share = 0;     ///< series mean
+  std::string top_server;        ///< dominant SCT-conn server that day
+  std::uint64_t top_count = 0;
+};
+
+/// Flags days whose SCT share exceeds mean + `sigma` standard deviations
+/// and attributes each to its dominant server.
+std::vector<PeakFinding> detect_peaks(const monitor::PassiveMonitor& monitor,
+                                      double sigma = 3.0);
+std::string render_peaks(const std::vector<PeakFinding>& peaks);
+
+}  // namespace ctwatch::core

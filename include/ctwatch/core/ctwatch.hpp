@@ -1,0 +1,31 @@
+// ctwatch — umbrella header.
+//
+// A Certificate Transparency ecosystem library and measurement pipeline
+// reproducing Scheitle et al., "The Rise of Certificate Transparency and
+// Its Implications on the Internet Ecosystem" (IMC 2018).
+//
+// Layering (bottom to top):
+//   util      — simulated time, deterministic RNG, encodings
+//   crypto    — SHA-256, HMAC, P-256 ECDSA (from scratch)
+//   asn1      — DER
+//   x509      — certificates, precertificates, SCT-list extension
+//   dns / net — names, PSL, zones, resolvers / IPs, ASes, captures
+//   ct        — RFC 6962: Merkle trees, logs, SCTs, STHs, policy, auditing
+//   tls       — connection records with the three SCT delivery channels
+//   monitor   — the Bro-like passive analyzer
+//   sim       — the simulated 2013-2018 internet: CAs, logs, sites, attackers
+//   studies   — §2..§6 of the paper (this directory plus the enumeration,
+//               phishing and honeypot modules)
+#pragma once
+
+#include "ctwatch/core/adoption.hpp"
+#include "ctwatch/core/invalid_sct.hpp"
+#include "ctwatch/core/leakage.hpp"
+#include "ctwatch/core/log_evolution.hpp"
+#include "ctwatch/honeypot/analysis.hpp"
+#include "ctwatch/honeypot/attackers.hpp"
+#include "ctwatch/phishing/detector.hpp"
+#include "ctwatch/sim/phishing_gen.hpp"
+#include "ctwatch/sim/population.hpp"
+#include "ctwatch/sim/timeline.hpp"
+#include "ctwatch/sim/traffic.hpp"

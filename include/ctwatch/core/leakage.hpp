@@ -1,0 +1,37 @@
+// §4: DNS information leakage — Table 2, the §4.2 per-suffix analysis and
+// the §4.3 enumeration funnel, glued over a domain corpus.
+#pragma once
+
+#include <string>
+
+#include "ctwatch/enumeration/census.hpp"
+#include "ctwatch/enumeration/enumerator.hpp"
+#include "ctwatch/sim/domains.hpp"
+
+namespace ctwatch::core {
+
+struct LeakageReport {
+  enumeration::ExtractionStats extraction;
+  std::vector<std::pair<std::string, std::uint64_t>> top_labels;  ///< Table 2
+  std::map<std::string, std::string> suffix_signatures;           ///< §4.2
+  enumeration::WordlistComparison subbrute;
+  enumeration::WordlistComparison dnsrecon;
+  enumeration::FunnelResult funnel;                               ///< §4.3
+};
+
+class LeakageStudy {
+ public:
+  explicit LeakageStudy(sim::DomainCorpus& corpus) : corpus_(&corpus) {}
+
+  /// Runs census + wordlist comparison + the verification funnel.
+  [[nodiscard]] LeakageReport run(const enumeration::EnumerationOptions& options =
+                                      enumeration::EnumerationOptions()) const;
+
+  static std::string render_table2(const LeakageReport& report, std::size_t top_n = 20);
+  static std::string render_funnel(const LeakageReport& report);
+
+ private:
+  sim::DomainCorpus* corpus_;
+};
+
+}  // namespace ctwatch::core

@@ -1,0 +1,111 @@
+// NIST P-256 (secp256r1) elliptic curve and ECDSA, from scratch.
+//
+// CT logs sign SCTs and STHs with ECDSA P-256/SHA-256 in practice; this
+// module provides the real thing so that signature validation failures in
+// the §3.4 invalid-SCT study are genuine cryptographic failures, not flag
+// checks. Field arithmetic uses the NIST fast (Solinas) reduction; point
+// arithmetic uses Jacobian coordinates.
+//
+// Scope note: this implementation is for simulation and research use. It is
+// deliberately *not* constant-time.
+#pragma once
+
+#include <optional>
+
+#include "ctwatch/crypto/sha256.hpp"
+#include "ctwatch/crypto/u256.hpp"
+
+namespace ctwatch::crypto {
+
+/// Curve constants for P-256.
+namespace p256 {
+/// Field prime p = 2^256 - 2^224 + 2^192 + 2^96 - 1.
+const U256& prime();
+/// Group order n.
+const U256& order();
+/// Curve coefficient b (a = -3 mod p).
+const U256& coeff_b();
+
+/// (a * b) mod p using the NIST fast reduction.
+U256 field_mul(const U256& a, const U256& b);
+/// a^2 mod p.
+U256 field_sqr(const U256& a);
+}  // namespace p256
+
+/// An affine point on P-256, or the point at infinity.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  static AffinePoint make(const U256& x, const U256& y) { return {x, y, false}; }
+
+  /// True if the point satisfies the curve equation (or is infinity).
+  [[nodiscard]] bool on_curve() const;
+
+  /// SEC1 uncompressed encoding (0x04 || X || Y), 65 bytes. Infinity encodes
+  /// as a single zero byte.
+  [[nodiscard]] Bytes encode() const;
+  /// Decodes a SEC1 uncompressed point. Throws std::invalid_argument if the
+  /// encoding is malformed or the point is not on the curve.
+  static AffinePoint decode(BytesView data);
+
+  friend bool operator==(const AffinePoint& a, const AffinePoint& b) {
+    if (a.infinity || b.infinity) return a.infinity == b.infinity;
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// The generator point G.
+const AffinePoint& p256_generator();
+
+/// Scalar multiplication k * P (Jacobian double-and-add).
+AffinePoint p256_multiply(const U256& k, const AffinePoint& point);
+/// u1 * G + u2 * Q, the ECDSA verification combination.
+AffinePoint p256_double_multiply(const U256& u1, const U256& u2, const AffinePoint& q);
+/// Point addition (affine API over Jacobian internals).
+AffinePoint p256_add(const AffinePoint& a, const AffinePoint& b);
+
+/// A raw ECDSA signature: the pair (r, s).
+struct EcdsaSignature {
+  U256 r;
+  U256 s;
+
+  /// Fixed-width 64-byte encoding (r || s, big-endian).
+  [[nodiscard]] Bytes to_bytes() const;
+  static EcdsaSignature from_bytes(BytesView data);
+
+  friend bool operator==(const EcdsaSignature&, const EcdsaSignature&) = default;
+};
+
+/// An ECDSA P-256 private key with its public point.
+class EcdsaKeyPair {
+ public:
+  /// Derives a reproducible key pair from a seed label (HKDF over the label).
+  /// Every simulated log/CA key is derived this way, making runs replayable.
+  static EcdsaKeyPair derive(const std::string& seed_label);
+
+  /// Constructs from a raw private scalar in [1, n-1].
+  static EcdsaKeyPair from_private(const U256& d);
+
+  [[nodiscard]] const U256& private_scalar() const { return d_; }
+  [[nodiscard]] const AffinePoint& public_point() const { return q_; }
+
+  /// Signs a SHA-256 digest with a deterministic (RFC 6979 style) nonce.
+  [[nodiscard]] EcdsaSignature sign_digest(const Digest& digest) const;
+  /// Convenience: hash then sign.
+  [[nodiscard]] EcdsaSignature sign(BytesView message) const;
+
+ private:
+  EcdsaKeyPair(U256 d, AffinePoint q) : d_(d), q_(q) {}
+  U256 d_;
+  AffinePoint q_;
+};
+
+/// Verifies an ECDSA P-256 signature over a SHA-256 digest.
+bool ecdsa_verify_digest(const AffinePoint& public_key, const Digest& digest,
+                         const EcdsaSignature& sig);
+/// Convenience: hash then verify.
+bool ecdsa_verify(const AffinePoint& public_key, BytesView message, const EcdsaSignature& sig);
+
+}  // namespace ctwatch::crypto

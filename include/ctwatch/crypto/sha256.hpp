@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the hash underpinning everything RFC 6962 does: Merkle tree leaf
+// and node hashes, log key ids, and the ECDSA message digests on SCTs and
+// STHs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ctwatch/util/encoding.hpp"
+
+namespace ctwatch::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(BytesView data);
+  Sha256& update(std::uint8_t byte) { return update(BytesView{&byte, 1}); }
+
+  /// Finalizes and returns the digest. The object must be reset() before reuse.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t length_ = 0;  // total bytes consumed
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+Digest hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-SHA256 expand-only step (RFC 5869); enough for deriving simulation
+/// key material from labels.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Digest as a Bytes vector (handy for APIs taking BytesView).
+Bytes digest_bytes(const Digest& d);
+
+}  // namespace ctwatch::crypto

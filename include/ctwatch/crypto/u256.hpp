@@ -1,0 +1,102 @@
+// Fixed-width 256-bit unsigned arithmetic, the foundation of the P-256
+// implementation. Little-endian 64-bit limbs.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "ctwatch/util/encoding.hpp"
+
+namespace ctwatch::crypto {
+
+struct U512;
+
+/// 256-bit unsigned integer. Value semantics, constexpr-friendly storage.
+struct U256 {
+  // limb[0] is least significant.
+  std::array<std::uint64_t, 4> limb{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2, std::uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  /// Parses a big-endian hex string (up to 64 hex digits, no 0x prefix).
+  static U256 from_hex(const std::string& hex);
+  /// Big-endian 32-byte decoding; input must be exactly 32 bytes.
+  static U256 from_bytes(BytesView be32);
+  /// Interprets an arbitrary-length big-endian buffer, reducing to the low
+  /// 256 bits (used for hashing digests into scalars).
+  static U256 from_bytes_truncated(BytesView be);
+
+  [[nodiscard]] Bytes to_bytes() const;  ///< big-endian, 32 bytes
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+  [[nodiscard]] constexpr bool is_odd() const { return limb[0] & 1; }
+  [[nodiscard]] constexpr bool bit(int i) const {
+    return (limb[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+  /// Index of the highest set bit, or -1 for zero.
+  [[nodiscard]] int bit_length() const;
+
+  friend constexpr std::strong_ordering operator<=>(const U256& a, const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+      const auto ai = a.limb[static_cast<std::size_t>(i)];
+      const auto bi = b.limb[static_cast<std::size_t>(i)];
+      if (ai != bi) return ai <=> bi;
+    }
+    return std::strong_ordering::equal;
+  }
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+
+  /// Addition returning the carry-out bit.
+  static bool add(const U256& a, const U256& b, U256& out);
+  /// Subtraction returning the borrow-out bit.
+  static bool sub(const U256& a, const U256& b, U256& out);
+  /// Full 256x256 -> 512-bit multiplication.
+  static U512 mul(const U256& a, const U256& b);
+
+  /// Logical shift right by 1 bit.
+  [[nodiscard]] U256 shr1() const;
+};
+
+/// 512-bit product type (little-endian 64-bit limbs).
+struct U512 {
+  std::array<std::uint64_t, 8> limb{};
+
+  [[nodiscard]] constexpr bool bit(int i) const {
+    return (limb[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+  /// Low and high 256-bit halves.
+  [[nodiscard]] U256 lo() const { return U256{limb[0], limb[1], limb[2], limb[3]}; }
+  [[nodiscard]] U256 hi() const { return U256{limb[4], limb[5], limb[6], limb[7]}; }
+};
+
+/// Modular arithmetic helpers for a fixed odd modulus m (m > 1).
+/// Generic (not constant-time): this library signs simulated artifacts.
+namespace modmath {
+
+/// (a + b) mod m; requires a, b < m.
+U256 add(const U256& a, const U256& b, const U256& m);
+/// (a - b) mod m; requires a, b < m.
+U256 sub(const U256& a, const U256& b, const U256& m);
+/// (a * b) mod m; requires a, b < m.
+U256 mul(const U256& a, const U256& b, const U256& m);
+/// Reduces a 512-bit value mod m (binary long division).
+U256 reduce(const U512& x, const U256& m);
+/// Reduces a possibly >= m 256-bit value mod m.
+U256 reduce(const U256& x, const U256& m);
+/// Modular inverse via binary extended GCD; requires gcd(a, m) == 1, a != 0.
+/// Throws std::domain_error otherwise.
+U256 inverse(const U256& a, const U256& m);
+/// a^e mod m (square and multiply).
+U256 pow(const U256& a, const U256& e, const U256& m);
+
+}  // namespace modmath
+
+}  // namespace ctwatch::crypto

@@ -1,0 +1,54 @@
+// Log auditing: checks that a log honors its append-only promise.
+//
+// An auditor remembers the last signed tree head it saw per log and, on
+// each audit round, verifies (i) the new STH signature and (ii) a
+// consistency proof from the old tree to the new one. A log that rewrites
+// history cannot produce a valid proof — the tests exercise this by
+// corrupting a log's tree between audits.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ctwatch/ct/log.hpp"
+
+namespace ctwatch::ct {
+
+struct AuditOutcome {
+  bool ok = false;
+  std::string problem;  ///< empty when ok
+  SignedTreeHead sth;   ///< the newly observed head
+};
+
+class LogAuditor {
+ public:
+  /// Fetches the log's current STH and verifies signature + consistency
+  /// with the previously recorded head (if any). Records the new head on
+  /// success.
+  AuditOutcome audit(const CtLog& log, SimTime now);
+
+  /// Verifies that entry `index` is included in the given (already
+  /// signature-checked) tree head.
+  static bool check_inclusion(const CtLog& log, std::uint64_t index, const SignedTreeHead& sth);
+
+  [[nodiscard]] std::size_t tracked_logs() const { return last_sth_.size(); }
+
+ private:
+  std::map<std::string, SignedTreeHead> last_sth_;  // keyed by log name
+};
+
+/// Locates the log entry an SCT promises (by its Merkle leaf hash).
+/// Requires the log to have been the SCT's issuer and the entry the SCT
+/// was issued over. Returns std::nullopt if the promise was not honored.
+std::optional<std::uint64_t> find_promised_entry(const CtLog& log,
+                                                 const SignedCertificateTimestamp& sct,
+                                                 const SignedEntry& entry);
+
+/// Full SCT audit, as a monitor would do after the MMD: verify the SCT
+/// signature, locate the promised entry, and verify its inclusion proof
+/// against a fresh (signature-checked) tree head.
+bool audit_sct_inclusion(const CtLog& log, const SignedCertificateTimestamp& sct,
+                         const SignedEntry& entry, SimTime now);
+
+}  // namespace ctwatch::ct

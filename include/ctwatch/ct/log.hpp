@@ -1,0 +1,128 @@
+// An RFC 6962 CT log server.
+//
+// Supports add-chain / add-pre-chain submissions with cryptographic
+// validation, immediate Merkle integration, SCT issuance, signed tree
+// heads, inclusion/consistency proofs, get-entries range reads, and
+// streaming subscribers (the primitive behind CertStream-style monitors).
+//
+// Capacity modelling: the paper documents the Nimbus incident — mass
+// submission overwhelmed a log into issuing bad SCTs and risking
+// disqualification. A log can therefore be given a rate capacity; beyond
+// it submissions fail with `overloaded`, which the simulator uses for the
+// load-balance analysis of Fig. 1c.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/merkle.hpp"
+#include "ctwatch/ct/sct.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch::ct {
+
+/// One integrated log entry.
+struct LogEntry {
+  std::uint64_t index = 0;
+  std::uint64_t timestamp_ms = 0;
+  SignedEntry signed_entry;
+  x509::Certificate certificate;  ///< as submitted (precert keeps its poison)
+  std::string issuer_cn;          ///< convenience for the §2 analyses
+  crypto::Digest fingerprint{};   ///< SHA-256 of the submitted DER; kept even
+                                  ///< in slim mode so cross-log entries of
+                                  ///< one certificate can be deduplicated
+};
+
+/// The serialized MerkleTreeLeaf for an entry (RFC 6962 §3.4).
+Bytes merkle_leaf_bytes(std::uint64_t timestamp_ms, const SignedEntry& entry);
+
+struct LogConfig {
+  std::string name;           ///< e.g. "Google Pilot"
+  std::string operator_name;  ///< e.g. "Google"
+  std::string url;            ///< e.g. "ct.googleapis.com/pilot"
+  crypto::SignatureScheme scheme = crypto::SignatureScheme::ecdsa_p256_sha256;
+  /// Reject submissions whose CA signature does not verify. Bulk
+  /// simulations may disable this for speed (documented substitution).
+  bool verify_submissions = true;
+  /// Submissions per hour the log can absorb; 0 = unlimited.
+  std::uint64_t capacity_per_hour = 0;
+  /// Retain full entry bodies (certificate + signed entry). Bulk timeline
+  /// simulations disable this and keep only (index, time, issuer) — the
+  /// Merkle tree always keeps every leaf hash either way. Deduplication
+  /// requires bodies and is disabled alongside.
+  bool store_bodies = true;
+};
+
+enum class SubmitStatus : std::uint8_t {
+  ok,
+  rejected_invalid,  ///< chain did not verify
+  overloaded,        ///< capacity exceeded (Nimbus incident model)
+};
+
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::ok;
+  std::optional<SignedCertificateTimestamp> sct;
+};
+
+class CtLog {
+ public:
+  /// The signing key is derived from the log's name (reproducible).
+  explicit CtLog(LogConfig config);
+
+  [[nodiscard]] const LogConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] Bytes public_key() const { return signer_->public_key(); }
+  [[nodiscard]] LogId log_id() const;
+
+  /// add-chain (final certificate). `issuer_public_key` is the issuing
+  /// CA's key for chain validation.
+  SubmitResult add_chain(const x509::Certificate& cert, BytesView issuer_public_key, SimTime now);
+  /// add-pre-chain (precertificate). Rejects inputs without the poison.
+  SubmitResult add_pre_chain(const x509::Certificate& precert, BytesView issuer_public_key,
+                             SimTime now);
+
+  [[nodiscard]] std::uint64_t tree_size() const { return tree_.size(); }
+  [[nodiscard]] const std::vector<LogEntry>& entries() const { return entries_; }
+  /// get-entries [start, start+count).
+  [[nodiscard]] std::vector<LogEntry> get_entries(std::uint64_t start, std::uint64_t count) const;
+
+  /// Signs the current tree head.
+  [[nodiscard]] SignedTreeHead get_sth(SimTime now) const;
+  [[nodiscard]] std::vector<Digest> get_inclusion_proof(std::uint64_t index,
+                                                        std::uint64_t tree_size) const;
+  [[nodiscard]] std::vector<Digest> get_consistency_proof(std::uint64_t old_size,
+                                                          std::uint64_t new_size) const;
+
+  /// Streaming subscription; the callback fires for every accepted entry.
+  using Subscriber = std::function<void(const CtLog&, const LogEntry&)>;
+  void subscribe(Subscriber subscriber) { subscribers_.push_back(std::move(subscriber)); }
+
+  /// Submissions rejected for overload so far (the Fig. 1c load analysis).
+  [[nodiscard]] std::uint64_t overload_rejections() const { return overload_rejections_; }
+
+  /// TEST HOOK: corrupts the Merkle leaf at `index` in place, simulating a
+  /// log that rewrote history. Subsequent proofs/roots will betray it.
+  void corrupt_leaf_for_test(std::uint64_t index);
+
+ private:
+  SubmitResult submit(const x509::Certificate& cert, BytesView issuer_public_key, SimTime now,
+                      EntryType type);
+
+  LogConfig config_;
+  std::unique_ptr<crypto::Signer> signer_;
+  MerkleTree tree_;
+  std::vector<LogEntry> entries_;
+  std::map<Bytes, std::uint64_t> dedup_;  ///< fingerprint -> entry index
+  std::vector<Subscriber> subscribers_;
+  // Per-hour submission counts for capacity enforcement. A map (rather
+  // than a single sliding window) because simulations may submit out of
+  // chronological order within a day.
+  std::map<std::int64_t, std::uint64_t> hourly_submissions_;
+  std::uint64_t overload_rejections_ = 0;
+};
+
+}  // namespace ctwatch::ct

@@ -1,0 +1,90 @@
+// The browser-side view of the CT ecosystem: the list of recognized logs
+// and the Chrome CT policy.
+//
+// The paper's Table 1 annotates each log with its Chrome inclusion date;
+// the policy model implements the "diversely operated log entries"
+// requirement Chrome enforced from 2018-04: enough SCTs for the
+// certificate's lifetime, with at least one Google and one non-Google log.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/log.hpp"
+
+namespace ctwatch::ct {
+
+struct LogListEntry {
+  LogId id{};
+  std::string name;
+  std::string operator_name;
+  Bytes public_key;
+  SimTime chrome_inclusion;                 ///< when Chrome started trusting it
+  std::optional<SimTime> disqualified;      ///< when Chrome stopped, if ever
+  bool google_operated = false;
+
+  [[nodiscard]] bool qualified_at(SimTime t) const {
+    return t >= chrome_inclusion && (!disqualified || t < *disqualified);
+  }
+};
+
+class LogList {
+ public:
+  void add(LogListEntry entry) { entries_.push_back(std::move(entry)); }
+  /// Registers a live log object.
+  void add_log(const CtLog& log, SimTime chrome_inclusion, bool google_operated);
+
+  [[nodiscard]] const LogListEntry* find(const LogId& id) const;
+  [[nodiscard]] const LogListEntry* find_by_name(const std::string& name) const;
+  [[nodiscard]] const std::vector<LogListEntry>& entries() const { return entries_; }
+
+  void disqualify(const LogId& id, SimTime when);
+
+ private:
+  std::vector<LogListEntry> entries_;
+};
+
+/// Operational health check: disqualifies logs whose overload rejections
+/// exceed the threshold — the community reaction the paper describes for
+/// the Nimbus incident ("resulting in a disqualification discussion").
+/// Returns the names of the logs disqualified by this call.
+std::vector<std::string> disqualify_overloaded_logs(LogList& list,
+                                                    const std::vector<CtLog*>& logs,
+                                                    std::uint64_t rejection_threshold,
+                                                    SimTime when);
+
+/// Chrome CT policy verdict for one certificate.
+struct PolicyVerdict {
+  bool compliant = false;
+  std::size_t valid_scts = 0;
+  std::size_t required_scts = 0;
+  bool has_google = false;
+  bool has_non_google = false;
+  std::string reason;  ///< human-readable when non-compliant
+};
+
+/// Number of SCTs Chrome requires for a certificate lifetime (policy as of
+/// 2018): <15 months: 2; 15–27: 3; 27–39: 4; longer: 5.
+std::size_t required_sct_count(SimTime not_before, SimTime not_after);
+
+/// Chrome's strict CT enforcement date (2018-04-18): only certificates
+/// *issued on or after* this date must comply; older certificates are
+/// grandfathered — which is why Fig. 2 stays flat right through April 2018
+/// ("we assume this picture will change ... with gradual certificate
+/// replacement").
+SimTime chrome_enforcement_date();
+
+/// True if Chrome would require CT compliance from this certificate at
+/// time `now`: enforcement has begun and the certificate was issued after
+/// the deadline.
+bool chrome_requires_ct(SimTime not_before, SimTime now);
+
+/// Evaluates the Chrome CT policy over the SCTs presented for a
+/// certificate. `entry` must be the SignedEntry the SCTs were issued over;
+/// each SCT is validated cryptographically against its log's key.
+PolicyVerdict evaluate_chrome_policy(const std::vector<SignedCertificateTimestamp>& scts,
+                                     const SignedEntry& entry, const LogList& logs, SimTime now,
+                                     SimTime not_before, SimTime not_after);
+
+}  // namespace ctwatch::ct

@@ -1,0 +1,72 @@
+// RFC 6962 Merkle hash trees.
+//
+// Leaf hash:  MTH({d}) = SHA-256(0x00 || d)
+// Node hash:  SHA-256(0x01 || left || right)
+// Inclusion (audit) and consistency proofs follow RFC 6962 §2.1.
+//
+// The tree is what makes a CT log's append-only promise *checkable*: the
+// auditor in this library verifies consistency between successive signed
+// tree heads and the tests actively tamper with histories to confirm
+// detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctwatch/crypto/sha256.hpp"
+
+namespace ctwatch::ct {
+
+using crypto::Digest;
+
+/// Hash of a leaf's serialized content.
+Digest leaf_hash(BytesView data);
+/// Interior node hash.
+Digest node_hash(const Digest& left, const Digest& right);
+
+/// An append-only Merkle tree over pre-hashed leaves.
+///
+/// Appends are O(log n) amortized (binary-counter of perfect subtrees);
+/// proofs and historic roots are computed by recursion over the stored
+/// leaf hashes.
+class MerkleTree {
+ public:
+  /// Appends a leaf (already leaf-hashed) and returns its index.
+  std::uint64_t append(const Digest& leaf);
+  /// Convenience: hashes and appends raw leaf data.
+  std::uint64_t append_data(BytesView data) { return append(leaf_hash(data)); }
+
+  [[nodiscard]] std::uint64_t size() const { return leaves_.size(); }
+
+  /// Root of the current tree. The empty tree's root is SHA-256 of the
+  /// empty string, per RFC 6962.
+  [[nodiscard]] Digest root() const;
+  /// Root of the first `n` leaves (n <= size()).
+  [[nodiscard]] Digest root_at(std::uint64_t n) const;
+
+  /// Audit path proving leaf `index` is in the tree of size `tree_size`.
+  [[nodiscard]] std::vector<Digest> inclusion_proof(std::uint64_t index,
+                                                    std::uint64_t tree_size) const;
+  /// Consistency proof between tree sizes `old_size` <= `new_size`.
+  [[nodiscard]] std::vector<Digest> consistency_proof(std::uint64_t old_size,
+                                                      std::uint64_t new_size) const;
+
+  [[nodiscard]] const Digest& leaf(std::uint64_t index) const { return leaves_.at(index); }
+
+ private:
+  [[nodiscard]] Digest subtree_root(std::uint64_t begin, std::uint64_t end) const;
+
+  std::vector<Digest> leaves_;
+  // Incremental root state: perfect-subtree hashes, one per set bit of size.
+  std::vector<Digest> stack_;
+};
+
+/// Verifies an RFC 6962 inclusion proof.
+bool verify_inclusion(const Digest& leaf, std::uint64_t index, std::uint64_t tree_size,
+                      const std::vector<Digest>& proof, const Digest& root);
+
+/// Verifies an RFC 6962 consistency proof.
+bool verify_consistency(std::uint64_t old_size, std::uint64_t new_size, const Digest& old_root,
+                        const Digest& new_root, const std::vector<Digest>& proof);
+
+}  // namespace ctwatch::ct

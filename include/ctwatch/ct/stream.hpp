@@ -1,0 +1,48 @@
+// Log-following primitives for third-party monitors.
+//
+// The honeypot study distinguishes two monitoring styles it observed in
+// the wild: near-real-time stream processing ("e.g., CertStream") and
+// batched polling. `CertStream` multiplexes live subscription over many
+// logs; `BatchPoller` reads a log's new entries since its last visit.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ctwatch/ct/log.hpp"
+
+namespace ctwatch::ct {
+
+/// Fan-out of live log entries to consumers, CertStream style.
+class CertStream {
+ public:
+  using Callback = std::function<void(const CtLog&, const LogEntry&)>;
+
+  /// Subscribes to a log; all registered callbacks (present and future)
+  /// receive its entries.
+  void attach(CtLog& log);
+  /// Registers a consumer.
+  void on_entry(Callback callback) { callbacks_.push_back(std::move(callback)); }
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  std::vector<Callback> callbacks_;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Cursor-based poller over one log (get-entries since last poll).
+class BatchPoller {
+ public:
+  explicit BatchPoller(const CtLog& log) : log_(&log) {}
+
+  /// Entries appended since the previous poll.
+  std::vector<LogEntry> poll();
+  [[nodiscard]] std::uint64_t cursor() const { return cursor_; }
+
+ private:
+  const CtLog* log_;
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace ctwatch::ct

@@ -1,0 +1,87 @@
+// TLS-presentation-language style byte serialization (RFC 6962 uses TLS
+// framing for SCTs, tree heads and log entries).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "ctwatch/util/encoding.hpp"
+
+namespace ctwatch::ct::wire {
+
+inline void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+inline void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u24(Bytes& out, std::uint32_t v) {
+  if (v > 0xffffff) throw std::invalid_argument("wire::put_u24: value too large");
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+inline void put_bytes(Bytes& out, BytesView data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+/// Length-prefixed opaque vector with a u16 length.
+inline void put_opaque16(Bytes& out, BytesView data) {
+  if (data.size() > 0xffff) throw std::invalid_argument("wire::put_opaque16: too large");
+  put_u16(out, static_cast<std::uint16_t>(data.size()));
+  put_bytes(out, data);
+}
+
+/// Length-prefixed opaque vector with a u24 length (certificates).
+inline void put_opaque24(Bytes& out, BytesView data) {
+  put_u24(out, static_cast<std::uint32_t>(data.size()));
+  put_bytes(out, data);
+}
+
+/// Sequential reader; throws std::invalid_argument on underrun.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    const BytesView b = take(2);
+    return static_cast<std::uint16_t>(b[0] << 8 | b[1]);
+  }
+  std::uint32_t u24() {
+    const BytesView b = take(3);
+    return static_cast<std::uint32_t>(b[0]) << 16 | static_cast<std::uint32_t>(b[1]) << 8 | b[2];
+  }
+  std::uint64_t u64() {
+    const BytesView b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | b[static_cast<std::size_t>(i)];
+    return v;
+  }
+  BytesView bytes(std::size_t n) { return take(n); }
+  BytesView opaque16() { return take(u16()); }
+  BytesView opaque24() { return take(u24()); }
+
+ private:
+  BytesView take(std::size_t n) {
+    if (pos_ + n > data_.size()) throw std::invalid_argument("wire::Reader: underrun");
+    const BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ctwatch::ct::wire

@@ -1,0 +1,71 @@
+// DNS names: parsing, validation (RFC 1035 + RFC 1123 LDH rule), and label
+// access. The §4 leakage study lives and dies on careful name handling —
+// the paper explicitly filters certificate names that are not valid FQDNs
+// before counting subdomain labels.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctwatch::dns {
+
+/// A validated, lowercase DNS name. Labels are stored in wire order
+/// (leftmost label first); the root is the empty name.
+/// Name-parsing options.
+struct ParseOptions {
+  bool allow_wildcard = false;    ///< leftmost label may be "*" (cert SANs)
+  bool allow_underscore = false;  ///< permit '_' (e.g. service labels)
+};
+
+class DnsName {
+ public:
+  DnsName() = default;
+
+  using Options = ParseOptions;
+
+  /// Parses and validates; returns std::nullopt when invalid.
+  ///
+  /// Rules enforced (mirroring the paper's FQDN filtering):
+  ///  * whole name <= 253 characters, at least two labels,
+  ///  * labels 1..63 chars from [a-z0-9-] (plus options), case-folded,
+  ///  * labels must not start or end with '-',
+  ///  * the TLD must not be all-numeric (rejects bare IPv4 strings),
+  ///  * a single trailing dot is accepted and stripped.
+  static std::optional<DnsName> parse(std::string_view text, ParseOptions options = ParseOptions());
+
+  /// Like parse() but throws std::invalid_argument.
+  static DnsName parse_or_throw(std::string_view text, ParseOptions options = ParseOptions());
+
+  [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+
+  /// Textual form, no trailing dot.
+  [[nodiscard]] std::string to_string() const;
+
+  /// The leftmost label, e.g. "www" in www.example.co.uk.
+  [[nodiscard]] const std::string& first_label() const { return labels_.front(); }
+
+  /// Drops the leftmost `n` labels (n <= label_count()).
+  [[nodiscard]] DnsName parent(std::size_t n = 1) const;
+
+  /// True if this name equals `other` or is a subdomain of it.
+  [[nodiscard]] bool is_subdomain_of(const DnsName& other) const;
+
+  /// Prepends a label (label must itself be valid); returns the new name.
+  [[nodiscard]] DnsName with_prefix_label(const std::string& label) const;
+
+  friend bool operator==(const DnsName&, const DnsName&) = default;
+  friend auto operator<=>(const DnsName&, const DnsName&) = default;
+
+ private:
+  explicit DnsName(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+  std::vector<std::string> labels_;
+};
+
+/// Validates a single label under the default rules.
+bool valid_label(std::string_view label, bool allow_underscore = false);
+
+}  // namespace ctwatch::dns

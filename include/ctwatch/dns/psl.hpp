@@ -1,0 +1,73 @@
+// Public Suffix List engine.
+//
+// The paper defines "base domain" (registrable domain) as the domain
+// directly under a public suffix per Mozilla's PSL, and everything in §4/§5
+// is keyed on that split: subdomain labels are the labels *below* the
+// registrable domain. This implements the PSL matching algorithm — normal
+// rules, wildcard rules ("*.ck") and exception rules ("!www.ck") — over a
+// bundled snapshot, with the ability to add rules at runtime.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/dns/name.hpp"
+
+namespace ctwatch::dns {
+
+/// Result of splitting a name at its public suffix.
+struct NameSplit {
+  std::string public_suffix;            ///< e.g. "co.uk"
+  std::string registrable_domain;       ///< e.g. "example.co.uk"
+  std::vector<std::string> subdomain_labels;  ///< e.g. {"www","dev"} for www.dev.example.co.uk
+
+  /// The subdomain part joined with dots ("" when none).
+  [[nodiscard]] std::string subdomain() const;
+};
+
+class PublicSuffixList {
+ public:
+  /// Empty list: every name's suffix is its TLD (the PSL "prevailing rule"
+  /// is "*", i.e. match one label).
+  PublicSuffixList() = default;
+
+  /// The bundled snapshot with the suffixes the experiments exercise plus
+  /// common ICANN suffixes. Shaped like (a subset of) the real PSL.
+  static PublicSuffixList bundled();
+
+  /// Adds a rule in PSL syntax: "co.uk", "*.ck", "!www.ck".
+  /// Throws std::invalid_argument on malformed rules.
+  void add_rule(const std::string& rule);
+  /// Parses newline-separated PSL text (comments "//" and blanks skipped).
+  void add_rules_text(const std::string& text);
+
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+  /// Longest-matching public suffix for the name, per the PSL algorithm.
+  /// A name that *is* a public suffix (or is shorter) has no registrable
+  /// domain; those return std::nullopt from split().
+  [[nodiscard]] std::string public_suffix(const DnsName& name) const;
+
+  /// Splits into suffix / registrable domain / subdomain labels.
+  [[nodiscard]] std::optional<NameSplit> split(const DnsName& name) const;
+
+  /// Convenience over a textual name; invalid names yield std::nullopt.
+  [[nodiscard]] std::optional<NameSplit> split(const std::string& name) const;
+
+ private:
+  enum class RuleKind { normal, wildcard, exception };
+  struct Rule {
+    RuleKind kind;
+    std::vector<std::string> labels;  // reversed: TLD first
+  };
+
+  /// Number of labels the matched suffix spans (>= 1 by the prevailing rule).
+  [[nodiscard]] std::size_t suffix_label_count(const std::vector<std::string>& labels) const;
+
+  // Keyed by reversed label path joined with '.'; simple and fast enough.
+  std::map<std::string, Rule> rules_;
+};
+
+}  // namespace ctwatch::dns

@@ -1,0 +1,33 @@
+// DNS resource records.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ctwatch/dns/name.hpp"
+#include "ctwatch/net/ip.hpp"
+
+namespace ctwatch::dns {
+
+enum class RrType : std::uint8_t { A, AAAA, CNAME, MX, NS, SOA, TXT };
+
+std::string to_string(RrType type);
+
+/// Record payload. CNAME/NS carry a target name; MX a (pref, target) pair is
+/// simplified to the target name; SOA/TXT carry opaque text.
+using RData = std::variant<net::IPv4, net::IPv6, DnsName, std::string>;
+
+struct ResourceRecord {
+  DnsName name;
+  RrType type = RrType::A;
+  std::uint32_t ttl = 300;
+  RData data;
+
+  [[nodiscard]] net::IPv4 a() const { return std::get<net::IPv4>(data); }
+  [[nodiscard]] net::IPv6 aaaa() const { return std::get<net::IPv6>(data); }
+  [[nodiscard]] const DnsName& target() const { return std::get<DnsName>(data); }
+  [[nodiscard]] const std::string& text() const { return std::get<std::string>(data); }
+};
+
+}  // namespace ctwatch::dns

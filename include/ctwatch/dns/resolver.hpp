@@ -1,0 +1,127 @@
+// Authoritative servers, the query log, and a recursive resolver.
+//
+// The honeypot's central observable is the query log of its *own*
+// authoritative server ("to closely monitor lookup activities, we control
+// the authoritative name server for these DNS domain names"). Every query
+// carries attribution metadata: time, resolver address/AS, and optionally
+// an EDNS Client Subnet (RFC 7871) revealing the stub network behind a
+// public resolver — the paper uses ECS to unmask clients behind Google DNS.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/dns/zone.hpp"
+#include "ctwatch/net/autonomous_system.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch::dns {
+
+struct DnsQuestion {
+  DnsName qname;
+  RrType qtype = RrType::A;
+};
+
+/// Who asked, from where, and with what ECS attachment.
+struct QueryContext {
+  SimTime time;
+  net::IPv4 resolver_addr;
+  net::Asn resolver_asn = 0;
+  std::string resolver_label;              ///< e.g. "google-public-dns"
+  std::optional<net::Prefix4> client_subnet;  ///< EDNS Client Subnet, /24
+};
+
+struct QueryLogEntry {
+  DnsQuestion question;
+  QueryContext context;
+  bool answered = false;
+};
+
+/// An authoritative server over a set of zones, with a full query log.
+/// Zone lookup is indexed by origin (ancestor walk), so serving tens of
+/// thousands of zones stays O(labels) per query.
+class AuthoritativeServer {
+ public:
+  /// Adds a zone; overlapping origins resolve to the longest match.
+  /// Re-adding an origin replaces the zone.
+  Zone& add_zone(DnsName origin);
+
+  [[nodiscard]] Zone* find_zone(const DnsName& name);
+  [[nodiscard]] const Zone* find_zone(const DnsName& name) const;
+  [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
+
+  /// Answers a query and appends it to the log (when logging is enabled).
+  std::vector<ResourceRecord> query(const DnsQuestion& question, const QueryContext& context);
+
+  /// Query logging costs memory; bulk-resolution servers turn it off. The
+  /// honeypot's own server keeps it on — it is the §6 observable.
+  void set_logging(bool enabled) { logging_ = enabled; }
+  [[nodiscard]] const std::vector<QueryLogEntry>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Zone>> zones_;  // keyed by origin text
+  std::vector<QueryLogEntry> log_;
+  bool logging_ = true;
+};
+
+/// The set of authoritative servers making up the simulated DNS.
+class DnsUniverse {
+ public:
+  /// Registers a server; the universe does not own it.
+  void add_server(AuthoritativeServer& server) { servers_.push_back(&server); }
+
+  /// The server authoritative for the name (longest zone-origin match).
+  [[nodiscard]] AuthoritativeServer* find_authoritative(const DnsName& name) const;
+
+ private:
+  std::vector<AuthoritativeServer*> servers_;
+};
+
+enum class ResolveStatus : std::uint8_t {
+  ok,               ///< answers present
+  nxdomain,         ///< no such name anywhere
+  no_data,          ///< name exists but not for this type
+  chain_too_long,   ///< CNAME indirection exceeded the hop limit
+};
+
+struct ResolveResult {
+  ResolveStatus status = ResolveStatus::nxdomain;
+  std::vector<ResourceRecord> answers;  ///< final answers (qtype records)
+  int cname_hops = 0;
+
+  [[nodiscard]] std::optional<net::IPv4> first_a() const;
+};
+
+/// A recursive resolver identity (e.g. Google Public DNS, a hoster's
+/// resolver). Resolution follows CNAME chains up to a hop limit — the
+/// paper follows "CNAME indirection up to 10 times".
+class RecursiveResolver {
+ public:
+  struct Identity {
+    net::IPv4 address;
+    net::Asn asn = 0;
+    std::string label;
+    bool sends_ecs = false;  ///< attaches the stub client's /24 (RFC 7871)
+  };
+
+  RecursiveResolver(const DnsUniverse& universe, Identity identity)
+      : universe_(&universe), identity_(std::move(identity)) {}
+
+  [[nodiscard]] const Identity& identity() const { return identity_; }
+
+  /// Resolves on behalf of a stub client. When the resolver `sends_ecs`,
+  /// the client's /24 is attached to upstream queries.
+  ResolveResult resolve(const DnsName& qname, RrType qtype, SimTime when,
+                        std::optional<net::IPv4> stub_client = std::nullopt,
+                        int max_cname_hops = 10) const;
+
+ private:
+  const DnsUniverse* universe_;
+  Identity identity_;
+};
+
+}  // namespace ctwatch::dns

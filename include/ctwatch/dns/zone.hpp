@@ -1,0 +1,51 @@
+// Authoritative DNS zones.
+//
+// Beyond plain record storage, zones model the two behaviours §4.3's
+// verification methodology must contend with:
+//   * wildcard records ("*.example.com"), and
+//   * catch-all zones that answer *every* name with a default A record —
+//     exactly what the paper's pseudo-random control probes are designed to
+//     detect and exclude.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ctwatch/dns/records.hpp"
+
+namespace ctwatch::dns {
+
+class Zone {
+ public:
+  explicit Zone(DnsName origin) : origin_(std::move(origin)) {}
+
+  [[nodiscard]] const DnsName& origin() const { return origin_; }
+
+  /// Enables catch-all behaviour: any in-zone A query gets `addr`.
+  void set_default_a(net::IPv4 addr) { default_a_ = addr; }
+  [[nodiscard]] bool has_default_a() const { return default_a_.has_value(); }
+
+  /// Adds a record; its name must be the origin or below it. A leftmost "*"
+  /// label creates a wildcard record.
+  void add(ResourceRecord record);
+
+  /// True if the name is at/below this zone's origin.
+  [[nodiscard]] bool in_zone(const DnsName& name) const { return name.is_subdomain_of(origin_); }
+
+  /// Authoritative lookup: exact match, then wildcard synthesis, then the
+  /// default-A catch-all. Returns matching records of the requested type,
+  /// or the name's CNAME record when one exists (regardless of qtype,
+  /// mirroring real resolution). Empty when the name does not exist.
+  [[nodiscard]] std::vector<ResourceRecord> lookup(const DnsName& name, RrType type) const;
+
+  [[nodiscard]] std::size_t record_count() const;
+
+ private:
+  DnsName origin_;
+  std::optional<net::IPv4> default_a_;
+  // Keyed by textual FQDN; wildcard entries keyed with their "*." form.
+  std::map<std::string, std::vector<ResourceRecord>> records_;
+};
+
+}  // namespace ctwatch::dns

@@ -1,0 +1,92 @@
+// The CT honeypot (§6).
+//
+// Four building blocks, as the paper defines them:
+//  (i)   unique random (sub-)domains that are hard to guess,
+//  (ii)  existence leaked *exclusively* through CT (certificate issuance),
+//  (iii) a controlled authoritative DNS server logging every query, and
+//  (iv)  traffic monitoring on the subdomains' A/AAAA addresses —
+//        each subdomain gets a unique IPv6 address never used elsewhere.
+//
+// Issuing the certificate triggers the CA's domain-validation lookups;
+// like the paper, the analysis filters those out (they arrive before the
+// CT log entry and come from the CA's validation infrastructure).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/dns/resolver.hpp"
+#include "ctwatch/net/autonomous_system.hpp"
+#include "ctwatch/net/capture.hpp"
+#include "ctwatch/net/reverse_dns.hpp"
+#include "ctwatch/sim/ecosystem.hpp"
+
+namespace ctwatch::honeypot {
+
+struct HoneypotOptions {
+  std::string parent_domain = "hp-parent.net";
+  std::size_t label_length = 12;
+  /// CA used to obtain certificates (must exist in the ecosystem).
+  std::string ca = "Let's Encrypt";
+  /// Logs receiving the precertificates.
+  std::vector<std::string> logs = {"Google Icarus", "Cloudflare Nimbus2018"};
+  /// Seconds between the validation lookup and the CT log entry.
+  std::int64_t validation_lead = 45;
+};
+
+/// One honeypot subdomain and its ground-truth timeline.
+struct HoneypotDomain {
+  std::string label;        ///< the random 12-char label
+  std::string fqdn;
+  net::IPv4 a_record;
+  net::IPv6 aaaa_record;    ///< unique, never published elsewhere
+  SimTime ct_logged;        ///< precertificate CT log entry time
+};
+
+class CtHoneypot {
+ public:
+  CtHoneypot(sim::Ecosystem& ecosystem, const HoneypotOptions& options = HoneypotOptions());
+
+  /// Creates one subdomain at `now`: DNS records go live, the CA validates
+  /// (producing the to-be-filtered lookups) and the precertificate is
+  /// logged `validation_lead` seconds later.
+  const HoneypotDomain& create_subdomain(SimTime now);
+
+  [[nodiscard]] const std::vector<HoneypotDomain>& domains() const { return domains_; }
+  [[nodiscard]] dns::AuthoritativeServer& dns_server() { return dns_server_; }
+  [[nodiscard]] const dns::AuthoritativeServer& dns_server() const { return dns_server_; }
+  [[nodiscard]] net::PacketCapture& capture() { return capture_; }
+  [[nodiscard]] const net::PacketCapture& capture() const { return capture_; }
+  /// BGP-derived origin data used to attribute sources to ASes (the fleet
+  /// announces its prefixes here, like route collectors would see).
+  [[nodiscard]] net::AsRegistry& as_registry() { return as_registry_; }
+  [[nodiscard]] const net::AsRegistry& as_registry() const { return as_registry_; }
+  /// The global rDNS view. The honeypot's own addresses are deliberately
+  /// absent ("we do not enter these IPv6 addresses into the rDNS tree to
+  /// avoid discovery through rDNS walking"); benevolent scanners would
+  /// register informative names here — the analysis checks for them.
+  [[nodiscard]] net::ReverseDns& reverse_dns() { return reverse_dns_; }
+  [[nodiscard]] const net::ReverseDns& reverse_dns() const { return reverse_dns_; }
+  [[nodiscard]] sim::Ecosystem& ecosystem() { return *ecosystem_; }
+  [[nodiscard]] const HoneypotOptions& options() const { return options_; }
+
+  /// The label every CA-validation query carries in the query log, so the
+  /// analysis can filter it (the paper filters by validation-infrastructure
+  /// origin and pre-logging timing).
+  static constexpr const char* kValidationLabel = "ca-validation";
+
+ private:
+  sim::Ecosystem* ecosystem_;
+  HoneypotOptions options_;
+  dns::AuthoritativeServer dns_server_;
+  dns::Zone* zone_ = nullptr;
+  net::PacketCapture capture_;
+  net::AsRegistry as_registry_;
+  net::ReverseDns reverse_dns_;
+  std::vector<HoneypotDomain> domains_;
+  Rng rng_;
+  std::uint32_t next_host_ = 0;
+};
+
+}  // namespace ctwatch::honeypot

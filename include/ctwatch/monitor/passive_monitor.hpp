@@ -1,0 +1,136 @@
+// A Bro-like passive TLS analyzer with SCT extraction and validation.
+//
+// Mirrors the paper's measurement pipeline (their extended Bro): every
+// connection is reduced to SCT presence per delivery channel, per-log
+// usage counters, client-support signaling, and cryptographic validation
+// results — including the invalid embedded SCTs that §3.4 traces back to
+// CA software bugs. Both the passive study (§3.2) and the active-scan
+// study (§3.3) run connections through this same pipeline, exactly as the
+// paper does ("we create traffic traces and run these through Bro,
+// resulting in the same processing pipeline").
+//
+// Validation work is cached per certificate (pointer identity): a popular
+// server's certificate is analyzed once, then billions of connections to
+// it only bump counters — the same optimization a real passive analyzer
+// relies on. The cache assumes a certificate pointer keeps designating the
+// same (certificate, TLS-SCTs, OCSP-SCTs) triple, which holds for the
+// simulated populations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ctwatch/ct/loglist.hpp"
+#include "ctwatch/tls/connection.hpp"
+
+namespace ctwatch::monitor {
+
+/// Per-day aggregation (Fig. 2's data points).
+struct DailyCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t with_any_sct = 0;
+  std::uint64_t sct_in_cert = 0;
+  std::uint64_t sct_in_tls = 0;
+  std::uint64_t sct_in_ocsp = 0;
+};
+
+/// Per-log usage split by delivery channel (Table 1's rows), counted per
+/// connection.
+struct LogUsage {
+  std::uint64_t cert_scts = 0;
+  std::uint64_t tls_scts = 0;
+  std::uint64_t ocsp_scts = 0;
+};
+
+/// A certificate observed with at least one cryptographically invalid SCT.
+struct InvalidSctObservation {
+  std::string server_name;   ///< first server seen presenting it
+  std::string issuer_cn;
+  tls::SctDelivery delivery = tls::SctDelivery::certificate;
+  std::string log_name;  ///< "" when the log is unknown
+  Bytes certificate_fingerprint;
+};
+
+/// Totals over the whole measurement period (§3.2's headline numbers).
+struct MonitorTotals {
+  std::uint64_t connections = 0;
+  std::uint64_t with_any_sct = 0;
+  std::uint64_t sct_in_cert = 0;
+  std::uint64_t sct_in_tls = 0;
+  std::uint64_t sct_in_ocsp = 0;
+  std::uint64_t cert_and_tls = 0;  ///< SCT via both cert and TLS extension
+  std::uint64_t cert_and_ocsp = 0;
+  std::uint64_t tls_and_ocsp = 0;
+  std::uint64_t client_signaled = 0;
+  std::uint64_t valid_scts = 0;    ///< per connection
+  std::uint64_t invalid_scts = 0;  ///< per connection
+  std::uint64_t unique_certificates = 0;
+  std::uint64_t unique_certs_with_embedded_sct = 0;
+};
+
+class PassiveMonitor {
+ public:
+  /// `logs` provides public keys for validation and names for attribution.
+  explicit PassiveMonitor(const ct::LogList& logs) : logs_(&logs) {}
+
+  /// Analyzes one connection.
+  void process(const tls::ConnectionRecord& connection);
+
+  /// Finalizes the in-flight day of the peak-attribution scratch; call
+  /// when the input stream ends (drivers do this automatically).
+  void flush() { finalize_scratch_day(); }
+
+  [[nodiscard]] const MonitorTotals& totals() const { return totals_; }
+  [[nodiscard]] const std::map<std::int64_t, DailyCounters>& daily() const { return daily_; }
+  /// Keyed by log name ("<unknown>" for logs absent from the list).
+  [[nodiscard]] const std::map<std::string, LogUsage>& log_usage() const { return log_usage_; }
+  /// Per day: the server name contributing the most SCT-bearing
+  /// connections and its count — the paper traced its Fig. 2 peaks to
+  /// graph.facebook.com request storms by exactly this kind of look.
+  /// Tracked streaming with a one-day scratch map, so connections must
+  /// arrive in (roughly) day order; a late connection for a finalized day
+  /// is counted in the daily totals but not re-attributed.
+  [[nodiscard]] const std::map<std::int64_t, std::pair<std::string, std::uint64_t>>&
+  daily_top_sct_server() const {
+    return daily_top_;
+  }
+  /// One record per (unique certificate, offending SCT).
+  [[nodiscard]] const std::vector<InvalidSctObservation>& invalid_observations() const {
+    return invalid_;
+  }
+
+ private:
+  /// Everything derivable from the (certificate, SCT lists) triple alone.
+  struct CertAnalysis {
+    bool has_cert_sct = false;
+    bool has_tls_sct = false;
+    bool has_ocsp_sct = false;
+    // (log name, valid) per SCT and channel.
+    std::vector<std::pair<std::string, bool>> cert_channel;
+    std::vector<std::pair<std::string, bool>> tls_channel;
+    std::vector<std::pair<std::string, bool>> ocsp_channel;
+  };
+
+  const CertAnalysis& analyze(const tls::ConnectionRecord& connection);
+  void validate_channel(const tls::SctList& scts, const ct::SignedEntry& entry,
+                        const tls::ConnectionRecord& connection, tls::SctDelivery delivery,
+                        std::vector<std::pair<std::string, bool>>& out);
+
+  const ct::LogList* logs_;
+  MonitorTotals totals_;
+  std::map<std::int64_t, DailyCounters> daily_;
+  std::map<std::string, LogUsage> log_usage_;
+  std::vector<InvalidSctObservation> invalid_;
+  std::unordered_map<const x509::Certificate*, CertAnalysis> cache_;
+  // Streaming per-day attribution scratch (see daily_top_sct_server()).
+  std::int64_t scratch_day_ = -1;
+  std::unordered_map<std::string, std::uint64_t> scratch_counts_;
+  std::map<std::int64_t, std::pair<std::string, std::uint64_t>> daily_top_;
+  void finalize_scratch_day();
+  void note_sct_connection(std::int64_t day, const std::string& server_name);
+};
+
+}  // namespace ctwatch::monitor

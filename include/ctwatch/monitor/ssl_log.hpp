@@ -1,0 +1,35 @@
+// Bro-style ssl.log writer.
+//
+// The paper's pipeline runs on Bro (now Zeek) with the authors' SCT
+// extension [1]; its unit of output is a TSV log line per TLS connection.
+// This writer reproduces that interface so downstream tooling written for
+// Bro logs can consume ctwatch's simulated traffic: tee connections into
+// it alongside the PassiveMonitor.
+#pragma once
+
+#include <ostream>
+
+#include "ctwatch/ct/loglist.hpp"
+#include "ctwatch/tls/connection.hpp"
+
+namespace ctwatch::monitor {
+
+/// Writes one TSV line per connection with the SCT fields the authors'
+/// Bro extension exposes: counts per delivery channel and per-SCT
+/// validation results.
+class SslLogWriter {
+ public:
+  /// `logs` is used to validate SCTs for the validation column.
+  SslLogWriter(std::ostream& out, const ct::LogList& logs);
+
+  void process(const tls::ConnectionRecord& connection);
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream* out_;
+  const ct::LogList* logs_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace ctwatch::monitor

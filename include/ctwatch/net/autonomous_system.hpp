@@ -1,0 +1,69 @@
+// Autonomous systems and prefix-to-AS mapping.
+//
+// Table 4 of the paper attributes every honeypot DNS query and connection to
+// an origin AS; §4.3 filters DNS answers through "our border router's
+// routing table". This module provides an AS registry and a longest-prefix-
+// match routing/origin table over IPv4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/net/ip.hpp"
+
+namespace ctwatch::net {
+
+using Asn = std::uint32_t;
+
+/// Descriptive AS metadata.
+struct AsInfo {
+  Asn asn = 0;
+  std::string name;     ///< e.g. "Google"
+  bool honors_abuse = true;  ///< Quasi Networks famously does not
+};
+
+/// Registry of ASes and their announced IPv4 prefixes.
+class AsRegistry {
+ public:
+  /// Registers an AS (idempotent on the same ASN; metadata is replaced).
+  void add(const AsInfo& info);
+  /// Announces a prefix from an AS. The AS must be registered.
+  void announce(Asn asn, const Prefix4& prefix);
+
+  [[nodiscard]] std::optional<AsInfo> lookup(Asn asn) const;
+  /// Longest-prefix-match origin AS for an address.
+  [[nodiscard]] std::optional<Asn> origin(IPv4 addr) const;
+  [[nodiscard]] const std::vector<std::pair<Prefix4, Asn>>& announcements() const {
+    return announcements_;
+  }
+
+  /// AS name or "AS<number>" when unknown.
+  [[nodiscard]] std::string name_of(Asn asn) const;
+
+ private:
+  std::map<Asn, AsInfo> ases_;
+  std::vector<std::pair<Prefix4, Asn>> announcements_;
+};
+
+/// A routing table answering "is this destination routable from here" —
+/// the paper disregards DNS answers outside its border router's table to
+/// filter out misconfigured DNS servers.
+class RoutingTable {
+ public:
+  void add_route(const Prefix4& prefix);
+  /// Installs every announcement of a registry.
+  void add_all(const AsRegistry& registry);
+
+  [[nodiscard]] bool routable(IPv4 addr) const;
+  /// Longest matching prefix, if any.
+  [[nodiscard]] std::optional<Prefix4> match(IPv4 addr) const;
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+
+ private:
+  std::vector<Prefix4> routes_;
+};
+
+}  // namespace ctwatch::net

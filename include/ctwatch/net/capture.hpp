@@ -1,0 +1,55 @@
+// Packet/flow capture model.
+//
+// The honeypot stores "full packet captures from our monitors"; what the
+// analysis actually consumes are connection-level events: who connected,
+// when, to which address/port, and with which application payload hints
+// (TLS SNI, HTTP Host). This models exactly that.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/net/ip.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch::net {
+
+enum class Transport : std::uint8_t { tcp, udp };
+
+/// One observed inbound connection attempt (or datagram).
+struct ConnectionEvent {
+  SimTime time;
+  IPv4 src;
+  std::optional<IPv4> dst4;  ///< exactly one of dst4/dst6 is set
+  std::optional<IPv6> dst6;
+  std::uint16_t dst_port = 0;
+  Transport transport = Transport::tcp;
+  std::string sni;        ///< TLS SNI if the payload carried one
+  std::string http_host;  ///< HTTP Host if the payload carried one
+};
+
+/// Append-only event store with the filters the honeypot analysis needs.
+class PacketCapture {
+ public:
+  void record(const ConnectionEvent& event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<ConnectionEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Events within [from, to).
+  [[nodiscard]] std::vector<ConnectionEvent> between(SimTime from, SimTime to) const;
+  /// Events whose SNI or HTTP Host equals the given name.
+  [[nodiscard]] std::vector<ConnectionEvent> with_name(const std::string& fqdn) const;
+  /// Events destined to the given IPv6 address (the honeypot's unique AAAA).
+  [[nodiscard]] std::vector<ConnectionEvent> to_address(const IPv6& addr) const;
+  /// Events destined to the given IPv4 address.
+  [[nodiscard]] std::vector<ConnectionEvent> to_address(IPv4 addr) const;
+  /// Distinct destination ports probed by a given source.
+  [[nodiscard]] std::vector<std::uint16_t> ports_probed_by(IPv4 src) const;
+
+ private:
+  std::vector<ConnectionEvent> events_;
+};
+
+}  // namespace ctwatch::net

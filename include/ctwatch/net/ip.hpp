@@ -1,0 +1,87 @@
+// IPv4/IPv6 addresses and CIDR prefixes.
+//
+// Used for A/AAAA records, EDNS Client Subnet payloads, the honeypot's
+// per-subdomain unique IPv6 addresses, and the §4.3 "is this answer inside
+// our border router's routing table" filter.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ctwatch::net {
+
+/// An IPv4 address (host byte order internally).
+class IPv4 {
+ public:
+  constexpr IPv4() = default;
+  constexpr explicit IPv4(std::uint32_t value) : value_(value) {}
+  constexpr IPv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+               static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  /// Parses dotted-quad; std::nullopt when malformed.
+  static std::optional<IPv4> parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv4, IPv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv6 address (16 bytes, network order).
+class IPv6 {
+ public:
+  constexpr IPv6() = default;
+  constexpr explicit IPv6(std::array<std::uint8_t, 16> bytes) : bytes_(bytes) {}
+
+  /// Builds from 8 hextets.
+  static IPv6 from_hextets(const std::array<std::uint16_t, 8>& h);
+
+  /// Parses full or "::"-compressed textual form; std::nullopt when malformed.
+  static std::optional<IPv6> parse(const std::string& text);
+
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+  /// Canonical lowercase form with "::" compression of the longest zero run.
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const IPv6&, const IPv6&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// An IPv4 CIDR prefix.
+class Prefix4 {
+ public:
+  constexpr Prefix4() = default;
+  /// Throws std::invalid_argument when length > 32; the address is masked.
+  Prefix4(IPv4 base, int length);
+
+  /// Parses "a.b.c.d/len".
+  static std::optional<Prefix4> parse(const std::string& text);
+
+  [[nodiscard]] IPv4 base() const { return base_; }
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] bool contains(IPv4 addr) const;
+  /// True if `other` is fully inside this prefix.
+  [[nodiscard]] bool covers(const Prefix4& other) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix4&, const Prefix4&) = default;
+
+ private:
+  IPv4 base_;
+  int length_ = 0;
+};
+
+/// The /24 containing an address — the granularity EDNS Client Subnet uses
+/// in the paper ("12 unique EDNS client subnets at size /24").
+Prefix4 slash24(IPv4 addr);
+
+}  // namespace ctwatch::net

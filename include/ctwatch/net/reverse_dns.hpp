@@ -1,0 +1,43 @@
+// Reverse DNS registry.
+//
+// Two §6 uses:
+//  * the honeypot deliberately does NOT register its unique IPv6 addresses
+//    "to avoid discovery through rDNS walking" — an rDNS walker over the
+//    honeypot prefix must come up empty;
+//  * scanning best practices ("informative rDNS names, websites, abuse
+//    contacts", §3.1/§6.2): the analysis checks connecting sources against
+//    this registry and finds that none of the inbound scanners follows
+//    them — the paper's argument for excluding benevolent researchers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/net/ip.hpp"
+#include "ctwatch/util/encoding.hpp"
+
+namespace ctwatch::net {
+
+class ReverseDns {
+ public:
+  void register_v4(IPv4 addr, std::string name);
+  void register_v6(const IPv6& addr, std::string name);
+
+  [[nodiscard]] std::optional<std::string> lookup(IPv4 addr) const;
+  [[nodiscard]] std::optional<std::string> lookup(const IPv6& addr) const;
+
+  /// Enumerates registered IPv6 names whose address starts with the given
+  /// byte prefix — the "rDNS tree walking" attack the honeypot avoids by
+  /// never registering its addresses.
+  [[nodiscard]] std::vector<std::string> walk_v6(BytesView prefix) const;
+
+  [[nodiscard]] std::size_t size() const { return v4_.size() + v6_.size(); }
+
+ private:
+  std::map<std::uint32_t, std::string> v4_;
+  std::map<std::array<std::uint8_t, 16>, std::string> v6_;
+};
+
+}  // namespace ctwatch::net

@@ -1,0 +1,67 @@
+// Phishing-domain detection over CT-logged DNS names (§5).
+//
+// The paper's method: match domains that embed a target service's name or
+// a subset of its FQDN labels (e.g. "login.live" for Microsoft), then
+// exclude the service's legitimate registrable domains. The same logic is
+// implemented here with std::regex patterns per brand; findings carry the
+// public suffix so the brand↔suffix link (eBay→bid/review, Microsoft→live)
+// can be quantified.
+#pragma once
+
+#include <map>
+#include <regex>
+#include <span>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ctwatch/dns/psl.hpp"
+
+namespace ctwatch::phishing {
+
+/// Matching rule for one impersonation target.
+struct BrandRule {
+  std::string brand;                         ///< e.g. "Apple"
+  std::string pattern;                       ///< ECMAScript regex over the FQDN
+  std::set<std::string> legitimate_domains;  ///< registrable domains to exclude
+};
+
+/// The five services of Table 3 plus the government taxation offices.
+const std::vector<BrandRule>& standard_rules();
+
+struct Finding {
+  std::string brand;
+  std::string fqdn;
+  std::string public_suffix;
+  std::string registrable_domain;
+};
+
+struct BrandSummary {
+  std::uint64_t count = 0;
+  std::string example;
+  /// Findings per public suffix, for the suffix-choice analysis.
+  std::map<std::string, std::uint64_t> by_suffix;
+};
+
+class PhishingDetector {
+ public:
+  PhishingDetector(const dns::PublicSuffixList& psl, std::vector<BrandRule> rules);
+
+  /// Scans FQDNs; invalid names are skipped (count reported separately).
+  std::vector<Finding> scan(std::span<const std::string> fqdns);
+
+  /// Aggregates findings per brand.
+  static std::map<std::string, BrandSummary> summarize(const std::vector<Finding>& findings);
+
+  [[nodiscard]] std::uint64_t names_scanned() const { return scanned_; }
+  [[nodiscard]] std::uint64_t names_skipped() const { return skipped_; }
+
+ private:
+  const dns::PublicSuffixList* psl_;
+  std::vector<BrandRule> rules_;
+  std::vector<std::regex> compiled_;
+  std::uint64_t scanned_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace ctwatch::phishing

@@ -1,0 +1,97 @@
+// Certificate authorities for the simulated ecosystem.
+//
+// Implements the real RFC 6962 embedding flow: build a poisoned
+// precertificate, submit it to the CA's chosen logs (add-pre-chain),
+// collect SCTs, then issue the final certificate with the SCT-list
+// extension and the poison removed.
+//
+// The §3.4 study is driven by the `IssuanceBug` knob, which reproduces the
+// four real-world CA failures the paper disclosed:
+//   * `san_reorder`       — GlobalSign: SANs with both DNS names and IP
+//                           addresses changed order in the final cert.
+//   * `extension_reorder` — D-Trust: X.509 extension ordering differed
+//                           between precertificate and final certificate.
+//   * `name_swap`         — NetLock: final certificate carried entirely
+//                           different SAN names and issuer.
+//   * `stale_sct_reissue` — TeliaSonera: a re-issued certificate embedded
+//                           the SCT of the earlier certificate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/log.hpp"
+#include "ctwatch/x509/certificate.hpp"
+
+namespace ctwatch::sim {
+
+enum class IssuanceBug : std::uint8_t {
+  none,
+  san_reorder,
+  extension_reorder,
+  name_swap,
+  stale_sct_reissue,
+};
+
+std::string to_string(IssuanceBug bug);
+
+struct IssuanceRequest {
+  std::string subject_cn;               ///< usually the first DNS name
+  std::vector<x509::SanEntry> sans;     ///< order is preserved into the precert
+  SimTime not_before;
+  SimTime not_after;
+  std::vector<ct::CtLog*> logs;         ///< logs to obtain SCTs from
+  IssuanceBug bug = IssuanceBug::none;
+  /// CT label redaction (the countermeasure of x509/redaction.hpp): the
+  /// logged precertificate carries "?.example.com"-style SANs; the final
+  /// certificate keeps the real names plus the redaction marker.
+  bool redact_subdomains = false;
+};
+
+struct IssuanceResult {
+  x509::Certificate precertificate;
+  x509::Certificate final_certificate;
+  std::vector<ct::SignedCertificateTimestamp> scts;  ///< as embedded
+  /// Logs that rejected the pre-chain submission (e.g. overloaded).
+  std::vector<std::string> failed_logs;
+};
+
+class CertificateAuthority {
+ public:
+  /// `scheme` picks real ECDSA or the bulk simulation signer; keys are
+  /// derived from the CA name for reproducibility.
+  CertificateAuthority(std::string name, std::string issuer_cn,
+                       crypto::SignatureScheme scheme);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const x509::DistinguishedName& issuer_dn() const { return issuer_dn_; }
+  [[nodiscard]] Bytes public_key() const { return signer_->public_key(); }
+  [[nodiscard]] const crypto::Signer& signer() const { return *signer_; }
+
+  /// Full CT issuance flow. With `bug != none` the final certificate is
+  /// deliberately inconsistent with what the logs signed.
+  IssuanceResult issue(const IssuanceRequest& request, SimTime now);
+
+  /// TeliaSonera reproduction: issues a *new* certificate (fresh serial,
+  /// shifted validity) that wrongly embeds the SCTs of `previous`.
+  x509::Certificate reissue_with_stale_scts(const IssuanceResult& previous, SimTime now);
+
+  /// Issues a plain certificate without any CT involvement (pre-CT era or
+  /// deliberately unlogged).
+  x509::Certificate issue_unlogged(const IssuanceRequest& request, SimTime now);
+
+  [[nodiscard]] std::uint64_t certificates_issued() const { return serial_counter_; }
+
+ private:
+  [[nodiscard]] x509::CertificateBuilder base_builder(const IssuanceRequest& request);
+  std::uint64_t next_serial() { return ++serial_counter_; }
+
+  std::string name_;
+  x509::DistinguishedName issuer_dn_;
+  std::unique_ptr<crypto::Signer> signer_;
+  std::unique_ptr<crypto::Signer> subject_key_;  ///< shared leaf key (simulation)
+  std::uint64_t serial_counter_ = 0;
+};
+
+}  // namespace ctwatch::sim

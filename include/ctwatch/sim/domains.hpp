@@ -1,0 +1,102 @@
+// Synthetic domain-name corpora for the §4 leakage study.
+//
+// Three artifacts, mirroring the paper's data sources:
+//  * the CT corpus — every DNS name extractable from CN/SAN fields of
+//    CT-logged certificates (including a sprinkling of invalid names the
+//    RFC 1035 filter must reject),
+//  * the registrable-domain list — the paper's 206M zone-file-derived
+//    list, scaled,
+//  * a Sonar-like forward-DNS list with the paper's calibrated overlaps
+//    (82 % of registrable domains shared, only 21 % of subdomain labels).
+//
+// Alongside the name corpora, the generator materializes the ground-truth
+// DNS universe the §4.3 verification pipeline probes: zones with real
+// subdomain records, catch-all (default-A) zones the control probes must
+// unmask, CNAME chains (some deliberately longer than the 10-hop budget),
+// and a slice of answers pointing outside the border router's routing
+// table.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ctwatch/dns/psl.hpp"
+#include "ctwatch/dns/resolver.hpp"
+#include "ctwatch/net/autonomous_system.hpp"
+#include "ctwatch/util/rng.hpp"
+
+namespace ctwatch::sim {
+
+struct DomainCorpusOptions {
+  std::size_t registrable_count = 60000;
+  /// Scale factor applied to the paper's Table 2 label counts.
+  double label_scale = 1.0 / 1000.0;
+  /// Fraction of zones that answer any A query (catch-all) — what the
+  /// pseudo-random controls detect. Calibrated to the §4.3 funnel.
+  double default_a_fraction = 0.29;
+  /// Fraction of domain operators using CT label redaction: their
+  /// CT-logged names appear as "?.example.com". 0 reproduces the paper's
+  /// world (redaction never deployed); the redaction_ablation bench sweeps
+  /// this to quantify the countermeasure.
+  double redaction_fraction = 0.0;
+  /// Fraction of zones whose answers fall outside the routing table.
+  double unroutable_fraction = 0.02;
+  /// Fraction of real records implemented as CNAME chains.
+  double cname_fraction = 0.05;
+  /// Fraction of those chains that are deliberately over the 10-hop budget.
+  double long_chain_fraction = 0.03;
+  std::uint64_t seed = 7;
+};
+
+/// Table 2's top-20 labels plus the per-suffix signature labels of §4.2.
+struct LabelSpec {
+  const char* label;
+  double paper_count;  ///< occurrences in the paper's CT corpus
+};
+const std::vector<LabelSpec>& table2_labels();
+
+class DomainCorpus {
+ public:
+  explicit DomainCorpus(const DomainCorpusOptions& options = DomainCorpusOptions());
+
+  /// FQDNs extracted from CT-logged certificates (unsorted, deduplicated;
+  /// contains some RFC 1035-invalid strings on purpose).
+  [[nodiscard]] const std::vector<std::string>& ct_names() const { return ct_names_; }
+  /// The registrable-domain list (the "[1] domain list" of the paper).
+  [[nodiscard]] const std::vector<std::string>& registrable_domains() const {
+    return registrable_;
+  }
+  /// The Sonar-like forward-DNS FQDN list.
+  [[nodiscard]] const std::vector<std::string>& sonar_names() const { return sonar_; }
+
+  /// Ground truth: does this FQDN really exist in the DNS?
+  [[nodiscard]] bool truly_exists(const std::string& fqdn) const {
+    return truth_.contains(fqdn);
+  }
+  [[nodiscard]] std::size_t truth_size() const { return truth_.size(); }
+
+  /// The authoritative DNS serving the whole corpus universe.
+  [[nodiscard]] dns::AuthoritativeServer& authoritative() { return *authoritative_; }
+  [[nodiscard]] const dns::DnsUniverse& universe() const { return universe_; }
+  /// The border router's view for the §4.3 routability filter.
+  [[nodiscard]] const net::RoutingTable& routing_table() const { return routing_; }
+
+  [[nodiscard]] const dns::PublicSuffixList& psl() const { return psl_; }
+  [[nodiscard]] const DomainCorpusOptions& options() const { return options_; }
+
+ private:
+  DomainCorpusOptions options_;
+  dns::PublicSuffixList psl_;
+  std::vector<std::string> ct_names_;
+  std::vector<std::string> registrable_;
+  std::vector<std::string> sonar_;
+  std::set<std::string> truth_;
+  std::unique_ptr<dns::AuthoritativeServer> authoritative_;
+  dns::DnsUniverse universe_;
+  net::RoutingTable routing_;
+};
+
+}  // namespace ctwatch::sim

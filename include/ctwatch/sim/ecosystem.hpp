@@ -1,0 +1,76 @@
+// The simulated CT ecosystem: the logs and CAs of 2013–2018.
+//
+// Log roster and Chrome inclusion dates follow Table 1 of the paper; the
+// CA→log publication matrix is calibrated to Fig. 1c (sparse: each CA
+// publishes to a small, fixed selection of logs, with Let's Encrypt's
+// load landing on Google logs plus Cloudflare Nimbus).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/loglist.hpp"
+#include "ctwatch/sim/ca.hpp"
+#include "ctwatch/util/rng.hpp"
+
+namespace ctwatch::sim {
+
+struct LogSpec {
+  std::string name;
+  std::string operator_name;
+  bool google_operated = false;
+  std::string chrome_inclusion;     ///< "YYYY-MM-DD"
+  std::uint64_t capacity_per_hour;  ///< 0 = unlimited (scaled units)
+};
+
+struct CaSpec {
+  std::string name;       ///< e.g. "Let's Encrypt"
+  std::string issuer_cn;  ///< e.g. "Let's Encrypt Authority X3"
+  std::vector<std::string> logs;  ///< publication targets (Fig. 1c row)
+};
+
+struct EcosystemOptions {
+  /// Bulk simulations default to the MAC signer; set ecdsa for
+  /// cryptographically real (but slower) runs.
+  crypto::SignatureScheme scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  /// Log-side chain validation (off for bulk speed; on in tests).
+  bool verify_submissions = false;
+  /// Whether logs retain full entry bodies (certificates). Off for bulk
+  /// timeline simulation where only (time, CA, log) matter.
+  bool store_bodies = false;
+  std::uint64_t seed = 42;
+};
+
+class Ecosystem {
+ public:
+  explicit Ecosystem(const EcosystemOptions& options = EcosystemOptions());
+
+  /// The Table 1 log roster.
+  static const std::vector<LogSpec>& standard_logs();
+  /// The big five CAs plus the small CAs of the §3.4 incidents.
+  static const std::vector<CaSpec>& standard_cas();
+
+  [[nodiscard]] ct::CtLog& log(const std::string& name);
+  [[nodiscard]] CertificateAuthority& ca(const std::string& name);
+  [[nodiscard]] std::vector<ct::CtLog*> logs_of(const std::string& ca_name);
+
+  [[nodiscard]] const ct::LogList& log_list() const { return log_list_; }
+  [[nodiscard]] ct::LogList& log_list() { return log_list_; }
+  [[nodiscard]] std::vector<ct::CtLog*> all_logs();
+  [[nodiscard]] std::vector<CertificateAuthority*> all_cas();
+
+  [[nodiscard]] const EcosystemOptions& options() const { return options_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  EcosystemOptions options_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<ct::CtLog>> logs_;
+  std::map<std::string, std::unique_ptr<CertificateAuthority>> cas_;
+  std::map<std::string, std::vector<std::string>> ca_logs_;
+  ct::LogList log_list_;
+};
+
+}  // namespace ctwatch::sim

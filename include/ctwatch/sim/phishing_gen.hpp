@@ -1,0 +1,31 @@
+// Phishing-domain generator for §5.
+//
+// Emits FQDNs shaped like the paper's observed phishing registrations —
+// brand names or brand-FQDN fragments combined with cheap/free suffixes
+// (eBay heavily on bid/review, Microsoft on live, Apple on ga/tk/ml/gq) —
+// plus legitimate brand names the detector must not flag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ctwatch/util/rng.hpp"
+
+namespace ctwatch::sim {
+
+struct PhishingGenOptions {
+  /// Scale on the Table 3 counts (Apple 63k, PayPal 58k, Microsoft 4k,
+  /// Google 1k, eBay ~800, taxation ~300).
+  double scale = 1.0 / 100.0;
+  std::uint64_t seed = 11;
+};
+
+struct PhishingCorpus {
+  std::vector<std::string> names;        ///< phishing + legitimate, shuffled
+  std::uint64_t planted_phishing = 0;    ///< ground truth: phishing count
+  std::uint64_t planted_legitimate = 0;  ///< brand-owned names included
+};
+
+PhishingCorpus generate_phishing_corpus(const PhishingGenOptions& options = PhishingGenOptions());
+
+}  // namespace ctwatch::sim

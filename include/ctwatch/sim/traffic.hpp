@@ -1,0 +1,73 @@
+// Traffic and scan drivers feeding the passive-monitor pipeline.
+//
+// TrafficGenerator models the Berkeley uplink: connections per day drawn
+// over the site population with Zipf popularity, per-connection client SCT
+// signaling, and occasional graph.facebook.com request storms (the peaks
+// the paper observed in Fig. 2 and traced to that endpoint).
+//
+// ScanDriver models the weekly active HTTPS scan: one connection per site,
+// uniformly — the other half of the §3.3 contrast.
+#pragma once
+
+#include <set>
+
+#include "ctwatch/monitor/passive_monitor.hpp"
+#include "ctwatch/sim/population.hpp"
+
+namespace ctwatch::sim {
+
+struct TrafficOptions {
+  std::string start = "2017-04-26";
+  std::string end = "2018-05-24";  ///< exclusive; paper window ends 2018-05-23
+  std::uint64_t connections_per_day = 5000;
+  double client_signal_rate = 0.6676;
+  /// Number of facebook-burst days (Fig. 2 peaks).
+  std::size_t burst_days = 6;
+  /// Burst-day multiplier on connections to the burst site.
+  double burst_factor = 2.0;
+};
+
+struct TrafficStats {
+  std::uint64_t connections = 0;
+  std::uint64_t days = 0;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const ServerPopulation& population, TrafficOptions options, Rng rng);
+
+  /// Streams the whole window through the monitor.
+  TrafficStats run(monitor::PassiveMonitor& monitor);
+
+ private:
+  const ServerPopulation* population_;
+  TrafficOptions options_;
+  Rng rng_;
+};
+
+struct ScanOptions {
+  std::string date = "2018-05-18";  ///< the paper's scan snapshot
+  /// Ethics (§3.1): operators who asked to be excluded. The scanner
+  /// maintains a blacklist and skips them.
+  std::set<std::string> blacklist;
+};
+
+struct ScanStats {
+  std::uint64_t servers_scanned = 0;
+  std::uint64_t blacklist_skipped = 0;
+};
+
+class ScanDriver {
+ public:
+  ScanDriver(const ServerPopulation& population, ScanOptions options)
+      : population_(&population), options_(std::move(options)) {}
+
+  /// One TLS connection per site, through the same pipeline as passive.
+  ScanStats run(monitor::PassiveMonitor& monitor);
+
+ private:
+  const ServerPopulation* population_;
+  ScanOptions options_;
+};
+
+}  // namespace ctwatch::sim

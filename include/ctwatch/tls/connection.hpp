@@ -1,0 +1,50 @@
+// TLS connection records: the unit of observation for the passive monitor.
+//
+// The paper's Bro deployment reduces each TLS connection to exactly what
+// this struct carries: when it happened, the server name, whether the
+// client signaled SCT support, the served leaf certificate, and any SCTs
+// delivered via the TLS extension or a stapled OCSP response (SCTs
+// embedded in the certificate travel inside it). The issuer public key is
+// included the way a chain would deliver it — SCT validation over precert
+// entries needs the issuer key hash.
+//
+// Certificates and SCT lists are shared immutable state (one server serves
+// the same certificate to millions of connections), so records hold
+// shared_ptrs; the monitor exploits pointer identity to cache validation
+// work per certificate, as real passive analyzers do.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/sct.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch::tls {
+
+/// How an SCT reached the client.
+enum class SctDelivery : std::uint8_t { certificate, tls_extension, ocsp_staple };
+
+std::string to_string(SctDelivery delivery);
+
+using SctList = std::vector<ct::SignedCertificateTimestamp>;
+
+struct ConnectionRecord {
+  SimTime time;
+  std::string server_name;  ///< SNI
+  std::uint16_t port = 443;
+  bool client_signals_sct = true;  ///< client offered the SCT TLS extension
+
+  std::shared_ptr<const x509::Certificate> certificate;  ///< served leaf (required)
+  std::shared_ptr<const Bytes> issuer_public_key;        ///< from the presented chain
+
+  std::shared_ptr<const SctList> tls_extension_scts;  ///< may be null
+  std::shared_ptr<const SctList> ocsp_scts;           ///< may be null
+};
+
+/// SCTs embedded in the served certificate (empty when none/malformed —
+/// malformed lists are counted by the monitor, not thrown here).
+SctList embedded_scts(const x509::Certificate& certificate);
+
+}  // namespace ctwatch::tls

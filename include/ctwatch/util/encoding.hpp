@@ -1,0 +1,35 @@
+// Byte-string encodings: hex and base64 (RFC 4648), as used for key ids,
+// SCT serialization in reports, and test fixtures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ctwatch {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex of the input.
+std::string hex_encode(BytesView data);
+
+/// Decodes hex (upper or lower case). Throws std::invalid_argument on
+/// odd length or non-hex characters.
+Bytes hex_decode(const std::string& hex);
+
+/// Standard base64 with padding.
+std::string base64_encode(BytesView data);
+
+/// Decodes base64 (padding required). Throws std::invalid_argument on
+/// malformed input.
+Bytes base64_decode(const std::string& b64);
+
+/// Converts a string's bytes to a byte vector (no encoding change).
+Bytes to_bytes(const std::string& s);
+
+/// Converts bytes to a std::string (no encoding change).
+std::string to_string(BytesView data);
+
+}  // namespace ctwatch

@@ -1,0 +1,147 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// All stochastic behaviour in the library flows through Rng so that every
+// experiment is exactly reproducible from a seed. The generator is
+// xoshiro256** seeded via splitmix64 (the recommended seeding procedure).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ctwatch {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child generator; use to give each simulation
+  /// actor its own stream so adding actors does not perturb others.
+  [[nodiscard]] Rng fork() { return Rng{(*this)()}; }
+
+  /// Uniform integer in [0, bound). Throws on bound == 0.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::below(0)");
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::between: lo > hi");
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Approximately normal (sum of uniforms), mean 0, stddev 1.
+  double normal();
+
+  /// Pareto-ish heavy-tailed positive value with scale `xm` and shape `alpha`.
+  double pareto(double xm, double alpha);
+
+  /// Picks a uniformly random element; container must be non-empty.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick on empty span");
+    return items[below(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>{items});
+  }
+
+  /// Samples an index from unnormalized non-negative weights.
+  std::size_t weighted(std::span<const double> weights);
+
+  /// Random lowercase a-z0-9 string of the given length (e.g. honeypot labels).
+  std::string alnum_label(std::size_t length);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Zipf–Mandelbrot sampler over ranks 0..n-1: weight(i) ∝ 1/(i+1+q)^s.
+///
+/// Used to model site popularity: the passive-monitor view of the TLS
+/// ecosystem is popularity-weighted while active scans are uniform, which is
+/// what makes Table 1 and §3.3 of the paper disagree. The shift q flattens
+/// the extreme head (no single site carries a third of campus traffic)
+/// while keeping the long tail negligible.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(std::size_t n, double s, double q = 0.0);
+
+  /// Returns a rank in [0, n): rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  /// Probability mass of the given rank.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace ctwatch

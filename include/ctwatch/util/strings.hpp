@@ -1,0 +1,34 @@
+// Small string helpers used across the library (no locale dependence:
+// DNS names and labels are ASCII by construction).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctwatch {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` contains `needle` (case-sensitive).
+bool contains(std::string_view text, std::string_view needle);
+
+/// Formats a count the way the paper does: 61.1M, 303k, 8.6G, 994.85M…
+/// `decimals` controls fractional digits (default 1).
+std::string human_count(double value, int decimals = 1);
+
+/// Formats a ratio as a percentage with two decimals, e.g. "32.61%".
+std::string percent(double numerator, double denominator, int decimals = 2);
+
+/// Left/right padding for plain-text table rendering.
+std::string pad_left(std::string s, std::size_t width);
+std::string pad_right(std::string s, std::size_t width);
+
+}  // namespace ctwatch

@@ -1,0 +1,114 @@
+// Simulated time for the CT ecosystem.
+//
+// Every component of the library runs on simulated time: issuance timelines
+// span 2013..2018 (the period the paper measures) and must be reproducible,
+// so nothing ever reads the wall clock. Time is kept as seconds since the
+// Unix epoch (UTC) in a strong type, with proleptic-Gregorian civil-date
+// conversion implemented here (no dependence on the C library's timezone
+// handling).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace ctwatch {
+
+/// A civil (calendar) date-time in UTC.
+struct CivilTime {
+  int year = 1970;   ///< e.g. 2018
+  int month = 1;     ///< 1..12
+  int day = 1;       ///< 1..31
+  int hour = 0;      ///< 0..23
+  int minute = 0;    ///< 0..59
+  int second = 0;    ///< 0..59
+
+  friend auto operator<=>(const CivilTime&, const CivilTime&) = default;
+};
+
+/// A point in simulated time: seconds since 1970-01-01T00:00:00Z.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t unix_seconds) : secs_(unix_seconds) {}
+
+  /// Constructs from a civil UTC date-time.
+  static SimTime from_civil(const CivilTime& c);
+  /// Convenience: from "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS".
+  /// Throws std::invalid_argument on malformed input.
+  static SimTime parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::int64_t unix_seconds() const { return secs_; }
+  [[nodiscard]] CivilTime civil() const;
+
+  /// Days since the Unix epoch (floor); useful as a daily-aggregation key.
+  [[nodiscard]] constexpr std::int64_t day_index() const {
+    // Floor division that is correct for pre-epoch times too.
+    const std::int64_t d = secs_ / 86400;
+    return (secs_ % 86400 < 0) ? d - 1 : d;
+  }
+
+  /// Start of the UTC day containing this time.
+  [[nodiscard]] constexpr SimTime start_of_day() const {
+    return SimTime{day_index() * 86400};
+  }
+
+  /// "YYYY-MM-DD"
+  [[nodiscard]] std::string date_string() const;
+  /// "YYYY-MM-DD HH:MM:SS"
+  [[nodiscard]] std::string datetime_string() const;
+  /// "MM-DD HH:MM:SS" — the compact format Table 4 of the paper uses.
+  [[nodiscard]] std::string short_string() const;
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+  friend constexpr SimTime operator+(SimTime t, std::int64_t s) {
+    return SimTime{t.secs_ + s};
+  }
+  friend constexpr SimTime operator-(SimTime t, std::int64_t s) {
+    return SimTime{t.secs_ - s};
+  }
+  /// Difference in seconds.
+  friend constexpr std::int64_t operator-(SimTime a, SimTime b) {
+    return a.secs_ - b.secs_;
+  }
+  constexpr SimTime& operator+=(std::int64_t s) {
+    secs_ += s;
+    return *this;
+  }
+
+ private:
+  std::int64_t secs_ = 0;
+};
+
+/// Days since the epoch for a civil date (proleptic Gregorian).
+/// Valid for all dates this library cares about.
+std::int64_t days_from_civil(int year, int month, int day);
+
+/// Inverse of days_from_civil.
+void civil_from_days(std::int64_t days, int& year, int& month, int& day);
+
+/// Number of days in the given month of the given year.
+int days_in_month(int year, int month);
+
+/// Renders a duration in seconds the way Table 4 does: "73s", "12m", "2h", "19d".
+std::string format_delta(std::int64_t seconds);
+
+/// A monotonically advancing simulation clock shared by simulation actors.
+///
+/// The clock only moves forward; components that need the current simulated
+/// time hold a reference to the clock rather than caching values.
+class SimClock {
+ public:
+  explicit SimClock(SimTime start = SimTime{0}) : now_(start) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Advances the clock. Throws std::logic_error on attempts to move backwards.
+  void advance_to(SimTime t);
+  void advance_by(std::int64_t seconds) { advance_to(now_ + seconds); }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace ctwatch

@@ -1,0 +1,36 @@
+// Well-known OIDs used by the certificate layer.
+#pragma once
+
+#include "ctwatch/asn1/der.hpp"
+
+namespace ctwatch::x509::oids {
+
+/// id-at-commonName (2.5.4.3)
+const asn1::Oid& common_name();
+/// id-at-organizationName (2.5.4.10)
+const asn1::Oid& organization();
+/// id-at-countryName (2.5.4.6)
+const asn1::Oid& country();
+
+/// subjectAltName (2.5.29.17)
+const asn1::Oid& subject_alt_name();
+/// basicConstraints (2.5.29.19)
+const asn1::Oid& basic_constraints();
+/// keyUsage (2.5.29.15)
+const asn1::Oid& key_usage();
+
+/// RFC 6962 precertificate poison (1.3.6.1.4.1.11129.2.4.3)
+const asn1::Oid& ct_poison();
+/// RFC 6962 embedded SCT list (1.3.6.1.4.1.11129.2.4.2)
+const asn1::Oid& ct_sct_list();
+
+/// id-ecPublicKey (1.2.840.10045.2.1)
+const asn1::Oid& ec_public_key();
+/// prime256v1 / secp256r1 (1.2.840.10045.3.1.7)
+const asn1::Oid& p256();
+/// ecdsa-with-SHA256 (1.2.840.10045.4.3.2)
+const asn1::Oid& ecdsa_with_sha256();
+/// Private-arc OID marking the simulated MAC signature scheme.
+const asn1::Oid& simulated_signature();
+
+}  // namespace ctwatch::x509::oids

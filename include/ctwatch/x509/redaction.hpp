@@ -1,0 +1,41 @@
+// CT label redaction — the countermeasure the paper points to (its ref.
+// [17], the CA/Browser-forum / IETF redaction effort, and Symantec's
+// "Deneb" log whose explicit goal was to hide subdomains).
+//
+// Model (following the expired draft-ietf-trans-rfc6962-bis redaction
+// mechanism in spirit): the CA submits a precertificate whose SAN
+// subdomain labels are replaced by "?", and marks both certificates with a
+// redaction extension. The log — and every CT consumer — only ever sees
+// "?.example.com". SCT validation over the *final* certificate re-applies
+// the redaction before reconstructing the signed bytes.
+//
+// The redaction_ablation bench quantifies what this buys: the §4
+// enumeration pipeline starves because the leaked labels disappear.
+#pragma once
+
+#include "ctwatch/x509/certificate.hpp"
+
+namespace ctwatch::x509 {
+
+/// "www.dev.example.com" -> "?.example.com" style redaction: every label
+/// left of the last `keep_labels` (default 2: the registrable domain of a
+/// common TLD) collapses into a single "?". Names with nothing to hide are
+/// returned unchanged.
+std::string redact_dns_name(const std::string& name, std::size_t keep_labels = 2);
+
+/// True if the string is a redacted name ("?." prefix).
+bool is_redacted_name(const std::string& name);
+
+/// Marker extension OID (private arc) identifying redacted certificates.
+const asn1::Oid& redaction_marker_oid();
+
+/// Returns a copy of `tbs` with every DNS SAN redacted (IP SANs kept).
+/// Idempotent; used both by the issuing CA (to build the precertificate)
+/// and by validators (to reconstruct what the log signed from the final
+/// certificate).
+TbsCertificate redacted_tbs(const TbsCertificate& tbs, std::size_t keep_labels = 2);
+
+/// Whether the certificate carries the redaction marker.
+bool uses_redaction(const TbsCertificate& tbs);
+
+}  // namespace ctwatch::x509

@@ -1,0 +1,164 @@
+#include "ctwatch/core/adoption.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "ctwatch/util/strings.hpp"
+
+namespace ctwatch::core {
+
+std::string render_adoption_totals(const monitor::MonitorTotals& t) {
+  std::ostringstream out;
+  const auto conns = static_cast<double>(t.connections);
+  out << "connections observed:            " << human_count(conns) << "\n";
+  out << "with at least one SCT:           " << human_count(static_cast<double>(t.with_any_sct))
+      << " (" << percent(static_cast<double>(t.with_any_sct), conns) << ")\n";
+  out << "  SCT in certificate:            " << human_count(static_cast<double>(t.sct_in_cert))
+      << " (" << percent(static_cast<double>(t.sct_in_cert), conns) << ")\n";
+  out << "  SCT in TLS extension:          " << human_count(static_cast<double>(t.sct_in_tls))
+      << " (" << percent(static_cast<double>(t.sct_in_tls), conns) << ")\n";
+  out << "  SCT in stapled OCSP:           " << human_count(static_cast<double>(t.sct_in_ocsp))
+      << " (" << percent(static_cast<double>(t.sct_in_ocsp), conns) << ")\n";
+  out << "  cert + TLS extension overlap:  " << t.cert_and_tls << "\n";
+  out << "  cert + OCSP overlap:           " << t.cert_and_ocsp << "\n";
+  out << "  TLS extension + OCSP overlap:  " << t.tls_and_ocsp << "\n";
+  out << "client signals SCT support:      "
+      << human_count(static_cast<double>(t.client_signaled)) << " ("
+      << percent(static_cast<double>(t.client_signaled), conns) << ")\n";
+  out << "SCT validations (per conn):      valid "
+      << human_count(static_cast<double>(t.valid_scts)) << ", invalid "
+      << human_count(static_cast<double>(t.invalid_scts)) << "\n";
+  return out.str();
+}
+
+std::string render_daily_series(const std::map<std::int64_t, monitor::DailyCounters>& daily,
+                                int stride) {
+  std::ostringstream out;
+  out << pad_right("date", 12) << pad_left("conns", 10) << pad_left("total_sct%", 12)
+      << pad_left("cert%", 9) << pad_left("tls%", 9) << "\n";
+  int i = 0;
+  for (const auto& [day, counters] : daily) {
+    if (stride > 1 && i++ % stride != 0) continue;
+    const auto conns = static_cast<double>(counters.connections);
+    out << pad_right(SimTime{day * 86400}.date_string(), 12)
+        << pad_left(std::to_string(counters.connections), 10)
+        << pad_left(percent(static_cast<double>(counters.with_any_sct), conns), 12)
+        << pad_left(percent(static_cast<double>(counters.sct_in_cert), conns), 9)
+        << pad_left(percent(static_cast<double>(counters.sct_in_tls), conns), 9) << "\n";
+  }
+  return out.str();
+}
+
+std::string render_top_logs(const std::map<std::string, monitor::LogUsage>& usage,
+                            std::size_t top_n) {
+  // Sort by certificate-channel SCT count, as Table 1 does.
+  std::vector<std::pair<std::string, monitor::LogUsage>> rows(usage.begin(), usage.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.cert_scts != b.second.cert_scts ? a.second.cert_scts > b.second.cert_scts
+                                                    : a.first < b.first;
+  });
+  double cert_total = 0, tls_total = 0;
+  for (const auto& [name, u] : rows) {
+    cert_total += static_cast<double>(u.cert_scts);
+    tls_total += static_cast<double>(u.tls_scts);
+  }
+  std::ostringstream out;
+  out << pad_right("CT log", 26) << pad_left("Cert SCTs", 12) << pad_left("(share)", 10)
+      << pad_left("TLS SCTs", 12) << pad_left("(share)", 10) << "\n";
+  std::size_t emitted = 0;
+  for (const auto& [name, u] : rows) {
+    if (emitted++ >= top_n) break;
+    out << pad_right(name, 26)
+        << pad_left(human_count(static_cast<double>(u.cert_scts), 2), 12)
+        << pad_left(percent(static_cast<double>(u.cert_scts), cert_total), 10)
+        << pad_left(human_count(static_cast<double>(u.tls_scts), 2), 12)
+        << pad_left(percent(static_cast<double>(u.tls_scts), tls_total), 10) << "\n";
+  }
+  return out.str();
+}
+
+std::string render_scan_view(const monitor::PassiveMonitor& monitor) {
+  const monitor::MonitorTotals& t = monitor.totals();
+  std::ostringstream out;
+  out << "unique certificates encountered:  " << t.unique_certificates << "\n";
+  out << "with embedded SCT:                " << t.unique_certs_with_embedded_sct << " ("
+      << percent(static_cast<double>(t.unique_certs_with_embedded_sct),
+                 static_cast<double>(t.unique_certificates))
+      << ")\n";
+  // Per-log: share of SCT-bearing certificates carrying an SCT of that log.
+  // In a scan each certificate is observed once, so connection-level equals
+  // certificate-level counting.
+  std::vector<std::pair<std::string, std::uint64_t>> rows;
+  for (const auto& [name, usage] : monitor.log_usage()) {
+    if (usage.cert_scts > 0) rows.emplace_back(name, usage.cert_scts);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  out << "embedded SCTs by log (share of SCT-bearing certificates):\n";
+  for (const auto& [name, count] : rows) {
+    out << "  " << pad_right(name, 26)
+        << pad_left(percent(static_cast<double>(count),
+                            static_cast<double>(t.unique_certs_with_embedded_sct)),
+                    10)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::vector<PeakFinding> detect_peaks(const monitor::PassiveMonitor& monitor, double sigma) {
+  const auto& daily = monitor.daily();
+  if (daily.size() < 3) return {};
+  // Baseline over the whole series.
+  double sum = 0, sum_sq = 0;
+  for (const auto& [day, counters] : daily) {
+    const double share = counters.connections > 0
+                             ? static_cast<double>(counters.with_any_sct) /
+                                   static_cast<double>(counters.connections)
+                             : 0;
+    sum += share;
+    sum_sq += share * share;
+  }
+  const double n = static_cast<double>(daily.size());
+  const double mean = sum / n;
+  const double variance = std::max(0.0, sum_sq / n - mean * mean);
+  const double stddev = std::sqrt(variance);
+
+  std::vector<PeakFinding> peaks;
+  const auto& tops = monitor.daily_top_sct_server();
+  for (const auto& [day, counters] : daily) {
+    if (counters.connections == 0) continue;
+    const double share = static_cast<double>(counters.with_any_sct) /
+                         static_cast<double>(counters.connections);
+    if (share <= mean + sigma * stddev) continue;
+    PeakFinding peak;
+    peak.day = day;
+    peak.sct_share = share;
+    peak.baseline_share = mean;
+    if (const auto it = tops.find(day); it != tops.end()) {
+      peak.top_server = it->second.first;
+      peak.top_count = it->second.second;
+    }
+    peaks.push_back(std::move(peak));
+  }
+  return peaks;
+}
+
+std::string render_peaks(const std::vector<PeakFinding>& peaks) {
+  std::ostringstream out;
+  if (peaks.empty()) {
+    out << "no anomalous days detected\n";
+    return out.str();
+  }
+  out << "anomalous days (SCT share >> baseline), attributed:\n";
+  for (const PeakFinding& peak : peaks) {
+    out << "  " << SimTime{peak.day * 86400}.date_string() << "  share "
+        << percent(peak.sct_share, 1.0) << " (baseline " << percent(peak.baseline_share, 1.0)
+        << ")  dominant server: " << (peak.top_server.empty() ? "?" : peak.top_server) << " ("
+        << peak.top_count << " SCT conns)\n";
+  }
+  return out.str();
+}
+
+}  // namespace ctwatch::core

@@ -1,0 +1,65 @@
+#include "ctwatch/core/leakage.hpp"
+
+#include <sstream>
+
+#include "ctwatch/util/strings.hpp"
+
+namespace ctwatch::core {
+
+LeakageReport LeakageStudy::run(const enumeration::EnumerationOptions& options) const {
+  LeakageReport report;
+
+  enumeration::SubdomainCensus census(corpus_->psl());
+  census.add_names(corpus_->ct_names());
+  report.extraction = census.stats();
+  report.top_labels = census.top_labels(20);
+  report.suffix_signatures = census.top_label_per_suffix();
+
+  const auto subbrute = enumeration::subbrute_like_wordlist();
+  const auto dnsrecon = enumeration::dnsrecon_like_wordlist();
+  report.subbrute = enumeration::compare_wordlist(subbrute, census);
+  report.dnsrecon = enumeration::compare_wordlist(dnsrecon, census);
+
+  const dns::RecursiveResolver resolver(
+      corpus_->universe(),
+      dns::RecursiveResolver::Identity{net::IPv4(192, 0, 2, 53), 64496, "measurement", false});
+  const std::set<std::string> sonar(corpus_->sonar_names().begin(),
+                                    corpus_->sonar_names().end());
+  Rng rng(corpus_->options().seed ^ 0xabcdef);
+  enumeration::SubdomainEnumerator enumerator(census, corpus_->psl(), options);
+  report.funnel = enumerator.run(corpus_->registrable_domains(), sonar, resolver,
+                                 corpus_->routing_table(), rng,
+                                 SimTime::parse("2018-04-27"));
+  return report;
+}
+
+std::string LeakageStudy::render_table2(const LeakageReport& report, std::size_t top_n) {
+  std::ostringstream out;
+  out << pad_right("rank", 6) << pad_right("label", 16) << pad_left("count", 10) << "\n";
+  std::size_t rank = 1;
+  for (const auto& [label, count] : report.top_labels) {
+    if (rank > top_n) break;
+    out << pad_right(std::to_string(rank), 6) << pad_right(label, 16)
+        << pad_left(std::to_string(count), 10) << "\n";
+    ++rank;
+  }
+  return out.str();
+}
+
+std::string LeakageStudy::render_funnel(const LeakageReport& report) {
+  const auto& f = report.funnel;
+  std::ostringstream out;
+  out << "labels selected (>= threshold):   " << f.labels_selected << "\n";
+  out << "(label, suffix) pairs:            " << f.label_suffix_pairs << "\n";
+  out << "constructed FQDN candidates:      " << f.candidates << "\n";
+  out << "replies to constructed names:     " << f.test_replies << "\n";
+  out << "replies to pseudo-random control: " << f.control_replies << "\n";
+  out << "dropped (answer unroutable):      " << f.unroutable_dropped << "\n";
+  out << "dropped (CNAME chain > budget):   " << f.chain_too_long << "\n";
+  out << "confirmed new FQDNs:              " << f.confirmed << "\n";
+  out << "  already known via Sonar:        " << f.known_in_sonar << "\n";
+  out << "  novel discoveries:              " << f.novel << "\n";
+  return out.str();
+}
+
+}  // namespace ctwatch::core

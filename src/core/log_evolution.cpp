@@ -1,0 +1,172 @@
+#include "ctwatch/core/log_evolution.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ctwatch/util/strings.hpp"
+
+namespace ctwatch::core {
+
+std::string month_key(SimTime t) {
+  const CivilTime c = t.civil();
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%04d-%02d", c.year, c.month);
+  return buf;
+}
+
+LogEvolutionReport LogEvolutionStudy::run(const std::string& focus_month) const {
+  LogEvolutionReport report;
+  report.focus_month = focus_month;
+
+  // Issuer CN -> CA name.
+  std::map<std::string, std::string> issuer_to_ca;
+  for (const sim::CaSpec& spec : sim::Ecosystem::standard_cas()) {
+    issuer_to_ca[spec.issuer_cn] = spec.name;
+  }
+
+  // Gather (month, ca, fingerprint, log) across all logs.
+  struct Row {
+    std::string month;
+    std::string ca;
+    crypto::Digest fingerprint;
+    const std::string* log;
+  };
+  std::vector<Row> rows;
+  std::set<std::string> months_seen;
+  for (ct::CtLog* log : ecosystem_->all_logs()) {
+    report.overload_rejections[log->name()] = log->overload_rejections();
+    for (const ct::LogEntry& entry : log->entries()) {
+      Row row;
+      row.month = month_key(SimTime{static_cast<std::int64_t>(entry.timestamp_ms / 1000)});
+      const auto it = issuer_to_ca.find(entry.issuer_cn);
+      row.ca = it != issuer_to_ca.end() ? it->second : "other";
+      row.fingerprint = entry.fingerprint;
+      row.log = &log->name();
+      months_seen.insert(row.month);
+      rows.push_back(std::move(row));
+    }
+  }
+  report.months.assign(months_seen.begin(), months_seen.end());
+  std::map<std::string, std::size_t> month_index;
+  for (std::size_t i = 0; i < report.months.size(); ++i) month_index[report.months[i]] = i;
+
+  // Fig. 1a/1b: unique certificates per (month, CA).
+  std::map<std::string, std::vector<std::uint64_t>> monthly_unique;
+  std::set<std::array<std::uint8_t, 32>> seen_fingerprints;
+  std::uint64_t total_unique = 0;
+  std::map<std::string, std::uint64_t> unique_per_ca;
+  // Sort rows chronologically so "first sighting" attribution is stable.
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.month < b.month; });
+  for (const Row& row : rows) {
+    std::array<std::uint8_t, 32> key{};
+    std::copy(row.fingerprint.begin(), row.fingerprint.end(), key.begin());
+    const bool fresh = seen_fingerprints.insert(key).second;
+
+    // Fig. 1c: log utilization counts every submission.
+    if (row.month == focus_month) ++report.ca_log_matrix[row.ca][*row.log];
+
+    if (!fresh) continue;
+    ++total_unique;
+    ++unique_per_ca[row.ca];
+    auto& series = monthly_unique[row.ca];
+    if (series.empty()) series.resize(report.months.size(), 0);
+    ++series[month_index[row.month]];
+  }
+
+  // Cumulative sums and monthly shares.
+  std::vector<std::uint64_t> monthly_totals(report.months.size(), 0);
+  for (const auto& [ca, series] : monthly_unique) {
+    for (std::size_t i = 0; i < series.size(); ++i) monthly_totals[i] += series[i];
+  }
+  for (const auto& [ca, series] : monthly_unique) {
+    std::vector<std::uint64_t> cumulative(series.size(), 0);
+    std::uint64_t acc = 0;
+    std::vector<double> share(series.size(), 0);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      acc += series[i];
+      cumulative[i] = acc;
+      share[i] = monthly_totals[i] > 0
+                     ? static_cast<double>(series[i]) / static_cast<double>(monthly_totals[i])
+                     : 0.0;
+    }
+    report.cumulative_by_ca[ca] = std::move(cumulative);
+    report.monthly_share_by_ca[ca] = std::move(share);
+  }
+
+  // Top-5 share.
+  std::vector<std::uint64_t> counts;
+  counts.reserve(unique_per_ca.size());
+  for (const auto& [ca, n] : unique_per_ca) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+  std::uint64_t top5 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, counts.size()); ++i) top5 += counts[i];
+  report.top5_share = total_unique > 0
+                          ? static_cast<double>(top5) / static_cast<double>(total_unique)
+                          : 0.0;
+
+  // Matrix sparsity + Let's Encrypt load distribution.
+  const auto log_count = sim::Ecosystem::standard_logs().size();
+  const auto ca_count = sim::Ecosystem::standard_cas().size();
+  std::size_t filled = 0;
+  for (const auto& [ca, row] : report.ca_log_matrix) {
+    for (const auto& [log, n] : row) {
+      if (n > 0) ++filled;
+    }
+  }
+  report.matrix_sparsity =
+      1.0 - static_cast<double>(filled) / static_cast<double>(log_count * ca_count);
+  if (const auto it = report.ca_log_matrix.find("Let's Encrypt");
+      it != report.ca_log_matrix.end()) {
+    std::uint64_t le_total = 0;
+    for (const auto& [log, n] : it->second) le_total += n;
+    for (const auto& [log, n] : it->second) {
+      report.le_log_share[log] =
+          le_total > 0 ? static_cast<double>(n) / static_cast<double>(le_total) : 0.0;
+    }
+  }
+  return report;
+}
+
+std::string LogEvolutionStudy::render_cumulative(const LogEvolutionReport& report) {
+  std::ostringstream out;
+  out << pad_right("month", 10);
+  std::vector<std::string> cas;
+  for (const auto& [ca, series] : report.cumulative_by_ca) {
+    cas.push_back(ca);
+    out << pad_left(ca, 16);
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < report.months.size(); ++i) {
+    out << pad_right(report.months[i], 10);
+    for (const std::string& ca : cas) {
+      out << pad_left(std::to_string(report.cumulative_by_ca.at(ca)[i]), 16);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string LogEvolutionStudy::render_matrix(const LogEvolutionReport& report) {
+  std::ostringstream out;
+  // Column set: logs that appear at all in the focus month.
+  std::set<std::string> logs;
+  for (const auto& [ca, row] : report.ca_log_matrix) {
+    for (const auto& [log, n] : row) logs.insert(log);
+  }
+  out << pad_right("CA \\ log", 16);
+  for (const std::string& log : logs) out << pad_left(log.substr(0, 14), 16);
+  out << "\n";
+  for (const auto& [ca, row] : report.ca_log_matrix) {
+    out << pad_right(ca.substr(0, 15), 16);
+    for (const std::string& log : logs) {
+      const auto it = row.find(log);
+      out << pad_left(it != row.end() ? std::to_string(it->second) : ".", 16);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ctwatch::core

@@ -1,0 +1,372 @@
+#include "ctwatch/crypto/ec_p256.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ctwatch::crypto {
+
+namespace p256 {
+
+const U256& prime() {
+  static const U256 p = U256::from_hex(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  return p;
+}
+
+const U256& order() {
+  static const U256 n = U256::from_hex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  return n;
+}
+
+const U256& coeff_b() {
+  static const U256 b = U256::from_hex(
+      "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+  return b;
+}
+
+namespace {
+
+// Signed accumulator over 256-bit values: tracks value + overflow*2^256.
+struct Acc {
+  U256 v;
+  int overflow = 0;  // multiples of 2^256, may be negative
+
+  void add(const U256& x) {
+    if (U256::add(v, x, v)) ++overflow;
+  }
+  void sub(const U256& x) {
+    if (U256::sub(v, x, v)) --overflow;
+  }
+};
+
+// Builds a U256 from eight 32-bit words given most-significant first.
+U256 words_be(std::uint32_t w7, std::uint32_t w6, std::uint32_t w5, std::uint32_t w4,
+              std::uint32_t w3, std::uint32_t w2, std::uint32_t w1, std::uint32_t w0) {
+  return U256{static_cast<std::uint64_t>(w1) << 32 | w0,
+              static_cast<std::uint64_t>(w3) << 32 | w2,
+              static_cast<std::uint64_t>(w5) << 32 | w4,
+              static_cast<std::uint64_t>(w7) << 32 | w6};
+}
+
+// NIST fast reduction modulo p (FIPS 186-4, D.2.3) for a 512-bit input.
+U256 reduce_p(const U512& t) {
+  std::uint32_t c[16];
+  for (int i = 0; i < 16; ++i) {
+    c[i] = static_cast<std::uint32_t>(t.limb[static_cast<std::size_t>(i / 2)] >> (32 * (i % 2)));
+  }
+  const U256 s1 = words_be(c[7], c[6], c[5], c[4], c[3], c[2], c[1], c[0]);
+  const U256 s2 = words_be(c[15], c[14], c[13], c[12], c[11], 0, 0, 0);
+  const U256 s3 = words_be(0, c[15], c[14], c[13], c[12], 0, 0, 0);
+  const U256 s4 = words_be(c[15], c[14], 0, 0, 0, c[10], c[9], c[8]);
+  const U256 s5 = words_be(c[8], c[13], c[15], c[14], c[13], c[11], c[10], c[9]);
+  const U256 s6 = words_be(c[10], c[8], 0, 0, 0, c[13], c[12], c[11]);
+  const U256 s7 = words_be(c[11], c[9], 0, 0, c[15], c[14], c[13], c[12]);
+  const U256 s8 = words_be(c[12], 0, c[10], c[9], c[8], c[15], c[14], c[13]);
+  const U256 s9 = words_be(c[13], 0, c[11], c[10], c[9], 0, c[15], c[14]);
+
+  Acc acc{s1, 0};
+  acc.add(s2);
+  acc.add(s2);
+  acc.add(s3);
+  acc.add(s3);
+  acc.add(s4);
+  acc.add(s5);
+  acc.sub(s6);
+  acc.sub(s7);
+  acc.sub(s8);
+  acc.sub(s9);
+
+  const U256& p = prime();
+  while (acc.overflow > 0) {
+    acc.sub(p);
+  }
+  while (acc.overflow < 0) {
+    acc.add(p);
+  }
+  U256 r = acc.v;
+  while (r >= p) {
+    U256 tmp;
+    U256::sub(r, p, tmp);
+    r = tmp;
+  }
+  return r;
+}
+
+}  // namespace
+
+U256 field_mul(const U256& a, const U256& b) { return reduce_p(U256::mul(a, b)); }
+U256 field_sqr(const U256& a) { return reduce_p(U256::mul(a, a)); }
+
+}  // namespace p256
+
+namespace {
+
+using p256::field_mul;
+using p256::field_sqr;
+
+U256 field_add(const U256& a, const U256& b) { return modmath::add(a, b, p256::prime()); }
+U256 field_sub(const U256& a, const U256& b) { return modmath::sub(a, b, p256::prime()); }
+U256 field_inv(const U256& a) { return modmath::inverse(a, p256::prime()); }
+
+// Jacobian projective point: (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+struct Jacobian {
+  U256 X, Y, Z;  // Z == 0 encodes the point at infinity
+
+  static Jacobian infinity() { return {U256{1}, U256{1}, U256{0}}; }
+  static Jacobian from_affine(const AffinePoint& p) {
+    if (p.infinity) return infinity();
+    return {p.x, p.y, U256{1}};
+  }
+  [[nodiscard]] bool is_infinity() const { return Z.is_zero(); }
+
+  [[nodiscard]] AffinePoint to_affine() const {
+    if (is_infinity()) return AffinePoint{};
+    const U256 zinv = field_inv(Z);
+    const U256 zinv2 = field_sqr(zinv);
+    const U256 zinv3 = field_mul(zinv2, zinv);
+    return AffinePoint::make(field_mul(X, zinv2), field_mul(Y, zinv3));
+  }
+};
+
+// dbl-2001-b: exploits a = -3.
+Jacobian jacobian_double(const Jacobian& p) {
+  if (p.is_infinity() || p.Y.is_zero()) return Jacobian::infinity();
+  const U256 delta = field_sqr(p.Z);
+  const U256 gamma = field_sqr(p.Y);
+  const U256 beta = field_mul(p.X, gamma);
+  const U256 t0 = field_sub(p.X, delta);
+  const U256 t1 = field_add(p.X, delta);
+  const U256 t2 = field_mul(t0, t1);
+  const U256 alpha3 = field_add(field_add(t2, t2), t2);  // 3*(X-delta)*(X+delta)
+  const U256 beta4 = field_add(field_add(beta, beta), field_add(beta, beta));
+  const U256 beta8 = field_add(beta4, beta4);
+  const U256 X3 = field_sub(field_sqr(alpha3), beta8);
+  const U256 zy = field_add(p.Y, p.Z);
+  const U256 Z3 = field_sub(field_sub(field_sqr(zy), gamma), delta);
+  const U256 gamma2 = field_sqr(gamma);
+  const U256 gamma2_8 = field_add(field_add(field_add(gamma2, gamma2), field_add(gamma2, gamma2)),
+                                  field_add(field_add(gamma2, gamma2), field_add(gamma2, gamma2)));
+  const U256 Y3 = field_sub(field_mul(alpha3, field_sub(beta4, X3)), gamma2_8);
+  return {X3, Y3, Z3};
+}
+
+// add-2007-bl general Jacobian addition.
+Jacobian jacobian_add(const Jacobian& p, const Jacobian& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  const U256 Z1Z1 = field_sqr(p.Z);
+  const U256 Z2Z2 = field_sqr(q.Z);
+  const U256 U1 = field_mul(p.X, Z2Z2);
+  const U256 U2 = field_mul(q.X, Z1Z1);
+  const U256 S1 = field_mul(field_mul(p.Y, q.Z), Z2Z2);
+  const U256 S2 = field_mul(field_mul(q.Y, p.Z), Z1Z1);
+  const U256 H = field_sub(U2, U1);
+  const U256 rr = field_add(field_sub(S2, S1), field_sub(S2, S1));
+  if (H.is_zero()) {
+    if (rr.is_zero()) return jacobian_double(p);
+    return Jacobian::infinity();
+  }
+  const U256 H2 = field_add(H, H);
+  const U256 I = field_sqr(H2);
+  const U256 J = field_mul(H, I);
+  const U256 V = field_mul(U1, I);
+  const U256 X3 = field_sub(field_sub(field_sqr(rr), J), field_add(V, V));
+  const U256 S1J = field_mul(S1, J);
+  const U256 Y3 = field_sub(field_mul(rr, field_sub(V, X3)), field_add(S1J, S1J));
+  const U256 Z3 = field_mul(
+      field_sub(field_sub(field_sqr(field_add(p.Z, q.Z)), Z1Z1), Z2Z2), H);
+  return {X3, Y3, Z3};
+}
+
+Jacobian jacobian_multiply(const U256& k, const Jacobian& point) {
+  Jacobian result = Jacobian::infinity();
+  const int bits = k.bit_length();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = jacobian_double(result);
+    if (k.bit(i)) result = jacobian_add(result, point);
+  }
+  return result;
+}
+
+}  // namespace
+
+bool AffinePoint::on_curve() const {
+  if (infinity) return true;
+  const U256& p = p256::prime();
+  if (!(x < p) || !(y < p)) return false;
+  // y^2 == x^3 - 3x + b (mod p)
+  const U256 lhs = field_sqr(y);
+  const U256 x3 = field_mul(field_sqr(x), x);
+  const U256 threex = field_add(field_add(x, x), x);
+  const U256 rhs = field_add(field_sub(x3, threex), p256::coeff_b());
+  return lhs == rhs;
+}
+
+Bytes AffinePoint::encode() const {
+  if (infinity) return Bytes{0x00};
+  Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  const Bytes xb = x.to_bytes();
+  const Bytes yb = y.to_bytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+AffinePoint AffinePoint::decode(BytesView data) {
+  if (data.size() == 1 && data[0] == 0x00) return AffinePoint{};
+  if (data.size() != 65 || data[0] != 0x04) {
+    throw std::invalid_argument("AffinePoint::decode: not an uncompressed SEC1 point");
+  }
+  const AffinePoint p =
+      AffinePoint::make(U256::from_bytes(data.subspan(1, 32)), U256::from_bytes(data.subspan(33, 32)));
+  if (!p.on_curve()) throw std::invalid_argument("AffinePoint::decode: point not on curve");
+  return p;
+}
+
+const AffinePoint& p256_generator() {
+  static const AffinePoint g = AffinePoint::make(
+      U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+      U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"));
+  return g;
+}
+
+AffinePoint p256_multiply(const U256& k, const AffinePoint& point) {
+  return jacobian_multiply(modmath::reduce(k, p256::order()), Jacobian::from_affine(point))
+      .to_affine();
+}
+
+AffinePoint p256_double_multiply(const U256& u1, const U256& u2, const AffinePoint& q) {
+  const Jacobian a = jacobian_multiply(u1, Jacobian::from_affine(p256_generator()));
+  const Jacobian b = jacobian_multiply(u2, Jacobian::from_affine(q));
+  return jacobian_add(a, b).to_affine();
+}
+
+AffinePoint p256_add(const AffinePoint& a, const AffinePoint& b) {
+  return jacobian_add(Jacobian::from_affine(a), Jacobian::from_affine(b)).to_affine();
+}
+
+Bytes EcdsaSignature::to_bytes() const {
+  Bytes out = r.to_bytes();
+  const Bytes sb = s.to_bytes();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+EcdsaSignature EcdsaSignature::from_bytes(BytesView data) {
+  if (data.size() != 64) throw std::invalid_argument("EcdsaSignature::from_bytes: need 64 bytes");
+  return EcdsaSignature{U256::from_bytes(data.subspan(0, 32)), U256::from_bytes(data.subspan(32, 32))};
+}
+
+EcdsaKeyPair EcdsaKeyPair::derive(const std::string& seed_label) {
+  // HKDF from the label; loop until the candidate lands in [1, n-1].
+  const Bytes label = to_bytes(seed_label);
+  const Digest prk = hmac_sha256(to_bytes("ctwatch-ecdsa-keygen-v1"), label);
+  for (std::uint8_t attempt = 0;; ++attempt) {
+    Bytes info = to_bytes("key");
+    info.push_back(attempt);
+    const Bytes candidate = hkdf_expand(BytesView{prk.data(), prk.size()}, info, 32);
+    const U256 d = U256::from_bytes(candidate);
+    if (!d.is_zero() && d < p256::order()) return from_private(d);
+  }
+}
+
+EcdsaKeyPair EcdsaKeyPair::from_private(const U256& d) {
+  if (d.is_zero() || !(d < p256::order())) {
+    throw std::invalid_argument("EcdsaKeyPair: private scalar out of range");
+  }
+  return EcdsaKeyPair{d, p256_multiply(d, p256_generator())};
+}
+
+namespace {
+
+// Digest -> scalar (bits2int for SHA-256 on a 256-bit curve, then mod n).
+U256 digest_to_scalar(const Digest& digest) {
+  U256 e = U256::from_bytes(BytesView{digest.data(), digest.size()});
+  const U256& n = p256::order();
+  if (!(e < n)) {
+    U256 tmp;
+    U256::sub(e, n, tmp);
+    e = tmp;
+  }
+  return e;
+}
+
+// RFC 6979-style deterministic nonce derivation (HMAC-DRBG construction).
+U256 deterministic_nonce(const U256& d, const Digest& digest) {
+  std::array<std::uint8_t, 32> V{}, K{};
+  V.fill(0x01);
+  K.fill(0x00);
+  const Bytes x = d.to_bytes();
+  const Bytes h(digest.begin(), digest.end());
+
+  auto hmac = [](const std::array<std::uint8_t, 32>& key, const Bytes& msg) {
+    return hmac_sha256(BytesView{key.data(), key.size()}, msg);
+  };
+  auto step = [&](std::uint8_t tag, bool include_data) {
+    Bytes msg(V.begin(), V.end());
+    msg.push_back(tag);
+    if (include_data) {
+      msg.insert(msg.end(), x.begin(), x.end());
+      msg.insert(msg.end(), h.begin(), h.end());
+    }
+    K = hmac(K, msg);
+    V = hmac(K, Bytes(V.begin(), V.end()));
+  };
+  step(0x00, true);
+  step(0x01, true);
+  const U256& n = p256::order();
+  while (true) {
+    V = hmac(K, Bytes(V.begin(), V.end()));
+    const U256 k = U256::from_bytes(BytesView{V.data(), V.size()});
+    if (!k.is_zero() && k < n) return k;
+    step(0x00, false);
+  }
+}
+
+}  // namespace
+
+EcdsaSignature EcdsaKeyPair::sign_digest(const Digest& digest) const {
+  const U256& n = p256::order();
+  const U256 e = digest_to_scalar(digest);
+  U256 k = deterministic_nonce(d_, digest);
+  while (true) {
+    const AffinePoint R = p256_multiply(k, p256_generator());
+    const U256 r = modmath::reduce(R.x, n);
+    if (!r.is_zero()) {
+      const U256 kinv = modmath::inverse(k, n);
+      const U256 rd = modmath::mul(r, d_, n);
+      const U256 s = modmath::mul(kinv, modmath::add(e, rd, n), n);
+      if (!s.is_zero()) return EcdsaSignature{r, s};
+    }
+    // Exceedingly unlikely; perturb the nonce deterministically and retry.
+    k = modmath::add(k, U256{1}, n);
+    if (k.is_zero()) k = U256{1};
+  }
+}
+
+EcdsaSignature EcdsaKeyPair::sign(BytesView message) const {
+  return sign_digest(Sha256::hash(message));
+}
+
+bool ecdsa_verify_digest(const AffinePoint& public_key, const Digest& digest,
+                         const EcdsaSignature& sig) {
+  const U256& n = p256::order();
+  if (public_key.infinity || !public_key.on_curve()) return false;
+  if (sig.r.is_zero() || !(sig.r < n) || sig.s.is_zero() || !(sig.s < n)) return false;
+  const U256 e = digest_to_scalar(digest);
+  const U256 w = modmath::inverse(sig.s, n);
+  const U256 u1 = modmath::mul(e, w, n);
+  const U256 u2 = modmath::mul(sig.r, w, n);
+  const AffinePoint R = p256_double_multiply(u1, u2, public_key);
+  if (R.infinity) return false;
+  return modmath::reduce(R.x, n) == sig.r;
+}
+
+bool ecdsa_verify(const AffinePoint& public_key, BytesView message, const EcdsaSignature& sig) {
+  return ecdsa_verify_digest(public_key, Sha256::hash(message), sig);
+}
+
+}  // namespace ctwatch::crypto

@@ -1,0 +1,56 @@
+#include "ctwatch/crypto/signature.hpp"
+
+#include <stdexcept>
+
+namespace ctwatch::crypto {
+
+std::string to_string(SignatureScheme scheme) {
+  switch (scheme) {
+    case SignatureScheme::ecdsa_p256_sha256:
+      return "ecdsa-p256-sha256";
+    case SignatureScheme::hmac_sha256_simulated:
+      return "hmac-sha256-simulated";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SimulatedSigner> SimulatedSigner::derive(const std::string& seed_label) {
+  const Digest key = hmac_sha256(to_bytes("ctwatch-simulated-signer-v1"), to_bytes(seed_label));
+  return std::make_unique<SimulatedSigner>(Bytes(key.begin(), key.end()));
+}
+
+SignatureBlob SimulatedSigner::sign(BytesView message) const {
+  const Digest mac = hmac_sha256(key_, message);
+  return SignatureBlob{scheme(), Bytes(mac.begin(), mac.end())};
+}
+
+bool verify_signature(BytesView public_key, BytesView message, const SignatureBlob& sig) {
+  try {
+    switch (sig.scheme) {
+      case SignatureScheme::ecdsa_p256_sha256: {
+        const AffinePoint q = AffinePoint::decode(public_key);
+        return ecdsa_verify(q, message, EcdsaSignature::from_bytes(sig.data));
+      }
+      case SignatureScheme::hmac_sha256_simulated: {
+        const Digest mac = hmac_sha256(public_key, message);
+        if (sig.data.size() != mac.size()) return false;
+        return std::equal(mac.begin(), mac.end(), sig.data.begin());
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return false;
+}
+
+std::unique_ptr<Signer> make_signer(const std::string& seed_label, SignatureScheme scheme) {
+  switch (scheme) {
+    case SignatureScheme::ecdsa_p256_sha256:
+      return EcdsaSigner::derive(seed_label);
+    case SignatureScheme::hmac_sha256_simulated:
+      return SimulatedSigner::derive(seed_label);
+  }
+  throw std::invalid_argument("make_signer: unknown scheme");
+}
+
+}  // namespace ctwatch::crypto

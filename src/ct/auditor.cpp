@@ -1,0 +1,65 @@
+#include "ctwatch/ct/auditor.hpp"
+
+namespace ctwatch::ct {
+
+AuditOutcome LogAuditor::audit(const CtLog& log, SimTime now) {
+  AuditOutcome outcome;
+  outcome.sth = log.get_sth(now);
+
+  const Bytes key = log.public_key();
+  if (!verify_sth(outcome.sth, key)) {
+    outcome.problem = "STH signature invalid";
+    return outcome;
+  }
+  const auto it = last_sth_.find(log.name());
+  if (it != last_sth_.end()) {
+    const SignedTreeHead& old = it->second;
+    if (outcome.sth.tree_size < old.tree_size) {
+      outcome.problem = "tree shrank: append-only violated";
+      return outcome;
+    }
+    const auto proof = log.get_consistency_proof(old.tree_size, outcome.sth.tree_size);
+    if (!verify_consistency(old.tree_size, outcome.sth.tree_size, old.root_hash,
+                            outcome.sth.root_hash, proof)) {
+      outcome.problem = "consistency proof failed: history rewritten";
+      return outcome;
+    }
+  }
+  last_sth_[log.name()] = outcome.sth;
+  outcome.ok = true;
+  return outcome;
+}
+
+bool LogAuditor::check_inclusion(const CtLog& log, std::uint64_t index,
+                                 const SignedTreeHead& sth) {
+  if (index >= sth.tree_size) return false;
+  const LogEntry& entry = log.entries()[index];
+  const Digest leaf = leaf_hash(merkle_leaf_bytes(entry.timestamp_ms, entry.signed_entry));
+  const auto proof = log.get_inclusion_proof(index, sth.tree_size);
+  return verify_inclusion(leaf, index, sth.tree_size, proof, sth.root_hash);
+}
+
+std::optional<std::uint64_t> find_promised_entry(const CtLog& log,
+                                                 const SignedCertificateTimestamp& sct,
+                                                 const SignedEntry& entry) {
+  const Digest leaf = leaf_hash(merkle_leaf_bytes(sct.timestamp_ms, entry));
+  for (const LogEntry& candidate : log.entries()) {
+    if (candidate.timestamp_ms != sct.timestamp_ms) continue;
+    const Digest candidate_leaf =
+        leaf_hash(merkle_leaf_bytes(candidate.timestamp_ms, candidate.signed_entry));
+    if (candidate_leaf == leaf) return candidate.index;
+  }
+  return std::nullopt;
+}
+
+bool audit_sct_inclusion(const CtLog& log, const SignedCertificateTimestamp& sct,
+                         const SignedEntry& entry, SimTime now) {
+  if (!verify_sct(sct, entry, log.public_key())) return false;
+  const SignedTreeHead sth = log.get_sth(now);
+  if (!verify_sth(sth, log.public_key())) return false;
+  const auto index = find_promised_entry(log, sct, entry);
+  if (!index) return false;  // the log broke its inclusion promise
+  return LogAuditor::check_inclusion(log, *index, sth);
+}
+
+}  // namespace ctwatch::ct

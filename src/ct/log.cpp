@@ -1,0 +1,147 @@
+#include "ctwatch/ct/log.hpp"
+
+#include <stdexcept>
+
+#include "ctwatch/ct/wire.hpp"
+
+namespace ctwatch::ct {
+
+Bytes merkle_leaf_bytes(std::uint64_t timestamp_ms, const SignedEntry& entry) {
+  Bytes out;
+  wire::put_u8(out, 0);  // version v1
+  wire::put_u8(out, 0);  // leaf_type timestamped_entry
+  wire::put_u64(out, timestamp_ms);
+  wire::put_u16(out, static_cast<std::uint16_t>(entry.type));
+  if (entry.type == EntryType::precert_entry) {
+    wire::put_bytes(out, BytesView{entry.issuer_key_hash.data(), entry.issuer_key_hash.size()});
+  }
+  wire::put_opaque24(out, entry.data);
+  wire::put_u16(out, 0);  // no extensions
+  return out;
+}
+
+CtLog::CtLog(LogConfig config)
+    : config_(std::move(config)),
+      signer_(crypto::make_signer("ct-log/" + config_.name, config_.scheme)) {}
+
+LogId CtLog::log_id() const {
+  const crypto::Digest id = signer_->key_id();
+  LogId out{};
+  std::copy(id.begin(), id.end(), out.begin());
+  return out;
+}
+
+SubmitResult CtLog::add_chain(const x509::Certificate& cert, BytesView issuer_public_key,
+                              SimTime now) {
+  if (cert.is_precertificate()) return {SubmitStatus::rejected_invalid, std::nullopt};
+  return submit(cert, issuer_public_key, now, EntryType::x509_entry);
+}
+
+SubmitResult CtLog::add_pre_chain(const x509::Certificate& precert, BytesView issuer_public_key,
+                                  SimTime now) {
+  if (!precert.is_precertificate()) return {SubmitStatus::rejected_invalid, std::nullopt};
+  return submit(precert, issuer_public_key, now, EntryType::precert_entry);
+}
+
+SubmitResult CtLog::submit(const x509::Certificate& cert, BytesView issuer_public_key, SimTime now,
+                           EntryType type) {
+  // Capacity enforcement (per UTC hour).
+  if (config_.capacity_per_hour > 0) {
+    const std::int64_t hour = now.unix_seconds() / 3600;
+    std::uint64_t& count = hourly_submissions_[hour];
+    if (count >= config_.capacity_per_hour) {
+      ++overload_rejections_;
+      return {SubmitStatus::overloaded, std::nullopt};
+    }
+    ++count;
+  }
+
+  if (config_.verify_submissions && !cert.verify(issuer_public_key)) {
+    return {SubmitStatus::rejected_invalid, std::nullopt};
+  }
+
+  const SignedEntry entry = (type == EntryType::precert_entry)
+                                ? make_precert_entry(cert, issuer_public_key)
+                                : make_x509_entry(cert);
+
+  const crypto::Digest fp = cert.fingerprint();
+  // Logs deduplicate resubmissions of the same (pre)certificate: return the
+  // original SCT. (Requires stored bodies.)
+  if (config_.store_bodies) {
+    const Bytes fp_bytes(fp.begin(), fp.end());
+    if (const auto it = dedup_.find(fp_bytes); it != dedup_.end()) {
+      const LogEntry& existing = entries_[it->second];
+      SignedCertificateTimestamp sct;
+      sct.log_id = log_id();
+      sct.timestamp_ms = existing.timestamp_ms;
+      sct.signature = signer_->sign(sct_signing_input(sct, existing.signed_entry));
+      return {SubmitStatus::ok, sct};
+    }
+    dedup_[fp_bytes] = tree_.size();
+  }
+
+
+  SignedCertificateTimestamp sct;
+  sct.log_id = log_id();
+  sct.timestamp_ms = static_cast<std::uint64_t>(now.unix_seconds()) * 1000;
+  sct.signature = signer_->sign(sct_signing_input(sct, entry));
+
+  LogEntry log_entry;
+  log_entry.index = tree_.size();
+  log_entry.timestamp_ms = sct.timestamp_ms;
+  log_entry.issuer_cn = cert.tbs.issuer.common_name;
+  log_entry.fingerprint = fp;
+  if (config_.store_bodies) {
+    log_entry.signed_entry = entry;
+    log_entry.certificate = cert;
+  }
+
+  tree_.append_data(merkle_leaf_bytes(sct.timestamp_ms, entry));
+  entries_.push_back(std::move(log_entry));
+  for (const Subscriber& subscriber : subscribers_) subscriber(*this, entries_.back());
+  return {SubmitStatus::ok, sct};
+}
+
+std::vector<LogEntry> CtLog::get_entries(std::uint64_t start, std::uint64_t count) const {
+  std::vector<LogEntry> out;
+  for (std::uint64_t i = start; i < start + count && i < entries_.size(); ++i) {
+    out.push_back(entries_[i]);
+  }
+  return out;
+}
+
+SignedTreeHead CtLog::get_sth(SimTime now) const {
+  SignedTreeHead sth;
+  sth.tree_size = tree_.size();
+  sth.timestamp_ms = static_cast<std::uint64_t>(now.unix_seconds()) * 1000;
+  sth.root_hash = tree_.root();
+  sth.signature = signer_->sign(sth_signing_input(sth));
+  return sth;
+}
+
+std::vector<Digest> CtLog::get_inclusion_proof(std::uint64_t index,
+                                               std::uint64_t tree_size) const {
+  return tree_.inclusion_proof(index, tree_size);
+}
+
+std::vector<Digest> CtLog::get_consistency_proof(std::uint64_t old_size,
+                                                 std::uint64_t new_size) const {
+  return tree_.consistency_proof(old_size, new_size);
+}
+
+void CtLog::corrupt_leaf_for_test(std::uint64_t index) {
+  if (index >= entries_.size()) throw std::out_of_range("corrupt_leaf_for_test: bad index");
+  // Rebuild the tree with one leaf replaced — the rewritten history a
+  // malicious or broken log would present.
+  MerkleTree rebuilt;
+  for (std::uint64_t i = 0; i < tree_.size(); ++i) {
+    if (i == index) {
+      rebuilt.append(crypto::Sha256::hash(to_bytes("tampered-leaf")));
+    } else {
+      rebuilt.append(tree_.leaf(i));
+    }
+  }
+  tree_ = std::move(rebuilt);
+}
+
+}  // namespace ctwatch::ct

@@ -1,0 +1,94 @@
+#include "ctwatch/ct/loglist.hpp"
+
+namespace ctwatch::ct {
+
+void LogList::add_log(const CtLog& log, SimTime chrome_inclusion, bool google_operated) {
+  LogListEntry entry;
+  entry.id = log.log_id();
+  entry.name = log.name();
+  entry.operator_name = log.config().operator_name;
+  entry.public_key = log.public_key();
+  entry.chrome_inclusion = chrome_inclusion;
+  entry.google_operated = google_operated;
+  entries_.push_back(std::move(entry));
+}
+
+const LogListEntry* LogList::find(const LogId& id) const {
+  for (const auto& entry : entries_) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+const LogListEntry* LogList::find_by_name(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+void LogList::disqualify(const LogId& id, SimTime when) {
+  for (auto& entry : entries_) {
+    if (entry.id == id) entry.disqualified = when;
+  }
+}
+
+std::vector<std::string> disqualify_overloaded_logs(LogList& list,
+                                                    const std::vector<CtLog*>& logs,
+                                                    std::uint64_t rejection_threshold,
+                                                    SimTime when) {
+  std::vector<std::string> disqualified;
+  for (const CtLog* log : logs) {
+    if (log->overload_rejections() < rejection_threshold) continue;
+    const LogListEntry* entry = list.find(log->log_id());
+    if (entry == nullptr || entry->disqualified) continue;
+    list.disqualify(log->log_id(), when);
+    disqualified.push_back(log->name());
+  }
+  return disqualified;
+}
+
+SimTime chrome_enforcement_date() { return SimTime::parse("2018-04-18"); }
+
+bool chrome_requires_ct(SimTime not_before, SimTime now) {
+  return now >= chrome_enforcement_date() && not_before >= chrome_enforcement_date();
+}
+
+std::size_t required_sct_count(SimTime not_before, SimTime not_after) {
+  const std::int64_t lifetime_days = (not_after - not_before) / 86400;
+  const double months = static_cast<double>(lifetime_days) / 30.44;
+  if (months < 15) return 2;
+  if (months <= 27) return 3;
+  if (months <= 39) return 4;
+  return 5;
+}
+
+PolicyVerdict evaluate_chrome_policy(const std::vector<SignedCertificateTimestamp>& scts,
+                                     const SignedEntry& entry, const LogList& logs, SimTime now,
+                                     SimTime not_before, SimTime not_after) {
+  PolicyVerdict verdict;
+  verdict.required_scts = required_sct_count(not_before, not_after);
+  for (const auto& sct : scts) {
+    const LogListEntry* log = logs.find(sct.log_id);
+    if (log == nullptr) continue;  // unknown log
+    if (!log->qualified_at(now)) continue;
+    if (!verify_sct(sct, entry, log->public_key)) continue;
+    ++verdict.valid_scts;
+    if (log->google_operated) {
+      verdict.has_google = true;
+    } else {
+      verdict.has_non_google = true;
+    }
+  }
+  if (verdict.valid_scts < verdict.required_scts) {
+    verdict.reason = "insufficient valid SCTs (" + std::to_string(verdict.valid_scts) + " of " +
+                     std::to_string(verdict.required_scts) + ")";
+  } else if (!verdict.has_google || !verdict.has_non_google) {
+    verdict.reason = "SCTs not diversely operated (need Google and non-Google)";
+  } else {
+    verdict.compliant = true;
+  }
+  return verdict;
+}
+
+}  // namespace ctwatch::ct

@@ -1,0 +1,181 @@
+#include "ctwatch/ct/merkle.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ctwatch::ct {
+
+namespace {
+/// Largest power of two strictly less than n (n >= 2).
+std::uint64_t split_point(std::uint64_t n) { return std::bit_floor(n - 1); }
+}  // namespace
+
+Digest leaf_hash(BytesView data) {
+  crypto::Sha256 h;
+  h.update(std::uint8_t{0x00}).update(data);
+  return h.finish();
+}
+
+Digest node_hash(const Digest& left, const Digest& right) {
+  crypto::Sha256 h;
+  h.update(std::uint8_t{0x01})
+      .update(BytesView{left.data(), left.size()})
+      .update(BytesView{right.data(), right.size()});
+  return h.finish();
+}
+
+std::uint64_t MerkleTree::append(const Digest& leaf) {
+  const std::uint64_t index = leaves_.size();
+  leaves_.push_back(leaf);
+  // Binary-counter merge: one stack entry per set bit of the new size.
+  Digest acc = leaf;
+  std::uint64_t size = index;  // old size
+  while (size & 1) {
+    acc = node_hash(stack_.back(), acc);
+    stack_.pop_back();
+    size >>= 1;
+  }
+  stack_.push_back(acc);
+  return index;
+}
+
+Digest MerkleTree::root() const {
+  if (stack_.empty()) return crypto::Sha256::hash(BytesView{});
+  Digest acc = stack_.back();
+  for (std::size_t i = stack_.size() - 1; i-- > 0;) {
+    acc = node_hash(stack_[i], acc);
+  }
+  return acc;
+}
+
+Digest MerkleTree::root_at(std::uint64_t n) const {
+  if (n > size()) throw std::out_of_range("MerkleTree::root_at: beyond tree size");
+  if (n == 0) return crypto::Sha256::hash(BytesView{});
+  return subtree_root(0, n);
+}
+
+Digest MerkleTree::subtree_root(std::uint64_t begin, std::uint64_t end) const {
+  const std::uint64_t n = end - begin;
+  if (n == 1) return leaves_[begin];
+  const std::uint64_t k = split_point(n);
+  return node_hash(subtree_root(begin, begin + k), subtree_root(begin + k, end));
+}
+
+std::vector<Digest> MerkleTree::inclusion_proof(std::uint64_t index,
+                                                std::uint64_t tree_size) const {
+  if (tree_size > size() || index >= tree_size) {
+    throw std::out_of_range("MerkleTree::inclusion_proof: bad index/size");
+  }
+  std::vector<Digest> proof;
+  // PATH(m, D[begin:end]) per RFC 6962 §2.1.1, iterative over the recursion.
+  std::uint64_t begin = 0, end = tree_size, m = index;
+  std::vector<Digest> reversed;
+  while (end - begin > 1) {
+    const std::uint64_t k = split_point(end - begin);
+    if (m < begin + k) {
+      reversed.push_back(subtree_root(begin + k, end));
+      end = begin + k;
+    } else {
+      reversed.push_back(subtree_root(begin, begin + k));
+      begin += k;
+    }
+  }
+  proof.assign(reversed.rbegin(), reversed.rend());
+  return proof;
+}
+
+std::vector<Digest> MerkleTree::consistency_proof(std::uint64_t old_size,
+                                                  std::uint64_t new_size) const {
+  if (new_size > size() || old_size > new_size) {
+    throw std::out_of_range("MerkleTree::consistency_proof: bad sizes");
+  }
+  if (old_size == new_size || old_size == 0) return {};
+  // SUBPROOF(m, D[begin:end], b) per RFC 6962 §2.1.2, recursive.
+  struct Helper {
+    const MerkleTree& tree;
+    std::vector<Digest> subproof(std::uint64_t m, std::uint64_t begin, std::uint64_t end,
+                                 bool whole) const {
+      const std::uint64_t n = end - begin;
+      if (m == n) {
+        if (whole) return {};
+        return {tree.subtree_root(begin, end)};
+      }
+      const std::uint64_t k = split_point(n);
+      std::vector<Digest> out;
+      if (m <= k) {
+        out = subproof(m, begin, begin + k, whole);
+        out.push_back(tree.subtree_root(begin + k, end));
+      } else {
+        out = subproof(m - k, begin + k, end, false);
+        out.push_back(tree.subtree_root(begin, begin + k));
+      }
+      return out;
+    }
+  };
+  return Helper{*this}.subproof(old_size, 0, new_size, true);
+}
+
+bool verify_inclusion(const Digest& leaf, std::uint64_t index, std::uint64_t tree_size,
+                      const std::vector<Digest>& proof, const Digest& root) {
+  if (tree_size == 0 || index >= tree_size) return false;
+  std::uint64_t fn = index;
+  std::uint64_t sn = tree_size - 1;
+  Digest r = leaf;
+  for (const Digest& p : proof) {
+    if (sn == 0) return false;
+    if ((fn & 1) == 1 || fn == sn) {
+      r = node_hash(p, r);
+      if ((fn & 1) == 0) {
+        while ((fn & 1) == 0 && fn != 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      r = node_hash(r, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && r == root;
+}
+
+bool verify_consistency(std::uint64_t old_size, std::uint64_t new_size, const Digest& old_root,
+                        const Digest& new_root, const std::vector<Digest>& proof) {
+  if (old_size > new_size) return false;
+  if (old_size == new_size) return proof.empty() && old_root == new_root;
+  if (old_size == 0) return proof.empty();  // anything is consistent with the empty tree
+  std::uint64_t fn = old_size - 1;
+  std::uint64_t sn = new_size - 1;
+  while (fn & 1) {
+    fn >>= 1;
+    sn >>= 1;
+  }
+  std::size_t cursor = 0;
+  Digest fr, sr;
+  if (fn != 0) {
+    if (proof.empty()) return false;
+    fr = sr = proof[cursor++];
+  } else {
+    fr = sr = old_root;
+  }
+  for (; cursor < proof.size(); ++cursor) {
+    const Digest& c = proof[cursor];
+    if (sn == 0) return false;
+    if ((fn & 1) == 1 || fn == sn) {
+      fr = node_hash(c, fr);
+      sr = node_hash(c, sr);
+      while ((fn & 1) == 0 && fn != 0) {
+        fn >>= 1;
+        sn >>= 1;
+      }
+    } else {
+      sr = node_hash(sr, c);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return fr == old_root && sr == new_root && sn == 0;
+}
+
+}  // namespace ctwatch::ct

@@ -1,0 +1,19 @@
+#include "ctwatch/ct/stream.hpp"
+
+namespace ctwatch::ct {
+
+void CertStream::attach(CtLog& log) {
+  log.subscribe([this](const CtLog& source, const LogEntry& entry) {
+    ++delivered_;
+    for (const Callback& callback : callbacks_) callback(source, entry);
+  });
+}
+
+std::vector<LogEntry> BatchPoller::poll() {
+  const std::uint64_t size = log_->tree_size();
+  std::vector<LogEntry> out = log_->get_entries(cursor_, size - cursor_);
+  cursor_ = size;
+  return out;
+}
+
+}  // namespace ctwatch::ct

@@ -1,0 +1,97 @@
+#include "ctwatch/dns/name.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace ctwatch::dns {
+
+bool valid_label(std::string_view label, bool allow_underscore) {
+  if (label.empty() || label.size() > 63) return false;
+  if (label.front() == '-' || label.back() == '-') return false;
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' ||
+                    (allow_underscore && c == '_');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<DnsName> DnsName::parse(std::string_view text, ParseOptions options) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty() || text.size() > 253) return std::nullopt;
+
+  std::vector<std::string> labels;
+  std::string current;
+  auto flush = [&]() -> bool {
+    if (current.empty()) return false;
+    labels.push_back(std::move(current));
+    current.clear();
+    return true;
+  };
+  for (char raw : text) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (c == '.') {
+      if (!flush()) return std::nullopt;  // empty label
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!flush()) return std::nullopt;
+  if (labels.size() < 2) return std::nullopt;
+
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::string& label = labels[i];
+    if (i == 0 && options.allow_wildcard && label == "*") continue;
+    if (!valid_label(label, options.allow_underscore)) return std::nullopt;
+  }
+  // All-numeric TLD would make e.g. "1.2.3.4" parse as a name.
+  const std::string& tld = labels.back();
+  bool all_digits = true;
+  for (char c : tld) {
+    if (c < '0' || c > '9') {
+      all_digits = false;
+      break;
+    }
+  }
+  if (all_digits) return std::nullopt;
+  return DnsName{std::move(labels)};
+}
+
+DnsName DnsName::parse_or_throw(std::string_view text, ParseOptions options) {
+  auto name = parse(text, options);
+  if (!name) throw std::invalid_argument("invalid DNS name: " + std::string(text));
+  return *std::move(name);
+}
+
+std::string DnsName::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+DnsName DnsName::parent(std::size_t n) const {
+  if (n > labels_.size()) throw std::out_of_range("DnsName::parent: too many labels dropped");
+  return DnsName{std::vector<std::string>(labels_.begin() + static_cast<std::ptrdiff_t>(n),
+                                          labels_.end())};
+}
+
+bool DnsName::is_subdomain_of(const DnsName& other) const {
+  if (other.labels_.size() > labels_.size()) return false;
+  return std::equal(other.labels_.rbegin(), other.labels_.rend(), labels_.rbegin());
+}
+
+DnsName DnsName::with_prefix_label(const std::string& label) const {
+  if (!valid_label(label) && label != "*") {
+    throw std::invalid_argument("with_prefix_label: invalid label: " + label);
+  }
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.push_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return DnsName{std::move(labels)};
+}
+
+}  // namespace ctwatch::dns

@@ -1,0 +1,263 @@
+#include "ctwatch/dns/psl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ctwatch/util/strings.hpp"
+
+namespace ctwatch::dns {
+
+std::string NameSplit::subdomain() const { return join(subdomain_labels, "."); }
+
+namespace {
+// Snapshot of PSL rules sufficient for the experiments: the suffixes the
+// paper names explicitly (tech, email, cloud, design, gov, gov.uk, com, ga,
+// info, tk, ml, bid, review, live, money, cf, gq, my, co.am, …) plus common
+// ICANN country/generic suffixes so synthetic domain populations look
+// realistic. Syntax is the PSL's own.
+constexpr const char* kBundledRules = R"(// ctwatch PSL snapshot (subset)
+com
+net
+org
+info
+biz
+name
+pro
+edu
+gov
+mil
+int
+io
+co
+ai
+app
+dev
+page
+tech
+email
+cloud
+design
+money
+live
+bid
+review
+site
+online
+xyz
+top
+club
+shop
+blog
+art
+wiki
+link
+click
+gq
+tk
+ml
+ga
+cf
+us
+uk
+co.uk
+org.uk
+gov.uk
+ac.uk
+net.uk
+au
+com.au
+net.au
+org.au
+gov.au
+edu.au
+de
+fr
+it
+nl
+eu
+es
+pt
+pl
+cz
+sk
+hu
+gr
+tr
+ru
+su
+jp
+co.jp
+ne.jp
+or.jp
+cn
+com.cn
+net.cn
+gov.cn
+in
+co.in
+kr
+co.kr
+br
+com.br
+ar
+com.ar
+mx
+com.mx
+ca
+ch
+at
+be
+dk
+no
+se
+fi
+ie
+nz
+co.nz
+za
+co.za
+il
+co.il
+my
+com.my
+gov.my
+am
+co.am
+sg
+com.sg
+hk
+com.hk
+tw
+com.tw
+id
+co.id
+th
+co.th
+vn
+com.vn
+ph
+ua
+com.ua
+by
+kz
+ge
+md
+rs
+ba
+hr
+si
+lt
+lv
+ee
+is
+lu
+mc
+sm
+va
+*.ck
+!www.ck
+)";
+}  // namespace
+
+PublicSuffixList PublicSuffixList::bundled() {
+  PublicSuffixList psl;
+  psl.add_rules_text(kBundledRules);
+  return psl;
+}
+
+void PublicSuffixList::add_rule(const std::string& rule) {
+  if (rule.empty()) throw std::invalid_argument("PSL: empty rule");
+  Rule parsed;
+  std::string body = rule;
+  if (body.front() == '!') {
+    parsed.kind = RuleKind::exception;
+    body.erase(0, 1);
+  } else if (body.rfind("*.", 0) == 0) {
+    parsed.kind = RuleKind::wildcard;
+    body.erase(0, 2);
+  } else {
+    parsed.kind = RuleKind::normal;
+  }
+  if (body.empty()) throw std::invalid_argument("PSL: empty rule body: " + rule);
+  std::vector<std::string> labels = ctwatch::split(to_lower(body), '.');
+  for (const std::string& label : labels) {
+    if (!valid_label(label)) throw std::invalid_argument("PSL: bad label in rule: " + rule);
+  }
+  std::reverse(labels.begin(), labels.end());
+  parsed.labels = labels;
+  std::string key = join(labels, ".");
+  if (parsed.kind == RuleKind::wildcard) key += ".*";
+  if (parsed.kind == RuleKind::exception) key += ".!";
+  rules_[key] = std::move(parsed);
+}
+
+void PublicSuffixList::add_rules_text(const std::string& text) {
+  for (const std::string& line : ctwatch::split(text, '\n')) {
+    std::string trimmed = line;
+    // Strip trailing CR and surrounding spaces.
+    while (!trimmed.empty() && (trimmed.back() == '\r' || trimmed.back() == ' ')) {
+      trimmed.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < trimmed.size() && trimmed[start] == ' ') ++start;
+    trimmed.erase(0, start);
+    if (trimmed.empty() || trimmed.rfind("//", 0) == 0) continue;
+    add_rule(trimmed);
+  }
+}
+
+std::size_t PublicSuffixList::suffix_label_count(const std::vector<std::string>& labels) const {
+  // Evaluate rules per the PSL algorithm over the reversed label path:
+  // exception rules beat wildcard/normal; otherwise the longest match wins;
+  // no match -> prevailing rule "*" (one label).
+  std::size_t best = 1;
+  bool exception_hit = false;
+  std::size_t exception_len = 0;
+
+  std::vector<std::string> reversed(labels.rbegin(), labels.rend());
+  std::string path;
+  for (std::size_t depth = 1; depth <= reversed.size(); ++depth) {
+    if (depth > 1) path.push_back('.');
+    path += reversed[depth - 1];
+    if (auto it = rules_.find(path); it != rules_.end() && it->second.kind == RuleKind::normal) {
+      best = std::max(best, depth);
+    }
+    // A wildcard rule "*.<path-of-depth-d>" matches a suffix of depth d+1.
+    if (auto it = rules_.find(path + ".*");
+        it != rules_.end() && depth + 1 <= reversed.size()) {
+      best = std::max(best, depth + 1);
+    }
+    if (auto it = rules_.find(path + ".!"); it != rules_.end()) {
+      // Exception rule: the suffix is the rule minus its leftmost label.
+      exception_hit = true;
+      exception_len = depth - 1;
+    }
+  }
+  if (exception_hit) return std::max<std::size_t>(exception_len, 1);
+  return best;
+}
+
+std::string PublicSuffixList::public_suffix(const DnsName& name) const {
+  const std::size_t count = std::min(suffix_label_count(name.labels()), name.label_count());
+  return name.parent(name.label_count() - count).to_string();
+}
+
+std::optional<NameSplit> PublicSuffixList::split(const DnsName& name) const {
+  const std::size_t suffix_len = suffix_label_count(name.labels());
+  if (name.label_count() <= suffix_len) return std::nullopt;  // the name IS a suffix
+  NameSplit out;
+  out.public_suffix = name.parent(name.label_count() - suffix_len).to_string();
+  out.registrable_domain = name.parent(name.label_count() - suffix_len - 1).to_string();
+  out.subdomain_labels.assign(
+      name.labels().begin(),
+      name.labels().begin() + static_cast<std::ptrdiff_t>(name.label_count() - suffix_len - 1));
+  return out;
+}
+
+std::optional<NameSplit> PublicSuffixList::split(const std::string& name) const {
+  const auto parsed = DnsName::parse(name);
+  if (!parsed) return std::nullopt;
+  return split(*parsed);
+}
+
+}  // namespace ctwatch::dns

@@ -1,0 +1,25 @@
+#include "ctwatch/dns/records.hpp"
+
+namespace ctwatch::dns {
+
+std::string to_string(RrType type) {
+  switch (type) {
+    case RrType::A:
+      return "A";
+    case RrType::AAAA:
+      return "AAAA";
+    case RrType::CNAME:
+      return "CNAME";
+    case RrType::MX:
+      return "MX";
+    case RrType::NS:
+      return "NS";
+    case RrType::SOA:
+      return "SOA";
+    case RrType::TXT:
+      return "TXT";
+  }
+  return "?";
+}
+
+}  // namespace ctwatch::dns

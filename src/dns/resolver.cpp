@@ -1,0 +1,112 @@
+#include "ctwatch/dns/resolver.hpp"
+
+namespace ctwatch::dns {
+
+Zone& AuthoritativeServer::add_zone(DnsName origin) {
+  const std::string key = origin.to_string();
+  auto& slot = zones_[key];
+  slot = std::make_unique<Zone>(std::move(origin));
+  return *slot;
+}
+
+Zone* AuthoritativeServer::find_zone(const DnsName& name) {
+  // Walk from the most specific ancestor (the name itself) towards the TLD.
+  for (std::size_t drop = 0; drop < name.label_count(); ++drop) {
+    const auto it = zones_.find(name.parent(drop).to_string());
+    if (it != zones_.end()) return it->second.get();
+  }
+  return nullptr;
+}
+
+const Zone* AuthoritativeServer::find_zone(const DnsName& name) const {
+  return const_cast<AuthoritativeServer*>(this)->find_zone(name);
+}
+
+std::vector<ResourceRecord> AuthoritativeServer::query(const DnsQuestion& question,
+                                                       const QueryContext& context) {
+  std::vector<ResourceRecord> answers;
+  if (const Zone* zone = find_zone(question.qname)) {
+    answers = zone->lookup(question.qname, question.qtype);
+  }
+  if (logging_) log_.push_back(QueryLogEntry{question, context, !answers.empty()});
+  return answers;
+}
+
+AuthoritativeServer* DnsUniverse::find_authoritative(const DnsName& name) const {
+  AuthoritativeServer* best = nullptr;
+  std::size_t best_labels = 0;
+  for (AuthoritativeServer* server : servers_) {
+    if (const Zone* zone = server->find_zone(name)) {
+      if (zone->origin().label_count() >= best_labels) {
+        // ">=" so a later-registered, equally specific server wins; zone
+        // origins are unique in practice.
+        best_labels = zone->origin().label_count();
+        best = server;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<net::IPv4> ResolveResult::first_a() const {
+  for (const ResourceRecord& rr : answers) {
+    if (rr.type == RrType::A) return rr.a();
+  }
+  return std::nullopt;
+}
+
+ResolveResult RecursiveResolver::resolve(const DnsName& qname, RrType qtype, SimTime when,
+                                         std::optional<net::IPv4> stub_client,
+                                         int max_cname_hops) const {
+  ResolveResult result;
+  QueryContext context;
+  context.time = when;
+  context.resolver_addr = identity_.address;
+  context.resolver_asn = identity_.asn;
+  context.resolver_label = identity_.label;
+  if (identity_.sends_ecs && stub_client) {
+    context.client_subnet = net::slash24(*stub_client);
+  }
+
+  DnsName current = qname;
+  for (int hop = 0; hop <= max_cname_hops; ++hop) {
+    AuthoritativeServer* server = universe_->find_authoritative(current);
+    if (server == nullptr) {
+      result.status = ResolveStatus::nxdomain;
+      return result;
+    }
+    const auto answers = server->query(DnsQuestion{current, qtype}, context);
+    if (answers.empty()) {
+      // Distinguish "zone knows nothing" from "name exists with other data":
+      // keep it simple and report no_data when any record type exists.
+      const Zone* zone = server->find_zone(current);
+      bool exists = false;
+      for (RrType probe : {RrType::A, RrType::AAAA, RrType::CNAME, RrType::TXT, RrType::MX,
+                           RrType::NS, RrType::SOA}) {
+        if (probe != qtype && zone != nullptr && !zone->lookup(current, probe).empty()) {
+          exists = true;
+          break;
+        }
+      }
+      result.status = exists ? ResolveStatus::no_data : ResolveStatus::nxdomain;
+      return result;
+    }
+    if (answers.front().type == RrType::CNAME && qtype != RrType::CNAME) {
+      if (hop == max_cname_hops) {
+        result.status = ResolveStatus::chain_too_long;
+        result.cname_hops = hop;
+        return result;
+      }
+      current = answers.front().target();
+      ++result.cname_hops;
+      continue;
+    }
+    result.status = ResolveStatus::ok;
+    result.answers = answers;
+    return result;
+  }
+  result.status = ResolveStatus::chain_too_long;
+  return result;
+}
+
+}  // namespace ctwatch::dns

@@ -1,0 +1,63 @@
+#include "ctwatch/dns/zone.hpp"
+
+#include <stdexcept>
+
+namespace ctwatch::dns {
+
+void Zone::add(ResourceRecord record) {
+  if (!in_zone(record.name) && !(record.name.first_label() == "*" &&
+                                 record.name.parent().is_subdomain_of(origin_))) {
+    throw std::invalid_argument("Zone::add: record " + record.name.to_string() +
+                                " outside zone " + origin_.to_string());
+  }
+  records_[record.name.to_string()].push_back(std::move(record));
+}
+
+std::vector<ResourceRecord> Zone::lookup(const DnsName& name, RrType type) const {
+  auto select = [&](const std::vector<ResourceRecord>& rrset,
+                    const DnsName& owner) -> std::vector<ResourceRecord> {
+    std::vector<ResourceRecord> out;
+    // CNAME takes precedence: a name with a CNAME has no other data.
+    for (const ResourceRecord& rr : rrset) {
+      if (rr.type == RrType::CNAME) {
+        ResourceRecord copy = rr;
+        copy.name = owner;
+        return {copy};
+      }
+    }
+    for (const ResourceRecord& rr : rrset) {
+      if (rr.type == type) {
+        ResourceRecord copy = rr;
+        copy.name = owner;
+        out.push_back(copy);
+      }
+    }
+    return out;
+  };
+
+  if (const auto it = records_.find(name.to_string()); it != records_.end()) {
+    return select(it->second, name);
+  }
+  // Wildcard synthesis: try "*.<ancestor>" for each ancestor strictly
+  // between the name and the origin (closest first).
+  for (std::size_t drop = 1; drop < name.label_count(); ++drop) {
+    const DnsName ancestor = name.parent(drop);
+    if (!ancestor.is_subdomain_of(origin_)) break;
+    const std::string key = "*." + ancestor.to_string();
+    if (const auto it = records_.find(key); it != records_.end()) {
+      return select(it->second, name);
+    }
+  }
+  if (default_a_ && type == RrType::A && in_zone(name)) {
+    return {ResourceRecord{name, RrType::A, 300, *default_a_}};
+  }
+  return {};
+}
+
+std::size_t Zone::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, rrset] : records_) n += rrset.size();
+  return n;
+}
+
+}  // namespace ctwatch::dns

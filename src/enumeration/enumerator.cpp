@@ -1,0 +1,120 @@
+#include "ctwatch/enumeration/enumerator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ctwatch/dns/name.hpp"
+
+namespace ctwatch::enumeration {
+
+std::vector<std::pair<std::string, std::string>> SubdomainEnumerator::build_plan() const {
+  std::vector<std::pair<std::string, std::string>> plan;
+  for (const auto& [label, count] : census_->label_counts()) {
+    if (count < options_.min_label_count) continue;
+    const auto it = census_->label_suffix_counts().find(label);
+    if (it == census_->label_suffix_counts().end()) continue;
+    // Rank this label's suffixes by occurrence count.
+    std::vector<std::pair<std::string, std::uint64_t>> suffixes;
+    for (const auto& [suffix, n] : it->second) {
+      if (options_.excluded_suffixes.contains(suffix)) continue;
+      suffixes.emplace_back(suffix, n);
+    }
+    std::sort(suffixes.begin(), suffixes.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (suffixes.size() > options_.top_suffixes_per_label) {
+      suffixes.resize(options_.top_suffixes_per_label);
+    }
+    for (const auto& [suffix, n] : suffixes) plan.emplace_back(label, suffix);
+  }
+  return plan;
+}
+
+FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_list,
+                                      const std::set<std::string>& sonar,
+                                      const dns::RecursiveResolver& resolver,
+                                      const net::RoutingTable& routing, Rng& rng,
+                                      SimTime when) const {
+  FunnelResult result;
+  const auto plan = build_plan();
+  std::set<std::string> labels_used;
+  for (const auto& [label, suffix] : plan) labels_used.insert(label);
+  result.labels_selected = labels_used.size();
+  result.label_suffix_pairs = plan.size();
+
+  // Group the domain list by public suffix once.
+  std::map<std::string, std::vector<const std::string*>> by_suffix;
+  for (const std::string& domain : domain_list) {
+    const auto split = psl_->split(domain);
+    if (!split) continue;
+    // Only registrable domains themselves participate in construction.
+    if (split->subdomain_labels.empty()) {
+      by_suffix[split->public_suffix].push_back(&domain);
+    }
+  }
+
+  auto resolves = [&](const std::string& fqdn, bool& routable,
+                      bool& too_long) -> bool {
+    routable = false;
+    too_long = false;
+    const auto name = dns::DnsName::parse(fqdn);
+    if (!name) return false;
+    const dns::ResolveResult res =
+        resolver.resolve(*name, dns::RrType::A, when, std::nullopt, options_.max_cname_hops);
+    if (res.status == dns::ResolveStatus::chain_too_long) {
+      too_long = true;
+      return false;
+    }
+    if (res.status != dns::ResolveStatus::ok) return false;
+    const auto a = res.first_a();
+    if (!a) return false;
+    routable = routing.routable(*a);
+    return true;
+  };
+
+  for (const auto& [label, suffix] : plan) {
+    const auto it = by_suffix.find(suffix);
+    if (it == by_suffix.end()) continue;
+    for (const std::string* domain : it->second) {
+      ++result.candidates;
+      const std::string candidate = label + "." + *domain;
+
+      bool routable = false;
+      bool too_long = false;
+      const bool test_ok = resolves(candidate, routable, too_long);
+      if (too_long) ++result.chain_too_long;
+      if (test_ok) ++result.test_replies;
+
+      // The paper scans the pseudo-random control for every candidate, not
+      // just the answered ones; both reply counts are funnel outputs.
+      bool control_ok = false;
+      if (options_.use_controls) {
+        const std::string control =
+            rng.alnum_label(options_.control_label_length) + "." + *domain;
+        bool control_routable = false;
+        bool control_too_long = false;
+        control_ok = resolves(control, control_routable, control_too_long);
+        if (control_ok) ++result.control_replies;
+      }
+
+      if (!test_ok) continue;
+      if (options_.use_routing_filter && !routable) {
+        ++result.unroutable_dropped;
+        continue;
+      }
+      if (control_ok) continue;  // the zone answers anything; reject
+      ++result.confirmed;
+      if (sonar.contains(candidate)) {
+        ++result.known_in_sonar;
+      } else {
+        ++result.novel;
+      }
+      if (result.discoveries.size() < options_.keep_discoveries) {
+        result.discoveries.push_back(candidate);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ctwatch::enumeration

@@ -1,0 +1,188 @@
+#include "ctwatch/honeypot/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ctwatch/util/strings.hpp"
+
+namespace ctwatch::honeypot {
+
+HoneypotReport analyze(const CtHoneypot& honeypot, const AnalysisOptions& options) {
+  HoneypotReport report;
+  const auto& log = honeypot.dns_server().log();
+  const auto& capture = honeypot.capture();
+
+  std::size_t index = 0;
+  for (const HoneypotDomain& domain : honeypot.domains()) {
+    DomainTimeline row;
+    row.tag = std::string(1, static_cast<char>('A' + (index % 26)));
+    ++index;
+    row.fqdn = domain.fqdn;
+    row.ct_entry = domain.ct_logged;
+
+    std::set<net::Asn> asns;
+    std::set<std::string> subnets;
+    std::vector<std::pair<SimTime, net::Asn>> arrivals;
+    for (const dns::QueryLogEntry& entry : log) {
+      if (entry.question.qname.to_string() != domain.fqdn) continue;
+      // Filter the CA's validation lookups: identified by their origin and
+      // by arriving before the CT log entry (the paper does both).
+      if (entry.context.resolver_label == CtHoneypot::kValidationLabel ||
+          entry.context.time < domain.ct_logged) {
+        ++report.queries_filtered_as_validation;
+        continue;
+      }
+      ++row.query_count;
+      asns.insert(entry.context.resolver_asn);
+      arrivals.emplace_back(entry.context.time, entry.context.resolver_asn);
+      if (entry.context.client_subnet) {
+        const std::string subnet = entry.context.client_subnet->to_string();
+        subnets.insert(subnet);
+        ++report.ecs_subnets[subnet];
+      }
+      if (!row.first_dns || entry.context.time < *row.first_dns) {
+        row.first_dns = entry.context.time;
+      }
+    }
+    row.asn_count = asns.size();
+    row.ecs_subnet_count = subnets.size();
+    if (row.first_dns) row.dns_delta = *row.first_dns - domain.ct_logged;
+
+    // First three distinct querying ASes in arrival order.
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [when, asn] : arrivals) {
+      if (std::find(row.first_asns.begin(), row.first_asns.end(), asn) ==
+          row.first_asns.end()) {
+        row.first_asns.push_back(asn);
+        if (row.first_asns.size() == 3) break;
+      }
+    }
+
+    // HTTP(S): connections to this domain's A record on port 443 (or
+    // carrying its name), IPv4.
+    std::vector<const net::ConnectionEvent*> https;
+    for (const net::ConnectionEvent& event : capture.events()) {
+      const bool to_a = event.dst4 && *event.dst4 == domain.a_record;
+      if (!to_a) continue;
+      if (event.dst_port != 443) continue;
+      https.push_back(&event);
+    }
+    std::sort(https.begin(), https.end(),
+              [](const auto* a, const auto* b) { return a->time < b->time; });
+    if (!https.empty()) {
+      row.first_http = https.front()->time;
+      row.http_delta = https.front()->time - domain.ct_logged;
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  // AS attribution of connecting sources: primarily via the BGP registry
+  // (as the paper does), with the DNS log as a fallback.
+  std::map<std::uint32_t, net::Asn> src_to_asn;
+  for (const dns::QueryLogEntry& entry : log) {
+    src_to_asn[entry.context.resolver_addr.value()] = entry.context.resolver_asn;
+  }
+  const net::AsRegistry& registry = honeypot.as_registry();
+
+  std::size_t row_index = 0;
+  for (const HoneypotDomain& domain : honeypot.domains()) {
+    DomainTimeline& row = report.rows[row_index++];
+    std::vector<std::pair<SimTime, net::IPv4>> sources;
+    for (const net::ConnectionEvent& event : capture.events()) {
+      if (event.dst4 && *event.dst4 == domain.a_record && event.dst_port == 443) {
+        sources.emplace_back(event.time, event.src);
+      }
+    }
+    std::sort(sources.begin(), sources.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [when, src] : sources) {
+      net::Asn asn = 0;
+      if (const auto origin = registry.origin(src)) {
+        asn = *origin;
+      } else if (const auto it = src_to_asn.find(src.value()); it != src_to_asn.end()) {
+        asn = it->second;
+      }
+      if (std::find(row.http_asns.begin(), row.http_asns.end(), asn) == row.http_asns.end()) {
+        row.http_asns.push_back(asn);
+      }
+    }
+  }
+
+  // Port scanners.
+  std::set<std::uint32_t> sources;
+  for (const net::ConnectionEvent& event : capture.events()) {
+    if (event.dst4) sources.insert(event.src.value());
+  }
+  for (const std::uint32_t src : sources) {
+    const auto ports = capture.ports_probed_by(net::IPv4(src));
+    if (ports.size() >= options.port_scan_threshold) {
+      report.port_scanners.push_back(PortScanFinding{net::IPv4(src), ports.size()});
+    }
+  }
+
+  // ECS subnets that also connected over IPv4.
+  std::size_t connected = 0;
+  for (const auto& [subnet, count] : report.ecs_subnets) {
+    const auto prefix = net::Prefix4::parse(subnet);
+    if (!prefix) continue;
+    bool hit = false;
+    for (const std::uint32_t src : sources) {
+      if (prefix->contains(net::IPv4(src))) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) ++connected;
+  }
+  report.ecs_subnets_with_connections = connected;
+
+  // Scanning best practices: which connecting sources have informative
+  // rDNS entries? (Paper: none did.)
+  report.sources_total = sources.size();
+  for (const std::uint32_t src : sources) {
+    if (honeypot.reverse_dns().lookup(net::IPv4(src))) {
+      ++report.sources_with_best_practices;
+    }
+  }
+
+  // IPv6 contact check (paper: none beyond the CA validator).
+  for (const net::ConnectionEvent& event : capture.events()) {
+    if (event.dst6 && event.src != net::IPv4(198, 51, 100, 5)) ++report.ipv6_contacts;
+  }
+  return report;
+}
+
+std::string render_table4(const HoneypotReport& report) {
+  std::ostringstream out;
+  out << pad_right("", 2) << pad_right("CT log entry", 16) << pad_right("first DNS", 16)
+      << pad_left("dt", 6) << pad_left("Q", 6) << pad_left("AS", 5) << pad_left("CS", 5)
+      << "  " << pad_right("first 3 ASes", 22) << pad_right("HTTP(S)", 16)
+      << pad_left("dt", 6) << "  HTTP ASNs\n";
+  for (const DomainTimeline& row : report.rows) {
+    out << pad_right(row.tag, 2) << pad_right(row.ct_entry.short_string(), 16)
+        << pad_right(row.first_dns ? row.first_dns->short_string() : "-", 16)
+        << pad_left(row.first_dns ? format_delta(row.dns_delta) : "-", 6)
+        << pad_left(std::to_string(row.query_count), 6)
+        << pad_left(std::to_string(row.asn_count), 5)
+        << pad_left(std::to_string(row.ecs_subnet_count), 5) << "  ";
+    std::string ases;
+    for (std::size_t i = 0; i < row.first_asns.size(); ++i) {
+      if (i > 0) ases += ",";
+      ases += std::to_string(row.first_asns[i]);
+    }
+    out << pad_right(ases, 22)
+        << pad_right(row.first_http ? row.first_http->short_string() : "-", 16)
+        << pad_left(row.first_http ? format_delta(row.http_delta) : "-", 6) << "  ";
+    std::string http_ases;
+    for (std::size_t i = 0; i < row.http_asns.size(); ++i) {
+      if (i > 0) http_ases += ",";
+      http_ases += std::to_string(row.http_asns[i]);
+    }
+    out << http_ases << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ctwatch::honeypot

@@ -1,0 +1,251 @@
+#include "ctwatch/honeypot/attackers.hpp"
+
+namespace ctwatch::honeypot {
+
+namespace {
+constexpr net::Asn kGoogle = 15169;
+constexpr net::Asn kOneAndOne = 8560;
+constexpr net::Asn kDeteque = 54054;
+constexpr net::Asn kAmazon = 16509;
+constexpr net::Asn kAmazonLegacy = 14618;
+constexpr net::Asn kDigitalOcean = 14061;
+constexpr net::Asn kOpenDns = 36692;
+constexpr net::Asn kPetersburg = 44050;
+constexpr net::Asn kHetzner = 24940;
+constexpr net::Asn kQuasi = 29073;
+}  // namespace
+
+dns::RecursiveResolver::Identity google_public_dns() {
+  dns::RecursiveResolver::Identity identity;
+  identity.address = net::IPv4(8, 8, 8, 8);
+  identity.asn = kGoogle;
+  identity.label = "google-public-dns";
+  identity.sends_ecs = true;
+  return identity;
+}
+
+std::vector<MonitorActorSpec> standard_fleet() {
+  std::vector<MonitorActorSpec> fleet;
+  using Mode = MonitorActorSpec::Mode;
+
+  auto streaming = [&](std::string name, net::Asn asn, net::IPv4 addr, std::int64_t lo,
+                       std::int64_t hi, double coverage) {
+    MonitorActorSpec spec;
+    spec.name = std::move(name);
+    spec.asn = asn;
+    spec.address = addr;
+    spec.mode = Mode::streaming;
+    spec.delay_min = lo;
+    spec.delay_max = hi;
+    spec.coverage = coverage;
+    fleet.push_back(spec);
+    return fleet.size() - 1;
+  };
+
+  // The near-real-time monitors that hit (almost) every domain in minutes.
+  streaming("google-crawler", kGoogle, net::IPv4(74, 125, 0, 10), 70, 150, 1.0);
+  fleet.back().qtypes = {dns::RrType::A, dns::RrType::AAAA};
+  streaming("1und1-monitor", kOneAndOne, net::IPv4(82, 165, 1, 20), 90, 260, 1.0);
+  streaming("deteque-ti", kDeteque, net::IPv4(185, 49, 10, 5), 100, 700, 0.82);
+  streaming("amazon-watcher", kAmazon, net::IPv4(52, 95, 20, 7), 120, 700, 1.0);
+  streaming("opendns-feed", kOpenDns, net::IPv4(208, 67, 222, 222), 200, 700, 0.64);
+  streaming("petersburg", kPetersburg, net::IPv4(185, 87, 0, 9), 100, 500, 0.30);
+
+  // DigitalOcean: reacts in about two hours and then connects to port 443.
+  {
+    MonitorActorSpec spec;
+    spec.name = "digitalocean-prober";
+    spec.asn = kDigitalOcean;
+    spec.address = net::IPv4(159, 65, 8, 11);
+    spec.mode = Mode::streaming;
+    spec.delay_min = 6400;
+    spec.delay_max = 7600;
+    spec.coverage = 1.0;
+    spec.connects_http = true;
+    spec.http_delay_min = 3540;   // ≈59 minutes
+    spec.http_delay_max = 7320;   // ≈122 minutes
+    spec.http_straggler_chance = 0.18;  // the 5-day / 19-day rows
+    fleet.push_back(spec);
+  }
+  // Amazon's second network also shows up in the HTTP(S) column.
+  {
+    MonitorActorSpec spec;
+    spec.name = "amazon-legacy-prober";
+    spec.asn = kAmazonLegacy;
+    spec.address = net::IPv4(54, 240, 3, 3);
+    spec.mode = Mode::streaming;
+    spec.delay_min = 5000;
+    spec.delay_max = 8000;
+    spec.coverage = 0.75;
+    spec.connects_http = true;
+    spec.http_delay_min = 4200;
+    spec.http_delay_max = 7800;
+    fleet.push_back(spec);
+  }
+
+  // Stub resolvers behind Google Public DNS (ECS reveals them).
+  {
+    MonitorActorSpec spec;
+    spec.name = "hetzner-stub";
+    spec.asn = kHetzner;
+    spec.address = net::IPv4(88, 198, 7, 33);
+    spec.mode = Mode::streaming;
+    spec.delay_min = 180;
+    spec.delay_max = 600;
+    spec.coverage = 1.0;
+    spec.via_google_dns = true;
+    spec.qtypes = {dns::RrType::A, dns::RrType::AAAA, dns::RrType::MX, dns::RrType::NS,
+                   dns::RrType::SOA};
+    spec.queries_per_type = 2;  // the top ECS subnet appears ~115 times
+    spec.connects_http = true;  // one of the 4 ECS machines connecting (443 only)
+    spec.http_delay_min = 15 * 3600;
+    spec.http_delay_max = 30 * 3600;
+    fleet.push_back(spec);
+  }
+  {
+    MonitorActorSpec spec;
+    spec.name = "quasi-scanner";
+    spec.asn = kQuasi;
+    spec.address = net::IPv4(185, 156, 9, 66);
+    spec.mode = Mode::streaming;
+    spec.delay_min = 150;
+    spec.delay_max = 500;
+    spec.coverage = 1.0;
+    spec.via_google_dns = true;
+    spec.qtypes = {dns::RrType::A, dns::RrType::AAAA};
+    spec.connects_http = true;
+    spec.http_delay_min = 20 * 3600;
+    spec.http_delay_max = 40 * 3600;
+    spec.scan_ports = 30;  // the heavily-scanning host
+    fleet.push_back(spec);
+  }
+  // Two small ECS-visible stubs plus a tail of rare ones (12 subnets total).
+  for (int i = 0; i < 10; ++i) {
+    MonitorActorSpec spec;
+    spec.name = "stub-" + std::to_string(i);
+    spec.asn = 48000 + static_cast<net::Asn>(i);
+    spec.address = net::IPv4(static_cast<std::uint32_t>(0x2e000000 + 0x10000 * i + 7));
+    spec.mode = Mode::streaming;
+    spec.delay_min = 600;
+    spec.delay_max = 5400;
+    spec.coverage = i < 2 ? 0.6 : 0.12;
+    spec.via_google_dns = true;
+    if (i < 2) {
+      // Two more of the 4 connecting ECS machines; port 443 only.
+      spec.connects_http = true;
+      spec.http_delay_min = 24 * 3600;
+      spec.http_delay_max = 48 * 3600;
+    }
+    fleet.push_back(spec);
+  }
+
+  // The long tail: 76 other ASes, batch processing, one or two domains,
+  // almost never before one hour, mostly after two.
+  for (int i = 0; i < 76; ++i) {
+    MonitorActorSpec spec;
+    spec.name = "batch-as-" + std::to_string(60000 + i);
+    spec.asn = static_cast<net::Asn>(60000 + i);
+    spec.address = net::IPv4(static_cast<std::uint32_t>(0x50000000 + 0x10000 * i + 1));
+    spec.mode = Mode::batch;
+    spec.delay_min = 3700;                  // 99 % not before one hour
+    spec.delay_max = 3600 * 24;
+    spec.coverage = 0.14;                   // one or two of the 11 domains
+    fleet.push_back(spec);
+  }
+  return fleet;
+}
+
+AttackerFleet::AttackerFleet(CtHoneypot& honeypot, std::vector<MonitorActorSpec> fleet, Rng rng)
+    : honeypot_(&honeypot), fleet_(std::move(fleet)), rng_(rng) {
+  universe_.add_server(honeypot_->dns_server());
+  // Announce every actor's /24 so the analysis can attribute sources to
+  // ASes the way the paper does (routing data).
+  net::AsRegistry& registry = honeypot_->as_registry();
+  for (const MonitorActorSpec& actor : fleet_) {
+    registry.add(net::AsInfo{actor.asn, actor.name, actor.asn != 29073});
+    registry.announce(actor.asn, net::slash24(actor.address));
+    if (actor.informative_rdns) {
+      honeypot_->reverse_dns().register_v4(actor.address,
+                                           "research-scanner." + actor.name + ".example");
+    }
+  }
+  const auto google = google_public_dns();
+  registry.add(net::AsInfo{google.asn, "Google", true});
+  registry.announce(google.asn, net::slash24(google.address));
+}
+
+FleetStats AttackerFleet::run() {
+  FleetStats stats;
+  for (const HoneypotDomain& domain : honeypot_->domains()) {
+    for (const MonitorActorSpec& actor : fleet_) {
+      if (!rng_.chance(actor.coverage)) continue;
+      act(actor, domain, stats);
+    }
+  }
+  return stats;
+}
+
+void AttackerFleet::act(const MonitorActorSpec& actor, const HoneypotDomain& domain,
+                        FleetStats& stats) {
+  const std::int64_t delay = rng_.between(actor.delay_min, actor.delay_max);
+  const SimTime when = domain.ct_logged + delay;
+  const dns::DnsName name = dns::DnsName::parse_or_throw(domain.fqdn);
+
+  // DNS phase: direct queries carry the actor's own resolver identity;
+  // stub actors resolve through Google Public DNS, which attaches their
+  // /24 as EDNS Client Subnet.
+  dns::RecursiveResolver::Identity identity;
+  std::optional<net::IPv4> stub;
+  if (actor.via_google_dns) {
+    identity = google_public_dns();
+    stub = actor.address;
+  } else {
+    identity.address = actor.address;
+    identity.asn = actor.asn;
+    identity.label = actor.name;
+  }
+  const dns::RecursiveResolver resolver(universe_, identity);
+  for (const dns::RrType qtype : actor.qtypes) {
+    for (int repeat = 0; repeat < actor.queries_per_type; ++repeat) {
+      const SimTime jittered = when + repeat * rng_.between(5, 120);
+      resolver.resolve(name, qtype, jittered, stub);
+      ++stats.dns_queries;
+    }
+  }
+
+  // Connection phase: IPv4 only — the paper saw no IPv6 contact beyond the
+  // CA validator, because the unique AAAA records never leak outside CT.
+  if (actor.connects_http) {
+    std::int64_t http_delay = rng_.between(actor.http_delay_min, actor.http_delay_max);
+    if (actor.http_straggler_chance > 0 && rng_.chance(actor.http_straggler_chance)) {
+      http_delay = rng_.between(5 * 86400, 19 * 86400);
+    }
+    net::ConnectionEvent event;
+    event.time = domain.ct_logged + http_delay;
+    event.src = actor.address;
+    event.dst4 = domain.a_record;
+    event.dst_port = 443;
+    event.sni = domain.fqdn;
+    honeypot_->capture().record(event);
+    ++stats.http_connections;
+  }
+  if (actor.scan_ports > 0) {
+    static constexpr std::uint16_t kPorts[] = {21,   22,   23,   25,   53,   80,   110,  111,
+                                               135,  139,  143,  179,  445,  465,  587,  993,
+                                               995,  1433, 1723, 3306, 3389, 5060, 5432, 5900,
+                                               6379, 8080, 8443, 8888, 9200, 27017};
+    const int ports = std::min<int>(actor.scan_ports, static_cast<int>(std::size(kPorts)));
+    const SimTime scan_start = when + rng_.between(2 * 3600, 12 * 3600);
+    for (int i = 0; i < ports; ++i) {
+      net::ConnectionEvent probe;
+      probe.time = scan_start + i * rng_.between(1, 10);
+      probe.src = actor.address;
+      probe.dst4 = domain.a_record;
+      probe.dst_port = kPorts[i];
+      honeypot_->capture().record(probe);
+      ++stats.port_probes;
+    }
+  }
+}
+
+}  // namespace ctwatch::honeypot

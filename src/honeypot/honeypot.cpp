@@ -1,0 +1,62 @@
+#include "ctwatch/honeypot/honeypot.hpp"
+
+namespace ctwatch::honeypot {
+
+CtHoneypot::CtHoneypot(sim::Ecosystem& ecosystem, const HoneypotOptions& options)
+    : ecosystem_(&ecosystem), options_(options), rng_(ecosystem.rng().fork()) {
+  zone_ = &dns_server_.add_zone(dns::DnsName::parse_or_throw(options_.parent_domain));
+}
+
+const HoneypotDomain& CtHoneypot::create_subdomain(SimTime now) {
+  HoneypotDomain domain;
+  domain.label = rng_.alnum_label(options_.label_length);
+  domain.fqdn = domain.label + "." + options_.parent_domain;
+  ++next_host_;
+  domain.a_record = net::IPv4(0x64500000u + next_host_);  // in 100.64.0.0/10
+  // Unique IPv6, never entered into rDNS or used elsewhere: 2001:db8:1::/48.
+  std::array<std::uint16_t, 8> hextets{0x2001, 0x0db8, 0x0001, 0,
+                                       0,      0,      0,      static_cast<std::uint16_t>(next_host_)};
+  domain.aaaa_record = net::IPv6::from_hextets(hextets);
+
+  const dns::DnsName name = dns::DnsName::parse_or_throw(domain.fqdn);
+  zone_->add(dns::ResourceRecord{name, dns::RrType::A, 300, domain.a_record});
+  zone_->add(dns::ResourceRecord{name, dns::RrType::AAAA, 300, domain.aaaa_record});
+
+  // CA domain validation: lookups from the CA's validation infrastructure,
+  // arriving before the CT log entry.
+  sim::CertificateAuthority& ca = ecosystem_->ca(options_.ca);
+  dns::QueryContext validation;
+  validation.time = now;
+  validation.resolver_addr = net::IPv4(198, 51, 100, 5);
+  validation.resolver_asn = 13649;  // the CA's own network
+  validation.resolver_label = kValidationLabel;
+  dns_server_.query(dns::DnsQuestion{name, dns::RrType::A}, validation);
+  dns_server_.query(dns::DnsQuestion{name, dns::RrType::AAAA}, validation);
+
+  // Issue with CT logging; the precertificate hits the logs after the lead.
+  const SimTime logged = now + options_.validation_lead;
+  sim::IssuanceRequest request;
+  request.subject_cn = domain.fqdn;
+  request.sans = {x509::SanEntry::dns(domain.fqdn)};
+  request.not_before = now;
+  request.not_after = now + 90 * 86400;
+  for (const std::string& log_name : options_.logs) {
+    request.logs.push_back(&ecosystem_->log(log_name));
+  }
+  ca.issue(request, logged);
+  domain.ct_logged = logged;
+
+  // The CA's validation server is also the only legitimate IPv6 visitor.
+  net::ConnectionEvent validation_probe;
+  validation_probe.time = now;
+  validation_probe.src = validation.resolver_addr;
+  validation_probe.dst6 = domain.aaaa_record;
+  validation_probe.dst_port = 443;
+  validation_probe.sni = domain.fqdn;
+  capture_.record(validation_probe);
+
+  domains_.push_back(domain);
+  return domains_.back();
+}
+
+}  // namespace ctwatch::honeypot

@@ -1,0 +1,145 @@
+#include "ctwatch/monitor/passive_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ctwatch::monitor {
+
+void PassiveMonitor::process(const tls::ConnectionRecord& connection) {
+  if (!connection.certificate) {
+    throw std::invalid_argument("PassiveMonitor: connection without certificate");
+  }
+  ++totals_.connections;
+  DailyCounters& day = daily_[connection.time.day_index()];
+  ++day.connections;
+  if (connection.client_signals_sct) ++totals_.client_signaled;
+
+  const CertAnalysis& analysis = analyze(connection);
+
+  if (analysis.has_cert_sct) {
+    ++totals_.sct_in_cert;
+    ++day.sct_in_cert;
+  }
+  if (analysis.has_tls_sct) {
+    ++totals_.sct_in_tls;
+    ++day.sct_in_tls;
+  }
+  if (analysis.has_ocsp_sct) {
+    ++totals_.sct_in_ocsp;
+    ++day.sct_in_ocsp;
+  }
+  if (analysis.has_cert_sct || analysis.has_tls_sct || analysis.has_ocsp_sct) {
+    ++totals_.with_any_sct;
+    ++day.with_any_sct;
+    note_sct_connection(connection.time.day_index(), connection.server_name);
+  }
+  if (analysis.has_cert_sct && analysis.has_tls_sct) ++totals_.cert_and_tls;
+  if (analysis.has_cert_sct && analysis.has_ocsp_sct) ++totals_.cert_and_ocsp;
+  if (analysis.has_tls_sct && analysis.has_ocsp_sct) ++totals_.tls_and_ocsp;
+
+  auto bump = [this](const std::vector<std::pair<std::string, bool>>& channel,
+                     tls::SctDelivery delivery) {
+    for (const auto& [log_name, valid] : channel) {
+      LogUsage& usage = log_usage_[log_name];
+      switch (delivery) {
+        case tls::SctDelivery::certificate:
+          ++usage.cert_scts;
+          break;
+        case tls::SctDelivery::tls_extension:
+          ++usage.tls_scts;
+          break;
+        case tls::SctDelivery::ocsp_staple:
+          ++usage.ocsp_scts;
+          break;
+      }
+      if (valid) {
+        ++totals_.valid_scts;
+      } else {
+        ++totals_.invalid_scts;
+      }
+    }
+  };
+  bump(analysis.cert_channel, tls::SctDelivery::certificate);
+  bump(analysis.tls_channel, tls::SctDelivery::tls_extension);
+  bump(analysis.ocsp_channel, tls::SctDelivery::ocsp_staple);
+}
+
+void PassiveMonitor::note_sct_connection(std::int64_t day, const std::string& server_name) {
+  if (day != scratch_day_) {
+    finalize_scratch_day();
+    scratch_day_ = day;
+  }
+  ++scratch_counts_[server_name];
+}
+
+void PassiveMonitor::finalize_scratch_day() {
+  if (scratch_day_ < 0 || scratch_counts_.empty()) {
+    scratch_counts_.clear();
+    return;
+  }
+  const auto top = std::max_element(
+      scratch_counts_.begin(), scratch_counts_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  auto& slot = daily_top_[scratch_day_];
+  if (top->second > slot.second) slot = {top->first, top->second};
+  scratch_counts_.clear();
+}
+
+const PassiveMonitor::CertAnalysis& PassiveMonitor::analyze(
+    const tls::ConnectionRecord& connection) {
+  const x509::Certificate* key = connection.certificate.get();
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  CertAnalysis analysis;
+  ++totals_.unique_certificates;
+
+  const tls::SctList cert_scts = tls::embedded_scts(*connection.certificate);
+  analysis.has_cert_sct = !cert_scts.empty();
+  if (analysis.has_cert_sct) ++totals_.unique_certs_with_embedded_sct;
+  analysis.has_tls_sct =
+      connection.tls_extension_scts && !connection.tls_extension_scts->empty();
+  analysis.has_ocsp_sct = connection.ocsp_scts && !connection.ocsp_scts->empty();
+
+  // Embedded SCTs cover the reconstructed precertificate entry; SCTs in the
+  // TLS extension or a stapled OCSP response cover the final certificate.
+  if (analysis.has_cert_sct) {
+    const Bytes empty_key;
+    const ct::SignedEntry precert_entry = ct::make_precert_entry(
+        *connection.certificate,
+        connection.issuer_public_key ? BytesView{*connection.issuer_public_key} : BytesView{empty_key});
+    validate_channel(cert_scts, precert_entry, connection, tls::SctDelivery::certificate,
+                     analysis.cert_channel);
+  }
+  if (analysis.has_tls_sct || analysis.has_ocsp_sct) {
+    const ct::SignedEntry x509_entry = ct::make_x509_entry(*connection.certificate);
+    if (analysis.has_tls_sct) {
+      validate_channel(*connection.tls_extension_scts, x509_entry, connection,
+                       tls::SctDelivery::tls_extension, analysis.tls_channel);
+    }
+    if (analysis.has_ocsp_sct) {
+      validate_channel(*connection.ocsp_scts, x509_entry, connection,
+                       tls::SctDelivery::ocsp_staple, analysis.ocsp_channel);
+    }
+  }
+  return cache_.emplace(key, std::move(analysis)).first->second;
+}
+
+void PassiveMonitor::validate_channel(const tls::SctList& scts, const ct::SignedEntry& entry,
+                                      const tls::ConnectionRecord& connection,
+                                      tls::SctDelivery delivery,
+                                      std::vector<std::pair<std::string, bool>>& out) {
+  for (const auto& sct : scts) {
+    const ct::LogListEntry* log = logs_->find(sct.log_id);
+    const std::string log_name = log != nullptr ? log->name : "<unknown>";
+    const bool valid = log != nullptr && ct::verify_sct(sct, entry, log->public_key);
+    if (!valid) {
+      const crypto::Digest fp = connection.certificate->fingerprint();
+      invalid_.push_back(InvalidSctObservation{
+          connection.server_name, connection.certificate->tbs.issuer.common_name, delivery,
+          log != nullptr ? log->name : "", Bytes(fp.begin(), fp.end())});
+    }
+    out.emplace_back(log_name, valid);
+  }
+}
+
+}  // namespace ctwatch::monitor

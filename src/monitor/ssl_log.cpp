@@ -1,0 +1,63 @@
+#include "ctwatch/monitor/ssl_log.hpp"
+
+namespace ctwatch::monitor {
+
+SslLogWriter::SslLogWriter(std::ostream& out, const ct::LogList& logs)
+    : out_(&out), logs_(&logs) {
+  // Bro-style header block.
+  *out_ << "#separator \\x09\n"
+        << "#fields\tts\tserver_name\tclient_sct_support\tcert_scts\ttls_scts\tocsp_scts"
+           "\tvalid_scts\tinvalid_scts\tissuer\n";
+}
+
+void SslLogWriter::process(const tls::ConnectionRecord& connection) {
+  std::size_t valid = 0, invalid = 0;
+  std::size_t cert_count = 0, tls_count = 0, ocsp_count = 0;
+
+  auto validate = [&](const tls::SctList& scts, const ct::SignedEntry& entry) {
+    for (const auto& sct : scts) {
+      const ct::LogListEntry* log = logs_->find(sct.log_id);
+      if (log != nullptr && ct::verify_sct(sct, entry, log->public_key)) {
+        ++valid;
+      } else {
+        ++invalid;
+      }
+    }
+  };
+
+  std::string issuer;
+  if (connection.certificate) {
+    issuer = connection.certificate->tbs.issuer.common_name;
+    const tls::SctList cert_scts = tls::embedded_scts(*connection.certificate);
+    cert_count = cert_scts.size();
+    if (!cert_scts.empty()) {
+      const Bytes empty;
+      validate(cert_scts,
+               ct::make_precert_entry(*connection.certificate,
+                                      connection.issuer_public_key
+                                          ? BytesView{*connection.issuer_public_key}
+                                          : BytesView{empty}));
+    }
+    const bool staple = (connection.tls_extension_scts && !connection.tls_extension_scts->empty()) ||
+                        (connection.ocsp_scts && !connection.ocsp_scts->empty());
+    if (staple) {
+      const ct::SignedEntry x509_entry = ct::make_x509_entry(*connection.certificate);
+      if (connection.tls_extension_scts) {
+        tls_count = connection.tls_extension_scts->size();
+        validate(*connection.tls_extension_scts, x509_entry);
+      }
+      if (connection.ocsp_scts) {
+        ocsp_count = connection.ocsp_scts->size();
+        validate(*connection.ocsp_scts, x509_entry);
+      }
+    }
+  }
+
+  *out_ << connection.time.unix_seconds() << '\t' << connection.server_name << '\t'
+        << (connection.client_signals_sct ? 'T' : 'F') << '\t' << cert_count << '\t'
+        << tls_count << '\t' << ocsp_count << '\t' << valid << '\t' << invalid << '\t'
+        << issuer << '\n';
+  ++lines_;
+}
+
+}  // namespace ctwatch::monitor

@@ -1,0 +1,56 @@
+#include "ctwatch/net/autonomous_system.hpp"
+
+#include <stdexcept>
+
+namespace ctwatch::net {
+
+void AsRegistry::add(const AsInfo& info) { ases_[info.asn] = info; }
+
+void AsRegistry::announce(Asn asn, const Prefix4& prefix) {
+  if (!ases_.contains(asn)) throw std::invalid_argument("AsRegistry: unknown ASN");
+  announcements_.emplace_back(prefix, asn);
+}
+
+std::optional<AsInfo> AsRegistry::lookup(Asn asn) const {
+  const auto it = ases_.find(asn);
+  if (it == ases_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Asn> AsRegistry::origin(IPv4 addr) const {
+  std::optional<Asn> best;
+  int best_len = -1;
+  for (const auto& [prefix, asn] : announcements_) {
+    if (prefix.contains(addr) && prefix.length() > best_len) {
+      best_len = prefix.length();
+      best = asn;
+    }
+  }
+  return best;
+}
+
+std::string AsRegistry::name_of(Asn asn) const {
+  const auto info = lookup(asn);
+  return info ? info->name : "AS" + std::to_string(asn);
+}
+
+void RoutingTable::add_route(const Prefix4& prefix) { routes_.push_back(prefix); }
+
+void RoutingTable::add_all(const AsRegistry& registry) {
+  for (const auto& [prefix, asn] : registry.announcements()) {
+    (void)asn;
+    routes_.push_back(prefix);
+  }
+}
+
+bool RoutingTable::routable(IPv4 addr) const { return match(addr).has_value(); }
+
+std::optional<Prefix4> RoutingTable::match(IPv4 addr) const {
+  std::optional<Prefix4> best;
+  for (const Prefix4& route : routes_) {
+    if (route.contains(addr) && (!best || route.length() > best->length())) best = route;
+  }
+  return best;
+}
+
+}  // namespace ctwatch::net

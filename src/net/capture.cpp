@@ -1,0 +1,48 @@
+#include "ctwatch/net/capture.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ctwatch::net {
+
+std::vector<ConnectionEvent> PacketCapture::between(SimTime from, SimTime to) const {
+  std::vector<ConnectionEvent> out;
+  for (const auto& e : events_) {
+    if (e.time >= from && e.time < to) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<ConnectionEvent> PacketCapture::with_name(const std::string& fqdn) const {
+  std::vector<ConnectionEvent> out;
+  for (const auto& e : events_) {
+    if (e.sni == fqdn || e.http_host == fqdn) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<ConnectionEvent> PacketCapture::to_address(const IPv6& addr) const {
+  std::vector<ConnectionEvent> out;
+  for (const auto& e : events_) {
+    if (e.dst6 && *e.dst6 == addr) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<ConnectionEvent> PacketCapture::to_address(IPv4 addr) const {
+  std::vector<ConnectionEvent> out;
+  for (const auto& e : events_) {
+    if (e.dst4 && *e.dst4 == addr) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> PacketCapture::ports_probed_by(IPv4 src) const {
+  std::set<std::uint16_t> ports;
+  for (const auto& e : events_) {
+    if (e.src == src) ports.insert(e.dst_port);
+  }
+  return {ports.begin(), ports.end()};
+}
+
+}  // namespace ctwatch::net

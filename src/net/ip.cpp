@@ -1,0 +1,160 @@
+#include "ctwatch/net/ip.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "ctwatch/util/strings.hpp"
+
+namespace ctwatch::net {
+
+std::optional<IPv4> IPv4::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  int n = 0;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u%n", &a, &b, &c, &d, &n) != 4 ||
+      static_cast<std::size_t>(n) != text.size() || a > 255 || b > 255 || c > 255 || d > 255) {
+    return std::nullopt;
+  }
+  return IPv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string IPv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24, value_ >> 16 & 0xff,
+                value_ >> 8 & 0xff, value_ & 0xff);
+  return buf;
+}
+
+IPv6 IPv6::from_hextets(const std::array<std::uint16_t, 8>& h) {
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(h[i] >> 8);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(h[i] & 0xff);
+  }
+  return IPv6(bytes);
+}
+
+std::optional<IPv6> IPv6::parse(const std::string& text) {
+  // Split on "::" (at most one).
+  const std::size_t gap = text.find("::");
+  std::vector<std::string> head, tail;
+  if (gap == std::string::npos) {
+    head = split(text, ':');
+  } else {
+    if (text.find("::", gap + 1) != std::string::npos) return std::nullopt;
+    const std::string left = text.substr(0, gap);
+    const std::string right = text.substr(gap + 2);
+    if (!left.empty()) head = split(left, ':');
+    if (!right.empty()) tail = split(right, ':');
+  }
+  if (head.size() + tail.size() > 8) return std::nullopt;
+  if (gap == std::string::npos && head.size() != 8) return std::nullopt;
+
+  auto parse_hextet = [](const std::string& part) -> std::optional<std::uint16_t> {
+    if (part.empty() || part.size() > 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (char c : part) {
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return std::nullopt;
+      v = v << 4 | static_cast<std::uint32_t>(digit);
+    }
+    return static_cast<std::uint16_t>(v);
+  };
+
+  std::array<std::uint16_t, 8> hextets{};
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    const auto h = parse_hextet(head[i]);
+    if (!h) return std::nullopt;
+    hextets[i] = *h;
+  }
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const auto h = parse_hextet(tail[i]);
+    if (!h) return std::nullopt;
+    hextets[8 - tail.size() + i] = *h;
+  }
+  return from_hextets(hextets);
+}
+
+std::string IPv6::to_string() const {
+  std::array<std::uint16_t, 8> h{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    h[i] = static_cast<std::uint16_t>(static_cast<std::uint16_t>(bytes_[2 * i]) << 8 |
+                                      bytes_[2 * i + 1]);
+  }
+  // Longest zero run (length >= 2) gets "::".
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (h[static_cast<std::size_t>(i)] == 0) {
+      int j = i;
+      while (j < 8 && h[static_cast<std::size_t>(j)] == 0) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  auto emit_range = [&](int from, int to) {
+    char buf[8];
+    for (int i = from; i < to; ++i) {
+      if (i > from) out += ":";
+      std::snprintf(buf, sizeof buf, "%x", h[static_cast<std::size_t>(i)]);
+      out += buf;
+    }
+  };
+  if (best_start < 0) {
+    emit_range(0, 8);
+  } else {
+    emit_range(0, best_start);
+    out += "::";
+    emit_range(best_start + best_len, 8);
+  }
+  return out;
+}
+
+Prefix4::Prefix4(IPv4 base, int length) : length_(length) {
+  if (length < 0 || length > 32) throw std::invalid_argument("Prefix4: bad length");
+  const std::uint32_t mask = length == 0 ? 0 : ~0u << (32 - length);
+  base_ = IPv4(base.value() & mask);
+}
+
+std::optional<Prefix4> Prefix4::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto addr = IPv4::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  try {
+    std::size_t used = 0;
+    len = std::stoi(text.substr(slash + 1), &used);
+    if (used != text.size() - slash - 1) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (len < 0 || len > 32) return std::nullopt;
+  return Prefix4(*addr, len);
+}
+
+bool Prefix4::contains(IPv4 addr) const {
+  const std::uint32_t mask = length_ == 0 ? 0 : ~0u << (32 - length_);
+  return (addr.value() & mask) == base_.value();
+}
+
+bool Prefix4::covers(const Prefix4& other) const {
+  return other.length_ >= length_ && contains(other.base_);
+}
+
+std::string Prefix4::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+Prefix4 slash24(IPv4 addr) { return Prefix4(addr, 24); }
+
+}  // namespace ctwatch::net

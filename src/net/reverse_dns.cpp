@@ -1,0 +1,38 @@
+#include "ctwatch/net/reverse_dns.hpp"
+
+#include <algorithm>
+
+namespace ctwatch::net {
+
+void ReverseDns::register_v4(IPv4 addr, std::string name) {
+  v4_[addr.value()] = std::move(name);
+}
+
+void ReverseDns::register_v6(const IPv6& addr, std::string name) {
+  v6_[addr.bytes()] = std::move(name);
+}
+
+std::optional<std::string> ReverseDns::lookup(IPv4 addr) const {
+  const auto it = v4_.find(addr.value());
+  if (it == v4_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> ReverseDns::lookup(const IPv6& addr) const {
+  const auto it = v6_.find(addr.bytes());
+  if (it == v6_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> ReverseDns::walk_v6(BytesView prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [bytes, name] : v6_) {
+    if (prefix.size() <= bytes.size() &&
+        std::equal(prefix.begin(), prefix.end(), bytes.begin())) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace ctwatch::net

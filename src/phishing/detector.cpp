@@ -1,0 +1,71 @@
+#include "ctwatch/phishing/detector.hpp"
+
+#include "ctwatch/dns/name.hpp"
+
+namespace ctwatch::phishing {
+
+const std::vector<BrandRule>& standard_rules() {
+  static const std::vector<BrandRule> rules = {
+      {"Apple", R"(appleid|apple\.com)", {"apple.com", "icloud.com"}},
+      {"PayPal", R"(paypal)", {"paypal.com", "paypal.me"}},
+      {"Microsoft",
+       R"(hotmail|login\.live|outlook|microsoft)",
+       {"microsoft.com", "live.com", "outlook.com", "hotmail.com", "office.com"}},
+      {"Google", R"(google)", {"google.com", "googleapis.com", "google.de", "google.co.uk"}},
+      {"eBay", R"(ebay)", {"ebay.com", "ebay.co.uk", "ebay.de", "ebay.com.au"}},
+      {"Taxation",
+       R"(ato\.gov\.au|hmrc\.gov\.uk|irs\.gov)",
+       {"ato.gov.au", "hmrc.gov.uk", "irs.gov"}},
+  };
+  return rules;
+}
+
+PhishingDetector::PhishingDetector(const dns::PublicSuffixList& psl, std::vector<BrandRule> rules)
+    : psl_(&psl), rules_(std::move(rules)) {
+  compiled_.reserve(rules_.size());
+  for (const BrandRule& rule : rules_) {
+    compiled_.emplace_back(rule.pattern, std::regex::ECMAScript | std::regex::icase);
+  }
+}
+
+std::vector<Finding> PhishingDetector::scan(std::span<const std::string> fqdns) {
+  std::vector<Finding> findings;
+  for (const std::string& raw : fqdns) {
+    ++scanned_;
+    const auto name = dns::DnsName::parse(raw);
+    if (!name) {
+      ++skipped_;
+      continue;
+    }
+    const auto split = psl_->split(*name);
+    if (!split) {
+      ++skipped_;
+      continue;
+    }
+    const std::string text = name->to_string();
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      if (!std::regex_search(text, compiled_[i])) continue;
+      // Exclude the brand's own domains: a match inside the legitimate
+      // registrable domain is not phishing.
+      if (rules_[i].legitimate_domains.contains(split->registrable_domain)) continue;
+      findings.push_back(
+          Finding{rules_[i].brand, text, split->public_suffix, split->registrable_domain});
+      break;  // first matching brand wins
+    }
+  }
+  return findings;
+}
+
+std::map<std::string, BrandSummary> PhishingDetector::summarize(
+    const std::vector<Finding>& findings) {
+  std::map<std::string, BrandSummary> out;
+  for (const Finding& finding : findings) {
+    BrandSummary& summary = out[finding.brand];
+    ++summary.count;
+    if (summary.example.empty()) summary.example = finding.fqdn;
+    ++summary.by_suffix[finding.public_suffix];
+  }
+  return out;
+}
+
+}  // namespace ctwatch::phishing

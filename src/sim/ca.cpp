@@ -1,0 +1,163 @@
+#include "ctwatch/sim/ca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ctwatch/x509/oids.hpp"
+#include "ctwatch/x509/redaction.hpp"
+
+namespace ctwatch::sim {
+
+std::string to_string(IssuanceBug bug) {
+  switch (bug) {
+    case IssuanceBug::none:
+      return "none";
+    case IssuanceBug::san_reorder:
+      return "san-reorder";
+    case IssuanceBug::extension_reorder:
+      return "extension-reorder";
+    case IssuanceBug::name_swap:
+      return "name-swap";
+    case IssuanceBug::stale_sct_reissue:
+      return "stale-sct-reissue";
+  }
+  return "?";
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, std::string issuer_cn,
+                                           crypto::SignatureScheme scheme)
+    : name_(std::move(name)),
+      // One leaf key pair per CA, shared across its issued certificates — a
+      // simulation shortcut (and, amusingly, a real measured phenomenon:
+      // private key sharing in the HTTPS ecosystem).
+      signer_(crypto::make_signer("ca/" + name_, scheme)),
+      subject_key_(crypto::make_signer("ca-leaf/" + name_, scheme)) {
+  issuer_dn_.common_name = std::move(issuer_cn);
+  issuer_dn_.organization = name_;
+  issuer_dn_.country = "US";
+}
+
+x509::CertificateBuilder CertificateAuthority::base_builder(const IssuanceRequest& request) {
+  x509::CertificateBuilder builder;
+  builder.serial(next_serial())
+      .issuer(issuer_dn_)
+      .subject_cn(request.subject_cn)
+      .validity(request.not_before, request.not_after)
+      .subject_key(*subject_key_);
+  // basicConstraints CA:FALSE — gives every certificate a second extension
+  // so the D-Trust extension-reordering bug has something to reorder.
+  builder.extension(x509::Extension{x509::oids::basic_constraints(), true,
+                                    asn1::encode_sequence({})});
+  for (const x509::SanEntry& san : request.sans) {
+    if (san.kind == x509::SanEntry::Kind::dns) {
+      builder.add_dns_san(san.dns_name);
+    } else {
+      builder.add_ip_san(san.ip);
+    }
+  }
+  return builder;
+}
+
+IssuanceResult CertificateAuthority::issue(const IssuanceRequest& request, SimTime now) {
+  IssuanceResult result;
+
+  // 1. Precertificate: poisoned TBS signed by the CA. With redaction the
+  //    precertificate (and hence the log) only sees "?" labels.
+  x509::CertificateBuilder builder = base_builder(request);
+  if (request.redact_subdomains) {
+    builder.extension(
+        x509::Extension{x509::redaction_marker_oid(), false, asn1::encode_null()});
+  }
+  const x509::TbsCertificate full_tbs = builder.build_tbs();
+  x509::TbsCertificate pre_tbs =
+      request.redact_subdomains ? x509::redacted_tbs(full_tbs) : full_tbs;
+  pre_tbs.add_extension(
+      x509::Extension{x509::oids::ct_poison(), true, asn1::encode_null()});
+  result.precertificate.tbs = std::move(pre_tbs);
+  result.precertificate.signature = signer_->sign(result.precertificate.tbs.encode());
+
+  // 2. add-pre-chain to every requested log.
+  const Bytes ca_key = public_key();
+  for (ct::CtLog* log : request.logs) {
+    const ct::SubmitResult submitted = log->add_pre_chain(result.precertificate, ca_key, now);
+    if (submitted.status == ct::SubmitStatus::ok && submitted.sct) {
+      result.scts.push_back(*submitted.sct);
+    } else {
+      result.failed_logs.push_back(log->name());
+    }
+  }
+
+  // 3. Final certificate: the full (unredacted) TBS, SCT list in. Bugs are
+  //    injected here, after the logs have signed — exactly where the real
+  //    CAs broke.
+  x509::TbsCertificate final_tbs = full_tbs;
+
+  switch (request.bug) {
+    case IssuanceBug::none:
+    case IssuanceBug::stale_sct_reissue:  // handled by reissue_with_stale_scts()
+      break;
+    case IssuanceBug::san_reorder: {
+      // GlobalSign: the SAN entry order changed in the final certificate.
+      auto entries = final_tbs.san_entries();
+      if (entries.size() >= 2) {
+        std::rotate(entries.begin(), entries.begin() + 1, entries.end());
+        for (auto& ext : final_tbs.extensions) {
+          if (ext.oid == x509::oids::subject_alt_name()) {
+            ext.value = x509::encode_san_value(entries);
+          }
+        }
+      }
+      break;
+    }
+    case IssuanceBug::extension_reorder: {
+      // D-Trust: extension ordering differed between precert and final.
+      if (final_tbs.extensions.size() >= 2) {
+        std::swap(final_tbs.extensions[0], final_tbs.extensions[1]);
+      }
+      break;
+    }
+    case IssuanceBug::name_swap: {
+      // NetLock: entirely different SAN names and issuer names.
+      std::vector<x509::SanEntry> replacement{
+          x509::SanEntry::dns("wrong." + request.subject_cn)};
+      for (auto& ext : final_tbs.extensions) {
+        if (ext.oid == x509::oids::subject_alt_name()) {
+          ext.value = x509::encode_san_value(replacement);
+        }
+      }
+      final_tbs.issuer.common_name += " Issuing CA 2";
+      break;
+    }
+  }
+
+  if (!result.scts.empty()) {
+    final_tbs.add_extension(x509::Extension{x509::oids::ct_sct_list(), false,
+                                            ct::serialize_sct_list(result.scts)});
+  }
+  result.final_certificate.tbs = final_tbs;
+  result.final_certificate.signature = signer_->sign(final_tbs.encode());
+  return result;
+}
+
+x509::Certificate CertificateAuthority::reissue_with_stale_scts(const IssuanceResult& previous,
+                                                                SimTime now) {
+  // Fresh serial and shifted validity, but the *old* certificate's SCTs —
+  // which were signed over the old TBS and cannot verify against this one.
+  x509::TbsCertificate tbs = previous.final_certificate.tbs;
+  tbs.serial = x509::serial_bytes(next_serial());
+  tbs.not_before = now;
+  tbs.not_after = now + (previous.final_certificate.tbs.not_after -
+                         previous.final_certificate.tbs.not_before);
+  x509::Certificate cert;
+  cert.tbs = tbs;
+  cert.signature = signer_->sign(tbs.encode());
+  return cert;
+}
+
+x509::Certificate CertificateAuthority::issue_unlogged(const IssuanceRequest& request,
+                                                       SimTime now) {
+  (void)now;
+  return base_builder(request).sign(*signer_);
+}
+
+}  // namespace ctwatch::sim

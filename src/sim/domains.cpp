@@ -1,0 +1,235 @@
+#include "ctwatch/sim/domains.hpp"
+
+#include <array>
+
+#include "ctwatch/dns/name.hpp"
+#include "ctwatch/x509/redaction.hpp"
+
+namespace ctwatch::sim {
+
+const std::vector<LabelSpec>& table2_labels() {
+  // Table 2 of the paper, verbatim.
+  static const std::vector<LabelSpec> labels = {
+      {"www", 61.1e6},   {"mail", 14.4e6},        {"webdisk", 8.7e6}, {"webmail", 8.6e6},
+      {"cpanel", 8.2e6}, {"autodiscover", 3.6e6}, {"m", 310e3},       {"shop", 303e3},
+      {"whm", 280e3},    {"dev", 256e3},          {"remote", 253e3},  {"test", 249e3},
+      {"api", 239e3},    {"blog", 235e3},         {"secure", 176e3},  {"admin", 158e3},
+      {"mobile", 156e3}, {"server", 146e3},       {"cloud", 141e3},   {"smtp", 140e3},
+  };
+  return labels;
+}
+
+namespace {
+
+struct SuffixShare {
+  const char* suffix;
+  double weight;
+};
+
+// Registrable domains per public suffix (roughly zone-file proportions,
+// with the niche suffixes the paper highlights present in force).
+constexpr std::array<SuffixShare, 40> kSuffixShares{{
+    {"com", 0.34},   {"net", 0.06},    {"org", 0.05},    {"de", 0.05},     {"co.uk", 0.04},
+    {"fr", 0.025},   {"it", 0.02},     {"nl", 0.02},     {"ru", 0.03},     {"com.br", 0.02},
+    {"com.au", 0.02},{"io", 0.02},     {"info", 0.02},   {"xyz", 0.015},   {"online", 0.01},
+    {"site", 0.01},  {"tech", 0.015},  {"email", 0.01},  {"cloud", 0.01},  {"design", 0.008},
+    {"gov", 0.006},  {"gov.uk", 0.005},{"ga", 0.012},    {"tk", 0.015},    {"ml", 0.012},
+    {"cf", 0.01},    {"gq", 0.008},    {"my", 0.008},    {"co.am", 0.005}, {"bid", 0.01},
+    {"review", 0.008},{"live", 0.01},  {"money", 0.006}, {"biz", 0.012},   {"us", 0.012},
+    {"ca", 0.012},   {"se", 0.012},    {"ch", 0.01},     {"pl", 0.012},    {"co.jp", 0.015},
+}};
+
+// Per-suffix signature labels (§4.2): the most common label under these
+// suffixes reflects the services deployed there.
+struct SuffixSignature {
+  const char* suffix;
+  const char* label;
+};
+constexpr std::array<SuffixSignature, 6> kSignatures{{
+    {"tech", "git"},
+    {"email", "autoconfig"},
+    {"cloud", "api"},
+    {"design", "ftp"},
+    {"gov", "sip"},
+    {"gov.uk", "dialin"},
+}};
+
+constexpr const char* kWords[] = {"acme",  "nova",  "atlas", "orbit", "cedar", "metro",
+                                  "prime", "delta", "blue",  "vertex"};
+
+// DNS ground-truth existence probability for a label on a zone that hosts
+// services (independent of whether a certificate was ever issued).
+double truth_probability(const std::string& label) {
+  if (label == "www") return 0.62;
+  if (label == "mail") return 0.16;
+  if (label == "webmail" || label == "webdisk" || label == "cpanel") return 0.10;
+  if (label == "autodiscover") return 0.05;
+  if (label == "smtp" || label == "ftp") return 0.05;
+  return 0.032;  // the api/dev/test/... tail
+}
+
+}  // namespace
+
+DomainCorpus::DomainCorpus(const DomainCorpusOptions& options)
+    : options_(options),
+      psl_(dns::PublicSuffixList::bundled()),
+      authoritative_(std::make_unique<dns::AuthoritativeServer>()) {
+  Rng rng(options.seed);
+  authoritative_->set_logging(false);
+  universe_.add_server(*authoritative_);
+  // Border-router routing table: the corpus' service prefix is routable;
+  // misconfigured zones answer from outside it.
+  routing_.add_route(*net::Prefix4::parse("100.64.0.0/10"));
+
+  std::array<double, kSuffixShares.size()> suffix_weights{};
+  for (std::size_t i = 0; i < kSuffixShares.size(); ++i) {
+    suffix_weights[i] = kSuffixShares[i].weight;
+  }
+
+  // Label catalogue: Table 2 + signature labels + a long tail.
+  std::vector<std::pair<std::string, double>> ct_probability;
+  const double cert_domains =
+      static_cast<double>(options.registrable_count) * 0.75;  // domains with certificates
+  for (const LabelSpec& spec : table2_labels()) {
+    ct_probability.emplace_back(spec.label,
+                                spec.paper_count * options.label_scale / cert_domains);
+  }
+  // Small corpora can push several head labels past probability 1; rescale
+  // so the head keeps its relative order instead of saturating into a tie.
+  double max_p = 0;
+  for (const auto& [label, p] : ct_probability) max_p = std::max(max_p, p);
+  if (max_p > 0.95) {
+    for (auto& [label, p] : ct_probability) p *= 0.95 / max_p;
+  }
+
+  std::uint32_t next_host = 0;
+  auto fresh_address = [&](bool routable) {
+    ++next_host;
+    // 100.64.0.0/10 is the routable pool; 203.0.113.0/24-ish is not.
+    return routable ? net::IPv4(0x64400000u + (next_host & 0x003fffffu))
+                    : net::IPv4(0xcb007100u + (next_host & 0xffu));
+  };
+
+  // A tiny shared CDN zone provides CNAME targets.
+  dns::Zone& cdn_zone = authoritative_->add_zone(dns::DnsName::parse_or_throw("cdn-fleet.net"));
+  constexpr int kCdnHosts = 64;
+  for (int i = 0; i < kCdnHosts; ++i) {
+    cdn_zone.add(dns::ResourceRecord{
+        dns::DnsName::parse_or_throw("edge" + std::to_string(i) + ".cdn-fleet.net"),
+        dns::RrType::A, 300, fresh_address(true)});
+  }
+  // Chain hops for the deliberately-too-long CNAME paths.
+  constexpr int kChainDepth = 12;
+  for (int i = 0; i < kChainDepth; ++i) {
+    const std::string owner = "hop" + std::to_string(i) + ".cdn-fleet.net";
+    if (i == kChainDepth - 1) {
+      cdn_zone.add(dns::ResourceRecord{dns::DnsName::parse_or_throw(owner), dns::RrType::A, 300,
+                                       fresh_address(true)});
+    } else {
+      cdn_zone.add(dns::ResourceRecord{
+          dns::DnsName::parse_or_throw(owner), dns::RrType::CNAME, 300,
+          dns::DnsName::parse_or_throw("hop" + std::to_string(i + 1) + ".cdn-fleet.net")});
+    }
+  }
+
+  registrable_.reserve(options.registrable_count);
+  for (std::size_t i = 0; i < options.registrable_count; ++i) {
+    const std::string suffix =
+        kSuffixShares[rng.weighted(std::span<const double>{suffix_weights})].suffix;
+    const std::string domain =
+        std::string(kWords[rng.below(10)]) + std::to_string(i) + "." + suffix;
+    registrable_.push_back(domain);
+
+    const bool zone_exists = rng.chance(0.92);
+    const bool has_cert = rng.chance(0.75);
+    const bool redacts = rng.chance(options.redaction_fraction);
+    const bool catch_all = zone_exists && rng.chance(options.default_a_fraction);
+    const bool unroutable = zone_exists && rng.chance(options.unroutable_fraction);
+
+    dns::Zone* zone = nullptr;
+    if (zone_exists) {
+      zone = &authoritative_->add_zone(dns::DnsName::parse_or_throw(domain));
+      if (catch_all) zone->set_default_a(fresh_address(!unroutable));
+      // Apex A record.
+      zone->add(dns::ResourceRecord{dns::DnsName::parse_or_throw(domain), dns::RrType::A, 300,
+                                    fresh_address(!unroutable)});
+      if (rng.chance(0.82)) sonar_.push_back(domain);
+    }
+    if (has_cert) ct_names_.push_back(domain);
+
+    auto add_subdomain = [&](const std::string& label, bool ct_listed) {
+      const std::string fqdn = label + "." + domain;
+      const bool exists = zone_exists && rng.chance(truth_probability(label));
+      if (exists) {
+        truth_.insert(fqdn);
+        const dns::DnsName name = dns::DnsName::parse_or_throw(fqdn);
+        if (rng.chance(options.cname_fraction)) {
+          const bool too_long = rng.chance(options.long_chain_fraction);
+          const std::string target = too_long
+                                         ? "hop0.cdn-fleet.net"
+                                         : "edge" + std::to_string(rng.below(kCdnHosts)) +
+                                               ".cdn-fleet.net";
+          zone->add(dns::ResourceRecord{name, dns::RrType::CNAME, 300,
+                                        dns::DnsName::parse_or_throw(target)});
+        } else {
+          zone->add(dns::ResourceRecord{name, dns::RrType::A, 300, fresh_address(!unroutable)});
+        }
+        // Sonar coverage: strong for hostnames every crawler finds, weak
+        // for the operational tail — that asymmetry is what makes CT an
+        // *additional* source in §4.3.
+        double sonar_p = 0.015;
+        if (label == "www") sonar_p = 0.22;
+        else if (label == "mail" || label == "smtp" || label == "ftp") sonar_p = 0.12;
+        if (rng.chance(sonar_p)) sonar_.push_back(fqdn);
+      }
+      if (ct_listed && has_cert) {
+        ct_names_.push_back(redacts ? x509::redact_dns_name(fqdn) : fqdn);
+      }
+    };
+
+    // Niche suffixes (tech/email/cloud/design/gov/gov.uk) host developer
+    // and service infrastructure rather than www-fronted sites — in the
+    // paper their most common label is a signature label (git, autoconfig,
+    // api, ftp, sip, dialin), not www.
+    const SuffixSignature* signature = nullptr;
+    for (const SuffixSignature& sig : kSignatures) {
+      if (suffix == sig.suffix) signature = &sig;
+    }
+    const double generic_scale = signature != nullptr ? 0.12 : 1.0;
+    for (const auto& [label, p_ct] : ct_probability) {
+      add_subdomain(label, rng.chance(p_ct * generic_scale));
+    }
+    if (signature != nullptr) {
+      add_subdomain(signature->label, rng.chance(0.45));
+    }
+    // Rare bespoke labels (never frequent enough to pass the 100k filter).
+    if (rng.chance(0.02)) {
+      add_subdomain("intranet-" + std::to_string(rng.below(50)), rng.chance(0.5));
+    }
+  }
+
+  // Invalid CT strings the RFC 1035 filter must reject (the paper filters
+  // with a validators library; we filter with dns::DnsName::parse).
+  const std::size_t junk = options.registrable_count / 200;
+  for (std::size_t i = 0; i < junk; ++i) {
+    switch (i % 5) {
+      case 0:
+        ct_names_.push_back("*.wild" + std::to_string(i) + ".example.com");
+        break;
+      case 1:
+        ct_names_.push_back("under_score" + std::to_string(i) + ".example.com");
+        break;
+      case 2:
+        ct_names_.push_back("-lead" + std::to_string(i) + ".example.com");
+        break;
+      case 3:
+        ct_names_.push_back("10.11.12." + std::to_string(i % 250));
+        break;
+      case 4:
+        ct_names_.push_back("bad.." + std::to_string(i) + ".example.com");
+        break;
+    }
+  }
+}
+
+}  // namespace ctwatch::sim

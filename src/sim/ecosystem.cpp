@@ -1,0 +1,112 @@
+#include "ctwatch/sim/ecosystem.hpp"
+
+#include <stdexcept>
+
+#include "ctwatch/util/strings.hpp"
+
+namespace ctwatch::sim {
+
+const std::vector<LogSpec>& Ecosystem::standard_logs() {
+  // Roster and Chrome inclusion dates as annotated in Table 1. Capacities
+  // are in scaled submissions/hour; Nimbus2018's finite capacity models the
+  // load incident the paper discusses.
+  static const std::vector<LogSpec> logs = {
+      {"Google Pilot", "Google", true, "2014-06-01", 0},
+      {"Symantec log", "Symantec", false, "2015-09-01", 0},
+      {"Google Rocketeer", "Google", true, "2015-04-01", 0},
+      {"DigiCert Log Server", "DigiCert", false, "2015-01-01", 0},
+      {"Google Skydiver", "Google", true, "2016-11-01", 0},
+      {"Google Aviator", "Google", true, "2014-06-01", 0},
+      {"Venafi log", "Venafi", false, "2015-10-01", 0},
+      {"DigiCert Log Server 2", "DigiCert", false, "2017-06-01", 0},
+      {"Symantec Vega", "Symantec", false, "2016-02-01", 0},
+      {"Comodo Mammoth", "Comodo", false, "2017-07-01", 0},
+      {"Cloudflare Nimbus2018", "Cloudflare", false, "2018-03-01", 60},
+      {"Google Icarus", "Google", true, "2016-11-01", 0},
+      {"Cloudflare Nimbus2020", "Cloudflare", false, "2018-03-01", 0},
+      {"Comodo Sabre", "Comodo", false, "2017-07-01", 0},
+      {"Certly.IO log", "Certly", false, "2015-04-01", 0},
+  };
+  return logs;
+}
+
+const std::vector<CaSpec>& Ecosystem::standard_cas() {
+  // Publication matrix calibrated to Fig. 1c: sparse, with Let's Encrypt
+  // landing on Google logs + Nimbus.
+  static const std::vector<CaSpec> cas = {
+      {"Let's Encrypt", "Let's Encrypt Authority X3",
+       {"Google Icarus", "Cloudflare Nimbus2018"}},
+      {"DigiCert", "DigiCert SHA2 Secure Server CA",
+       {"DigiCert Log Server", "Google Pilot", "DigiCert Log Server 2", "Google Rocketeer"}},
+      {"Comodo", "COMODO RSA Domain Validation Secure Server CA",
+       {"Comodo Mammoth", "Comodo Sabre", "Google Rocketeer"}},
+      {"GlobalSign", "GlobalSign Organization Validation CA",
+       {"Google Pilot", "Google Rocketeer", "Google Skydiver"}},
+      {"StartCom", "StartCom Class 1 DV Server CA", {"Google Pilot", "Venafi log"}},
+      {"Symantec", "Symantec Class 3 Secure Server CA",
+       {"Symantec log", "Symantec Vega", "Google Pilot", "Google Aviator"}},
+      // Small CAs of the §3.4 incidents.
+      {"TeliaSonera", "TeliaSonera Server CA v2", {"Google Pilot", "Venafi log"}},
+      {"D-TRUST", "D-TRUST SSL Class 3 CA 1", {"Google Pilot", "Certly.IO log"}},
+      {"NetLock", "NetLock Expressz SSL CA", {"Google Pilot", "Venafi log"}},
+  };
+  return cas;
+}
+
+Ecosystem::Ecosystem(const EcosystemOptions& options) : options_(options), rng_(options.seed) {
+  for (const LogSpec& spec : standard_logs()) {
+    ct::LogConfig config;
+    config.name = spec.name;
+    config.operator_name = spec.operator_name;
+    config.url = "ct." + to_lower(spec.operator_name) + ".example/" + to_lower(spec.name);
+    config.scheme = options_.scheme;
+    config.verify_submissions = options_.verify_submissions;
+    config.capacity_per_hour = spec.capacity_per_hour;
+    config.store_bodies = options_.store_bodies;
+    auto log = std::make_unique<ct::CtLog>(std::move(config));
+    log_list_.add_log(*log, SimTime::parse(spec.chrome_inclusion), spec.google_operated);
+    logs_[spec.name] = std::move(log);
+  }
+  for (const CaSpec& spec : standard_cas()) {
+    cas_[spec.name] =
+        std::make_unique<CertificateAuthority>(spec.name, spec.issuer_cn, options_.scheme);
+    ca_logs_[spec.name] = spec.logs;
+  }
+}
+
+ct::CtLog& Ecosystem::log(const std::string& name) {
+  const auto it = logs_.find(name);
+  if (it == logs_.end()) throw std::invalid_argument("Ecosystem: unknown log: " + name);
+  return *it->second;
+}
+
+CertificateAuthority& Ecosystem::ca(const std::string& name) {
+  const auto it = cas_.find(name);
+  if (it == cas_.end()) throw std::invalid_argument("Ecosystem: unknown CA: " + name);
+  return *it->second;
+}
+
+std::vector<ct::CtLog*> Ecosystem::logs_of(const std::string& ca_name) {
+  const auto it = ca_logs_.find(ca_name);
+  if (it == ca_logs_.end()) throw std::invalid_argument("Ecosystem: unknown CA: " + ca_name);
+  std::vector<ct::CtLog*> out;
+  out.reserve(it->second.size());
+  for (const std::string& log_name : it->second) out.push_back(&log(log_name));
+  return out;
+}
+
+std::vector<ct::CtLog*> Ecosystem::all_logs() {
+  std::vector<ct::CtLog*> out;
+  out.reserve(logs_.size());
+  for (auto& [name, log] : logs_) out.push_back(log.get());
+  return out;
+}
+
+std::vector<CertificateAuthority*> Ecosystem::all_cas() {
+  std::vector<CertificateAuthority*> out;
+  out.reserve(cas_.size());
+  for (auto& [name, ca] : cas_) out.push_back(ca.get());
+  return out;
+}
+
+}  // namespace ctwatch::sim

@@ -1,0 +1,112 @@
+#include "ctwatch/sim/phishing_gen.hpp"
+
+#include <array>
+
+namespace ctwatch::sim {
+
+namespace {
+
+struct BrandPlan {
+  const char* brand;
+  double paper_count;
+  // Suffixes with weights; calibrated to the paper's suffix observations.
+  std::vector<std::pair<const char*, double>> suffixes;
+};
+
+const std::vector<BrandPlan>& plans() {
+  static const std::vector<BrandPlan> kPlans = {
+      // 42k of 63k Apple domains sit in com/ga/info/tk/ml.
+      {"Apple", 63000, {{"com", .25}, {"ga", .14}, {"info", .12}, {"tk", .10}, {"ml", .08},
+                        {"gq", .08}, {"cf", .07}, {"money", .06}, {"online", .05}, {"xyz", .05}}},
+      {"PayPal", 58000, {{"money", .18}, {"com", .22}, {"ga", .12}, {"tk", .10}, {"info", .10},
+                         {"ml", .08}, {"cf", .07}, {"online", .07}, {"site", .06}}},
+      // 4 % of Microsoft Live phishing uses the live suffix.
+      {"Microsoft", 4000, {{"live", .04}, {"com", .30}, {"online", .16}, {"site", .14},
+                           {"xyz", .12}, {"info", .12}, {"tk", .12}}},
+      {"Google", 1000, {{"co.am", .20}, {"com", .25}, {"ga", .15}, {"tk", .15}, {"cf", .15},
+                        {"ml", .10}}},
+      // 28 % of eBay phishing uses bid and review.
+      {"eBay", 800, {{"bid", .16}, {"review", .12}, {"com", .30}, {"tk", .16}, {"info", .14},
+                     {"xyz", .12}}},
+      {"Taxation", 300, {{"com", .40}, {"cf", .25}, {"tk", .20}, {"info", .15}}},
+  };
+  return kPlans;
+}
+
+std::string make_name(const std::string& brand, const std::string& suffix, Rng& rng) {
+  const std::string rand_token = rng.alnum_label(8);
+  if (brand == "Apple") {
+    switch (rng.below(3)) {
+      case 0: return "appleid.apple.com-" + rand_token + "." + suffix;
+      case 1: return "secure-appleid-" + rand_token + "." + suffix;
+      default: return "apple.com." + rand_token + "." + suffix;
+    }
+  }
+  if (brand == "PayPal") {
+    switch (rng.below(3)) {
+      case 0: return "paypal.com-account-security." + rand_token + "." + suffix;
+      case 1: return "paypal-" + rand_token + "." + suffix;
+      default: return "www.paypal.com." + rand_token + "." + suffix;
+    }
+  }
+  if (brand == "Microsoft") {
+    switch (rng.below(3)) {
+      case 0: return "www-hotmail-login." + suffix;  // the paper's example shape
+      case 1: return "login.live." + rand_token + "." + suffix;
+      default: return "outlook-" + rand_token + "." + suffix;
+    }
+  }
+  if (brand == "Google") {
+    // accounts.google.com would be the genuine article; only non-com
+    // suffixes make the lookalike (the paper's example: accounts.google.co.am).
+    return (suffix != "com" && rng.chance(0.5))
+               ? "accounts.google." + suffix
+               : "google-signin-" + rand_token + "." + suffix;
+  }
+  if (brand == "eBay") {
+    return rng.chance(0.5) ? "www.ebay.co.uk." + rand_token + "." + suffix
+                           : "signin-ebay-" + rand_token + "." + suffix;
+  }
+  // Taxation offices.
+  switch (rng.below(3)) {
+    case 0: return "ato.gov.au.eng-atorefund-" + rand_token + "." + suffix;
+    case 1: return "hmrc.gov.uk-refund-" + rand_token + "." + suffix;
+    default: return "refund.irs.gov.my-irs-" + rand_token + "." + suffix;
+  }
+}
+
+}  // namespace
+
+PhishingCorpus generate_phishing_corpus(const PhishingGenOptions& options) {
+  Rng rng(options.seed);
+  PhishingCorpus corpus;
+
+  for (const BrandPlan& plan : plans()) {
+    const auto count = static_cast<std::uint64_t>(plan.paper_count * options.scale);
+    std::vector<double> weights;
+    weights.reserve(plan.suffixes.size());
+    for (const auto& [suffix, weight] : plan.suffixes) weights.push_back(weight);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::size_t pick = rng.weighted(weights);
+      corpus.names.push_back(make_name(plan.brand, plan.suffixes[pick].first, rng));
+      ++corpus.planted_phishing;
+    }
+  }
+
+  // Legitimate brand infrastructure: must NOT be flagged.
+  const std::vector<std::string> legitimate = {
+      "appleid.apple.com",   "itunes.apple.com",   "www.apple.com",
+      "www.paypal.com",      "api.paypal.com",     "login.live.com",
+      "outlook.live.com",    "www.microsoft.com",  "accounts.google.com",
+      "mail.google.com",     "signin.ebay.com",    "www.ebay.co.uk",
+      "www.ato.gov.au",      "online.hmrc.gov.uk", "www.irs.gov",
+  };
+  for (const std::string& name : legitimate) {
+    corpus.names.push_back(name);
+    ++corpus.planted_legitimate;
+  }
+  rng.shuffle(corpus.names);
+  return corpus;
+}
+
+}  // namespace ctwatch::sim

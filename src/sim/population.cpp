@@ -1,0 +1,274 @@
+#include "ctwatch/sim/population.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ctwatch::sim {
+
+namespace {
+
+struct LogShare {
+  const char* log;
+  double weight;
+};
+
+// Table 1, certificate-SCT column (share of SCT observations).
+constexpr std::array<LogShare, 15> kCertShares{{
+    {"Google Pilot", 28.69},
+    {"Symantec log", 18.40},
+    {"Google Rocketeer", 17.33},
+    {"DigiCert Log Server", 10.01},
+    {"Google Skydiver", 5.97},
+    {"Google Aviator", 5.94},
+    {"Venafi log", 5.58},
+    {"DigiCert Log Server 2", 3.77},
+    {"Symantec Vega", 3.71},
+    {"Comodo Mammoth", 0.44},
+    {"Cloudflare Nimbus2018", 0.05},
+    {"Google Icarus", 0.04},
+    {"Cloudflare Nimbus2020", 0.02},
+    {"Comodo Sabre", 0.01},
+    {"Certly.IO log", 0.01},
+}};
+
+// Table 1, TLS-extension column.
+constexpr std::array<LogShare, 8> kTlsShares{{
+    {"Symantec log", 40.19},
+    {"Google Pilot", 26.03},
+    {"Google Rocketeer", 23.30},
+    {"Comodo Mammoth", 3.71},
+    {"Venafi log", 2.45},
+    {"Comodo Sabre", 1.98},
+    {"DigiCert Log Server 2", 0.21},
+    {"Google Skydiver", 0.89},
+}};
+
+// Which ecosystem CA plausibly issues a certificate logged to `log`.
+std::string ca_for_log(const std::string& log) {
+  if (log.rfind("Symantec", 0) == 0) return "Symantec";
+  if (log.rfind("DigiCert", 0) == 0) return "DigiCert";
+  if (log.rfind("Comodo", 0) == 0) return "Comodo";
+  if (log == "Google Skydiver") return "GlobalSign";
+  return "DigiCert";
+}
+
+// Deficit-weighted per-log accounting so the traffic-weighted Table 1
+// shares match their targets per channel.
+class LogDeficitState {
+ public:
+  template <std::size_t N>
+  explicit LogDeficitState(const std::array<LogShare, N>& shares) {
+    double sum = 0;
+    for (const LogShare& s : shares) sum += s.weight;
+    for (const LogShare& s : shares) {
+      names_.emplace_back(s.log);
+      targets_.push_back(s.weight / sum);
+      assigned_.push_back(0);
+    }
+  }
+
+  /// Picks `count` distinct logs with the largest weighted deficits.
+  std::vector<std::string> pick(double weight, std::size_t count) {
+    std::vector<std::size_t> order(names_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double da = targets_[a] * (total_ + weight) - assigned_[a];
+      const double db = targets_[b] * (total_ + weight) - assigned_[b];
+      return da > db;
+    });
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < count && i < order.size(); ++i) {
+      out.push_back(names_[order[i]]);
+      assigned_[order[i]] += weight;
+    }
+    total_ += weight * static_cast<double>(count);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> targets_;  // normalized
+  std::vector<double> assigned_;
+  double total_ = 0;
+};
+
+constexpr const char* kSuffixes[] = {"com", "net",   "org", "de",  "io",
+                                     "app", "co.uk", "fr",  "xyz", "online"};
+
+}  // namespace
+
+ServerPopulation::ServerPopulation(Ecosystem& ecosystem, const PopulationOptions& options)
+    : options_(options),
+      popularity_(options.site_count, options.zipf_exponent, options.zipf_shift) {
+  Rng rng = ecosystem.rng().fork();
+  sites_.reserve(options.site_count);
+
+  const SimTime legacy_issue_base = SimTime::parse("2016-09-01");
+  // Deficit-weighted category accounting for the popular tier.
+  double category_weight[4] = {0, 0, 0, 0};
+  double category_weight_total = 0;
+  LogDeficitState cert_log_state(kCertShares);
+  LogDeficitState tls_log_state(kTlsShares);
+  const SimTime replace_start = SimTime::parse(options.le_replacement_start);
+  const SimTime replace_end = SimTime::parse(options.le_replacement_end);
+
+  for (std::size_t rank = 0; rank < options.site_count; ++rank) {
+    SiteProfile site;
+    if (rank == 0) {
+      site.fqdn = "graph.facebook.com";  // the Fig. 2 anomaly source
+    } else {
+      site.fqdn = "www.site" + std::to_string(rank) + "." + kSuffixes[rank % 10];
+    }
+    site.address = net::IPv4(static_cast<std::uint32_t>(0x42000000 + rank));
+
+    const bool popular = rank < options.popular_tier;
+    const SimTime issued = legacy_issue_base + static_cast<std::int64_t>(rng.below(300)) * 86400;
+
+    auto issue_legacy = [&](const std::vector<std::string>& log_names,
+                            bool embed) -> IssuanceResult {
+      const std::string ca_name = log_names.empty() ? "DigiCert" : ca_for_log(log_names.front());
+      CertificateAuthority& ca = ecosystem.ca(ca_name);
+      IssuanceRequest request;
+      request.subject_cn = site.fqdn;
+      request.sans = {x509::SanEntry::dns(site.fqdn)};
+      request.not_before = issued;
+      request.not_after = issued + 2 * 365 * 86400;
+      if (embed) {
+        for (const std::string& name : log_names) request.logs.push_back(&ecosystem.log(name));
+      }
+      if (embed) return ca.issue(request, issued);
+      IssuanceResult result;
+      result.final_certificate = ca.issue_unlogged(request, issued);
+      return result;
+    };
+
+    if (popular) {
+      // Category assignment is deficit-weighted rather than i.i.d.: the
+      // traffic-weighted share of each CT-delivery category must match its
+      // target even though a handful of head sites carries much of the
+      // traffic. Greedily give each site (in rank order, heaviest first)
+      // the category with the largest weighted deficit.
+      enum Category { kCert = 0, kTls = 1, kBoth = 2, kNone = 3 };
+      const double targets[4] = {
+          options.popular_cert_sct_rate, options.popular_tls_sct_rate,
+          options.popular_both_rate,
+          1.0 - options.popular_cert_sct_rate - options.popular_tls_sct_rate -
+              options.popular_both_rate};
+      // graph.facebook.com receives additional burst-day request storms on
+      // top of its popularity weight (the Fig. 2 peaks), so its accounting
+      // weight is amplified accordingly.
+      const double weight = popularity_.pmf(rank) * (rank == 0 ? 1.8 : 1.0);
+      int category = kNone;
+      if (rank == 0) {
+        category = kCert;  // graph.facebook.com serves embedded SCTs
+      } else {
+        double best_deficit = -1e300;
+        for (int k = 0; k < 4; ++k) {
+          const double deficit =
+              targets[k] * (category_weight_total + weight) - category_weight[k];
+          if (deficit > best_deficit) {
+            best_deficit = deficit;
+            category = k;
+          }
+        }
+      }
+      category_weight[category] += weight;
+      category_weight_total += weight;
+      const bool want_cert = category == kCert || category == kBoth;
+      bool want_tls = category == kTls || category == kBoth;
+      const bool want_ocsp = rng.uniform() < options.popular_ocsp_rate;
+      // Most OCSP staplers also send the TLS extension (the paper finds
+      // tls+ocsp overlap far more common than other combinations).
+      if (want_ocsp && !want_tls && rng.chance(0.75)) want_tls = true;
+
+      std::vector<std::string> embed_logs;
+      if (want_cert) {
+        embed_logs = cert_log_state.pick(weight, 2);
+      }
+      IssuanceResult issued_cert = issue_legacy(embed_logs, want_cert);
+      site.legacy_certificate =
+          std::make_shared<const x509::Certificate>(std::move(issued_cert.final_certificate));
+      const std::string ca_name =
+          embed_logs.empty() ? "DigiCert" : ca_for_log(embed_logs.front());
+      site.issuer_public_key =
+          std::make_shared<const Bytes>(ecosystem.ca(ca_name).public_key());
+
+      if (want_tls || want_ocsp) {
+        // The operator submits the final certificate itself and staples the
+        // returned SCTs into the TLS extension / OCSP response.
+        tls::SctList staple;
+        const std::size_t count = 1 + rng.below(2);
+        for (const std::string& log_name : tls_log_state.pick(weight, count)) {
+          ct::CtLog& log = ecosystem.log(log_name);
+          const auto submitted = log.add_chain(*site.legacy_certificate,
+                                               *site.issuer_public_key, issued + 86400);
+          if (submitted.sct) staple.push_back(*submitted.sct);
+        }
+        if (want_tls && !staple.empty()) {
+          site.tls_extension_scts = std::make_shared<const tls::SctList>(staple);
+        }
+        if (want_ocsp && !staple.empty()) {
+          site.ocsp_scts = std::make_shared<const tls::SctList>(std::move(staple));
+        }
+      }
+    } else {
+      // Long tail.
+      if (rng.uniform() < options.tail_le_adoption) {
+        CertificateAuthority& le = ecosystem.ca("Let's Encrypt");
+        // Pre-replacement certificate: LE, but unlogged (LE logged nothing
+        // before 2018-03).
+        IssuanceRequest request;
+        request.subject_cn = site.fqdn;
+        request.sans = {x509::SanEntry::dns(site.fqdn)};
+        request.not_before = issued;
+        request.not_after = issued + 90 * 86400;
+        site.legacy_certificate =
+            std::make_shared<const x509::Certificate>(le.issue_unlogged(request, issued));
+        site.issuer_public_key = std::make_shared<const Bytes>(le.public_key());
+
+        // CT-logged replacement, rolled out between March and May 2018.
+        const std::int64_t window = replace_end - replace_start;
+        const SimTime replaced =
+            replace_start + static_cast<std::int64_t>(rng.below(
+                                static_cast<std::uint64_t>(window)));
+        IssuanceRequest renewal = request;
+        renewal.not_before = replaced;
+        renewal.not_after = replaced + 90 * 86400;
+        renewal.logs = {&ecosystem.log("Google Icarus"),
+                        &ecosystem.log("Cloudflare Nimbus2018")};
+        if (rng.uniform() < options.tail_extra_rocketeer) {
+          renewal.logs.push_back(&ecosystem.log("Google Rocketeer"));
+        }
+        if (rng.uniform() < options.tail_extra_sabre) {
+          renewal.logs.push_back(&ecosystem.log("Comodo Sabre"));
+        }
+        site.ct_certificate = std::make_shared<const x509::Certificate>(
+            le.issue(renewal, replaced).final_certificate);
+        site.ct_cert_active_from = replaced;
+      } else {
+        IssuanceResult plain = issue_legacy({}, false);
+        site.legacy_certificate =
+            std::make_shared<const x509::Certificate>(std::move(plain.final_certificate));
+        site.issuer_public_key =
+            std::make_shared<const Bytes>(ecosystem.ca("DigiCert").public_key());
+      }
+    }
+    sites_.push_back(std::move(site));
+  }
+}
+
+tls::ConnectionRecord ServerPopulation::connect(std::size_t rank, SimTime t,
+                                                bool client_signals) const {
+  const SiteProfile& site = sites_.at(rank);
+  tls::ConnectionRecord record;
+  record.time = t;
+  record.server_name = site.fqdn;
+  record.client_signals_sct = client_signals;
+  record.certificate = site.certificate_at(t);
+  record.issuer_public_key = site.issuer_public_key;
+  record.tls_extension_scts = site.tls_extension_scts;
+  record.ocsp_scts = site.ocsp_scts;
+  return record;
+}
+
+}  // namespace ctwatch::sim

@@ -1,0 +1,89 @@
+#include "ctwatch/sim/timeline.hpp"
+
+#include <cmath>
+
+namespace ctwatch::sim {
+
+const std::vector<CaTimeline>& standard_timeline() {
+  // Real-world certs/day per phase; shapes target Fig. 1a/1b. The final
+  // phases starting 2018-03 model the pre-deadline jump.
+  static const std::vector<CaTimeline> timeline = {
+      {"DigiCert",
+       {{"2015-01-10", "2016-06-01", 20000},
+        {"2016-06-01", "2017-10-01", 40000},
+        {"2017-10-01", "2018-03-01", 80000},
+        {"2018-03-01", "2018-05-01", 250000}}},
+      {"Comodo",
+       {{"2016-03-01", "2017-04-01", 10000, true},
+        {"2017-04-01", "2018-03-01", 30000, true},
+        {"2018-03-01", "2018-05-01", 400000}}},
+      {"GlobalSign",
+       {{"2016-01-15", "2017-10-01", 8000, true},
+        {"2017-10-01", "2018-03-01", 15000},
+        {"2018-03-01", "2018-05-01", 60000}}},
+      {"StartCom",
+       {{"2016-02-01", "2017-06-01", 5000, true}}},
+      {"Symantec",
+       {{"2015-09-01", "2017-12-01", 15000},
+        {"2017-12-01", "2018-05-01", 5000}}},
+      {"Let's Encrypt",
+       {{"2018-03-08", "2018-05-01", 2200000}}},
+      // The small CAs of the §3.4 incidents: token volumes.
+      {"TeliaSonera", {{"2017-06-01", "2018-05-01", 400}}},
+      {"D-TRUST", {{"2017-09-01", "2018-05-01", 300}}},
+      {"NetLock", {{"2017-11-01", "2018-05-01", 200}}},
+  };
+  return timeline;
+}
+
+TimelineSimulator::TimelineSimulator(Ecosystem& ecosystem, TimelineOptions options)
+    : ecosystem_(&ecosystem), options_(std::move(options)) {}
+
+TimelineStats TimelineSimulator::run() {
+  TimelineStats stats;
+  Rng& rng = ecosystem_->rng();
+  const std::int64_t sim_start = SimTime::parse(options_.start).day_index();
+  const std::int64_t sim_end = SimTime::parse(options_.end).day_index();
+
+  for (const CaTimeline& schedule : standard_timeline()) {
+    CertificateAuthority& ca = ecosystem_->ca(schedule.ca);
+    const std::vector<ct::CtLog*> logs = ecosystem_->logs_of(schedule.ca);
+    Rng ca_rng = rng.fork();
+
+    for (const IssuancePhase& phase : schedule.phases) {
+      const std::int64_t begin = std::max(sim_start, SimTime::parse(phase.start).day_index());
+      const std::int64_t end = std::min(sim_end, SimTime::parse(phase.end).day_index());
+      for (std::int64_t day = begin; day < end; ++day) {
+        double expected = phase.certs_per_day * options_.scale;
+        if (phase.bursty) {
+          // Irregular batch behaviour: most days idle, occasional spikes
+          // carrying the same average volume.
+          if (ca_rng.chance(0.8)) continue;
+          expected *= 5.0;
+        }
+        // Integer count with stochastic rounding of the fractional part.
+        auto count = static_cast<std::uint64_t>(expected);
+        if (ca_rng.uniform() < expected - std::floor(expected)) ++count;
+
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const SimTime when =
+              SimTime{day * 86400 + static_cast<std::int64_t>(ca_rng.below(86400))};
+          IssuanceRequest request;
+          request.subject_cn =
+              "site-" + std::to_string(ca.certificates_issued() + 1) + ".example.org";
+          request.sans = {x509::SanEntry::dns(request.subject_cn)};
+          request.not_before = when;
+          request.not_after = when + 90 * 86400;
+          request.logs = logs;
+          const IssuanceResult issued = ca.issue(request, when);
+          ++stats.issued;
+          stats.log_submissions += logs.size();
+          stats.overloaded += issued.failed_logs.size();
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ctwatch::sim

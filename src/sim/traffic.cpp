@@ -1,0 +1,71 @@
+#include "ctwatch/sim/traffic.hpp"
+
+#include <set>
+
+namespace ctwatch::sim {
+
+TrafficGenerator::TrafficGenerator(const ServerPopulation& population, TrafficOptions options,
+                                   Rng rng)
+    : population_(&population), options_(std::move(options)), rng_(rng) {}
+
+TrafficStats TrafficGenerator::run(monitor::PassiveMonitor& monitor) {
+  TrafficStats stats;
+  const std::int64_t first_day = SimTime::parse(options_.start).day_index();
+  const std::int64_t last_day = SimTime::parse(options_.end).day_index();
+  const auto total_days = static_cast<std::uint64_t>(last_day - first_day);
+
+  // Pick the facebook-burst days up front.
+  std::set<std::int64_t> burst_days;
+  while (burst_days.size() < options_.burst_days && total_days > 0) {
+    burst_days.insert(first_day + static_cast<std::int64_t>(rng_.below(total_days)));
+  }
+
+  for (std::int64_t day = first_day; day < last_day; ++day) {
+    ++stats.days;
+    const bool burst = burst_days.contains(day);
+    const std::uint64_t base = options_.connections_per_day;
+    // Mild day-to-day variation.
+    const auto volume = static_cast<std::uint64_t>(
+        static_cast<double>(base) * (0.9 + 0.2 * rng_.uniform()));
+
+    for (std::uint64_t i = 0; i < volume; ++i) {
+      std::size_t rank = population_->popularity().sample(rng_);
+      const SimTime when = SimTime{day * 86400 + static_cast<std::int64_t>(rng_.below(86400))};
+      const bool signals = rng_.chance(options_.client_signal_rate);
+      monitor.process(population_->connect(rank, when, signals));
+      ++stats.connections;
+    }
+    if (burst) {
+      // A request storm against graph.facebook.com (rank 0).
+      const auto extra =
+          static_cast<std::uint64_t>(static_cast<double>(base) * (options_.burst_factor - 1.0));
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        const SimTime when =
+            SimTime{day * 86400 + static_cast<std::int64_t>(rng_.below(86400))};
+        monitor.process(population_->connect(0, when, rng_.chance(options_.client_signal_rate)));
+        ++stats.connections;
+      }
+    }
+  }
+  monitor.flush();
+  return stats;
+}
+
+ScanStats ScanDriver::run(monitor::PassiveMonitor& monitor) {
+  ScanStats stats;
+  const SimTime when = SimTime::parse(options_.date) + 12 * 3600;
+  for (std::size_t rank = 0; rank < population_->size(); ++rank) {
+    // Ethics: honor the opt-out blacklist (§3.1 best scanning practices).
+    if (options_.blacklist.contains(population_->site(rank).fqdn)) {
+      ++stats.blacklist_skipped;
+      continue;
+    }
+    // The scanner always offers the SCT extension.
+    monitor.process(population_->connect(rank, when, true));
+    ++stats.servers_scanned;
+  }
+  monitor.flush();
+  return stats;
+}
+
+}  // namespace ctwatch::sim

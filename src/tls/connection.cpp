@@ -1,0 +1,27 @@
+#include "ctwatch/tls/connection.hpp"
+
+namespace ctwatch::tls {
+
+std::string to_string(SctDelivery delivery) {
+  switch (delivery) {
+    case SctDelivery::certificate:
+      return "cert";
+    case SctDelivery::tls_extension:
+      return "tls";
+    case SctDelivery::ocsp_staple:
+      return "ocsp";
+  }
+  return "?";
+}
+
+SctList embedded_scts(const x509::Certificate& certificate) {
+  const auto list = certificate.sct_list_value();
+  if (!list) return {};
+  try {
+    return ct::parse_sct_list(*list);
+  } catch (const std::invalid_argument&) {
+    return {};
+  }
+}
+
+}  // namespace ctwatch::tls

@@ -1,0 +1,120 @@
+#include "ctwatch/util/encoding.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace ctwatch {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kB64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("hex_decode: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("hex_decode: non-hex character");
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                            static_cast<std::uint32_t>(data[i + 1]) << 8 | data[i + 2];
+    out.push_back(kB64Digits[n >> 18 & 63]);
+    out.push_back(kB64Digits[n >> 12 & 63]);
+    out.push_back(kB64Digits[n >> 6 & 63]);
+    out.push_back(kB64Digits[n & 63]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kB64Digits[n >> 18 & 63]);
+    out.push_back(kB64Digits[n >> 12 & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                            static_cast<std::uint32_t>(data[i + 1]) << 8;
+    out.push_back(kB64Digits[n >> 18 & 63]);
+    out.push_back(kB64Digits[n >> 12 & 63]);
+    out.push_back(kB64Digits[n >> 6 & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(const std::string& b64) {
+  if (b64.size() % 4 != 0) throw std::invalid_argument("base64_decode: length not multiple of 4");
+  Bytes out;
+  out.reserve(b64.size() / 4 * 3);
+  for (std::size_t i = 0; i < b64.size(); i += 4) {
+    std::array<int, 4> v{};
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = b64[i + j];
+      if (c == '=') {
+        // Padding is only allowed in the final two positions of the input.
+        if (i + 4 != b64.size() || j < 2) {
+          throw std::invalid_argument("base64_decode: misplaced padding");
+        }
+        ++pad;
+        v[static_cast<std::size_t>(j)] = 0;
+      } else {
+        if (pad > 0) throw std::invalid_argument("base64_decode: data after padding");
+        const int d = b64_value(c);
+        if (d < 0) throw std::invalid_argument("base64_decode: invalid character");
+        v[static_cast<std::size_t>(j)] = d;
+      }
+    }
+    const std::uint32_t n = static_cast<std::uint32_t>(v[0]) << 18 |
+                            static_cast<std::uint32_t>(v[1]) << 12 |
+                            static_cast<std::uint32_t>(v[2]) << 6 |
+                            static_cast<std::uint32_t>(v[3]);
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(n >> 8 & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  }
+  return out;
+}
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(BytesView data) { return std::string(data.begin(), data.end()); }
+
+}  // namespace ctwatch

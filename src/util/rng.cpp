@@ -1,0 +1,77 @@
+#include "ctwatch/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctwatch {
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  // Avoid log(0).
+  double u = uniform();
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  // Irwin–Hall approximation: sum of 12 uniforms minus 6.
+  double acc = 0;
+  for (int i = 0; i < 12; ++i) acc += uniform();
+  return acc - 6.0;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  if (xm <= 0 || alpha <= 0) throw std::invalid_argument("Rng::pareto: bad parameters");
+  double u = uniform();
+  if (u <= 0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("Rng::weighted: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("Rng::weighted: all weights zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::alnum_label(std::size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) out.push_back(kAlphabet[below(36)]);
+  return out;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, double q) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (q < 0) throw std::invalid_argument("ZipfSampler: shift must be >= 0");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1) + q, s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::pmf");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace ctwatch

@@ -1,0 +1,81 @@
+#include "ctwatch/util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ctwatch {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string human_count(double value, int decimals) {
+  const char* suffix = "";
+  double scaled = value;
+  if (std::fabs(value) >= 1e9) {
+    suffix = "G";
+    scaled = value / 1e9;
+  } else if (std::fabs(value) >= 1e6) {
+    suffix = "M";
+    scaled = value / 1e6;
+  } else if (std::fabs(value) >= 1e3) {
+    suffix = "k";
+    scaled = value / 1e3;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%s", decimals, scaled, suffix);
+  return buf;
+}
+
+std::string percent(double numerator, double denominator, int decimals) {
+  const double pct = denominator > 0 ? 100.0 * numerator / denominator : 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, pct);
+  return buf;
+}
+
+std::string pad_left(std::string s, std::size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+std::string pad_right(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace ctwatch

@@ -1,0 +1,123 @@
+#include "ctwatch/util/time.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ctwatch {
+
+// Howard Hinnant's days-from-civil algorithm (public domain).
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& year, int& month, int& day) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);                 // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);                 // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                      // [0, 11]
+  day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  year = static_cast<int>(y + (month <= 2));
+}
+
+int days_in_month(int year, int month) {
+  static constexpr std::array<int, 12> kDays{31, 28, 31, 30, 31, 30,
+                                             31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) throw std::invalid_argument("month out of range");
+  if (month == 2) {
+    const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[static_cast<std::size_t>(month - 1)];
+}
+
+SimTime SimTime::from_civil(const CivilTime& c) {
+  if (c.month < 1 || c.month > 12 || c.day < 1 || c.day > days_in_month(c.year, c.month) ||
+      c.hour < 0 || c.hour > 23 || c.minute < 0 || c.minute > 59 || c.second < 0 ||
+      c.second > 60) {
+    throw std::invalid_argument("invalid civil time");
+  }
+  const std::int64_t days = days_from_civil(c.year, c.month, c.day);
+  return SimTime{days * 86400 + c.hour * 3600 + c.minute * 60 + c.second};
+}
+
+SimTime SimTime::parse(const std::string& text) {
+  CivilTime c;
+  int n = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d%n", &c.year, &c.month, &c.day, &c.hour,
+                  &c.minute, &c.second, &n) == 6 &&
+      static_cast<std::size_t>(n) == text.size()) {
+    return from_civil(c);
+  }
+  c = CivilTime{};
+  if (std::sscanf(text.c_str(), "%d-%d-%d%n", &c.year, &c.month, &c.day, &n) == 3 &&
+      static_cast<std::size_t>(n) == text.size()) {
+    return from_civil(c);
+  }
+  throw std::invalid_argument("unparseable time: " + text);
+}
+
+CivilTime SimTime::civil() const {
+  CivilTime c;
+  const std::int64_t days = day_index();
+  std::int64_t rem = secs_ - days * 86400;
+  civil_from_days(days, c.year, c.month, c.day);
+  c.hour = static_cast<int>(rem / 3600);
+  rem %= 3600;
+  c.minute = static_cast<int>(rem / 60);
+  c.second = static_cast<int>(rem % 60);
+  return c;
+}
+
+std::string SimTime::date_string() const {
+  const CivilTime c = civil();
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string SimTime::datetime_string() const {
+  const CivilTime c = civil();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.year, c.month, c.day, c.hour,
+                c.minute, c.second);
+  return buf;
+}
+
+std::string SimTime::short_string() const {
+  const CivilTime c = civil();
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%02d-%02d %02d:%02d:%02d", c.month, c.day, c.hour, c.minute,
+                c.second);
+  return buf;
+}
+
+std::string format_delta(std::int64_t seconds) {
+  char buf[24];
+  if (seconds < 180) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(seconds));
+  } else if (seconds < 3 * 3600) {
+    std::snprintf(buf, sizeof buf, "%lldm", static_cast<long long>(seconds / 60));
+  } else if (seconds < 2 * 86400) {
+    std::snprintf(buf, sizeof buf, "%lldh", static_cast<long long>(seconds / 3600));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldd", static_cast<long long>(seconds / 86400));
+  }
+  return buf;
+}
+
+void SimClock::advance_to(SimTime t) {
+  if (t < now_) throw std::logic_error("SimClock cannot move backwards");
+  now_ = t;
+}
+
+}  // namespace ctwatch

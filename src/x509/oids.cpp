@@ -1,0 +1,27 @@
+#include "ctwatch/x509/oids.hpp"
+
+namespace ctwatch::x509::oids {
+
+// Each function keeps its own static so returned references stay valid.
+#define CTWATCH_DEFINE_OID(fn, dotted)              \
+  const asn1::Oid& fn() {                           \
+    static const asn1::Oid oid = asn1::Oid::parse(dotted); \
+    return oid;                                     \
+  }
+
+CTWATCH_DEFINE_OID(common_name, "2.5.4.3")
+CTWATCH_DEFINE_OID(organization, "2.5.4.10")
+CTWATCH_DEFINE_OID(country, "2.5.4.6")
+CTWATCH_DEFINE_OID(subject_alt_name, "2.5.29.17")
+CTWATCH_DEFINE_OID(basic_constraints, "2.5.29.19")
+CTWATCH_DEFINE_OID(key_usage, "2.5.29.15")
+CTWATCH_DEFINE_OID(ct_poison, "1.3.6.1.4.1.11129.2.4.3")
+CTWATCH_DEFINE_OID(ct_sct_list, "1.3.6.1.4.1.11129.2.4.2")
+CTWATCH_DEFINE_OID(ec_public_key, "1.2.840.10045.2.1")
+CTWATCH_DEFINE_OID(p256, "1.2.840.10045.3.1.7")
+CTWATCH_DEFINE_OID(ecdsa_with_sha256, "1.2.840.10045.4.3.2")
+CTWATCH_DEFINE_OID(simulated_signature, "1.3.6.1.4.1.53177.1.1")
+
+#undef CTWATCH_DEFINE_OID
+
+}  // namespace ctwatch::x509::oids

@@ -1,0 +1,47 @@
+#include "ctwatch/x509/redaction.hpp"
+
+#include "ctwatch/util/strings.hpp"
+#include "ctwatch/x509/oids.hpp"
+
+namespace ctwatch::x509 {
+
+std::string redact_dns_name(const std::string& name, std::size_t keep_labels) {
+  const std::vector<std::string> labels = split(name, '.');
+  if (labels.size() <= keep_labels) return name;
+  std::string out = "?";
+  for (std::size_t i = labels.size() - keep_labels; i < labels.size(); ++i) {
+    out += "." + labels[i];
+  }
+  return out;
+}
+
+bool is_redacted_name(const std::string& name) { return name.rfind("?.", 0) == 0; }
+
+const asn1::Oid& redaction_marker_oid() {
+  static const asn1::Oid oid = asn1::Oid::parse("1.3.6.1.4.1.53177.1.2");
+  return oid;
+}
+
+TbsCertificate redacted_tbs(const TbsCertificate& tbs, std::size_t keep_labels) {
+  TbsCertificate out = tbs;
+  for (auto& ext : out.extensions) {
+    if (ext.oid != oids::subject_alt_name()) continue;
+    std::vector<SanEntry> entries = decode_san_value(ext.value);
+    for (SanEntry& entry : entries) {
+      if (entry.kind == SanEntry::Kind::dns) {
+        entry.dns_name = redact_dns_name(entry.dns_name, keep_labels);
+      }
+    }
+    ext.value = encode_san_value(entries);
+  }
+  if (!out.subject.common_name.empty() && out.subject.common_name.find('.') != std::string::npos) {
+    out.subject.common_name = redact_dns_name(out.subject.common_name, keep_labels);
+  }
+  return out;
+}
+
+bool uses_redaction(const TbsCertificate& tbs) {
+  return tbs.has_extension(redaction_marker_oid());
+}
+
+}  // namespace ctwatch::x509

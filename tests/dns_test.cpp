@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "ctwatch/dns/name.hpp"
+#include "ctwatch/dns/psl.hpp"
+#include "ctwatch/dns/resolver.hpp"
+#include "ctwatch/dns/zone.hpp"
+
+namespace ctwatch::dns {
+namespace {
+
+// ---------- names ----------
+
+TEST(DnsNameTest, ParsesAndNormalizes) {
+  const auto name = DnsName::parse("WWW.Example.COM");
+  ASSERT_TRUE(name);
+  EXPECT_EQ(name->to_string(), "www.example.com");
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->first_label(), "www");
+}
+
+TEST(DnsNameTest, AcceptsTrailingDot) {
+  const auto name = DnsName::parse("example.org.");
+  ASSERT_TRUE(name);
+  EXPECT_EQ(name->to_string(), "example.org");
+}
+
+TEST(DnsNameTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(DnsName::parse(""));                      // empty
+  EXPECT_FALSE(DnsName::parse("singlelabel"));           // one label
+  EXPECT_FALSE(DnsName::parse("a..b.com"));              // empty label
+  EXPECT_FALSE(DnsName::parse("-lead.example.com"));     // leading hyphen
+  EXPECT_FALSE(DnsName::parse("trail-.example.com"));    // trailing hyphen
+  EXPECT_FALSE(DnsName::parse("under_score.example.com"));  // underscore (default)
+  EXPECT_FALSE(DnsName::parse("1.2.3.4"));               // numeric TLD (IP)
+  EXPECT_FALSE(DnsName::parse("bad char.example.com"));  // space
+  EXPECT_FALSE(DnsName::parse(std::string(64, 'a') + ".example.com"));  // label > 63
+  EXPECT_FALSE(DnsName::parse(std::string(250, 'a') + ".example.com")); // name > 253
+}
+
+TEST(DnsNameTest, OptionsEnableWildcardAndUnderscore) {
+  EXPECT_FALSE(DnsName::parse("*.example.com"));
+  ParseOptions wildcard;
+  wildcard.allow_wildcard = true;
+  const auto w = DnsName::parse("*.example.com", wildcard);
+  ASSERT_TRUE(w);
+  EXPECT_EQ(w->first_label(), "*");
+  // Wildcard only allowed leftmost.
+  EXPECT_FALSE(DnsName::parse("foo.*.example.com", wildcard));
+
+  ParseOptions underscore;
+  underscore.allow_underscore = true;
+  EXPECT_TRUE(DnsName::parse("_dmarc.example.com", underscore));
+}
+
+TEST(DnsNameTest, ParentAndSubdomainRelations) {
+  const DnsName name = DnsName::parse_or_throw("a.b.example.co.uk");
+  EXPECT_EQ(name.parent().to_string(), "b.example.co.uk");
+  EXPECT_EQ(name.parent(2).to_string(), "example.co.uk");
+  EXPECT_TRUE(name.is_subdomain_of(DnsName::parse_or_throw("example.co.uk")));
+  EXPECT_TRUE(name.is_subdomain_of(name));
+  EXPECT_FALSE(DnsName::parse_or_throw("example.co.uk").is_subdomain_of(name));
+  EXPECT_FALSE(name.is_subdomain_of(DnsName::parse_or_throw("other.co.uk")));
+  EXPECT_THROW((void)name.parent(6), std::out_of_range);
+}
+
+TEST(DnsNameTest, WithPrefixLabel) {
+  const DnsName base = DnsName::parse_or_throw("example.org");
+  EXPECT_EQ(base.with_prefix_label("www").to_string(), "www.example.org");
+  EXPECT_THROW((void)base.with_prefix_label("bad label"), std::invalid_argument);
+}
+
+TEST(DnsNameTest, ParseOrThrowThrows) {
+  EXPECT_THROW(DnsName::parse_or_throw("no"), std::invalid_argument);
+  EXPECT_NO_THROW(DnsName::parse_or_throw("ok.example"));
+}
+
+// ---------- PSL ----------
+
+class PslTest : public ::testing::Test {
+ protected:
+  PublicSuffixList psl_ = PublicSuffixList::bundled();
+};
+
+TEST_F(PslTest, SimpleSuffixes) {
+  EXPECT_EQ(psl_.public_suffix(DnsName::parse_or_throw("www.example.com")), "com");
+  EXPECT_EQ(psl_.public_suffix(DnsName::parse_or_throw("www.example.co.uk")), "co.uk");
+  EXPECT_EQ(psl_.public_suffix(DnsName::parse_or_throw("a.b.site.gov.uk")), "gov.uk");
+}
+
+TEST_F(PslTest, SplitComputesRegistrableAndSubdomain) {
+  const auto split = psl_.split(DnsName::parse_or_throw("www.dev.example.co.uk"));
+  ASSERT_TRUE(split);
+  EXPECT_EQ(split->public_suffix, "co.uk");
+  EXPECT_EQ(split->registrable_domain, "example.co.uk");
+  ASSERT_EQ(split->subdomain_labels.size(), 2u);
+  EXPECT_EQ(split->subdomain_labels[0], "www");
+  EXPECT_EQ(split->subdomain_labels[1], "dev");
+  EXPECT_EQ(split->subdomain(), "www.dev");
+}
+
+TEST_F(PslTest, NameThatIsItselfASuffixHasNoSplit) {
+  EXPECT_FALSE(psl_.split(DnsName::parse_or_throw("co.uk")));
+  EXPECT_FALSE(psl_.split(DnsName::parse_or_throw("gov.uk")));
+}
+
+TEST_F(PslTest, UnknownTldUsesPrevailingRule) {
+  // "*" prevailing rule: one label of suffix.
+  EXPECT_EQ(psl_.public_suffix(DnsName::parse_or_throw("foo.bar.unknowntld")), "unknowntld");
+  const auto split = psl_.split(DnsName::parse_or_throw("foo.bar.unknowntld"));
+  ASSERT_TRUE(split);
+  EXPECT_EQ(split->registrable_domain, "bar.unknowntld");
+}
+
+TEST_F(PslTest, WildcardRule) {
+  // "*.ck": every direct child of ck is a public suffix.
+  EXPECT_EQ(psl_.public_suffix(DnsName::parse_or_throw("shop.foo.ck")), "foo.ck");
+  const auto split = psl_.split(DnsName::parse_or_throw("www.shop.foo.ck"));
+  ASSERT_TRUE(split);
+  EXPECT_EQ(split->registrable_domain, "shop.foo.ck");
+}
+
+TEST_F(PslTest, ExceptionRule) {
+  // "!www.ck" overrides the wildcard: www.ck is registrable.
+  const auto split = psl_.split(DnsName::parse_or_throw("mail.www.ck"));
+  ASSERT_TRUE(split);
+  EXPECT_EQ(split->public_suffix, "ck");
+  EXPECT_EQ(split->registrable_domain, "www.ck");
+}
+
+TEST_F(PslTest, StringOverloadFiltersInvalidNames) {
+  EXPECT_FALSE(psl_.split("not_valid..name"));
+  EXPECT_TRUE(psl_.split("www.example.de"));
+}
+
+TEST(PslRuleTest, AddRuleRejectsMalformed) {
+  PublicSuffixList psl;
+  EXPECT_THROW(psl.add_rule(""), std::invalid_argument);
+  EXPECT_THROW(psl.add_rule("!"), std::invalid_argument);
+  EXPECT_THROW(psl.add_rule("bad label"), std::invalid_argument);
+}
+
+TEST(PslRuleTest, RulesTextSkipsCommentsAndBlanks) {
+  PublicSuffixList psl;
+  psl.add_rules_text("// comment\n\ncom\n  \nco.uk\r\n");
+  EXPECT_EQ(psl.rule_count(), 2u);
+}
+
+// ---------- zones ----------
+
+class ZoneTest : public ::testing::Test {
+ protected:
+  ZoneTest() : zone_(DnsName::parse_or_throw("example.org")) {}
+  Zone zone_;
+};
+
+TEST_F(ZoneTest, ExactMatchLookup) {
+  zone_.add(ResourceRecord{DnsName::parse_or_throw("www.example.org"), RrType::A, 300,
+                           net::IPv4(192, 0, 2, 1)});
+  const auto answers = zone_.lookup(DnsName::parse_or_throw("www.example.org"), RrType::A);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].a(), net::IPv4(192, 0, 2, 1));
+  EXPECT_TRUE(zone_.lookup(DnsName::parse_or_throw("other.example.org"), RrType::A).empty());
+}
+
+TEST_F(ZoneTest, TypeFiltering) {
+  const DnsName name = DnsName::parse_or_throw("www.example.org");
+  zone_.add(ResourceRecord{name, RrType::A, 300, net::IPv4(192, 0, 2, 1)});
+  zone_.add(ResourceRecord{name, RrType::AAAA, 300, *net::IPv6::parse("2001:db8::1")});
+  EXPECT_EQ(zone_.lookup(name, RrType::A).size(), 1u);
+  EXPECT_EQ(zone_.lookup(name, RrType::AAAA).size(), 1u);
+  EXPECT_TRUE(zone_.lookup(name, RrType::MX).empty());
+}
+
+TEST_F(ZoneTest, CnamePrecedesOtherTypes) {
+  const DnsName name = DnsName::parse_or_throw("alias.example.org");
+  zone_.add(ResourceRecord{name, RrType::CNAME, 300, DnsName::parse_or_throw("real.example.org")});
+  const auto answers = zone_.lookup(name, RrType::A);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].type, RrType::CNAME);
+}
+
+TEST_F(ZoneTest, WildcardSynthesis) {
+  zone_.add(ResourceRecord{DnsName::parse_or_throw("*.example.org", {true, false}), RrType::A,
+                           300, net::IPv4(192, 0, 2, 9)});
+  const auto answers = zone_.lookup(DnsName::parse_or_throw("anything.example.org"), RrType::A);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].name.to_string(), "anything.example.org");  // owner synthesized
+}
+
+TEST_F(ZoneTest, ExactBeatsWildcard) {
+  zone_.add(ResourceRecord{DnsName::parse_or_throw("*.example.org", {true, false}), RrType::A,
+                           300, net::IPv4(192, 0, 2, 9)});
+  zone_.add(ResourceRecord{DnsName::parse_or_throw("www.example.org"), RrType::A, 300,
+                           net::IPv4(192, 0, 2, 1)});
+  const auto answers = zone_.lookup(DnsName::parse_or_throw("www.example.org"), RrType::A);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].a(), net::IPv4(192, 0, 2, 1));
+}
+
+TEST_F(ZoneTest, DefaultACatchAll) {
+  zone_.set_default_a(net::IPv4(203, 0, 113, 5));
+  const auto answers =
+      zone_.lookup(DnsName::parse_or_throw("zz9placeholder.example.org"), RrType::A);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].a(), net::IPv4(203, 0, 113, 5));
+  // Catch-all only answers A queries.
+  EXPECT_TRUE(zone_.lookup(DnsName::parse_or_throw("zz9.example.org"), RrType::AAAA).empty());
+}
+
+TEST_F(ZoneTest, RejectsOutOfZoneRecords) {
+  EXPECT_THROW(zone_.add(ResourceRecord{DnsName::parse_or_throw("www.other.org"), RrType::A, 300,
+                                        net::IPv4(1, 2, 3, 4)}),
+               std::invalid_argument);
+}
+
+// ---------- resolver ----------
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest() {
+    Zone& zone = server_.add_zone(DnsName::parse_or_throw("example.org"));
+    zone.add(ResourceRecord{DnsName::parse_or_throw("www.example.org"), RrType::A, 300,
+                            net::IPv4(192, 0, 2, 1)});
+    zone.add(ResourceRecord{DnsName::parse_or_throw("mail.example.org"), RrType::MX, 300,
+                            DnsName::parse_or_throw("mx.example.org")});
+    // CNAME chain of depth 3.
+    zone.add(ResourceRecord{DnsName::parse_or_throw("a.example.org"), RrType::CNAME, 300,
+                            DnsName::parse_or_throw("b.example.org")});
+    zone.add(ResourceRecord{DnsName::parse_or_throw("b.example.org"), RrType::CNAME, 300,
+                            DnsName::parse_or_throw("c.example.org")});
+    zone.add(ResourceRecord{DnsName::parse_or_throw("c.example.org"), RrType::A, 300,
+                            net::IPv4(192, 0, 2, 3)});
+    // CNAME loop.
+    zone.add(ResourceRecord{DnsName::parse_or_throw("loop1.example.org"), RrType::CNAME, 300,
+                            DnsName::parse_or_throw("loop2.example.org")});
+    zone.add(ResourceRecord{DnsName::parse_or_throw("loop2.example.org"), RrType::CNAME, 300,
+                            DnsName::parse_or_throw("loop1.example.org")});
+    universe_.add_server(server_);
+    identity_.address = net::IPv4(8, 8, 8, 8);
+    identity_.asn = 15169;
+    identity_.label = "test-resolver";
+  }
+
+  AuthoritativeServer server_;
+  DnsUniverse universe_;
+  RecursiveResolver::Identity identity_;
+  SimTime now_ = SimTime::parse("2018-04-27");
+};
+
+TEST_F(ResolverTest, ResolvesARecord) {
+  const RecursiveResolver resolver(universe_, identity_);
+  const auto result = resolver.resolve(DnsName::parse_or_throw("www.example.org"), RrType::A, now_);
+  EXPECT_EQ(result.status, ResolveStatus::ok);
+  EXPECT_EQ(result.first_a(), net::IPv4(192, 0, 2, 1));
+}
+
+TEST_F(ResolverTest, NxdomainForMissingName) {
+  const RecursiveResolver resolver(universe_, identity_);
+  const auto result =
+      resolver.resolve(DnsName::parse_or_throw("missing.example.org"), RrType::A, now_);
+  EXPECT_EQ(result.status, ResolveStatus::nxdomain);
+  EXPECT_FALSE(result.first_a());
+}
+
+TEST_F(ResolverTest, NxdomainForForeignZone) {
+  const RecursiveResolver resolver(universe_, identity_);
+  const auto result =
+      resolver.resolve(DnsName::parse_or_throw("www.unknown-zone.net"), RrType::A, now_);
+  EXPECT_EQ(result.status, ResolveStatus::nxdomain);
+}
+
+TEST_F(ResolverTest, NoDataWhenTypeMissing) {
+  const RecursiveResolver resolver(universe_, identity_);
+  const auto result =
+      resolver.resolve(DnsName::parse_or_throw("mail.example.org"), RrType::A, now_);
+  EXPECT_EQ(result.status, ResolveStatus::no_data);
+}
+
+TEST_F(ResolverTest, FollowsCnameChain) {
+  const RecursiveResolver resolver(universe_, identity_);
+  const auto result = resolver.resolve(DnsName::parse_or_throw("a.example.org"), RrType::A, now_);
+  EXPECT_EQ(result.status, ResolveStatus::ok);
+  EXPECT_EQ(result.cname_hops, 2);
+  EXPECT_EQ(result.first_a(), net::IPv4(192, 0, 2, 3));
+}
+
+TEST_F(ResolverTest, CnameLoopHitsHopLimit) {
+  const RecursiveResolver resolver(universe_, identity_);
+  const auto result =
+      resolver.resolve(DnsName::parse_or_throw("loop1.example.org"), RrType::A, now_);
+  EXPECT_EQ(result.status, ResolveStatus::chain_too_long);
+}
+
+TEST_F(ResolverTest, HopBudgetIsConfigurable) {
+  const RecursiveResolver resolver(universe_, identity_);
+  // The a->b->c chain needs 2 hops; a budget of 1 is insufficient.
+  const auto tight = resolver.resolve(DnsName::parse_or_throw("a.example.org"), RrType::A, now_,
+                                      std::nullopt, 1);
+  EXPECT_EQ(tight.status, ResolveStatus::chain_too_long);
+}
+
+TEST_F(ResolverTest, QueriesAreLoggedWithContext) {
+  const RecursiveResolver resolver(universe_, identity_);
+  (void)resolver.resolve(DnsName::parse_or_throw("www.example.org"), RrType::A, now_);
+  ASSERT_FALSE(server_.log().empty());
+  const QueryLogEntry& entry = server_.log().back();
+  EXPECT_EQ(entry.question.qname.to_string(), "www.example.org");
+  EXPECT_EQ(entry.context.resolver_asn, 15169u);
+  EXPECT_EQ(entry.context.resolver_label, "test-resolver");
+  EXPECT_TRUE(entry.answered);
+  EXPECT_FALSE(entry.context.client_subnet);  // no ECS without sends_ecs
+}
+
+TEST_F(ResolverTest, EcsAttachedWhenEnabled) {
+  RecursiveResolver::Identity ecs = identity_;
+  ecs.sends_ecs = true;
+  const RecursiveResolver resolver(universe_, ecs);
+  (void)resolver.resolve(DnsName::parse_or_throw("www.example.org"), RrType::A, now_,
+                         net::IPv4(88, 198, 7, 33));
+  const QueryLogEntry& entry = server_.log().back();
+  ASSERT_TRUE(entry.context.client_subnet);
+  EXPECT_EQ(entry.context.client_subnet->to_string(), "88.198.7.0/24");
+}
+
+TEST_F(ResolverTest, LoggingCanBeDisabled) {
+  server_.set_logging(false);
+  const RecursiveResolver resolver(universe_, identity_);
+  (void)resolver.resolve(DnsName::parse_or_throw("www.example.org"), RrType::A, now_);
+  EXPECT_TRUE(server_.log().empty());
+}
+
+TEST(AuthoritativeServerTest, LongestOriginWins) {
+  AuthoritativeServer server;
+  server.add_zone(DnsName::parse_or_throw("example.org"));
+  Zone& sub = server.add_zone(DnsName::parse_or_throw("sub.example.org"));
+  sub.add(ResourceRecord{DnsName::parse_or_throw("www.sub.example.org"), RrType::A, 300,
+                         net::IPv4(10, 0, 0, 1)});
+  const Zone* found = server.find_zone(DnsName::parse_or_throw("www.sub.example.org"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->origin().to_string(), "sub.example.org");
+}
+
+}  // namespace
+}  // namespace ctwatch::dns

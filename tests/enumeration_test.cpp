@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "ctwatch/core/leakage.hpp"
+#include "ctwatch/enumeration/census.hpp"
+#include "ctwatch/enumeration/enumerator.hpp"
+#include "ctwatch/sim/domains.hpp"
+
+namespace ctwatch::enumeration {
+namespace {
+
+class CensusTest : public ::testing::Test {
+ protected:
+  CensusTest() : psl_(dns::PublicSuffixList::bundled()), census_(psl_) {}
+  dns::PublicSuffixList psl_;
+  SubdomainCensus census_;
+};
+
+TEST_F(CensusTest, CountsLeadingLabels) {
+  const std::vector<std::string> names = {"www.example.de", "www.other.de",
+                                          "mail.example.de", "example.de"};
+  census_.add_names(names);
+  EXPECT_EQ(census_.label_counts().at("www"), 2u);
+  EXPECT_EQ(census_.label_counts().at("mail"), 1u);
+  EXPECT_EQ(census_.stats().valid_fqdns, 4u);
+  EXPECT_EQ(census_.total_label_occurrences(), 3u);  // the apex has no subdomain
+}
+
+TEST_F(CensusTest, RejectsInvalidNames) {
+  const std::vector<std::string> names = {"*.wild.example.com", "bad..name.com",
+                                          "-x.example.com", "10.0.0.1", "www.ok.de"};
+  census_.add_names(names);
+  EXPECT_EQ(census_.stats().invalid_rejected, 4u);
+  EXPECT_EQ(census_.stats().valid_fqdns, 1u);
+}
+
+TEST_F(CensusTest, DeduplicatesAcrossCalls) {
+  const std::vector<std::string> names = {"www.example.de", "WWW.EXAMPLE.DE",
+                                          "www.example.de."};
+  census_.add_names(names);
+  EXPECT_EQ(census_.stats().duplicates, 2u);
+  EXPECT_EQ(census_.label_counts().at("www"), 1u);
+}
+
+TEST_F(CensusTest, PublicSuffixNamesRejected) {
+  const std::vector<std::string> names = {"co.uk", "gov.uk"};
+  census_.add_names(names);
+  EXPECT_EQ(census_.stats().valid_fqdns, 0u);
+}
+
+TEST_F(CensusTest, TopLabelsSortedByCount) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 5; ++i) names.push_back("www.site" + std::to_string(i) + ".de");
+  for (int i = 0; i < 3; ++i) names.push_back("mail.site" + std::to_string(i) + ".de");
+  names.push_back("api.site0.de");
+  census_.add_names(names);
+  const auto top = census_.top_labels(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "www");
+  EXPECT_EQ(top[0].second, 5u);
+  EXPECT_EQ(top[1].first, "mail");
+}
+
+TEST_F(CensusTest, PerSuffixAttribution) {
+  const std::vector<std::string> names = {"git.dev1.tech", "git.dev2.tech", "www.shop.de"};
+  census_.add_names(names);
+  EXPECT_EQ(census_.label_suffix_counts().at("git").at("tech"), 2u);
+  EXPECT_EQ(census_.top_label_per_suffix().at("tech"), "git");
+  EXPECT_EQ(census_.top_label_per_suffix().at("de"), "www");
+}
+
+TEST_F(CensusTest, DomainsGroupedBySuffix) {
+  const std::vector<std::string> names = {"www.a.de", "www.b.de", "www.c.fr"};
+  census_.add_names(names);
+  EXPECT_EQ(census_.domains_by_suffix().at("de").size(), 2u);
+  EXPECT_EQ(census_.domains_by_suffix().at("fr").size(), 1u);
+}
+
+TEST(WordlistTest, ComparisonCountsHits) {
+  dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  SubdomainCensus census(psl);
+  census.add_names(std::vector<std::string>{"www.a.de", "mail.b.de", "api.c.de"});
+  const std::vector<std::string> wordlist = {"www", "api", "nonexistent-guess"};
+  const auto result = compare_wordlist(wordlist, census);
+  EXPECT_EQ(result.wordlist_size, 3u);
+  EXPECT_EQ(result.present_in_ct, 2u);
+}
+
+TEST(WordlistTest, SyntheticListsHaveCalibratedHitCounts) {
+  const auto subbrute = subbrute_like_wordlist(2000);
+  const auto dnsrecon = dnsrecon_like_wordlist(400);
+  EXPECT_EQ(subbrute.size(), 2000u);
+  EXPECT_EQ(dnsrecon.size(), 400u);
+  // The synthetic lists lead with at most 16 / 12 realistic labels.
+  dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  SubdomainCensus census(psl);
+  std::vector<std::string> everything;
+  for (const char* label : {"www", "mail", "smtp", "ftp", "webmail", "api", "dev", "test",
+                            "admin", "blog", "shop", "cloud", "secure", "mobile", "cpanel",
+                            "remote"}) {
+    everything.push_back(std::string(label) + ".site.de");
+  }
+  census.add_names(everything);
+  EXPECT_EQ(compare_wordlist(subbrute, census).present_in_ct, 16u);
+  EXPECT_EQ(compare_wordlist(dnsrecon, census).present_in_ct, 12u);
+}
+
+// ---------- enumerator over a hand-built mini-world ----------
+
+class EnumeratorTest : public ::testing::Test {
+ protected:
+  EnumeratorTest() : psl_(dns::PublicSuffixList::bundled()), census_(psl_) {
+    // CT corpus: "api" occurs 3 times under .de (passes min_label_count=2);
+    // "rare" occurs once (filtered out).
+    census_.add_names(std::vector<std::string>{
+        "api.seen1.de", "api.seen2.de", "api.seen3.de", "rare.seen1.de"});
+
+    // DNS ground truth for the candidate domains.
+    server_.set_logging(false);
+    // target1.de has api (discoverable); target2.de does not; target3.de is
+    // a catch-all zone; target4.de answers from outside the routing table.
+    auto& z1 = server_.add_zone(dns::DnsName::parse_or_throw("target1.de"));
+    z1.add(dns::ResourceRecord{dns::DnsName::parse_or_throw("api.target1.de"), dns::RrType::A,
+                               300, net::IPv4(100, 64, 0, 1)});
+    server_.add_zone(dns::DnsName::parse_or_throw("target2.de"));
+    auto& z3 = server_.add_zone(dns::DnsName::parse_or_throw("target3.de"));
+    z3.set_default_a(net::IPv4(100, 64, 0, 3));
+    auto& z4 = server_.add_zone(dns::DnsName::parse_or_throw("target4.de"));
+    z4.add(dns::ResourceRecord{dns::DnsName::parse_or_throw("api.target4.de"), dns::RrType::A,
+                               300, net::IPv4(203, 0, 113, 9)});  // unroutable
+    universe_.add_server(server_);
+    routing_.add_route(*net::Prefix4::parse("100.64.0.0/10"));
+  }
+
+  EnumerationOptions options() {
+    EnumerationOptions opts;
+    opts.min_label_count = 2;
+    return opts;
+  }
+
+  FunnelResult run(const EnumerationOptions& opts) {
+    const dns::RecursiveResolver resolver(
+        universe_, dns::RecursiveResolver::Identity{net::IPv4(192, 0, 2, 53), 64496, "t", false});
+    SubdomainEnumerator enumerator(census_, psl_, opts);
+    Rng rng(1);
+    return enumerator.run(domains_, sonar_, resolver, routing_, rng,
+                          SimTime::parse("2018-04-27"));
+  }
+
+  dns::PublicSuffixList psl_;
+  SubdomainCensus census_;
+  dns::AuthoritativeServer server_;
+  dns::DnsUniverse universe_;
+  net::RoutingTable routing_;
+  std::vector<std::string> domains_ = {"target1.de", "target2.de", "target3.de", "target4.de"};
+  std::set<std::string> sonar_;
+};
+
+TEST_F(EnumeratorTest, PlanSelectsFrequentLabelsOnly) {
+  SubdomainEnumerator enumerator(census_, psl_, options());
+  const auto plan = enumerator.build_plan();
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].first, "api");
+  EXPECT_EQ(plan[0].second, "de");
+}
+
+TEST_F(EnumeratorTest, ExcludedSuffixesSkipped) {
+  census_.add_names(std::vector<std::string>{"api.x1.com", "api.x2.com", "api.x3.com"});
+  SubdomainEnumerator enumerator(census_, psl_, options());
+  for (const auto& [label, suffix] : enumerator.build_plan()) {
+    EXPECT_NE(suffix, "com");
+  }
+}
+
+TEST_F(EnumeratorTest, FullFunnelConfirmsOnlyRealDiscoveries) {
+  const FunnelResult result = run(options());
+  EXPECT_EQ(result.candidates, 4u);  // api x 4 target domains
+  // Replies: target1 (real), target3 (catch-all); target4 replies but is
+  // unroutable; target2 is NXDOMAIN.
+  EXPECT_EQ(result.test_replies, 3u);
+  EXPECT_EQ(result.control_replies, 1u);   // only the catch-all answers controls
+  EXPECT_EQ(result.unroutable_dropped, 1u);
+  EXPECT_EQ(result.confirmed, 1u);
+  ASSERT_EQ(result.discoveries.size(), 1u);
+  EXPECT_EQ(result.discoveries[0], "api.target1.de");
+  EXPECT_EQ(result.novel, 1u);
+}
+
+TEST_F(EnumeratorTest, SonarDiffSplitsKnownAndNovel) {
+  sonar_.insert("api.target1.de");
+  const FunnelResult result = run(options());
+  EXPECT_EQ(result.confirmed, 1u);
+  EXPECT_EQ(result.known_in_sonar, 1u);
+  EXPECT_EQ(result.novel, 0u);
+}
+
+TEST_F(EnumeratorTest, WithoutControlsCatchAllPollutes) {
+  EnumerationOptions opts = options();
+  opts.use_controls = false;
+  const FunnelResult result = run(opts);
+  EXPECT_EQ(result.confirmed, 2u);  // the catch-all zone sneaks in
+}
+
+TEST_F(EnumeratorTest, WithoutRoutingFilterUnroutableCounts) {
+  EnumerationOptions opts = options();
+  opts.use_routing_filter = false;
+  const FunnelResult result = run(opts);
+  EXPECT_EQ(result.confirmed, 2u);  // target4's bogus answer counts
+  EXPECT_EQ(result.unroutable_dropped, 0u);
+}
+
+TEST_F(EnumeratorTest, DiscoveryCapRespected) {
+  EnumerationOptions opts = options();
+  opts.keep_discoveries = 0;
+  const FunnelResult result = run(opts);
+  EXPECT_EQ(result.confirmed, 1u);       // counting is exact
+  EXPECT_TRUE(result.discoveries.empty());  // retention capped
+}
+
+// ---------- the full LeakageStudy over a small corpus ----------
+
+TEST(LeakageStudyTest, SmallCorpusEndToEnd) {
+  sim::DomainCorpusOptions corpus_options;
+  corpus_options.registrable_count = 4000;
+  corpus_options.label_scale = 1.0 / 1000.0;
+  sim::DomainCorpus corpus(corpus_options);
+  core::LeakageStudy study(corpus);
+  enumeration::EnumerationOptions options;
+  options.min_label_count = 10;
+  const core::LeakageReport report = study.run(options);
+
+  // Table 2 head must be led by www.
+  ASSERT_FALSE(report.top_labels.empty());
+  EXPECT_EQ(report.top_labels[0].first, "www");
+  // Invalid junk names were filtered.
+  EXPECT_GT(report.extraction.invalid_rejected, 0u);
+  // The funnel found something, and the control filter did real work.
+  EXPECT_GT(report.funnel.candidates, 0u);
+  EXPECT_GT(report.funnel.confirmed, 0u);
+  EXPECT_GT(report.funnel.control_replies, 0u);
+  EXPECT_LT(report.funnel.confirmed, report.funnel.test_replies);
+  // Everything confirmed is ground-truth true.
+  for (const std::string& fqdn : report.funnel.discoveries) {
+    EXPECT_TRUE(corpus.truly_exists(fqdn)) << fqdn;
+  }
+}
+
+}  // namespace
+}  // namespace ctwatch::enumeration

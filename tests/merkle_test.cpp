@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "ctwatch/ct/merkle.hpp"
+#include "ctwatch/util/rng.hpp"
+
+namespace ctwatch::ct {
+namespace {
+
+std::string hex(const Digest& d) { return hex_encode(BytesView{d.data(), d.size()}); }
+
+Digest leaf_of(const std::string& data) { return leaf_hash(to_bytes(data)); }
+
+// The RFC 6962 test vectors (from the certificate-transparency reference
+// implementation): leaves are the byte strings below, roots are known.
+const std::vector<Bytes>& rfc_leaves() {
+  static const std::vector<Bytes> leaves = {
+      hex_decode(""),
+      hex_decode("00"),
+      hex_decode("10"),
+      hex_decode("2021"),
+      hex_decode("3031"),
+      hex_decode("40414243"),
+      hex_decode("5051525354555657"),
+      hex_decode("606162636465666768696a6b6c6d6e6f"),
+  };
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeRootIsSha256OfEmpty) {
+  MerkleTree tree;
+  EXPECT_EQ(hex(tree.root()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(MerkleTest, Rfc6962KnownRoots) {
+  // Expected roots from the CT reference test data for 1, 2, 3, 8 leaves.
+  MerkleTree tree;
+  const auto& leaves = rfc_leaves();
+  tree.append_data(leaves[0]);
+  EXPECT_EQ(hex(tree.root()),
+            "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d");
+  tree.append_data(leaves[1]);
+  EXPECT_EQ(hex(tree.root()),
+            "fac54203e7cc696cf0dfcb42c92a1d9dbaf70ad9e621f4bd8d98662f00e3c125");
+  tree.append_data(leaves[2]);
+  EXPECT_EQ(hex(tree.root()),
+            "aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77");
+  for (std::size_t i = 3; i < 8; ++i) tree.append_data(leaves[i]);
+  EXPECT_EQ(hex(tree.root()),
+            "5dc9da79a70659a9ad559cb701ded9a2ab9d823aad2f4960cfe370eff4604328");
+}
+
+TEST(MerkleTest, Rfc6962KnownInclusionProof) {
+  MerkleTree tree;
+  for (const Bytes& leaf : rfc_leaves()) tree.append_data(leaf);
+  // PATH(0, 8 leaves) from the reference test data.
+  const auto proof = tree.inclusion_proof(0, 8);
+  ASSERT_EQ(proof.size(), 3u);
+  EXPECT_EQ(hex(proof[0]), "96a296d224f285c67bee93c30f8a309157f0daa35dc5b87e410b78630a09cfc7");
+  EXPECT_EQ(hex(proof[1]), "5f083f0a1a33ca076a95279832580db3e0ef4584bdff1f54c8a360f50de3031e");
+  EXPECT_EQ(hex(proof[2]), "6b47aaf29ee3c2af9af889bc1fb9254dabd31177f16232dd6aab035ca39bf6e4");
+}
+
+TEST(MerkleTest, Rfc6962KnownConsistencyProof) {
+  MerkleTree tree;
+  for (const Bytes& leaf : rfc_leaves()) tree.append_data(leaf);
+  // PROOF(6, D[8]) from the reference test data.
+  const auto proof = tree.consistency_proof(6, 8);
+  ASSERT_EQ(proof.size(), 3u);
+  EXPECT_EQ(hex(proof[0]), "0ebc5d3437fbe2db158b9f126a1d118e308181031d0a949f8dededebc558ef6a");
+  EXPECT_EQ(hex(proof[1]), "ca854ea128ed050b41b35ffc1b87b8eb2bde461e9e3b5596ece6b9d5975a0ae0");
+  EXPECT_EQ(hex(proof[2]), "d37ee418976dd95753c1c73862b9398fa2a2cf9b4ff0fdfe8b30cd95209614b7");
+  EXPECT_TRUE(verify_consistency(6, 8, tree.root_at(6), tree.root(), proof));
+}
+
+TEST(MerkleTest, IncrementalRootMatchesRecursive) {
+  MerkleTree tree;
+  for (int i = 0; i < 100; ++i) {
+    tree.append(leaf_of("leaf-" + std::to_string(i)));
+    EXPECT_EQ(tree.root(), tree.root_at(tree.size())) << "size " << tree.size();
+  }
+}
+
+TEST(MerkleTest, RootAtBeyondSizeThrows) {
+  MerkleTree tree;
+  tree.append(leaf_of("x"));
+  EXPECT_THROW((void)tree.root_at(2), std::out_of_range);
+}
+
+TEST(MerkleTest, InclusionProofBadArgsThrow) {
+  MerkleTree tree;
+  tree.append(leaf_of("x"));
+  EXPECT_THROW((void)tree.inclusion_proof(0, 2), std::out_of_range);
+  EXPECT_THROW((void)tree.inclusion_proof(1, 1), std::out_of_range);
+}
+
+TEST(MerkleTest, VerifyRejectsWrongLeaf) {
+  MerkleTree tree;
+  for (int i = 0; i < 10; ++i) tree.append(leaf_of("leaf-" + std::to_string(i)));
+  const auto proof = tree.inclusion_proof(4, 10);
+  EXPECT_TRUE(verify_inclusion(leaf_of("leaf-4"), 4, 10, proof, tree.root()));
+  EXPECT_FALSE(verify_inclusion(leaf_of("leaf-5"), 4, 10, proof, tree.root()));
+  EXPECT_FALSE(verify_inclusion(leaf_of("leaf-4"), 5, 10, proof, tree.root()));
+  EXPECT_FALSE(verify_inclusion(leaf_of("leaf-4"), 4, 10, proof, tree.root_at(9)));
+}
+
+TEST(MerkleTest, VerifyRejectsTamperedProof) {
+  MerkleTree tree;
+  for (int i = 0; i < 31; ++i) tree.append(leaf_of("leaf-" + std::to_string(i)));
+  auto proof = tree.inclusion_proof(17, 31);
+  ASSERT_FALSE(proof.empty());
+  proof[0][0] ^= 0x01;
+  EXPECT_FALSE(verify_inclusion(leaf_of("leaf-17"), 17, 31, proof, tree.root()));
+}
+
+TEST(MerkleTest, ConsistencySameSizeIsEmptyProof) {
+  MerkleTree tree;
+  for (int i = 0; i < 5; ++i) tree.append(leaf_of("l" + std::to_string(i)));
+  EXPECT_TRUE(tree.consistency_proof(5, 5).empty());
+  EXPECT_TRUE(verify_consistency(5, 5, tree.root(), tree.root(), {}));
+  EXPECT_FALSE(verify_consistency(5, 5, tree.root(), leaf_of("other"), {}));
+}
+
+TEST(MerkleTest, ConsistencyDetectsRewrittenHistory) {
+  MerkleTree honest;
+  for (int i = 0; i < 12; ++i) honest.append(leaf_of("l" + std::to_string(i)));
+  const Digest old_root = honest.root_at(7);
+
+  MerkleTree dishonest;
+  for (int i = 0; i < 12; ++i) {
+    dishonest.append(leaf_of(i == 3 ? "evil" : "l" + std::to_string(i)));
+  }
+  // The dishonest tree cannot produce a proof connecting the honest old
+  // root to its new root.
+  const auto proof = dishonest.consistency_proof(7, 12);
+  EXPECT_FALSE(verify_consistency(7, 12, old_root, dishonest.root(), proof));
+  // The honest proof of course verifies.
+  EXPECT_TRUE(verify_consistency(7, 12, old_root, honest.root(), honest.consistency_proof(7, 12)));
+}
+
+// Property sweep: every (index, size) pair for trees up to 64 leaves has a
+// verifying inclusion proof, and every (old, new) pair a verifying
+// consistency proof.
+class MerklePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MerklePropertyTest, AllInclusionProofsVerify) {
+  const std::uint64_t size = GetParam();
+  MerkleTree tree;
+  for (std::uint64_t i = 0; i < size; ++i) tree.append(leaf_of("p" + std::to_string(i)));
+  const Digest root = tree.root();
+  for (std::uint64_t index = 0; index < size; ++index) {
+    const auto proof = tree.inclusion_proof(index, size);
+    EXPECT_TRUE(verify_inclusion(leaf_of("p" + std::to_string(index)), index, size, proof, root))
+        << "index " << index << " size " << size;
+  }
+}
+
+TEST_P(MerklePropertyTest, AllConsistencyProofsVerify) {
+  const std::uint64_t size = GetParam();
+  MerkleTree tree;
+  std::vector<Digest> roots{crypto::Sha256::hash(BytesView{})};
+  for (std::uint64_t i = 0; i < size; ++i) {
+    tree.append(leaf_of("p" + std::to_string(i)));
+    roots.push_back(tree.root());
+  }
+  for (std::uint64_t old_size = 0; old_size <= size; ++old_size) {
+    const auto proof = tree.consistency_proof(old_size, size);
+    EXPECT_TRUE(verify_consistency(old_size, size, roots[old_size], roots[size], proof))
+        << "old " << old_size << " new " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerklePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 32, 33,
+                                           47, 64));
+
+TEST(MerkleTest, HistoricInclusionProofs) {
+  // A proof against an older tree size must verify against that size's root.
+  MerkleTree tree;
+  for (int i = 0; i < 40; ++i) tree.append(leaf_of("h" + std::to_string(i)));
+  for (const std::uint64_t at : {13ull, 21ull, 33ull}) {
+    const Digest root = tree.root_at(at);
+    for (std::uint64_t index = 0; index < at; index += 5) {
+      EXPECT_TRUE(verify_inclusion(leaf_of("h" + std::to_string(index)), index, at,
+                                   tree.inclusion_proof(index, at), root));
+    }
+  }
+}
+
+TEST(MerkleTest, LeafHashDomainSeparation) {
+  // leaf_hash(x) must differ from node_hash over the same bytes (0x00 vs
+  // 0x01 prefixes prevent second-preimage attacks between levels).
+  const Digest a = crypto::Sha256::hash(to_bytes("ab"));
+  EXPECT_NE(hex(leaf_hash(to_bytes("ab"))), hex(crypto::Sha256::hash(to_bytes("ab"))));
+  EXPECT_NE(hex(node_hash(a, a)), hex(leaf_hash(to_bytes(std::string(64, 'x')))));
+}
+
+}  // namespace
+}  // namespace ctwatch::ct

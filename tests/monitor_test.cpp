@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "ctwatch/monitor/passive_monitor.hpp"
+#include "ctwatch/sim/ca.hpp"
+#include "ctwatch/x509/oids.hpp"
+
+namespace ctwatch::monitor {
+namespace {
+
+using crypto::SignatureScheme;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : ca_("Mon CA", "Mon Issuing CA", SignatureScheme::hmac_sha256_simulated),
+        log_(make_config("Mon Log")),
+        other_log_(make_config("Mon Log 2")),
+        now_(SimTime::parse("2018-04-01 12:00:00")) {
+    log_list_.add_log(log_, SimTime::parse("2015-01-01"), true);
+    log_list_.add_log(other_log_, SimTime::parse("2016-01-01"), false);
+  }
+
+  static ct::LogConfig make_config(const std::string& name) {
+    ct::LogConfig config;
+    config.name = name;
+    config.scheme = SignatureScheme::hmac_sha256_simulated;
+    config.verify_submissions = false;
+    return config;
+  }
+
+  sim::IssuanceResult issue_with_ct(const std::string& cn) {
+    sim::IssuanceRequest request;
+    request.subject_cn = cn;
+    request.sans = {x509::SanEntry::dns(cn)};
+    request.not_before = now_;
+    request.not_after = now_ + 90 * 86400;
+    request.logs = {&log_};
+    return ca_.issue(request, now_);
+  }
+
+  tls::ConnectionRecord connection(const x509::Certificate& cert, SimTime when,
+                                   bool signals = true) {
+    tls::ConnectionRecord record;
+    record.time = when;
+    record.server_name = cert.tbs.subject.common_name;
+    record.client_signals_sct = signals;
+    record.certificate = std::make_shared<const x509::Certificate>(cert);
+    record.issuer_public_key = std::make_shared<const Bytes>(ca_.public_key());
+    return record;
+  }
+
+  sim::CertificateAuthority ca_;
+  ct::CtLog log_;
+  ct::CtLog other_log_;
+  ct::LogList log_list_;
+  SimTime now_;
+};
+
+TEST_F(MonitorTest, CountsEmbeddedSctConnections) {
+  PassiveMonitor monitor(log_list_);
+  const auto issued = issue_with_ct("www.example.org");
+  monitor.process(connection(issued.final_certificate, now_));
+  const MonitorTotals& totals = monitor.totals();
+  EXPECT_EQ(totals.connections, 1u);
+  EXPECT_EQ(totals.with_any_sct, 1u);
+  EXPECT_EQ(totals.sct_in_cert, 1u);
+  EXPECT_EQ(totals.sct_in_tls, 0u);
+  EXPECT_EQ(totals.valid_scts, 1u);
+  EXPECT_EQ(totals.invalid_scts, 0u);
+  EXPECT_EQ(monitor.log_usage().at("Mon Log").cert_scts, 1u);
+}
+
+TEST_F(MonitorTest, CountsTlsExtensionScts) {
+  PassiveMonitor monitor(log_list_);
+  // Unlogged certificate, SCT delivered via the TLS extension.
+  sim::IssuanceRequest request;
+  request.subject_cn = "tls.example.org";
+  request.sans = {x509::SanEntry::dns(request.subject_cn)};
+  request.not_before = now_;
+  request.not_after = now_ + 90 * 86400;
+  const x509::Certificate cert = ca_.issue_unlogged(request, now_);
+  const auto submitted = other_log_.add_chain(cert, ca_.public_key(), now_);
+  ASSERT_TRUE(submitted.sct);
+
+  tls::ConnectionRecord record = connection(cert, now_);
+  record.tls_extension_scts =
+      std::make_shared<const tls::SctList>(tls::SctList{*submitted.sct});
+  monitor.process(record);
+
+  EXPECT_EQ(monitor.totals().sct_in_tls, 1u);
+  EXPECT_EQ(monitor.totals().sct_in_cert, 0u);
+  EXPECT_EQ(monitor.totals().valid_scts, 1u);
+  EXPECT_EQ(monitor.log_usage().at("Mon Log 2").tls_scts, 1u);
+}
+
+TEST_F(MonitorTest, TracksChannelOverlaps) {
+  PassiveMonitor monitor(log_list_);
+  const auto issued = issue_with_ct("both.example.org");
+  const auto extra = other_log_.add_chain(issued.final_certificate, ca_.public_key(), now_);
+  ASSERT_TRUE(extra.sct);
+  tls::ConnectionRecord record = connection(issued.final_certificate, now_);
+  record.tls_extension_scts = std::make_shared<const tls::SctList>(tls::SctList{*extra.sct});
+  record.ocsp_scts = record.tls_extension_scts;
+  monitor.process(record);
+  EXPECT_EQ(monitor.totals().cert_and_tls, 1u);
+  EXPECT_EQ(monitor.totals().cert_and_ocsp, 1u);
+  EXPECT_EQ(monitor.totals().tls_and_ocsp, 1u);
+}
+
+TEST_F(MonitorTest, NoSctConnectionCounted) {
+  PassiveMonitor monitor(log_list_);
+  sim::IssuanceRequest request;
+  request.subject_cn = "plain.example.org";
+  request.sans = {x509::SanEntry::dns(request.subject_cn)};
+  request.not_before = now_;
+  request.not_after = now_ + 90 * 86400;
+  const x509::Certificate cert = ca_.issue_unlogged(request, now_);
+  monitor.process(connection(cert, now_));
+  EXPECT_EQ(monitor.totals().connections, 1u);
+  EXPECT_EQ(monitor.totals().with_any_sct, 0u);
+}
+
+TEST_F(MonitorTest, ClientSignalCounting) {
+  PassiveMonitor monitor(log_list_);
+  const auto issued = issue_with_ct("sig.example.org");
+  monitor.process(connection(issued.final_certificate, now_, true));
+  monitor.process(connection(issued.final_certificate, now_, false));
+  monitor.process(connection(issued.final_certificate, now_, true));
+  EXPECT_EQ(monitor.totals().client_signaled, 2u);
+}
+
+TEST_F(MonitorTest, DailyAggregationSplitsByDay) {
+  PassiveMonitor monitor(log_list_);
+  const auto issued = issue_with_ct("daily.example.org");
+  monitor.process(connection(issued.final_certificate, SimTime::parse("2018-04-01 09:00:00")));
+  monitor.process(connection(issued.final_certificate, SimTime::parse("2018-04-01 23:59:59")));
+  monitor.process(connection(issued.final_certificate, SimTime::parse("2018-04-02 00:00:01")));
+  ASSERT_EQ(monitor.daily().size(), 2u);
+  EXPECT_EQ(monitor.daily().begin()->second.connections, 2u);
+  EXPECT_EQ(std::next(monitor.daily().begin())->second.connections, 1u);
+}
+
+TEST_F(MonitorTest, InvalidSctRecordedOncePerCertificate) {
+  PassiveMonitor monitor(log_list_);
+  // A GlobalSign-style SAN reorder invalidates the embedded SCT.
+  sim::IssuanceRequest request;
+  request.subject_cn = "broken.example.org";
+  request.sans = {x509::SanEntry::dns("broken.example.org"),
+                  x509::SanEntry::dns("alt.example.org")};
+  request.not_before = now_;
+  request.not_after = now_ + 90 * 86400;
+  request.logs = {&log_};
+  request.bug = sim::IssuanceBug::san_reorder;
+  const auto issued = ca_.issue(request, now_);
+
+  const auto record = connection(issued.final_certificate, now_);
+  monitor.process(record);
+  monitor.process(record);  // same cert twice: analysis is cached
+  EXPECT_EQ(monitor.totals().invalid_scts, 2u);        // per connection
+  EXPECT_EQ(monitor.invalid_observations().size(), 1u);  // per certificate
+  EXPECT_EQ(monitor.invalid_observations()[0].issuer_cn, "Mon Issuing CA");
+  EXPECT_EQ(monitor.totals().unique_certificates, 1u);
+}
+
+TEST_F(MonitorTest, UnknownLogSctIsInvalid) {
+  PassiveMonitor monitor(log_list_);
+  ct::CtLog rogue(make_config("Rogue Log"));  // not in the log list
+  sim::IssuanceRequest request;
+  request.subject_cn = "rogue.example.org";
+  request.sans = {x509::SanEntry::dns(request.subject_cn)};
+  request.not_before = now_;
+  request.not_after = now_ + 90 * 86400;
+  request.logs = {&rogue};
+  const auto issued = ca_.issue(request, now_);
+  monitor.process(connection(issued.final_certificate, now_));
+  EXPECT_EQ(monitor.totals().invalid_scts, 1u);
+  EXPECT_EQ(monitor.log_usage().count("<unknown>"), 1u);
+}
+
+TEST_F(MonitorTest, CacheMakesRepeatProcessingCheap) {
+  PassiveMonitor monitor(log_list_);
+  const auto issued = issue_with_ct("cached.example.org");
+  const auto record = connection(issued.final_certificate, now_);
+  for (int i = 0; i < 1000; ++i) monitor.process(record);
+  EXPECT_EQ(monitor.totals().connections, 1000u);
+  EXPECT_EQ(monitor.totals().unique_certificates, 1u);
+  EXPECT_EQ(monitor.totals().sct_in_cert, 1000u);
+}
+
+TEST_F(MonitorTest, ThrowsOnMissingCertificate) {
+  PassiveMonitor monitor(log_list_);
+  tls::ConnectionRecord record;
+  record.time = now_;
+  EXPECT_THROW(monitor.process(record), std::invalid_argument);
+}
+
+TEST(EmbeddedSctsTest, MalformedListYieldsEmpty) {
+  x509::Certificate cert;
+  cert.tbs.add_extension(
+      x509::Extension{x509::oids::ct_sct_list(), false, Bytes{0xff, 0xff, 0x00}});
+  EXPECT_TRUE(tls::embedded_scts(cert).empty());
+}
+
+}  // namespace
+}  // namespace ctwatch::monitor

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "ctwatch/net/autonomous_system.hpp"
+#include "ctwatch/net/capture.hpp"
+#include "ctwatch/net/ip.hpp"
+
+namespace ctwatch::net {
+namespace {
+
+// ---------- IPv4 ----------
+
+TEST(IPv4Test, ParseAndFormat) {
+  const auto a = IPv4::parse("192.0.2.17");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "192.0.2.17");
+  EXPECT_EQ(*a, IPv4(192, 0, 2, 17));
+}
+
+TEST(IPv4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPv4::parse(""));
+  EXPECT_FALSE(IPv4::parse("1.2.3"));
+  EXPECT_FALSE(IPv4::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IPv4::parse("256.1.1.1"));
+  EXPECT_FALSE(IPv4::parse("1.2.3.4 "));
+  EXPECT_FALSE(IPv4::parse("a.b.c.d"));
+}
+
+TEST(IPv4Test, Ordering) {
+  EXPECT_LT(IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 2));
+  EXPECT_LT(IPv4(9, 255, 255, 255), IPv4(10, 0, 0, 0));
+}
+
+// ---------- IPv6 ----------
+
+TEST(IPv6Test, ParseFullForm) {
+  const auto a = IPv6::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(IPv6Test, ParseCompressedForms) {
+  EXPECT_EQ(IPv6::parse("::")->to_string(), "::");
+  EXPECT_EQ(IPv6::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(IPv6::parse("2001:db8::")->to_string(), "2001:db8::");
+  EXPECT_EQ(IPv6::parse("2001:db8::5:0:1")->to_string(), "2001:db8::5:0:1");
+}
+
+TEST(IPv6Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPv6::parse("2001:db8"));               // too few groups
+  EXPECT_FALSE(IPv6::parse("1:2:3:4:5:6:7:8:9"));      // too many
+  EXPECT_FALSE(IPv6::parse("2001::db8::1"));           // two "::"
+  EXPECT_FALSE(IPv6::parse("2001:db8::zzzz"));         // bad hex
+  EXPECT_FALSE(IPv6::parse("12345::1"));               // hextet too long
+}
+
+TEST(IPv6Test, RoundTripThroughHextets) {
+  const IPv6 addr = IPv6::from_hextets({0x2001, 0xdb8, 1, 0, 0, 0, 0, 42});
+  EXPECT_EQ(addr.to_string(), "2001:db8:1::2a");
+  EXPECT_EQ(*IPv6::parse(addr.to_string()), addr);
+}
+
+TEST(IPv6Test, LongestZeroRunCompressed) {
+  // Two zero runs: the longer one gets "::".
+  const IPv6 addr = IPv6::from_hextets({1, 0, 0, 2, 0, 0, 0, 3});
+  EXPECT_EQ(addr.to_string(), "1:0:0:2::3");
+}
+
+// ---------- prefixes ----------
+
+TEST(Prefix4Test, ContainsAndMasking) {
+  const Prefix4 p(IPv4(192, 0, 2, 77), 24);
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");  // base is masked
+  EXPECT_TRUE(p.contains(IPv4(192, 0, 2, 1)));
+  EXPECT_TRUE(p.contains(IPv4(192, 0, 2, 255)));
+  EXPECT_FALSE(p.contains(IPv4(192, 0, 3, 1)));
+}
+
+TEST(Prefix4Test, ZeroLengthMatchesEverything) {
+  const Prefix4 all(IPv4(0, 0, 0, 0), 0);
+  EXPECT_TRUE(all.contains(IPv4(255, 255, 255, 255)));
+}
+
+TEST(Prefix4Test, CoversNestedPrefixes) {
+  const Prefix4 big(IPv4(10, 0, 0, 0), 8);
+  const Prefix4 small(IPv4(10, 1, 0, 0), 16);
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+}
+
+TEST(Prefix4Test, ParseAndValidation) {
+  const auto p = Prefix4::parse("100.64.0.0/10");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 10);
+  EXPECT_FALSE(Prefix4::parse("100.64.0.0"));
+  EXPECT_FALSE(Prefix4::parse("100.64.0.0/33"));
+  EXPECT_FALSE(Prefix4::parse("100.64.0.0/x"));
+  EXPECT_THROW(Prefix4(IPv4(1, 2, 3, 4), 40), std::invalid_argument);
+}
+
+TEST(Prefix4Test, Slash24Helper) {
+  EXPECT_EQ(slash24(IPv4(88, 198, 7, 33)).to_string(), "88.198.7.0/24");
+}
+
+// ---------- AS registry & routing ----------
+
+TEST(AsRegistryTest, OriginLongestPrefixMatch) {
+  AsRegistry registry;
+  registry.add(AsInfo{15169, "Google", true});
+  registry.add(AsInfo{29073, "Quasi Networks", false});
+  registry.announce(15169, Prefix4(IPv4(8, 0, 0, 0), 8));
+  registry.announce(29073, Prefix4(IPv4(8, 8, 8, 0), 24));  // more specific
+  EXPECT_EQ(registry.origin(IPv4(8, 8, 8, 8)), 29073u);
+  EXPECT_EQ(registry.origin(IPv4(8, 1, 1, 1)), 15169u);
+  EXPECT_FALSE(registry.origin(IPv4(9, 9, 9, 9)));
+}
+
+TEST(AsRegistryTest, AnnounceRequiresKnownAs) {
+  AsRegistry registry;
+  EXPECT_THROW(registry.announce(64512, Prefix4(IPv4(10, 0, 0, 0), 8)), std::invalid_argument);
+}
+
+TEST(AsRegistryTest, NameLookup) {
+  AsRegistry registry;
+  registry.add(AsInfo{54054, "Deteque", true});
+  EXPECT_EQ(registry.name_of(54054), "Deteque");
+  EXPECT_EQ(registry.name_of(99999), "AS99999");
+  EXPECT_FALSE(registry.lookup(12345));
+  ASSERT_TRUE(registry.lookup(54054));
+  EXPECT_TRUE(registry.lookup(54054)->honors_abuse);
+}
+
+TEST(RoutingTableTest, RoutableAndLongestMatch) {
+  RoutingTable table;
+  table.add_route(*Prefix4::parse("100.64.0.0/10"));
+  table.add_route(*Prefix4::parse("100.64.5.0/24"));
+  EXPECT_TRUE(table.routable(IPv4(100, 64, 5, 9)));
+  EXPECT_EQ(table.match(IPv4(100, 64, 5, 9))->length(), 24);
+  EXPECT_EQ(table.match(IPv4(100, 65, 0, 1))->length(), 10);
+  EXPECT_FALSE(table.routable(IPv4(203, 0, 113, 1)));
+}
+
+TEST(RoutingTableTest, AddAllFromRegistry) {
+  AsRegistry registry;
+  registry.add(AsInfo{64500, "Test", true});
+  registry.announce(64500, Prefix4(IPv4(198, 18, 0, 0), 15));
+  RoutingTable table;
+  table.add_all(registry);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.routable(IPv4(198, 19, 0, 1)));
+}
+
+// ---------- capture ----------
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  CaptureTest() {
+    auto add = [this](std::int64_t t, IPv4 src, std::uint16_t port, const char* sni) {
+      ConnectionEvent event;
+      event.time = SimTime{t};
+      event.src = src;
+      event.dst4 = IPv4(100, 64, 0, 1);
+      event.dst_port = port;
+      event.sni = sni;
+      capture_.record(event);
+    };
+    add(100, IPv4(1, 1, 1, 1), 443, "a.example");
+    add(200, IPv4(1, 1, 1, 1), 80, "a.example");
+    add(300, IPv4(2, 2, 2, 2), 443, "b.example");
+    ConnectionEvent v6;
+    v6.time = SimTime{400};
+    v6.src = IPv4(3, 3, 3, 3);
+    v6.dst6 = *IPv6::parse("2001:db8:1::2a");
+    v6.dst_port = 443;
+    capture_.record(v6);
+  }
+  PacketCapture capture_;
+};
+
+TEST_F(CaptureTest, TimeWindowFilter) {
+  EXPECT_EQ(capture_.between(SimTime{100}, SimTime{300}).size(), 2u);
+  EXPECT_EQ(capture_.between(SimTime{0}, SimTime{1000}).size(), 4u);
+  EXPECT_TRUE(capture_.between(SimTime{500}, SimTime{600}).empty());
+}
+
+TEST_F(CaptureTest, NameFilter) {
+  EXPECT_EQ(capture_.with_name("a.example").size(), 2u);
+  EXPECT_TRUE(capture_.with_name("c.example").empty());
+}
+
+TEST_F(CaptureTest, AddressFilters) {
+  EXPECT_EQ(capture_.to_address(IPv4(100, 64, 0, 1)).size(), 3u);
+  EXPECT_EQ(capture_.to_address(*IPv6::parse("2001:db8:1::2a")).size(), 1u);
+  EXPECT_TRUE(capture_.to_address(*IPv6::parse("2001:db8:1::2b")).empty());
+}
+
+TEST_F(CaptureTest, PortsProbedBySource) {
+  const auto ports = capture_.ports_probed_by(IPv4(1, 1, 1, 1));
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], 80);   // sorted, distinct
+  EXPECT_EQ(ports[1], 443);
+  EXPECT_TRUE(capture_.ports_probed_by(IPv4(9, 9, 9, 9)).empty());
+}
+
+}  // namespace
+}  // namespace ctwatch::net

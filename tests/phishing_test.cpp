@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "ctwatch/phishing/detector.hpp"
+#include "ctwatch/sim/phishing_gen.hpp"
+
+namespace ctwatch::phishing {
+namespace {
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectorTest()
+      : psl_(dns::PublicSuffixList::bundled()), detector_(psl_, standard_rules()) {}
+
+  std::vector<Finding> scan_one(const std::string& name) {
+    const std::vector<std::string> names{name};
+    return detector_.scan(names);
+  }
+
+  dns::PublicSuffixList psl_;
+  PhishingDetector detector_;
+};
+
+TEST_F(DetectorTest, FlagsPaperExampleShapes) {
+  // The exact example shapes from Table 3.
+  for (const auto& [name, brand] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"appleid.apple.com-7etr6eti.gq", "Apple"},
+           {"paypal.com-account-security.money", "PayPal"},
+           {"www-hotmail-login.live", "Microsoft"},
+           {"accounts.google.co.am", "Google"},
+           {"www.ebay.co.uk.dll7.bid", "eBay"},
+       }) {
+    const auto findings = scan_one(name);
+    ASSERT_EQ(findings.size(), 1u) << name;
+    EXPECT_EQ(findings[0].brand, brand) << name;
+  }
+}
+
+TEST_F(DetectorTest, FlagsTaxationOffices) {
+  for (const char* name : {"ato.gov.au.eng-atorefund.com", "hmrc.gov.uk-refund.cf",
+                           "refund.irs.gov.my-irs.com"}) {
+    const auto findings = scan_one(name);
+    ASSERT_EQ(findings.size(), 1u) << name;
+    EXPECT_EQ(findings[0].brand, "Taxation") << name;
+  }
+}
+
+TEST_F(DetectorTest, ExcludesLegitimateDomains) {
+  for (const char* name : {"appleid.apple.com", "www.paypal.com", "login.live.com",
+                           "accounts.google.com", "signin.ebay.com", "www.irs.gov",
+                           "online.hmrc.gov.uk", "www.ato.gov.au"}) {
+    EXPECT_TRUE(scan_one(name).empty()) << name;
+  }
+}
+
+TEST_F(DetectorTest, IgnoresUnrelatedDomains) {
+  for (const char* name : {"www.example.org", "shop.acme123.de", "mail.vertex9.tech"}) {
+    EXPECT_TRUE(scan_one(name).empty()) << name;
+  }
+}
+
+TEST_F(DetectorTest, SkipsInvalidNames) {
+  const std::vector<std::string> names{"not..a..name", "apple phishing!.com",
+                                       "appleid.apple.com-x.gq"};
+  const auto findings = detector_.scan(names);
+  EXPECT_EQ(findings.size(), 1u);
+  EXPECT_EQ(detector_.names_skipped(), 2u);
+  EXPECT_EQ(detector_.names_scanned(), 3u);
+}
+
+TEST_F(DetectorTest, FindingCarriesSuffixAndRegistrable) {
+  const auto findings = scan_one("www.ebay.co.uk.dll7.bid");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].public_suffix, "bid");
+  EXPECT_EQ(findings[0].registrable_domain, "dll7.bid");
+}
+
+TEST_F(DetectorTest, FirstMatchingBrandWins) {
+  // Contains both "paypal" and "google": PayPal is listed first in the rules.
+  const auto findings = scan_one("paypal-google-login.tk");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].brand, "PayPal");
+}
+
+TEST_F(DetectorTest, CaseInsensitiveMatching) {
+  // DnsName normalizes case before matching.
+  const auto findings = scan_one("AppleID.Apple.Com-X.GQ");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].brand, "Apple");
+}
+
+TEST(SummaryTest, AggregatesByBrandAndSuffix) {
+  std::vector<Finding> findings = {
+      {"Apple", "a1.gq", "gq", "a1.gq"},
+      {"Apple", "a2.tk", "tk", "a2.tk"},
+      {"eBay", "e1.bid", "bid", "e1.bid"},
+  };
+  const auto summary = PhishingDetector::summarize(findings);
+  EXPECT_EQ(summary.at("Apple").count, 2u);
+  EXPECT_EQ(summary.at("Apple").example, "a1.gq");
+  EXPECT_EQ(summary.at("Apple").by_suffix.at("gq"), 1u);
+  EXPECT_EQ(summary.at("eBay").count, 1u);
+}
+
+TEST(GeneratedCorpusTest, DetectorFindsEveryPlantedPhish) {
+  const sim::PhishingCorpus corpus = sim::generate_phishing_corpus();
+  dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  PhishingDetector detector(psl, standard_rules());
+  const auto findings = detector.scan(corpus.names);
+  // Every planted phishing name is flagged; no legitimate name is.
+  EXPECT_EQ(findings.size(), corpus.planted_phishing);
+  for (const Finding& finding : findings) {
+    for (const BrandRule& rule : standard_rules()) {
+      EXPECT_FALSE(rule.legitimate_domains.contains(finding.registrable_domain))
+          << finding.fqdn;
+    }
+  }
+}
+
+TEST(GeneratedCorpusTest, SuffixLinksMatchPaperDirection) {
+  const sim::PhishingCorpus corpus = sim::generate_phishing_corpus();
+  dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  PhishingDetector detector(psl, standard_rules());
+  const auto summary = PhishingDetector::summarize(detector.scan(corpus.names));
+  // eBay leans on bid/review; Apple/PayPal dominate the totals.
+  const auto& ebay = summary.at("eBay");
+  const std::uint64_t bid_review = (ebay.by_suffix.count("bid") ? ebay.by_suffix.at("bid") : 0) +
+                                   (ebay.by_suffix.count("review") ? ebay.by_suffix.at("review") : 0);
+  EXPECT_GT(bid_review, 0u);
+  EXPECT_GT(summary.at("Apple").count, summary.at("Microsoft").count);
+  EXPECT_GT(summary.at("PayPal").count, summary.at("Google").count);
+}
+
+}  // namespace
+}  // namespace ctwatch::phishing

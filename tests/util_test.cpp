@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ctwatch/util/encoding.hpp"
+#include "ctwatch/util/rng.hpp"
+#include "ctwatch/util/strings.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch {
+namespace {
+
+// ---------- time ----------
+
+TEST(TimeTest, CivilRoundTripEpoch) {
+  const SimTime t{0};
+  const CivilTime c = t.civil();
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+  EXPECT_EQ(SimTime::from_civil(c).unix_seconds(), 0);
+}
+
+TEST(TimeTest, ParsesDateAndDateTime) {
+  EXPECT_EQ(SimTime::parse("2018-04-12 14:16:59").datetime_string(), "2018-04-12 14:16:59");
+  EXPECT_EQ(SimTime::parse("2018-04-12").date_string(), "2018-04-12");
+}
+
+TEST(TimeTest, RejectsMalformedInput) {
+  EXPECT_THROW(SimTime::parse("not a date"), std::invalid_argument);
+  EXPECT_THROW(SimTime::parse("2018-13-01"), std::invalid_argument);
+  EXPECT_THROW(SimTime::parse("2018-02-30"), std::invalid_argument);
+  EXPECT_THROW(SimTime::parse("2018-04-12 25:00:00"), std::invalid_argument);
+}
+
+TEST(TimeTest, LeapYearHandling) {
+  EXPECT_EQ(days_in_month(2016, 2), 29);
+  EXPECT_EQ(days_in_month(2018, 2), 28);
+  EXPECT_EQ(days_in_month(2000, 2), 29);
+  EXPECT_EQ(days_in_month(1900, 2), 28);
+  EXPECT_NO_THROW(SimTime::parse("2016-02-29"));
+  EXPECT_THROW(SimTime::parse("2018-02-29"), std::invalid_argument);
+}
+
+TEST(TimeTest, CivilRoundTripPropertySweep) {
+  // Every 97th day across 1970..2038 must round-trip exactly.
+  for (std::int64_t day = 0; day < 25000; day += 97) {
+    int y, m, d;
+    civil_from_days(day, y, m, d);
+    EXPECT_EQ(days_from_civil(y, m, d), day);
+  }
+}
+
+TEST(TimeTest, DayIndexAndStartOfDay) {
+  const SimTime t = SimTime::parse("2018-04-12 14:16:59");
+  EXPECT_EQ(t.start_of_day().datetime_string(), "2018-04-12 00:00:00");
+  EXPECT_EQ(t.day_index(), t.start_of_day().unix_seconds() / 86400);
+}
+
+TEST(TimeTest, ArithmeticAndComparison) {
+  const SimTime a = SimTime::parse("2018-04-12 14:00:00");
+  const SimTime b = a + 73;
+  EXPECT_EQ(b - a, 73);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((a + 86400).date_string(), "2018-04-13");
+}
+
+TEST(TimeTest, FormatDeltaMatchesPaperStyle) {
+  EXPECT_EQ(format_delta(73), "73s");
+  EXPECT_EQ(format_delta(120), "120s");
+  EXPECT_EQ(format_delta(11 * 60), "11m");
+  EXPECT_EQ(format_delta(2 * 3600 + 100), "121m");  // Table 4 keeps minutes to ~2h
+  EXPECT_EQ(format_delta(5 * 3600), "5h");
+  EXPECT_EQ(format_delta(19 * 86400), "19d");
+}
+
+TEST(TimeTest, ShortStringFormat) {
+  EXPECT_EQ(SimTime::parse("2018-04-12 14:16:59").short_string(), "04-12 14:16:59");
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock(SimTime::parse("2018-01-01"));
+  clock.advance_by(60);
+  EXPECT_EQ(clock.now().datetime_string(), "2018-01-01 00:01:00");
+  EXPECT_THROW(clock.advance_to(SimTime::parse("2017-12-31")), std::logic_error);
+}
+
+// ---------- rng ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(RngTest, BetweenInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+  EXPECT_THROW(rng.between(2, 1), std::invalid_argument);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> hits{};
+  for (int i = 0; i < 40000; ++i) ++hits[rng.weighted(weights)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / hits[0], 3.0, 0.3);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.weighted(zero), std::invalid_argument);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(rng.weighted(negative), std::invalid_argument);
+}
+
+TEST(RngTest, AlnumLabelShapeAndCharset) {
+  Rng rng(17);
+  const std::string label = rng.alnum_label(12);
+  EXPECT_EQ(label.size(), 12u);
+  for (char c : label) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork();
+  // The child stream must not replay the parent's.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == child()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / 50000, 4.0, 0.2);
+  EXPECT_THROW(rng.exponential(0), std::invalid_argument);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfSampler zipf(1000, 1.0);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(100));
+}
+
+TEST(ZipfTest, SamplesFollowSkew) {
+  Rng rng(31);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 100000; ++i) ++hits[zipf.sample(rng)];
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[0], 10000);  // rank 0 dominates
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(50, 0.8);
+  double sum = 0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) sum += zipf.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// ---------- encoding ----------
+
+TEST(EncodingTest, HexRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), data);
+  EXPECT_EQ(hex_decode("0001ABFF"), data);
+}
+
+TEST(EncodingTest, HexRejectsBadInput) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+}
+
+TEST(EncodingTest, Base64KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(EncodingTest, Base64RoundTripAllByteValues) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(base64_decode(base64_encode(data)), data);
+}
+
+TEST(EncodingTest, Base64RejectsMalformed) {
+  EXPECT_THROW(base64_decode("Zg="), std::invalid_argument);    // bad length
+  EXPECT_THROW(base64_decode("Z!=="), std::invalid_argument);   // bad char
+  EXPECT_THROW(base64_decode("=AAA"), std::invalid_argument);   // misplaced pad
+  EXPECT_THROW(base64_decode("Zg=a"), std::invalid_argument);   // data after pad
+}
+
+// ---------- strings ----------
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, JoinInverseOfSplit) {
+  const std::vector<std::string> parts{"www", "example", "co", "uk"};
+  EXPECT_EQ(join(parts, "."), "www.example.co.uk");
+  EXPECT_EQ(split("www.example.co.uk", '.'), parts);
+}
+
+TEST(StringsTest, HumanCountMatchesPaperStyle) {
+  EXPECT_EQ(human_count(61.1e6), "61.1M");
+  EXPECT_EQ(human_count(303e3, 0), "303k");
+  EXPECT_EQ(human_count(8.6e9), "8.6G");
+  EXPECT_EQ(human_count(42), "42");
+}
+
+TEST(StringsTest, PercentFormatting) {
+  EXPECT_EQ(percent(3261, 10000), "32.61%");
+  EXPECT_EQ(percent(1, 0), "0.00%");
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("xyz", 2), "xyz");  // never truncates
+}
+
+TEST(StringsTest, ToLowerAndContains) {
+  EXPECT_EQ(to_lower("WwW.ExAmPle.COM"), "www.example.com");
+  EXPECT_TRUE(contains("appleid.apple.com-x.gq", "appleid"));
+  EXPECT_FALSE(contains("example.org", "apple"));
+}
+
+}  // namespace
+}  // namespace ctwatch
