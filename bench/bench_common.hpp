@@ -1,13 +1,19 @@
 // Shared scaffolding for the experiment binaries: each binary prints its
-// paper artifact (the reproduction) and then runs its registered
-// google-benchmark timings for the analysis hot paths.
+// paper artifact (the reproduction), runs its registered google-benchmark
+// timings for the analysis hot paths, and finally snapshots the obs
+// metrics registry as JSON next to the artifact output — the
+// machine-readable producer behind the BENCH_*.json trajectory.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "ctwatch/core/ctwatch.hpp"
+#include "ctwatch/obs/obs.hpp"
 
 namespace ctwatch::bench {
 
@@ -19,36 +25,62 @@ inline void banner(const char* artifact, const char* note) {
 }
 
 /// Builds the standard ecosystem and runs the 2013-2018 issuance timeline.
-/// `scale` is the fraction of real-world volume.
+/// `scale` is the fraction of real-world volume. One magic-static guards
+/// both construction and the run, so concurrent first calls are safe and
+/// the timeline executes exactly once (with the first caller's scale).
+/// The run's totals land in the obs metrics registry (sim.timeline.*,
+/// ct.log.*) instead of being printf'd here.
 inline sim::Ecosystem& timeline_ecosystem(double scale = 1.0 / 2000.0) {
-  static sim::Ecosystem ecosystem = [] {
+  static sim::Ecosystem* ecosystem = [scale] {
     sim::EcosystemOptions options;
     options.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
     options.verify_submissions = false;
     options.store_bodies = false;
-    return sim::Ecosystem(options);
+    auto* built = new sim::Ecosystem(options);
+    sim::TimelineOptions timeline_options;
+    timeline_options.scale = scale;
+    sim::TimelineSimulator simulator(*built, timeline_options);
+    simulator.run();
+    return built;
   }();
-  static bool ran = false;
-  if (!ran) {
-    ran = true;
-    sim::TimelineOptions options;
-    options.scale = scale;
-    sim::TimelineSimulator simulator(ecosystem, options);
-    const sim::TimelineStats stats = simulator.run();
-    std::printf("[timeline] issued %llu certificates, %llu log submissions, "
-                "%llu rejected for overload (scale %.5f)\n\n",
-                static_cast<unsigned long long>(stats.issued),
-                static_cast<unsigned long long>(stats.log_submissions),
-                static_cast<unsigned long long>(stats.overloaded), scale);
+  return *ecosystem;
+}
+
+/// Where run_benchmarks() writes the metrics snapshot: the
+/// CTWATCH_METRICS_JSON environment variable, or "<program>.metrics.json"
+/// in the working directory.
+inline std::string metrics_snapshot_path(const char* argv0) {
+  if (const char* env = std::getenv("CTWATCH_METRICS_JSON"); env != nullptr && env[0] != '\0') {
+    return env;
   }
-  return ecosystem;
+  std::string name = argv0 != nullptr ? argv0 : "bench";
+  if (const std::size_t slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  return name + ".metrics.json";
+}
+
+/// Dumps the full metrics registry as JSON. The headline pipeline metrics
+/// are pre-registered first so the key set is stable across benches even
+/// when a bench never exercised a given subsystem.
+inline void dump_metrics_snapshot(const std::string& path) {
+  obs::preregister_pipeline_metrics();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot write metrics snapshot to %s\n", path.c_str());
+    return;
+  }
+  out << obs::Registry::global().render_json() << "\n";
+  std::printf("[obs] metrics snapshot written to %s\n", path.c_str());
 }
 
 inline int run_benchmarks(int argc, char** argv) {
+  const std::string snapshot_path = metrics_snapshot_path(argc > 0 ? argv[0] : nullptr);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  dump_metrics_snapshot(snapshot_path);
   return 0;
 }
 

@@ -1,0 +1,190 @@
+// ctwatch::obs — metrics registry.
+//
+// Monotonic counters, gauges, and fixed-bucket histograms with quantile
+// readout, held in a process-global registry. Handles are pre-registered
+// once (name lookup under a mutex) and then shared; after that a hot-path
+// event costs one relaxed atomic RMW. The registry renders as a human
+// table and as JSON — the machine-readable source of truth the bench
+// binaries snapshot next to their artifact output.
+//
+// Defining CTWATCH_OBS_DISABLED compiles the whole subsystem down to
+// empty inline stubs with the identical API: call sites need no #ifdefs
+// and the optimizer erases them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef CTWATCH_OBS_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ctwatch::obs {
+
+/// Monotonically increasing event count. Thread-safe; increments are
+/// relaxed — totals are exact, ordering against other metrics is not.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that goes up and down (current simulated day, queue depth, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges plus an
+/// implicit +inf overflow bucket. Observation is one bucket search plus
+/// three relaxed atomics; quantiles are reconstructed from bucket counts
+/// with linear interpolation inside the hit bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; returns the interpolated value, or 0 when empty. Mass in
+  /// the overflow bucket reports the largest finite bound.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;                       // sorted upper edges
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` edges starting at `start`, each `factor` times the previous —
+/// the usual latency-histogram layout.
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count);
+
+/// Times a scope and records microseconds into a histogram. Compiles to
+/// nothing when the subsystem is disabled (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->observe(std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Name -> metric. Lookup is mutexed; returned references live for the
+/// process, so modules resolve their handles once in a local static.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-requesting an existing histogram ignores `bounds`. An empty
+  /// `bounds` gets the default microsecond latency layout.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  /// Human-readable table, one metric per line, sorted by name.
+  [[nodiscard]] std::string render_text() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+  /// p50,p90,p99}}} with names sorted.
+  [[nodiscard]] std::string render_json() const;
+  /// Zeroes every metric; handles stay valid. Intended for tests.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ctwatch::obs
+
+#else  // CTWATCH_OBS_DISABLED — same API, empty inline bodies.
+
+namespace ctwatch::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t = 1) {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) {}
+  void add(std::int64_t) {}
+  [[nodiscard]] std::int64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  void observe(double) {}
+  [[nodiscard]] std::uint64_t count() const { return 0; }
+  [[nodiscard]] double sum() const { return 0.0; }
+  [[nodiscard]] double mean() const { return 0.0; }
+  [[nodiscard]] double quantile(double) const { return 0.0; }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const { return {}; }
+  void reset() {}
+};
+
+inline std::vector<double> exponential_bounds(double, double, std::size_t) { return {}; }
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+};
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry registry;
+    return registry;
+  }
+  Counter& counter(const std::string&) { return counter_; }
+  Gauge& gauge(const std::string&) { return gauge_; }
+  Histogram& histogram(const std::string&, std::vector<double> = {}) { return histogram_; }
+  [[nodiscard]] std::string render_text() const { return ""; }
+  [[nodiscard]] std::string render_json() const {
+    return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+  }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+}  // namespace ctwatch::obs
+
+#endif  // CTWATCH_OBS_DISABLED

@@ -1,0 +1,30 @@
+// ctwatch::obs — umbrella header.
+//
+// Observability for the measurement pipeline itself: a metrics registry
+// (counters / gauges / histograms), tracing spans with chrome://tracing
+// export, and a structured logger. Sits below util in the layering — it
+// depends on nothing else in ctwatch, so every module may instrument
+// itself freely.
+//
+// Environment knobs (all optional; silence is the default):
+//   CTWATCH_LOG=trace|debug|info|warn|error   enable the logger
+//   CTWATCH_TRACE=1                           enable span collection
+//   CTWATCH_METRICS_JSON=path                 bench metrics snapshot path
+//
+// Define CTWATCH_OBS_DISABLED (CMake: -DCTWATCH_OBS_DISABLED=ON) to
+// compile the whole subsystem down to no-ops.
+#pragma once
+
+#include "ctwatch/obs/log.hpp"
+#include "ctwatch/obs/metrics.hpp"
+#include "ctwatch/obs/trace.hpp"
+
+namespace ctwatch::obs {
+
+/// Registers the pipeline's headline metrics (ct.log.*, sim.timeline.*,
+/// monitor.*, dns.resolver.*, enum.funnel.*) so that a snapshot taken
+/// before the corresponding code path ran still carries them as zeros —
+/// the BENCH_*.json trajectory wants a stable key set.
+void preregister_pipeline_metrics();
+
+}  // namespace ctwatch::obs

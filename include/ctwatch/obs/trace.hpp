@@ -1,0 +1,130 @@
+// ctwatch::obs — tracing spans.
+//
+// RAII scoped timers with parent/child nesting tracked per thread. The
+// global Tracer is off by default (a Span then costs one relaxed load);
+// when enabled — via the API or the CTWATCH_TRACE environment variable —
+// finished spans are collected and exportable two ways:
+//
+//   * chrome_trace_json(): the Trace Event Format, loadable directly in
+//     chrome://tracing or Perfetto, and
+//   * aggregate_table(): per-span-name count / total / mean / max, the
+//     quick "where did the time go" view.
+//
+// Span names should be low-cardinality string literals ("sim.timeline.run");
+// variable data belongs in metrics or log fields, not span names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef CTWATCH_OBS_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace ctwatch::obs {
+
+/// One finished span. Timestamps are microseconds since the first use of
+/// the tracer in this process (steady clock).
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint64_t thread_id = 0;  ///< small per-process ordinal, 1-based
+  std::uint32_t id = 0;         ///< 1-based; 0 is "no span"
+  std::uint32_t parent_id = 0;  ///< 0 for roots
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(SpanRecord record);
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::string chrome_trace_json() const;
+  [[nodiscard]] std::string aggregate_table() const;
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+  void clear();
+
+  // Internal plumbing for Span; not part of the public surface.
+  std::uint32_t next_span_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t now_us() const;
+
+ private:
+  Tracer();  // reads CTWATCH_TRACE
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> next_id_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span: opens on construction, records on destruction. Nesting is
+/// derived from a thread-local stack of live span ids.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t id_ = 0;
+  std::uint32_t parent_id_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace ctwatch::obs
+
+#else  // CTWATCH_OBS_DISABLED
+
+namespace ctwatch::obs {
+
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint64_t thread_id = 0;
+  std::uint32_t id = 0;
+  std::uint32_t parent_id = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global() {
+    static Tracer tracer;
+    return tracer;
+  }
+  void set_enabled(bool) {}
+  [[nodiscard]] bool enabled() const { return false; }
+  void record(SpanRecord) {}
+  [[nodiscard]] std::vector<SpanRecord> spans() const { return {}; }
+  [[nodiscard]] std::string chrome_trace_json() const { return "{\"traceEvents\":[]}"; }
+  [[nodiscard]] std::string aggregate_table() const { return ""; }
+  bool write_chrome_trace(const std::string&) const { return false; }
+  void clear() {}
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+};
+
+}  // namespace ctwatch::obs
+
+#endif  // CTWATCH_OBS_DISABLED
+
+/// Opens a span covering the rest of the enclosing scope.
+#define CTWATCH_SPAN_CONCAT2(a, b) a##b
+#define CTWATCH_SPAN_CONCAT(a, b) CTWATCH_SPAN_CONCAT2(a, b)
+#define CTWATCH_SPAN(name) \
+  ::ctwatch::obs::Span CTWATCH_SPAN_CONCAT(ctwatch_span_, __LINE__)(name)

@@ -4,9 +4,21 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "ctwatch/obs/log.hpp"
 #include "ctwatch/util/strings.hpp"
 
 namespace ctwatch::asn1 {
+
+namespace {
+
+// DER parse failures surface as exceptions to the caller; the default-
+// silent structured log adds the byte offset for pipeline debugging.
+[[noreturn]] void parse_error(const char* reason, std::size_t offset) {
+  obs::log_debug("asn1.der", "parse error", {{"reason", reason}, {"offset", offset}});
+  throw std::invalid_argument(std::string("DER parser: ") + reason);
+}
+
+}  // namespace
 
 Oid Oid::parse(const std::string& dotted) {
   Oid oid;
@@ -174,11 +186,11 @@ Bytes encode_explicit(unsigned n, BytesView inner) {
 }
 
 Tlv Parser::next() {
-  if (done()) throw std::invalid_argument("DER parser: input exhausted");
+  if (done()) parse_error("input exhausted", pos_);
   const std::size_t start = pos_;
   const std::uint8_t tag = data_[pos_++];
-  if ((tag & 0x1f) == 0x1f) throw std::invalid_argument("DER parser: multi-byte tags unsupported");
-  if (pos_ >= data_.size()) throw std::invalid_argument("DER parser: truncated length");
+  if ((tag & 0x1f) == 0x1f) parse_error("multi-byte tags unsupported", start);
+  if (pos_ >= data_.size()) parse_error("truncated length", start);
   std::size_t length = 0;
   const std::uint8_t first = data_[pos_++];
   if (first < 0x80) {
@@ -186,13 +198,13 @@ Tlv Parser::next() {
   } else {
     const std::size_t count = first & 0x7f;
     if (count == 0 || count > sizeof(std::size_t)) {
-      throw std::invalid_argument("DER parser: unsupported length form");
+      parse_error("unsupported length form", start);
     }
-    if (pos_ + count > data_.size()) throw std::invalid_argument("DER parser: truncated length");
+    if (pos_ + count > data_.size()) parse_error("truncated length", start);
     for (std::size_t i = 0; i < count; ++i) length = length << 8 | data_[pos_++];
-    if (length < 0x80) throw std::invalid_argument("DER parser: non-minimal length");
+    if (length < 0x80) parse_error("non-minimal length", start);
   }
-  if (pos_ + length > data_.size()) throw std::invalid_argument("DER parser: truncated value");
+  if (pos_ + length > data_.size()) parse_error("truncated value", start);
   Tlv out;
   out.tag = tag;
   out.value = data_.subspan(pos_, length);
@@ -206,6 +218,7 @@ Tlv Parser::expect(std::uint8_t tag) {
   if (t.tag != tag) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "DER parser: expected tag 0x%02x, got 0x%02x", tag, t.tag);
+    obs::log_debug("asn1.der", "tag mismatch", {{"expected", tag}, {"got", t.tag}});
     throw std::invalid_argument(buf);
   }
   return t;

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "ctwatch/obs/obs.hpp"
 #include "ctwatch/util/strings.hpp"
 
 namespace ctwatch::core {
@@ -16,6 +17,7 @@ std::string month_key(SimTime t) {
 }
 
 LogEvolutionReport LogEvolutionStudy::run(const std::string& focus_month) const {
+  CTWATCH_SPAN("core.log_evolution.run");
   LogEvolutionReport report;
   report.focus_month = focus_month;
 
@@ -105,6 +107,11 @@ LogEvolutionReport LogEvolutionStudy::run(const std::string& focus_month) const 
   report.top5_share = total_unique > 0
                           ? static_cast<double>(top5) / static_cast<double>(total_unique)
                           : 0.0;
+  obs::log_info("core.log_evolution", "study complete",
+                {{"entries", rows.size()},
+                 {"unique_certificates", total_unique},
+                 {"months", report.months.size()},
+                 {"top5_share", report.top5_share}});
 
   // Matrix sparsity + Let's Encrypt load distribution.
   const auto log_count = sim::Ecosystem::standard_logs().size();

@@ -3,8 +3,30 @@
 #include <stdexcept>
 
 #include "ctwatch/ct/wire.hpp"
+#include "ctwatch/obs/obs.hpp"
 
 namespace ctwatch::ct {
+
+namespace {
+
+// Shared across all log instances: the pipeline-wide view of submission
+// traffic. Handles resolved once; each event is one relaxed atomic.
+struct SubmitMetrics {
+  obs::Counter& submissions = obs::Registry::global().counter("ct.log.submissions");
+  obs::Counter& accepted = obs::Registry::global().counter("ct.log.accepted");
+  obs::Counter& rejected_invalid = obs::Registry::global().counter("ct.log.rejected_invalid");
+  obs::Counter& overloaded = obs::Registry::global().counter("ct.log.overload_rejections");
+  obs::Counter& dedup_hits = obs::Registry::global().counter("ct.log.dedup_hits");
+  obs::Histogram& merkle_integrate_us =
+      obs::Registry::global().histogram("ct.log.merkle_integrate_us");
+};
+
+SubmitMetrics& submit_metrics() {
+  static SubmitMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Bytes merkle_leaf_bytes(std::uint64_t timestamp_ms, const SignedEntry& entry) {
   Bytes out;
@@ -45,18 +67,27 @@ SubmitResult CtLog::add_pre_chain(const x509::Certificate& precert, BytesView is
 
 SubmitResult CtLog::submit(const x509::Certificate& cert, BytesView issuer_public_key, SimTime now,
                            EntryType type) {
+  SubmitMetrics& metrics = submit_metrics();
+  metrics.submissions.inc();
+
   // Capacity enforcement (per UTC hour).
   if (config_.capacity_per_hour > 0) {
     const std::int64_t hour = now.unix_seconds() / 3600;
     std::uint64_t& count = hourly_submissions_[hour];
     if (count >= config_.capacity_per_hour) {
       ++overload_rejections_;
+      metrics.overloaded.inc();
+      obs::log_debug("ct.log", "submission rejected for overload",
+                     {{"log", config_.name}, {"hour", hour}});
       return {SubmitStatus::overloaded, std::nullopt};
     }
     ++count;
   }
 
   if (config_.verify_submissions && !cert.verify(issuer_public_key)) {
+    metrics.rejected_invalid.inc();
+    obs::log_debug("ct.log", "submission failed chain verification",
+                   {{"log", config_.name}, {"issuer", cert.tbs.issuer.common_name}});
     return {SubmitStatus::rejected_invalid, std::nullopt};
   }
 
@@ -70,6 +101,7 @@ SubmitResult CtLog::submit(const x509::Certificate& cert, BytesView issuer_publi
   if (config_.store_bodies) {
     const Bytes fp_bytes(fp.begin(), fp.end());
     if (const auto it = dedup_.find(fp_bytes); it != dedup_.end()) {
+      metrics.dedup_hits.inc();
       const LogEntry& existing = entries_[it->second];
       SignedCertificateTimestamp sct;
       sct.log_id = log_id();
@@ -96,7 +128,11 @@ SubmitResult CtLog::submit(const x509::Certificate& cert, BytesView issuer_publi
     log_entry.certificate = cert;
   }
 
-  tree_.append_data(merkle_leaf_bytes(sct.timestamp_ms, entry));
+  {
+    obs::ScopedTimer timer(metrics.merkle_integrate_us);
+    tree_.append_data(merkle_leaf_bytes(sct.timestamp_ms, entry));
+  }
+  metrics.accepted.inc();
   entries_.push_back(std::move(log_entry));
   for (const Subscriber& subscriber : subscribers_) subscriber(*this, entries_.back());
   return {SubmitStatus::ok, sct};

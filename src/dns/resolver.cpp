@@ -1,6 +1,26 @@
 #include "ctwatch/dns/resolver.hpp"
 
+#include "ctwatch/obs/obs.hpp"
+
 namespace ctwatch::dns {
+
+namespace {
+
+struct ResolverMetrics {
+  obs::Counter& queries = obs::Registry::global().counter("dns.resolver.queries");
+  obs::Counter& answered = obs::Registry::global().counter("dns.resolver.answered");
+  obs::Counter& nxdomain = obs::Registry::global().counter("dns.resolver.nxdomain");
+  obs::Counter& no_data = obs::Registry::global().counter("dns.resolver.no_data");
+  obs::Counter& chain_too_long = obs::Registry::global().counter("dns.resolver.chain_too_long");
+  obs::Counter& auth_queries = obs::Registry::global().counter("dns.auth.queries");
+};
+
+ResolverMetrics& resolver_metrics() {
+  static ResolverMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Zone& AuthoritativeServer::add_zone(DnsName origin) {
   const std::string key = origin.to_string();
@@ -24,6 +44,7 @@ const Zone* AuthoritativeServer::find_zone(const DnsName& name) const {
 
 std::vector<ResourceRecord> AuthoritativeServer::query(const DnsQuestion& question,
                                                        const QueryContext& context) {
+  resolver_metrics().auth_queries.inc();
   std::vector<ResourceRecord> answers;
   if (const Zone* zone = find_zone(question.qname)) {
     answers = zone->lookup(question.qname, question.qtype);
@@ -58,6 +79,8 @@ std::optional<net::IPv4> ResolveResult::first_a() const {
 ResolveResult RecursiveResolver::resolve(const DnsName& qname, RrType qtype, SimTime when,
                                          std::optional<net::IPv4> stub_client,
                                          int max_cname_hops) const {
+  ResolverMetrics& metrics = resolver_metrics();
+  metrics.queries.inc();
   ResolveResult result;
   QueryContext context;
   context.time = when;
@@ -73,6 +96,7 @@ ResolveResult RecursiveResolver::resolve(const DnsName& qname, RrType qtype, Sim
     AuthoritativeServer* server = universe_->find_authoritative(current);
     if (server == nullptr) {
       result.status = ResolveStatus::nxdomain;
+      metrics.nxdomain.inc();
       return result;
     }
     const auto answers = server->query(DnsQuestion{current, qtype}, context);
@@ -89,12 +113,16 @@ ResolveResult RecursiveResolver::resolve(const DnsName& qname, RrType qtype, Sim
         }
       }
       result.status = exists ? ResolveStatus::no_data : ResolveStatus::nxdomain;
+      (exists ? metrics.no_data : metrics.nxdomain).inc();
       return result;
     }
     if (answers.front().type == RrType::CNAME && qtype != RrType::CNAME) {
       if (hop == max_cname_hops) {
         result.status = ResolveStatus::chain_too_long;
         result.cname_hops = hop;
+        metrics.chain_too_long.inc();
+        obs::log_trace("dns.resolver", "cname chain exceeded hop limit",
+                       {{"qname", qname.to_string()}, {"hops", hop}});
         return result;
       }
       current = answers.front().target();
@@ -103,9 +131,11 @@ ResolveResult RecursiveResolver::resolve(const DnsName& qname, RrType qtype, Sim
     }
     result.status = ResolveStatus::ok;
     result.answers = answers;
+    metrics.answered.inc();
     return result;
   }
   result.status = ResolveStatus::chain_too_long;
+  metrics.chain_too_long.inc();
   return result;
 }
 

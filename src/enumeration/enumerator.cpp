@@ -4,8 +4,27 @@
 #include <map>
 
 #include "ctwatch/dns/name.hpp"
+#include "ctwatch/obs/obs.hpp"
 
 namespace ctwatch::enumeration {
+
+namespace {
+
+struct FunnelMetrics {
+  obs::Counter& candidates = obs::Registry::global().counter("enum.funnel.candidates");
+  obs::Counter& test_replies = obs::Registry::global().counter("enum.funnel.test_replies");
+  obs::Counter& control_replies = obs::Registry::global().counter("enum.funnel.control_replies");
+  obs::Counter& unroutable = obs::Registry::global().counter("enum.funnel.unroutable_dropped");
+  obs::Counter& confirmed = obs::Registry::global().counter("enum.funnel.confirmed");
+  obs::Counter& novel = obs::Registry::global().counter("enum.funnel.novel");
+};
+
+FunnelMetrics& funnel_metrics() {
+  static FunnelMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::vector<std::pair<std::string, std::string>> SubdomainEnumerator::build_plan() const {
   std::vector<std::pair<std::string, std::string>> plan;
@@ -35,6 +54,7 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
                                       const dns::RecursiveResolver& resolver,
                                       const net::RoutingTable& routing, Rng& rng,
                                       SimTime when) const {
+  CTWATCH_SPAN("enum.funnel.run");
   FunnelResult result;
   const auto plan = build_plan();
   std::set<std::string> labels_used;
@@ -114,6 +134,21 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
       }
     }
   }
+
+  // One bulk update per run keeps the per-candidate loop free of metric
+  // traffic while the registry still sees every funnel stage.
+  FunnelMetrics& metrics = funnel_metrics();
+  metrics.candidates.inc(result.candidates);
+  metrics.test_replies.inc(result.test_replies);
+  metrics.control_replies.inc(result.control_replies);
+  metrics.unroutable.inc(result.unroutable_dropped);
+  metrics.confirmed.inc(result.confirmed);
+  metrics.novel.inc(result.novel);
+  obs::log_info("enum.funnel", "funnel complete",
+                {{"candidates", result.candidates},
+                 {"test_replies", result.test_replies},
+                 {"confirmed", result.confirmed},
+                 {"novel", result.novel}});
   return result;
 }
 

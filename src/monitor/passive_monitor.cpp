@@ -3,13 +3,37 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ctwatch/obs/obs.hpp"
+
 namespace ctwatch::monitor {
+
+namespace {
+
+struct MonitorMetrics {
+  obs::Counter& connections = obs::Registry::global().counter("monitor.connections");
+  obs::Counter& sct_cert = obs::Registry::global().counter("monitor.sct.cert");
+  obs::Counter& sct_tls = obs::Registry::global().counter("monitor.sct.tls");
+  obs::Counter& sct_ocsp = obs::Registry::global().counter("monitor.sct.ocsp");
+  obs::Counter& sct_valid = obs::Registry::global().counter("monitor.sct.valid");
+  obs::Counter& sct_invalid = obs::Registry::global().counter("monitor.sct.invalid");
+  obs::Counter& cache_hits = obs::Registry::global().counter("monitor.cert_cache.hits");
+  obs::Counter& cache_misses = obs::Registry::global().counter("monitor.cert_cache.misses");
+};
+
+MonitorMetrics& monitor_metrics() {
+  static MonitorMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void PassiveMonitor::process(const tls::ConnectionRecord& connection) {
   if (!connection.certificate) {
     throw std::invalid_argument("PassiveMonitor: connection without certificate");
   }
+  MonitorMetrics& metrics = monitor_metrics();
   ++totals_.connections;
+  metrics.connections.inc();
   DailyCounters& day = daily_[connection.time.day_index()];
   ++day.connections;
   if (connection.client_signals_sct) ++totals_.client_signaled;
@@ -19,14 +43,17 @@ void PassiveMonitor::process(const tls::ConnectionRecord& connection) {
   if (analysis.has_cert_sct) {
     ++totals_.sct_in_cert;
     ++day.sct_in_cert;
+    metrics.sct_cert.inc();
   }
   if (analysis.has_tls_sct) {
     ++totals_.sct_in_tls;
     ++day.sct_in_tls;
+    metrics.sct_tls.inc();
   }
   if (analysis.has_ocsp_sct) {
     ++totals_.sct_in_ocsp;
     ++day.sct_in_ocsp;
+    metrics.sct_ocsp.inc();
   }
   if (analysis.has_cert_sct || analysis.has_tls_sct || analysis.has_ocsp_sct) {
     ++totals_.with_any_sct;
@@ -37,8 +64,8 @@ void PassiveMonitor::process(const tls::ConnectionRecord& connection) {
   if (analysis.has_cert_sct && analysis.has_ocsp_sct) ++totals_.cert_and_ocsp;
   if (analysis.has_tls_sct && analysis.has_ocsp_sct) ++totals_.tls_and_ocsp;
 
-  auto bump = [this](const std::vector<std::pair<std::string, bool>>& channel,
-                     tls::SctDelivery delivery) {
+  auto bump = [this, &metrics](const std::vector<std::pair<std::string, bool>>& channel,
+                               tls::SctDelivery delivery) {
     for (const auto& [log_name, valid] : channel) {
       LogUsage& usage = log_usage_[log_name];
       switch (delivery) {
@@ -54,8 +81,10 @@ void PassiveMonitor::process(const tls::ConnectionRecord& connection) {
       }
       if (valid) {
         ++totals_.valid_scts;
+        metrics.sct_valid.inc();
       } else {
         ++totals_.invalid_scts;
+        metrics.sct_invalid.inc();
       }
     }
   };
@@ -88,7 +117,11 @@ void PassiveMonitor::finalize_scratch_day() {
 const PassiveMonitor::CertAnalysis& PassiveMonitor::analyze(
     const tls::ConnectionRecord& connection) {
   const x509::Certificate* key = connection.certificate.get();
-  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    monitor_metrics().cache_hits.inc();
+    return it->second;
+  }
+  monitor_metrics().cache_misses.inc();
 
   CertAnalysis analysis;
   ++totals_.unique_certificates;
@@ -137,6 +170,10 @@ void PassiveMonitor::validate_channel(const tls::SctList& scts, const ct::Signed
       invalid_.push_back(InvalidSctObservation{
           connection.server_name, connection.certificate->tbs.issuer.common_name, delivery,
           log != nullptr ? log->name : "", Bytes(fp.begin(), fp.end())});
+      obs::log_debug("monitor", "sct validation failed",
+                     {{"server", connection.server_name},
+                      {"log", log_name},
+                      {"issuer", connection.certificate->tbs.issuer.common_name}});
     }
     out.emplace_back(log_name, valid);
   }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "ctwatch/obs/log.hpp"
 #include "ctwatch/util/strings.hpp"
 
 namespace ctwatch::net {
@@ -12,6 +13,7 @@ std::optional<IPv4> IPv4::parse(const std::string& text) {
   int n = 0;
   if (std::sscanf(text.c_str(), "%u.%u.%u.%u%n", &a, &b, &c, &d, &n) != 4 ||
       static_cast<std::size_t>(n) != text.size() || a > 255 || b > 255 || c > 255 || d > 255) {
+    obs::log_trace("net.ip", "unparseable ipv4 address", {{"text", text}});
     return std::nullopt;
   }
   return IPv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
@@ -47,8 +49,10 @@ std::optional<IPv6> IPv6::parse(const std::string& text) {
     if (!left.empty()) head = split(left, ':');
     if (!right.empty()) tail = split(right, ':');
   }
-  if (head.size() + tail.size() > 8) return std::nullopt;
-  if (gap == std::string::npos && head.size() != 8) return std::nullopt;
+  if (head.size() + tail.size() > 8 || (gap == std::string::npos && head.size() != 8)) {
+    obs::log_trace("net.ip", "unparseable ipv6 address", {{"text", text}});
+    return std::nullopt;
+  }
 
   auto parse_hextet = [](const std::string& part) -> std::optional<std::uint16_t> {
     if (part.empty() || part.size() > 4) return std::nullopt;
@@ -138,7 +142,10 @@ std::optional<Prefix4> Prefix4::parse(const std::string& text) {
   } catch (const std::exception&) {
     return std::nullopt;
   }
-  if (len < 0 || len > 32) return std::nullopt;
+  if (len < 0 || len > 32) {
+    obs::log_trace("net.ip", "unparseable prefix length", {{"text", text}});
+    return std::nullopt;
+  }
   return Prefix4(*addr, len);
 }
 

@@ -1,0 +1,227 @@
+#include "ctwatch/obs/metrics.hpp"
+
+#include "ctwatch/obs/obs.hpp"
+
+#ifndef CTWATCH_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ctwatch::obs {
+
+namespace {
+
+// Default layout for ScopedTimer-fed histograms: 1us .. ~16s.
+std::vector<double> default_latency_bounds() { return exponential_bounds(1.0, 2.0, 24); }
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double upper = bounds_[i];
+      const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+      const double within = std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = default_latency_bounds();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::string Registry::render_text() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " = " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << " count=" << h->count() << " mean=" << format_number(h->mean())
+        << " p50=" << format_number(h->quantile(0.50))
+        << " p90=" << format_number(h->quantile(0.90))
+        << " p99=" << format_number(h->quantile(0.99)) << "\n";
+  }
+  return out.str();
+}
+
+std::string Registry::render_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << g->value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":{\"count\":" << h->count()
+        << ",\"sum\":" << format_number(h->sum()) << ",\"mean\":" << format_number(h->mean())
+        << ",\"p50\":" << format_number(h->quantile(0.50))
+        << ",\"p90\":" << format_number(h->quantile(0.90))
+        << ",\"p99\":" << format_number(h->quantile(0.99)) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace ctwatch::obs
+
+#endif  // CTWATCH_OBS_DISABLED
+
+namespace ctwatch::obs {
+
+void preregister_pipeline_metrics() {
+#ifndef CTWATCH_OBS_DISABLED
+  Registry& registry = Registry::global();
+  for (const char* name : {
+           "ct.log.submissions", "ct.log.accepted", "ct.log.rejected_invalid",
+           "ct.log.overload_rejections", "ct.log.dedup_hits",
+           "sim.timeline.issued", "sim.timeline.log_submissions", "sim.timeline.overloaded",
+           "sim.timeline.ca_days",
+           "monitor.connections", "monitor.sct.cert", "monitor.sct.tls", "monitor.sct.ocsp",
+           "monitor.sct.valid", "monitor.sct.invalid", "monitor.cert_cache.hits",
+           "monitor.cert_cache.misses",
+           "dns.resolver.queries", "dns.resolver.answered", "dns.resolver.nxdomain",
+           "dns.resolver.no_data", "dns.resolver.chain_too_long",
+           "enum.funnel.candidates", "enum.funnel.test_replies", "enum.funnel.control_replies",
+           "enum.funnel.confirmed", "enum.funnel.novel",
+       }) {
+    registry.counter(name);
+  }
+  registry.gauge("sim.timeline.day");
+  registry.histogram("ct.log.merkle_integrate_us");
+#endif
+}
+
+}  // namespace ctwatch::obs

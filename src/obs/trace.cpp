@@ -1,0 +1,159 @@
+#include "ctwatch/obs/trace.hpp"
+
+#ifndef CTWATCH_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace ctwatch::obs {
+
+namespace {
+
+// Per-thread nesting state: the innermost live span and a small ordinal
+// used as the chrome-trace tid.
+thread_local std::uint32_t tls_current_span = 0;
+
+std::uint64_t this_thread_ordinal() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local std::uint64_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* env = std::getenv("CTWATCH_TRACE"); env != nullptr && env[0] != '\0' &&
+                                                      !(env[0] == '0' && env[1] == '\0')) {
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void Tracer::record(SpanRecord record) {
+  std::lock_guard lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json_escape(span.name) << "\",\"cat\":\"ctwatch\",\"ph\":\"X\""
+        << ",\"ts\":" << span.start_us << ",\"dur\":" << span.duration_us
+        << ",\"pid\":1,\"tid\":" << span.thread_id << ",\"args\":{\"id\":" << span.id
+        << ",\"parent\":" << span.parent_id << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string Tracer::aggregate_table() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  {
+    std::lock_guard lock(mu_);
+    for (const SpanRecord& span : spans_) {
+      Agg& agg = by_name[span.name];
+      ++agg.count;
+      agg.total_us += span.duration_us;
+      agg.max_us = std::max(agg.max_us, span.duration_us);
+    }
+  }
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-36s %10s %14s %12s %12s\n", "span", "count", "total_ms",
+                "mean_us", "max_us");
+  out << line;
+  for (const auto& [name, agg] : by_name) {
+    std::snprintf(line, sizeof line, "%-36s %10llu %14.3f %12.1f %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.total_us) / 1000.0,
+                  static_cast<double>(agg.total_us) / static_cast<double>(agg.count),
+                  static_cast<unsigned long long>(agg.max_us));
+    out << line;
+  }
+  return out.str();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+}
+
+Span::Span(const char* name) : name_(name) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  id_ = tracer.next_span_id();
+  parent_id_ = tls_current_span;
+  tls_current_span = id_;
+  start_us_ = tracer.now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.duration_us = tracer.now_us() - start_us_;
+  record.thread_id = this_thread_ordinal();
+  record.id = id_;
+  record.parent_id = parent_id_;
+  tls_current_span = parent_id_;
+  tracer.record(std::move(record));
+}
+
+}  // namespace ctwatch::obs
+
+#endif  // CTWATCH_OBS_DISABLED

@@ -2,7 +2,26 @@
 
 #include <cmath>
 
+#include "ctwatch/obs/obs.hpp"
+
 namespace ctwatch::sim {
+
+namespace {
+
+struct TimelineMetrics {
+  obs::Counter& issued = obs::Registry::global().counter("sim.timeline.issued");
+  obs::Counter& log_submissions = obs::Registry::global().counter("sim.timeline.log_submissions");
+  obs::Counter& overloaded = obs::Registry::global().counter("sim.timeline.overloaded");
+  obs::Counter& ca_days = obs::Registry::global().counter("sim.timeline.ca_days");
+  obs::Gauge& day = obs::Registry::global().gauge("sim.timeline.day");
+};
+
+TimelineMetrics& timeline_metrics() {
+  static TimelineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 const std::vector<CaTimeline>& standard_timeline() {
   // Real-world certs/day per phase; shapes target Fig. 1a/1b. The final
@@ -40,20 +59,26 @@ TimelineSimulator::TimelineSimulator(Ecosystem& ecosystem, TimelineOptions optio
     : ecosystem_(&ecosystem), options_(std::move(options)) {}
 
 TimelineStats TimelineSimulator::run() {
+  CTWATCH_SPAN("sim.timeline.run");
+  TimelineMetrics& metrics = timeline_metrics();
   TimelineStats stats;
   Rng& rng = ecosystem_->rng();
   const std::int64_t sim_start = SimTime::parse(options_.start).day_index();
   const std::int64_t sim_end = SimTime::parse(options_.end).day_index();
 
   for (const CaTimeline& schedule : standard_timeline()) {
+    CTWATCH_SPAN("sim.timeline.ca");
     CertificateAuthority& ca = ecosystem_->ca(schedule.ca);
     const std::vector<ct::CtLog*> logs = ecosystem_->logs_of(schedule.ca);
     Rng ca_rng = rng.fork();
+    const std::uint64_t ca_issued_before = stats.issued;
 
     for (const IssuancePhase& phase : schedule.phases) {
       const std::int64_t begin = std::max(sim_start, SimTime::parse(phase.start).day_index());
       const std::int64_t end = std::min(sim_end, SimTime::parse(phase.end).day_index());
       for (std::int64_t day = begin; day < end; ++day) {
+        metrics.day.set(day);
+        metrics.ca_days.inc();
         double expected = phase.certs_per_day * options_.scale;
         if (phase.bursty) {
           // Irregular batch behaviour: most days idle, occasional spikes
@@ -64,6 +89,13 @@ TimelineStats TimelineSimulator::run() {
         // Integer count with stochastic rounding of the fractional part.
         auto count = static_cast<std::uint64_t>(expected);
         if (ca_rng.uniform() < expected - std::floor(expected)) ++count;
+
+        if (count > 0) {
+          obs::log_debug("sim.timeline", "day simulated",
+                         {{"ca", schedule.ca},
+                          {"date", SimTime{day * 86400}.date_string()},
+                          {"certs", count}});
+        }
 
         for (std::uint64_t i = 0; i < count; ++i) {
           const SimTime when =
@@ -79,10 +111,20 @@ TimelineStats TimelineSimulator::run() {
           ++stats.issued;
           stats.log_submissions += logs.size();
           stats.overloaded += issued.failed_logs.size();
+          metrics.issued.inc();
+          metrics.log_submissions.inc(logs.size());
+          metrics.overloaded.inc(issued.failed_logs.size());
         }
       }
     }
+    obs::log_info("sim.timeline", "ca schedule complete",
+                  {{"ca", schedule.ca}, {"issued", stats.issued - ca_issued_before}});
   }
+  obs::log_info("sim.timeline", "timeline complete",
+                {{"issued", stats.issued},
+                 {"log_submissions", stats.log_submissions},
+                 {"overloaded", stats.overloaded},
+                 {"scale", options_.scale}});
   return stats;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "ctwatch/obs/log.hpp"
+
 namespace ctwatch {
 
 std::vector<std::string> split(std::string_view text, char sep) {
@@ -62,6 +64,10 @@ std::string human_count(double value, int decimals) {
 }
 
 std::string percent(double numerator, double denominator, int decimals) {
+  if (denominator <= 0 && numerator > 0) {
+    // A share of nothing usually means a study ran over an empty input.
+    obs::log_trace("util.strings", "percent with zero denominator", {{"numerator", numerator}});
+  }
   const double pct = denominator > 0 ? 100.0 * numerator / denominator : 0.0;
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.*f%%", decimals, pct);

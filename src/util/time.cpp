@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "ctwatch/obs/log.hpp"
+
 namespace ctwatch {
 
 // Howard Hinnant's days-from-civil algorithm (public domain).
@@ -63,6 +65,7 @@ SimTime SimTime::parse(const std::string& text) {
       static_cast<std::size_t>(n) == text.size()) {
     return from_civil(c);
   }
+  obs::log_debug("util.time", "unparseable time", {{"text", text}});
   throw std::invalid_argument("unparseable time: " + text);
 }
 

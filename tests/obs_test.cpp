@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ctwatch/obs/obs.hpp"
+
+namespace ctwatch::obs {
+namespace {
+
+#ifndef CTWATCH_OBS_DISABLED
+
+// ---------- counters / gauges ----------
+
+TEST(ObsMetricsTest, CounterSemantics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetricsTest, GaugeSemantics) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.set(100);
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStableHandles) {
+  Registry& registry = Registry::global();
+  Counter& a = registry.counter("obs_test.stable");
+  Counter& b = registry.counter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsMetricsTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  Histogram h(exponential_bounds(1.0, 2.0, 10));
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(8.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0 * kThreads * kPerThread);
+}
+
+// ---------- histograms ----------
+
+TEST(ObsHistogramTest, BucketingAndMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket <=1
+  h.observe(5.0);    // bucket <=10
+  h.observe(50.0);   // bucket <=100
+  h.observe(500.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(ObsHistogramTest, QuantilesOnKnownDistribution) {
+  // 1..100 uniformly with unit-wide buckets: pXX must land within one
+  // bucket width of XX.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.00), 100.0, 1.0);
+  // Empty histogram reports 0.
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogramTest, OverflowMassReportsLargestBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(ObsMetricsTest, RenderJsonShape) {
+  Registry& registry = Registry::global();
+  registry.counter("obs_test.json_counter").reset();
+  registry.counter("obs_test.json_counter").inc(5);
+  registry.histogram("obs_test.json_hist", {1.0, 2.0}).observe(1.5);
+  const std::string json = registry.render_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_counter\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsMetricsTest, PreregisterPipelineMetricsCreatesHeadlineKeys) {
+  preregister_pipeline_metrics();
+  const std::string json = Registry::global().render_json();
+  for (const char* key :
+       {"ct.log.submissions", "ct.log.overload_rejections", "monitor.sct.cert",
+        "monitor.sct.tls", "monitor.sct.ocsp", "sim.timeline.issued"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos) << key;
+  }
+}
+
+// ---------- spans ----------
+
+TEST(ObsTraceTest, SpanNestingAndExportShape) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    Span outer("obs_test.outer");
+    {
+      Span inner("obs_test.inner");
+    }
+  }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner finishes first; its parent must be the outer span's id.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_EQ(inner.name, "obs_test.inner");
+  EXPECT_EQ(outer.name, "obs_test.outer");
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_GE(inner.start_us, outer.start_us);
+
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  const std::string table = tracer.aggregate_table();
+  EXPECT_NE(table.find("obs_test.outer"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(ObsTraceTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(false);
+  {
+    CTWATCH_SPAN("obs_test.should_not_appear");
+  }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+// ---------- logger ----------
+
+TEST(ObsLogTest, LevelFiltering) {
+  Logger& logger = Logger::global();
+  std::vector<std::string> lines;
+  logger.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  logger.reset_counters();
+
+  logger.set_level(LogLevel::warn);
+  log_debug("obs_test", "hidden");
+  log_info("obs_test", "hidden too");
+  log_warn("obs_test", "visible", {{"k", "v"}, {"n", 42}});
+  log_error("obs_test", "also visible");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("level=warn"), std::string::npos);
+  EXPECT_NE(lines[0].find("component=obs_test"), std::string::npos);
+  EXPECT_NE(lines[0].find("msg=\"visible\""), std::string::npos);
+  EXPECT_NE(lines[0].find("k=\"v\""), std::string::npos);
+  EXPECT_NE(lines[0].find("n=42"), std::string::npos);
+
+  lines.clear();
+  logger.set_level(LogLevel::off);
+  log_error("obs_test", "silent");
+  EXPECT_TRUE(lines.empty());
+
+  logger.set_sink(nullptr);
+}
+
+TEST(ObsLogTest, RateLimitSuppressesRepeats) {
+  Logger& logger = Logger::global();
+  std::vector<std::string> lines;
+  logger.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  logger.reset_counters();
+  logger.set_level(LogLevel::info);
+  logger.set_rate_limit(3);
+
+  for (int i = 0; i < 10; ++i) log_info("obs_test", "repeated event");
+  EXPECT_EQ(lines.size(), 3u);
+  EXPECT_EQ(logger.emitted(), 3u);
+  EXPECT_EQ(logger.suppressed(), 7u);
+
+  logger.set_rate_limit(0);
+  logger.set_level(LogLevel::off);
+  logger.set_sink(nullptr);
+}
+
+#else  // CTWATCH_OBS_DISABLED
+
+// The disabled build keeps the API callable and inert.
+TEST(ObsDisabledTest, ApiIsCallableAndInert) {
+  Registry& registry = Registry::global();
+  registry.counter("x").inc(5);
+  EXPECT_EQ(registry.counter("x").value(), 0u);
+  registry.histogram("h").observe(1.0);
+  EXPECT_EQ(registry.histogram("h").count(), 0u);
+  {
+    CTWATCH_SPAN("never recorded");
+  }
+  EXPECT_TRUE(Tracer::global().spans().empty());
+  log_error("obs_test", "dropped", {{"k", "v"}});
+  EXPECT_EQ(Logger::global().emitted(), 0u);
+  EXPECT_EQ(registry.render_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+#endif  // CTWATCH_OBS_DISABLED
+
+}  // namespace
+}  // namespace ctwatch::obs
