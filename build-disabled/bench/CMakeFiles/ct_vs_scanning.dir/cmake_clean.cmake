@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_vs_scanning.dir/ct_vs_scanning.cpp.o"
+  "CMakeFiles/ct_vs_scanning.dir/ct_vs_scanning.cpp.o.d"
+  "ct_vs_scanning"
+  "ct_vs_scanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_vs_scanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

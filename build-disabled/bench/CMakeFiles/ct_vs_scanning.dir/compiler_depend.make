@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ct_vs_scanning.
+# This may be replaced when dependencies are built.

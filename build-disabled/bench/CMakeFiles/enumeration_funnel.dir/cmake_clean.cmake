@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumeration_funnel.dir/enumeration_funnel.cpp.o"
+  "CMakeFiles/enumeration_funnel.dir/enumeration_funnel.cpp.o.d"
+  "enumeration_funnel"
+  "enumeration_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumeration_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

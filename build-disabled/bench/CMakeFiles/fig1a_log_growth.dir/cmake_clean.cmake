@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_log_growth.dir/fig1a_log_growth.cpp.o"
+  "CMakeFiles/fig1a_log_growth.dir/fig1a_log_growth.cpp.o.d"
+  "fig1a_log_growth"
+  "fig1a_log_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_log_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

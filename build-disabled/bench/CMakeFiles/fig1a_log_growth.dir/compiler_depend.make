@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1a_log_growth.
+# This may be replaced when dependencies are built.

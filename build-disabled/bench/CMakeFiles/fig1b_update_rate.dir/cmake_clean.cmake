@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_update_rate.dir/fig1b_update_rate.cpp.o"
+  "CMakeFiles/fig1b_update_rate.dir/fig1b_update_rate.cpp.o.d"
+  "fig1b_update_rate"
+  "fig1b_update_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_update_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_ca_log_heatmap.dir/fig1c_ca_log_heatmap.cpp.o"
+  "CMakeFiles/fig1c_ca_log_heatmap.dir/fig1c_ca_log_heatmap.cpp.o.d"
+  "fig1c_ca_log_heatmap"
+  "fig1c_ca_log_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_ca_log_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

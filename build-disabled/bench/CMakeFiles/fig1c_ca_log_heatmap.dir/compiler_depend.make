@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1c_ca_log_heatmap.
+# This may be replaced when dependencies are built.

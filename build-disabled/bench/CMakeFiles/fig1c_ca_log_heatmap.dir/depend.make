@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1c_ca_log_heatmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sct_connections.dir/fig2_sct_connections.cpp.o"
+  "CMakeFiles/fig2_sct_connections.dir/fig2_sct_connections.cpp.o.d"
+  "fig2_sct_connections"
+  "fig2_sct_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sct_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_sct_connections.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalid_scts.dir/invalid_scts.cpp.o"
+  "CMakeFiles/invalid_scts.dir/invalid_scts.cpp.o.d"
+  "invalid_scts"
+  "invalid_scts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalid_scts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for invalid_scts.
+# This may be replaced when dependencies are built.

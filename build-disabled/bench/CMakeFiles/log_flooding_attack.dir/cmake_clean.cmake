@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_flooding_attack.dir/log_flooding_attack.cpp.o"
+  "CMakeFiles/log_flooding_attack.dir/log_flooding_attack.cpp.o.d"
+  "log_flooding_attack"
+  "log_flooding_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_flooding_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

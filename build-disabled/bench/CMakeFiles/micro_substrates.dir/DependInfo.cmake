@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_substrates.cpp" "bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o" "gcc" "bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-disabled/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/enumeration/CMakeFiles/ct_enum.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/phishing/CMakeFiles/ct_phish.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/honeypot/CMakeFiles/ct_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/monitor/CMakeFiles/ct_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/tls/CMakeFiles/ct_tls.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/ct/CMakeFiles/ct_log.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/x509/CMakeFiles/ct_x509.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/asn1/CMakeFiles/ct_asn1.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/crypto/CMakeFiles/ct_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/dns/CMakeFiles/ct_dns.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/net/CMakeFiles/ct_net.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/obs/CMakeFiles/ct_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redaction_ablation.dir/redaction_ablation.cpp.o"
+  "CMakeFiles/redaction_ablation.dir/redaction_ablation.cpp.o.d"
+  "redaction_ablation"
+  "redaction_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redaction_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_server_support.dir/scan_server_support.cpp.o"
+  "CMakeFiles/scan_server_support.dir/scan_server_support.cpp.o.d"
+  "scan_server_support"
+  "scan_server_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_server_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_top_logs.dir/table1_top_logs.cpp.o"
+  "CMakeFiles/table1_top_logs.dir/table1_top_logs.cpp.o.d"
+  "table1_top_logs"
+  "table1_top_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_top_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_subdomain_labels.dir/table2_subdomain_labels.cpp.o"
+  "CMakeFiles/table2_subdomain_labels.dir/table2_subdomain_labels.cpp.o.d"
+  "table2_subdomain_labels"
+  "table2_subdomain_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_subdomain_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

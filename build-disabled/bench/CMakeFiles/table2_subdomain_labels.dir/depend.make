@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_subdomain_labels.
+# This may be replaced when dependencies are built.

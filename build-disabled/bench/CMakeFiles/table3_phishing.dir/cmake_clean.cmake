@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_phishing.dir/table3_phishing.cpp.o"
+  "CMakeFiles/table3_phishing.dir/table3_phishing.cpp.o.d"
+  "table3_phishing"
+  "table3_phishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_phishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

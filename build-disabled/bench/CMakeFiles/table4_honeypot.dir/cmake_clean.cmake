@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_honeypot.dir/table4_honeypot.cpp.o"
+  "CMakeFiles/table4_honeypot.dir/table4_honeypot.cpp.o.d"
+  "table4_honeypot"
+  "table4_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordlist_comparison.dir/wordlist_comparison.cpp.o"
+  "CMakeFiles/wordlist_comparison.dir/wordlist_comparison.cpp.o.d"
+  "wordlist_comparison"
+  "wordlist_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordlist_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

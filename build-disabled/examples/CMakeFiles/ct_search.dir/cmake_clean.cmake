@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_search.dir/ct_search.cpp.o"
+  "CMakeFiles/ct_search.dir/ct_search.cpp.o.d"
+  "ct_search"
+  "ct_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

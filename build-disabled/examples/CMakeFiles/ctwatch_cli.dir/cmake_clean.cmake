@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctwatch_cli.dir/ctwatch_cli.cpp.o"
+  "CMakeFiles/ctwatch_cli.dir/ctwatch_cli.cpp.o.d"
+  "ctwatch_cli"
+  "ctwatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctwatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

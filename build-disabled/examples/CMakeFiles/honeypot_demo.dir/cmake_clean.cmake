@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/honeypot_demo.dir/honeypot_demo.cpp.o"
+  "CMakeFiles/honeypot_demo.dir/honeypot_demo.cpp.o.d"
+  "honeypot_demo"
+  "honeypot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/honeypot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_demo.dir/obs_demo.cpp.o"
+  "CMakeFiles/obs_demo.dir/obs_demo.cpp.o.d"
+  "obs_demo"
+  "obs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

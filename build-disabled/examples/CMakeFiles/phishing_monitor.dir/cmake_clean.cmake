@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phishing_monitor.dir/phishing_monitor.cpp.o"
+  "CMakeFiles/phishing_monitor.dir/phishing_monitor.cpp.o.d"
+  "phishing_monitor"
+  "phishing_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phishing_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

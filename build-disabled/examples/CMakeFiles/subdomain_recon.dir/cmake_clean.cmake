@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdomain_recon.dir/subdomain_recon.cpp.o"
+  "CMakeFiles/subdomain_recon.dir/subdomain_recon.cpp.o.d"
+  "subdomain_recon"
+  "subdomain_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdomain_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-disabled/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("util")
+subdirs("crypto")
+subdirs("asn1")
+subdirs("x509")
+subdirs("dns")
+subdirs("net")
+subdirs("ct")
+subdirs("tls")
+subdirs("monitor")
+subdirs("sim")
+subdirs("enumeration")
+subdirs("phishing")
+subdirs("honeypot")
+subdirs("core")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asn1/der.cpp" "src/asn1/CMakeFiles/ct_asn1.dir/der.cpp.o" "gcc" "src/asn1/CMakeFiles/ct_asn1.dir/der.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-disabled/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/obs/CMakeFiles/ct_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_asn1.dir/der.cpp.o"
+  "CMakeFiles/ct_asn1.dir/der.cpp.o.d"
+  "libct_asn1.a"
+  "libct_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

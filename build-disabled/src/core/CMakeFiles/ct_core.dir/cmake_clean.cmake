@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_core.dir/adoption.cpp.o"
+  "CMakeFiles/ct_core.dir/adoption.cpp.o.d"
+  "CMakeFiles/ct_core.dir/invalid_sct.cpp.o"
+  "CMakeFiles/ct_core.dir/invalid_sct.cpp.o.d"
+  "CMakeFiles/ct_core.dir/leakage.cpp.o"
+  "CMakeFiles/ct_core.dir/leakage.cpp.o.d"
+  "CMakeFiles/ct_core.dir/log_evolution.cpp.o"
+  "CMakeFiles/ct_core.dir/log_evolution.cpp.o.d"
+  "libct_core.a"
+  "libct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ec_p256.cpp" "src/crypto/CMakeFiles/ct_crypto.dir/ec_p256.cpp.o" "gcc" "src/crypto/CMakeFiles/ct_crypto.dir/ec_p256.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/ct_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/ct_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "src/crypto/CMakeFiles/ct_crypto.dir/signature.cpp.o" "gcc" "src/crypto/CMakeFiles/ct_crypto.dir/signature.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/crypto/CMakeFiles/ct_crypto.dir/u256.cpp.o" "gcc" "src/crypto/CMakeFiles/ct_crypto.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-disabled/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/obs/CMakeFiles/ct_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

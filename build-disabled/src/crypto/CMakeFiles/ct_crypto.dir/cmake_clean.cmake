@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_crypto.dir/ec_p256.cpp.o"
+  "CMakeFiles/ct_crypto.dir/ec_p256.cpp.o.d"
+  "CMakeFiles/ct_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ct_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/ct_crypto.dir/signature.cpp.o"
+  "CMakeFiles/ct_crypto.dir/signature.cpp.o.d"
+  "CMakeFiles/ct_crypto.dir/u256.cpp.o"
+  "CMakeFiles/ct_crypto.dir/u256.cpp.o.d"
+  "libct_crypto.a"
+  "libct_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

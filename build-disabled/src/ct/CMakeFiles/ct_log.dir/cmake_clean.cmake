@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_log.dir/auditor.cpp.o"
+  "CMakeFiles/ct_log.dir/auditor.cpp.o.d"
+  "CMakeFiles/ct_log.dir/index.cpp.o"
+  "CMakeFiles/ct_log.dir/index.cpp.o.d"
+  "CMakeFiles/ct_log.dir/log.cpp.o"
+  "CMakeFiles/ct_log.dir/log.cpp.o.d"
+  "CMakeFiles/ct_log.dir/loglist.cpp.o"
+  "CMakeFiles/ct_log.dir/loglist.cpp.o.d"
+  "CMakeFiles/ct_log.dir/merkle.cpp.o"
+  "CMakeFiles/ct_log.dir/merkle.cpp.o.d"
+  "CMakeFiles/ct_log.dir/sct.cpp.o"
+  "CMakeFiles/ct_log.dir/sct.cpp.o.d"
+  "CMakeFiles/ct_log.dir/stream.cpp.o"
+  "CMakeFiles/ct_log.dir/stream.cpp.o.d"
+  "libct_log.a"
+  "libct_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

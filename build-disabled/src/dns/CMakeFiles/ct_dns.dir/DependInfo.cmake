@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/ct_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/ct_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/psl.cpp" "src/dns/CMakeFiles/ct_dns.dir/psl.cpp.o" "gcc" "src/dns/CMakeFiles/ct_dns.dir/psl.cpp.o.d"
+  "/root/repo/src/dns/records.cpp" "src/dns/CMakeFiles/ct_dns.dir/records.cpp.o" "gcc" "src/dns/CMakeFiles/ct_dns.dir/records.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/dns/CMakeFiles/ct_dns.dir/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/ct_dns.dir/resolver.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/dns/CMakeFiles/ct_dns.dir/zone.cpp.o" "gcc" "src/dns/CMakeFiles/ct_dns.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-disabled/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/net/CMakeFiles/ct_net.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/obs/CMakeFiles/ct_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_dns.dir/name.cpp.o"
+  "CMakeFiles/ct_dns.dir/name.cpp.o.d"
+  "CMakeFiles/ct_dns.dir/psl.cpp.o"
+  "CMakeFiles/ct_dns.dir/psl.cpp.o.d"
+  "CMakeFiles/ct_dns.dir/records.cpp.o"
+  "CMakeFiles/ct_dns.dir/records.cpp.o.d"
+  "CMakeFiles/ct_dns.dir/resolver.cpp.o"
+  "CMakeFiles/ct_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/ct_dns.dir/zone.cpp.o"
+  "CMakeFiles/ct_dns.dir/zone.cpp.o.d"
+  "libct_dns.a"
+  "libct_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_enum.dir/census.cpp.o"
+  "CMakeFiles/ct_enum.dir/census.cpp.o.d"
+  "CMakeFiles/ct_enum.dir/enumerator.cpp.o"
+  "CMakeFiles/ct_enum.dir/enumerator.cpp.o.d"
+  "libct_enum.a"
+  "libct_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_honeypot.dir/analysis.cpp.o"
+  "CMakeFiles/ct_honeypot.dir/analysis.cpp.o.d"
+  "CMakeFiles/ct_honeypot.dir/attackers.cpp.o"
+  "CMakeFiles/ct_honeypot.dir/attackers.cpp.o.d"
+  "CMakeFiles/ct_honeypot.dir/honeypot.cpp.o"
+  "CMakeFiles/ct_honeypot.dir/honeypot.cpp.o.d"
+  "libct_honeypot.a"
+  "libct_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

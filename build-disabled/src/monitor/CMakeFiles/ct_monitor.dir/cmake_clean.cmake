@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_monitor.dir/passive_monitor.cpp.o"
+  "CMakeFiles/ct_monitor.dir/passive_monitor.cpp.o.d"
+  "CMakeFiles/ct_monitor.dir/ssl_log.cpp.o"
+  "CMakeFiles/ct_monitor.dir/ssl_log.cpp.o.d"
+  "libct_monitor.a"
+  "libct_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/autonomous_system.cpp" "src/net/CMakeFiles/ct_net.dir/autonomous_system.cpp.o" "gcc" "src/net/CMakeFiles/ct_net.dir/autonomous_system.cpp.o.d"
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/ct_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/ct_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/ct_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/ct_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/reverse_dns.cpp" "src/net/CMakeFiles/ct_net.dir/reverse_dns.cpp.o" "gcc" "src/net/CMakeFiles/ct_net.dir/reverse_dns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-disabled/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/obs/CMakeFiles/ct_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

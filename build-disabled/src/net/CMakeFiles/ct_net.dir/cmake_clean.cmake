@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_net.dir/autonomous_system.cpp.o"
+  "CMakeFiles/ct_net.dir/autonomous_system.cpp.o.d"
+  "CMakeFiles/ct_net.dir/capture.cpp.o"
+  "CMakeFiles/ct_net.dir/capture.cpp.o.d"
+  "CMakeFiles/ct_net.dir/ip.cpp.o"
+  "CMakeFiles/ct_net.dir/ip.cpp.o.d"
+  "CMakeFiles/ct_net.dir/reverse_dns.cpp.o"
+  "CMakeFiles/ct_net.dir/reverse_dns.cpp.o.d"
+  "libct_net.a"
+  "libct_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_obs.dir/log.cpp.o"
+  "CMakeFiles/ct_obs.dir/log.cpp.o.d"
+  "CMakeFiles/ct_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ct_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ct_obs.dir/trace.cpp.o"
+  "CMakeFiles/ct_obs.dir/trace.cpp.o.d"
+  "libct_obs.a"
+  "libct_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

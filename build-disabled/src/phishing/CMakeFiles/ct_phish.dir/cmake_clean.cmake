@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_phish.dir/detector.cpp.o"
+  "CMakeFiles/ct_phish.dir/detector.cpp.o.d"
+  "libct_phish.a"
+  "libct_phish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_phish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

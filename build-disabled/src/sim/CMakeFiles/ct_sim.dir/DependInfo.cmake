@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ca.cpp" "src/sim/CMakeFiles/ct_sim.dir/ca.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/ca.cpp.o.d"
+  "/root/repo/src/sim/domains.cpp" "src/sim/CMakeFiles/ct_sim.dir/domains.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/domains.cpp.o.d"
+  "/root/repo/src/sim/ecosystem.cpp" "src/sim/CMakeFiles/ct_sim.dir/ecosystem.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/ecosystem.cpp.o.d"
+  "/root/repo/src/sim/phishing_gen.cpp" "src/sim/CMakeFiles/ct_sim.dir/phishing_gen.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/phishing_gen.cpp.o.d"
+  "/root/repo/src/sim/population.cpp" "src/sim/CMakeFiles/ct_sim.dir/population.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/population.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/ct_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/ct_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-disabled/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/ct/CMakeFiles/ct_log.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/x509/CMakeFiles/ct_x509.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/dns/CMakeFiles/ct_dns.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/net/CMakeFiles/ct_net.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/tls/CMakeFiles/ct_tls.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/monitor/CMakeFiles/ct_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/asn1/CMakeFiles/ct_asn1.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/crypto/CMakeFiles/ct_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/obs/CMakeFiles/ct_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_sim.dir/ca.cpp.o"
+  "CMakeFiles/ct_sim.dir/ca.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/domains.cpp.o"
+  "CMakeFiles/ct_sim.dir/domains.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/ecosystem.cpp.o"
+  "CMakeFiles/ct_sim.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/phishing_gen.cpp.o"
+  "CMakeFiles/ct_sim.dir/phishing_gen.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/population.cpp.o"
+  "CMakeFiles/ct_sim.dir/population.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/timeline.cpp.o"
+  "CMakeFiles/ct_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/traffic.cpp.o"
+  "CMakeFiles/ct_sim.dir/traffic.cpp.o.d"
+  "libct_sim.a"
+  "libct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

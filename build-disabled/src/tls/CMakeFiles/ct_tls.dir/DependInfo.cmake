@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/connection.cpp" "src/tls/CMakeFiles/ct_tls.dir/connection.cpp.o" "gcc" "src/tls/CMakeFiles/ct_tls.dir/connection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-disabled/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/ct/CMakeFiles/ct_log.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/x509/CMakeFiles/ct_x509.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/crypto/CMakeFiles/ct_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/asn1/CMakeFiles/ct_asn1.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/dns/CMakeFiles/ct_dns.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/net/CMakeFiles/ct_net.dir/DependInfo.cmake"
+  "/root/repo/build-disabled/src/obs/CMakeFiles/ct_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_tls.dir/connection.cpp.o"
+  "CMakeFiles/ct_tls.dir/connection.cpp.o.d"
+  "libct_tls.a"
+  "libct_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

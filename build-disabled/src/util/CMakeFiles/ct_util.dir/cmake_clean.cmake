@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_util.dir/encoding.cpp.o"
+  "CMakeFiles/ct_util.dir/encoding.cpp.o.d"
+  "CMakeFiles/ct_util.dir/rng.cpp.o"
+  "CMakeFiles/ct_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ct_util.dir/strings.cpp.o"
+  "CMakeFiles/ct_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ct_util.dir/time.cpp.o"
+  "CMakeFiles/ct_util.dir/time.cpp.o.d"
+  "libct_util.a"
+  "libct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

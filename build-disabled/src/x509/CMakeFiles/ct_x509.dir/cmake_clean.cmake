@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_x509.dir/certificate.cpp.o"
+  "CMakeFiles/ct_x509.dir/certificate.cpp.o.d"
+  "CMakeFiles/ct_x509.dir/oids.cpp.o"
+  "CMakeFiles/ct_x509.dir/oids.cpp.o.d"
+  "CMakeFiles/ct_x509.dir/redaction.cpp.o"
+  "CMakeFiles/ct_x509.dir/redaction.cpp.o.d"
+  "libct_x509.a"
+  "libct_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

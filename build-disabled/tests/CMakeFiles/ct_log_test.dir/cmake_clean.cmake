@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_log_test.dir/ct_log_test.cpp.o"
+  "CMakeFiles/ct_log_test.dir/ct_log_test.cpp.o.d"
+  "ct_log_test"
+  "ct_log_test.pdb"
+  "ct_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

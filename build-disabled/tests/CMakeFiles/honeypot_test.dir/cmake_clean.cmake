@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/honeypot_test.dir/honeypot_test.cpp.o"
+  "CMakeFiles/honeypot_test.dir/honeypot_test.cpp.o.d"
+  "honeypot_test"
+  "honeypot_test.pdb"
+  "honeypot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/honeypot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phishing_test.dir/phishing_test.cpp.o"
+  "CMakeFiles/phishing_test.dir/phishing_test.cpp.o.d"
+  "phishing_test"
+  "phishing_test.pdb"
+  "phishing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phishing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

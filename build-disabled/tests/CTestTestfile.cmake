@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-disabled/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-disabled/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/util_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/asn1_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/merkle_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/x509_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/dns_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/net_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/ct_log_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/enumeration_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/phishing_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/honeypot_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/core_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/property_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-disabled/tests/misc_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[ObsDisabledTest.ApiIsCallableAndInert]=]  /root/repo/build-disabled/tests/obs_test [==[--gtest_filter=ObsDisabledTest.ApiIsCallableAndInert]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ObsDisabledTest.ApiIsCallableAndInert]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-disabled/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  obs_test_TESTS ObsDisabledTest.ApiIsCallableAndInert)
