@@ -8,9 +8,15 @@
 // auditor in this library verifies consistency between successive signed
 // tree heads and the tests actively tamper with histories to confirm
 // detection.
+//
+// Root and proof computation is written once, as templates over a leaf
+// accessor (index -> leaf hash), so that `MerkleTree` (contiguous vector
+// storage) and `logsvc`'s concurrent chunked leaf store share the exact
+// same RFC 6962 math instead of duplicating it.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ctwatch/crypto/sha256.hpp"
@@ -24,23 +30,121 @@ Digest leaf_hash(BytesView data);
 /// Interior node hash.
 Digest node_hash(const Digest& left, const Digest& right);
 
+/// SHA-256 of the empty string: the root of the empty tree per RFC 6962.
+Digest empty_tree_root();
+
+namespace detail {
+/// Largest power of two strictly less than n (n >= 2).
+std::uint64_t merkle_split_point(std::uint64_t n);
+}  // namespace detail
+
+/// MTH(D[begin:end]) over any leaf accessor `leaf(index) -> Digest`.
+/// Requires end > begin.
+template <typename LeafFn>
+Digest merkle_range_root(const LeafFn& leaf, std::uint64_t begin, std::uint64_t end) {
+  const std::uint64_t n = end - begin;
+  if (n == 1) return leaf(begin);
+  const std::uint64_t k = detail::merkle_split_point(n);
+  return node_hash(merkle_range_root(leaf, begin, begin + k),
+                   merkle_range_root(leaf, begin + k, end));
+}
+
+/// MTH of the first `n` leaves; the empty-tree root when n == 0.
+template <typename LeafFn>
+Digest merkle_root_of(const LeafFn& leaf, std::uint64_t n) {
+  if (n == 0) return empty_tree_root();
+  return merkle_range_root(leaf, 0, n);
+}
+
+/// PATH(m, D[0:tree_size]) per RFC 6962 §2.1.1 — the audit path proving
+/// leaf `index` is in the tree of size `tree_size`. The caller must have
+/// bounds-checked index < tree_size <= leaf count.
+template <typename LeafFn>
+std::vector<Digest> merkle_inclusion_path(const LeafFn& leaf, std::uint64_t index,
+                                          std::uint64_t tree_size) {
+  // Iterative over the recursion, collecting siblings root-to-leaf.
+  std::uint64_t begin = 0, end = tree_size, m = index;
+  std::vector<Digest> reversed;
+  while (end - begin > 1) {
+    const std::uint64_t k = detail::merkle_split_point(end - begin);
+    if (m < begin + k) {
+      reversed.push_back(merkle_range_root(leaf, begin + k, end));
+      end = begin + k;
+    } else {
+      reversed.push_back(merkle_range_root(leaf, begin, begin + k));
+      begin += k;
+    }
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+/// PROOF(old_size, D[0:new_size]) per RFC 6962 §2.1.2. The caller must
+/// have bounds-checked old_size <= new_size <= leaf count.
+template <typename LeafFn>
+std::vector<Digest> merkle_consistency_path(const LeafFn& leaf, std::uint64_t old_size,
+                                            std::uint64_t new_size) {
+  if (old_size == new_size || old_size == 0) return {};
+  struct Helper {
+    const LeafFn& leaf;
+    std::vector<Digest> subproof(std::uint64_t m, std::uint64_t begin, std::uint64_t end,
+                                 bool whole) const {
+      const std::uint64_t n = end - begin;
+      if (m == n) {
+        if (whole) return {};
+        return {merkle_range_root(leaf, begin, end)};
+      }
+      const std::uint64_t k = detail::merkle_split_point(n);
+      std::vector<Digest> out;
+      if (m <= k) {
+        out = subproof(m, begin, begin + k, whole);
+        out.push_back(merkle_range_root(leaf, begin + k, end));
+      } else {
+        out = subproof(m - k, begin + k, end, false);
+        out.push_back(merkle_range_root(leaf, begin, begin + k));
+      }
+      return out;
+    }
+  };
+  return Helper{leaf}.subproof(old_size, 0, new_size, true);
+}
+
+/// Incremental RFC 6962 root: the binary counter of perfect-subtree
+/// hashes, one stack slot per set bit of the size. O(log n) amortized per
+/// leaf, O(log n) per root readout, O(log n) space — the piece a
+/// high-throughput sequencer needs without retaining a second copy of
+/// every leaf.
+class RootAccumulator {
+ public:
+  /// Folds one more leaf hash into the running root.
+  void add(const Digest& leaf);
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] Digest root() const;
+
+ private:
+  std::vector<Digest> stack_;  // perfect-subtree hashes, largest first
+  std::uint64_t size_ = 0;
+};
+
 /// An append-only Merkle tree over pre-hashed leaves.
 ///
-/// Appends are O(log n) amortized (binary-counter of perfect subtrees);
-/// proofs and historic roots are computed by recursion over the stored
-/// leaf hashes.
+/// Appends are O(log n) amortized (via RootAccumulator); proofs and
+/// historic roots are computed by recursion over the stored leaf hashes.
 class MerkleTree {
  public:
   /// Appends a leaf (already leaf-hashed) and returns its index.
   std::uint64_t append(const Digest& leaf);
   /// Convenience: hashes and appends raw leaf data.
   std::uint64_t append_data(BytesView data) { return append(leaf_hash(data)); }
+  /// Bulk append: integrates a sealed batch of leaf hashes in one call and
+  /// returns the index of the first. Equivalent to appending in order.
+  std::uint64_t append_batch(std::span<const Digest> leaves);
 
   [[nodiscard]] std::uint64_t size() const { return leaves_.size(); }
 
   /// Root of the current tree. The empty tree's root is SHA-256 of the
   /// empty string, per RFC 6962.
-  [[nodiscard]] Digest root() const;
+  [[nodiscard]] Digest root() const { return accumulator_.root(); }
   /// Root of the first `n` leaves (n <= size()).
   [[nodiscard]] Digest root_at(std::uint64_t n) const;
 
@@ -54,11 +158,8 @@ class MerkleTree {
   [[nodiscard]] const Digest& leaf(std::uint64_t index) const { return leaves_.at(index); }
 
  private:
-  [[nodiscard]] Digest subtree_root(std::uint64_t begin, std::uint64_t end) const;
-
   std::vector<Digest> leaves_;
-  // Incremental root state: perfect-subtree hashes, one per set bit of size.
-  std::vector<Digest> stack_;
+  RootAccumulator accumulator_;
 };
 
 /// Verifies an RFC 6962 inclusion proof.

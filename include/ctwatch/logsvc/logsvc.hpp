@@ -1,0 +1,13 @@
+// ctwatch::logsvc — umbrella header.
+//
+// The concurrent, batched CT log service layer: a bounded submission
+// queue with fail-fast backpressure, a sequencer thread sealing batches
+// under a merge delay into signed tree heads, a snapshot-based read path
+// for proofs and range reads, and a lossy streaming fanout. See
+// service.hpp for the architecture sketch and DESIGN.md for rationale.
+#pragma once
+
+#include "ctwatch/logsvc/fanout.hpp"
+#include "ctwatch/logsvc/queue.hpp"
+#include "ctwatch/logsvc/service.hpp"
+#include "ctwatch/logsvc/store.hpp"

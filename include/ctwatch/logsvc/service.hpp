@@ -1,0 +1,256 @@
+// ctwatch::logsvc — a concurrent, batched CT log service.
+//
+// `ct::CtLog` is the protocol model: single-threaded, integrating every
+// leaf the moment it is submitted. Real logs do neither — they absorb
+// concurrent submissions into a queue, integrate in batches under a merge
+// delay (the MMD), and serve reads from signed-tree-head snapshots. This
+// module is that production shape, built from the same ct primitives
+// (merkle math, SCT/STH signing inputs, wire serialization):
+//
+//   submit() ──> BoundedQueue ──> sequencer thread ──> seal batch:
+//                (backpressure:      drains under        bulk Merkle
+//                 full = fail        the merge-delay     integration,
+//                 fast with          window, up to       per-entry SCTs,
+//                 `overloaded`)      max_batch           one signed STH
+//                                                          │
+//            readers (any thread) <── TreeSnapshot <───────┘
+//            get-sth / inclusion / consistency / get-entries run against
+//            the published snapshot + append-only stores: no lock shared
+//            with the write path
+//                                                          │
+//            StreamFanout ──> per-subscriber ring + thread ┘
+//            slow consumers drop (counted), never stall the sequencer
+//
+// Completion is asynchronous: submit() enqueues and returns; the SCT is
+// delivered to the submission's CompletionFn when its batch seals. That
+// is what lets a handful of submitter threads keep hundreds of
+// submissions in flight (see bench/logsvc_loadgen).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ctwatch/ct/log.hpp"
+#include "ctwatch/ct/merkle.hpp"
+#include "ctwatch/ct/sct.hpp"
+#include "ctwatch/logsvc/fanout.hpp"
+#include "ctwatch/logsvc/queue.hpp"
+#include "ctwatch/logsvc/store.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch::logsvc {
+
+struct Config {
+  std::string name = "logsvc";  ///< log identity; the signing key derives from it
+  std::string operator_name;
+  crypto::SignatureScheme scheme = crypto::SignatureScheme::ecdsa_p256_sha256;
+  /// Applies to the validating submit_chain/submit_pre_chain paths; the
+  /// raw submit() path trusts its caller (as bulk simulations do).
+  bool verify_submissions = true;
+  /// Retain SignedEntry bodies in the entry store (get-entries returns
+  /// them). Load tests disable this to keep the record slim.
+  bool store_bodies = true;
+  /// Return the original SCT for a resubmitted certificate.
+  bool dedup = true;
+  /// Backpressure depth: submissions beyond this fail fast as overloaded.
+  std::size_t queue_capacity = std::size_t(1) << 16;
+  /// Seal a batch early once it reaches this many submissions.
+  std::size_t max_batch = std::size_t(1) << 12;
+  /// MMD-style merge delay: how long the sequencer holds a batch open
+  /// after its first submission before sealing.
+  std::chrono::microseconds merge_delay{1000};
+  /// Per-subscriber ring depth for the streaming fanout.
+  std::size_t fanout_buffer = std::size_t(1) << 16;
+};
+
+enum class SubmitStatus : std::uint8_t {
+  ok,                ///< accepted: the SCT arrives via the CompletionFn
+  rejected_invalid,  ///< chain did not verify / wrong entry kind
+  overloaded,        ///< queue full — backpressure (Nimbus incident model)
+  shutdown,          ///< service is stopping
+};
+
+struct SubmitOutcome {
+  SubmitStatus status = SubmitStatus::ok;
+  std::uint64_t index = 0;  ///< assigned leaf index when status == ok
+  std::optional<ct::SignedCertificateTimestamp> sct;
+};
+
+/// Invoked exactly once per accepted submission, from the sequencer
+/// thread, after the batch's STH snapshot is published (so inclusion can
+/// be proven immediately). Must be cheap and must not call back into the
+/// service's write path.
+using CompletionFn = std::function<void(const SubmitOutcome&)>;
+
+/// An immutable published view of the tree: what every read serves from.
+struct TreeSnapshot {
+  ct::SignedTreeHead sth;
+  std::uint64_t seal_seq = 0;  ///< number of sealed batches behind this head
+};
+
+/// One integrated entry as the read path exposes it.
+struct EntryRecord {
+  std::uint64_t index = 0;
+  std::uint64_t timestamp_ms = 0;
+  crypto::Digest fingerprint{};
+  std::string issuer_cn;
+  ct::SignedEntry signed_entry;  ///< body kept only when Config::store_bodies
+};
+
+class LogService {
+ public:
+  /// Starts the sequencer; the service accepts submissions immediately.
+  explicit LogService(Config config);
+  /// Graceful: equivalent to stop().
+  ~LogService();
+
+  LogService(const LogService&) = delete;
+  LogService& operator=(const LogService&) = delete;
+
+  /// Seals everything already queued, publishes the final STH, joins the
+  /// sequencer and fanout threads. Idempotent. Submissions racing with
+  /// stop() fail with `shutdown` or `overloaded`.
+  void stop();
+
+  // --- identity ---
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] Bytes public_key() const { return signer_->public_key(); }
+  [[nodiscard]] ct::LogId log_id() const;
+
+  // --- write path (any thread) ---
+
+  /// Raw submission: a pre-built SignedEntry plus its certificate
+  /// fingerprint (dedup key) and issuer CN. Returns `ok` when queued; the
+  /// outcome (SCT + index) arrives via `done` at seal time.
+  SubmitStatus submit(ct::SignedEntry entry, const crypto::Digest& fingerprint,
+                      std::string issuer_cn, SimTime now, CompletionFn done = {});
+
+  /// add-chain: validates (per Config::verify_submissions) and submits a
+  /// final certificate.
+  SubmitStatus submit_chain(const x509::Certificate& cert, BytesView issuer_public_key,
+                            SimTime now, CompletionFn done = {});
+  /// add-pre-chain: validates and submits a precertificate.
+  SubmitStatus submit_pre_chain(const x509::Certificate& precert, BytesView issuer_public_key,
+                                SimTime now, CompletionFn done = {});
+
+  /// Blocking convenience over submit_chain/submit_pre_chain (picks by
+  /// the poison extension): waits through the merge delay for the SCT.
+  SubmitOutcome submit_and_wait(const x509::Certificate& cert, BytesView issuer_public_key,
+                                SimTime now);
+
+  // --- read path (any thread; never contends with the sequencer) ---
+
+  /// The latest published snapshot (never null; starts as the signed
+  /// empty tree).
+  [[nodiscard]] std::shared_ptr<const TreeSnapshot> snapshot() const;
+  /// get-sth: the latest signed tree head.
+  [[nodiscard]] ct::SignedTreeHead get_sth() const { return snapshot()->sth; }
+
+  /// Inclusion proof for `index` in the tree of `tree_size`; `tree_size`
+  /// may be any published size (current or stale snapshot).
+  [[nodiscard]] std::vector<crypto::Digest> inclusion_proof(std::uint64_t index,
+                                                            std::uint64_t tree_size) const;
+  /// Consistency proof between two published sizes.
+  [[nodiscard]] std::vector<crypto::Digest> consistency_proof(std::uint64_t old_size,
+                                                              std::uint64_t new_size) const;
+  /// Merkle leaf hash of an integrated entry (what inclusion verifies).
+  [[nodiscard]] crypto::Digest leaf_hash_at(std::uint64_t index) const;
+  /// get-entries [start, start+count), clamped to the published size.
+  [[nodiscard]] std::vector<EntryRecord> get_entries(std::uint64_t start,
+                                                     std::uint64_t count) const;
+  /// Published tree size (== get_sth().tree_size).
+  [[nodiscard]] std::uint64_t tree_size() const { return leaves_.size(); }
+
+  // --- streaming ---
+
+  /// Registers a streaming consumer (own dispatch thread; lossy when its
+  /// ring fills — see StreamFanout).
+  void subscribe(std::string name, StreamFanout::Callback callback) {
+    fanout_.subscribe(std::move(name), std::move(callback));
+  }
+  [[nodiscard]] const StreamFanout& fanout() const { return fanout_; }
+
+  // --- stats ---
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] std::uint64_t overload_rejections() const {
+    return overload_rejections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sealed_batches() const {
+    return sealed_batches_.load(std::memory_order_relaxed);
+  }
+
+  // --- test hooks ---
+
+  /// TEST HOOK: freezes the sequencer (it stops draining), so tests can
+  /// deterministically fill the queue to provoke `overloaded`.
+  void pause_sequencer_for_test() { paused_.store(true, std::memory_order_relaxed); }
+  void resume_sequencer_for_test() { paused_.store(false, std::memory_order_relaxed); }
+
+ private:
+  struct Pending {
+    ct::SignedEntry entry;
+    crypto::Digest fingerprint{};
+    std::string issuer_cn;
+    std::uint64_t timestamp_ms = 0;
+    std::chrono::steady_clock::time_point enqueued_at;
+    CompletionFn done;
+  };
+
+  struct DedupValue {
+    std::uint64_t index = 0;
+    std::uint64_t timestamp_ms = 0;
+  };
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const {
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < sizeof(out); ++i) out = (out << 8) | d[i];
+      return out;
+    }
+  };
+
+  SubmitStatus submit_validated(const x509::Certificate& cert, BytesView issuer_public_key,
+                                SimTime now, ct::EntryType type, CompletionFn done);
+  void sequencer_main();
+  void seal_batch(std::vector<Pending>& batch);
+  void publish_snapshot(std::uint64_t timestamp_ms);
+  [[nodiscard]] ct::SignedCertificateTimestamp sign_sct(std::uint64_t timestamp_ms,
+                                                        const ct::SignedEntry& entry) const;
+
+  Config config_;
+  std::unique_ptr<crypto::Signer> signer_;
+
+  BoundedQueue<Pending> queue_;
+  AppendOnlyStore<crypto::Digest> leaves_;
+  AppendOnlyStore<EntryRecord> entries_;
+
+  // Sequencer-private state (no locking: single thread).
+  ct::RootAccumulator accumulator_;
+  std::unordered_map<crypto::Digest, DedupValue, DigestHash> dedup_;
+  std::uint64_t last_timestamp_ms_ = 0;
+  std::uint64_t seal_seq_ = 0;
+
+  mutable std::mutex snapshot_mu_;  // held only for the shared_ptr swap/copy
+  std::shared_ptr<const TreeSnapshot> snapshot_;
+
+  StreamFanout fanout_;
+  std::thread sequencer_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<std::uint64_t> overload_rejections_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> sealed_batches_{0};
+};
+
+}  // namespace ctwatch::logsvc

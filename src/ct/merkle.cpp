@@ -5,10 +5,9 @@
 
 namespace ctwatch::ct {
 
-namespace {
-/// Largest power of two strictly less than n (n >= 2).
-std::uint64_t split_point(std::uint64_t n) { return std::bit_floor(n - 1); }
-}  // namespace
+namespace detail {
+std::uint64_t merkle_split_point(std::uint64_t n) { return std::bit_floor(n - 1); }
+}  // namespace detail
 
 Digest leaf_hash(BytesView data) {
   crypto::Sha256 h;
@@ -24,23 +23,23 @@ Digest node_hash(const Digest& left, const Digest& right) {
   return h.finish();
 }
 
-std::uint64_t MerkleTree::append(const Digest& leaf) {
-  const std::uint64_t index = leaves_.size();
-  leaves_.push_back(leaf);
+Digest empty_tree_root() { return crypto::Sha256::hash(BytesView{}); }
+
+void RootAccumulator::add(const Digest& leaf) {
   // Binary-counter merge: one stack entry per set bit of the new size.
   Digest acc = leaf;
-  std::uint64_t size = index;  // old size
+  std::uint64_t size = size_;  // old size
   while (size & 1) {
     acc = node_hash(stack_.back(), acc);
     stack_.pop_back();
     size >>= 1;
   }
   stack_.push_back(acc);
-  return index;
+  ++size_;
 }
 
-Digest MerkleTree::root() const {
-  if (stack_.empty()) return crypto::Sha256::hash(BytesView{});
+Digest RootAccumulator::root() const {
+  if (stack_.empty()) return empty_tree_root();
   Digest acc = stack_.back();
   for (std::size_t i = stack_.size() - 1; i-- > 0;) {
     acc = node_hash(stack_[i], acc);
@@ -48,17 +47,23 @@ Digest MerkleTree::root() const {
   return acc;
 }
 
-Digest MerkleTree::root_at(std::uint64_t n) const {
-  if (n > size()) throw std::out_of_range("MerkleTree::root_at: beyond tree size");
-  if (n == 0) return crypto::Sha256::hash(BytesView{});
-  return subtree_root(0, n);
+std::uint64_t MerkleTree::append(const Digest& leaf) {
+  const std::uint64_t index = leaves_.size();
+  leaves_.push_back(leaf);
+  accumulator_.add(leaf);
+  return index;
 }
 
-Digest MerkleTree::subtree_root(std::uint64_t begin, std::uint64_t end) const {
-  const std::uint64_t n = end - begin;
-  if (n == 1) return leaves_[begin];
-  const std::uint64_t k = split_point(n);
-  return node_hash(subtree_root(begin, begin + k), subtree_root(begin + k, end));
+std::uint64_t MerkleTree::append_batch(std::span<const Digest> leaves) {
+  const std::uint64_t first = leaves_.size();
+  leaves_.reserve(leaves_.size() + leaves.size());
+  for (const Digest& leaf : leaves) append(leaf);
+  return first;
+}
+
+Digest MerkleTree::root_at(std::uint64_t n) const {
+  if (n > size()) throw std::out_of_range("MerkleTree::root_at: beyond tree size");
+  return merkle_root_of([this](std::uint64_t i) -> const Digest& { return leaves_[i]; }, n);
 }
 
 std::vector<Digest> MerkleTree::inclusion_proof(std::uint64_t index,
@@ -66,22 +71,8 @@ std::vector<Digest> MerkleTree::inclusion_proof(std::uint64_t index,
   if (tree_size > size() || index >= tree_size) {
     throw std::out_of_range("MerkleTree::inclusion_proof: bad index/size");
   }
-  std::vector<Digest> proof;
-  // PATH(m, D[begin:end]) per RFC 6962 §2.1.1, iterative over the recursion.
-  std::uint64_t begin = 0, end = tree_size, m = index;
-  std::vector<Digest> reversed;
-  while (end - begin > 1) {
-    const std::uint64_t k = split_point(end - begin);
-    if (m < begin + k) {
-      reversed.push_back(subtree_root(begin + k, end));
-      end = begin + k;
-    } else {
-      reversed.push_back(subtree_root(begin, begin + k));
-      begin += k;
-    }
-  }
-  proof.assign(reversed.rbegin(), reversed.rend());
-  return proof;
+  return merkle_inclusion_path([this](std::uint64_t i) -> const Digest& { return leaves_[i]; },
+                               index, tree_size);
 }
 
 std::vector<Digest> MerkleTree::consistency_proof(std::uint64_t old_size,
@@ -89,30 +80,8 @@ std::vector<Digest> MerkleTree::consistency_proof(std::uint64_t old_size,
   if (new_size > size() || old_size > new_size) {
     throw std::out_of_range("MerkleTree::consistency_proof: bad sizes");
   }
-  if (old_size == new_size || old_size == 0) return {};
-  // SUBPROOF(m, D[begin:end], b) per RFC 6962 §2.1.2, recursive.
-  struct Helper {
-    const MerkleTree& tree;
-    std::vector<Digest> subproof(std::uint64_t m, std::uint64_t begin, std::uint64_t end,
-                                 bool whole) const {
-      const std::uint64_t n = end - begin;
-      if (m == n) {
-        if (whole) return {};
-        return {tree.subtree_root(begin, end)};
-      }
-      const std::uint64_t k = split_point(n);
-      std::vector<Digest> out;
-      if (m <= k) {
-        out = subproof(m, begin, begin + k, whole);
-        out.push_back(tree.subtree_root(begin + k, end));
-      } else {
-        out = subproof(m - k, begin + k, end, false);
-        out.push_back(tree.subtree_root(begin, begin + k));
-      }
-      return out;
-    }
-  };
-  return Helper{*this}.subproof(old_size, 0, new_size, true);
+  return merkle_consistency_path([this](std::uint64_t i) -> const Digest& { return leaves_[i]; },
+                                 old_size, new_size);
 }
 
 bool verify_inclusion(const Digest& leaf, std::uint64_t index, std::uint64_t tree_size,

@@ -1,0 +1,75 @@
+#include "ctwatch/logsvc/fanout.hpp"
+
+#include "ctwatch/obs/obs.hpp"
+
+namespace ctwatch::logsvc {
+
+namespace {
+
+struct FanoutMetrics {
+  obs::Counter& delivered = obs::Registry::global().counter("logsvc.fanout.delivered");
+  obs::Counter& dropped = obs::Registry::global().counter("logsvc.fanout.dropped");
+};
+
+FanoutMetrics& fanout_metrics() {
+  static FanoutMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+void StreamFanout::subscribe(std::string name, Callback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  auto subscriber = std::make_unique<Subscriber>(std::move(name), std::move(callback), capacity_);
+  Subscriber& ref = *subscriber;
+  subscribers_.push_back(std::move(subscriber));
+  ref.dispatcher = std::thread([this, &ref] { dispatch_loop(ref); });
+}
+
+void StreamFanout::publish(const StreamEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& subscriber : subscribers_) {
+    StreamEvent copy = event;
+    if (!subscriber->ring.try_push(std::move(copy))) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      fanout_metrics().dropped.inc();
+      obs::log_debug("logsvc.fanout", "event dropped for slow subscriber",
+                     {{"subscriber", subscriber->name}, {"index", event.index}});
+    }
+  }
+}
+
+void StreamFanout::dispatch_loop(Subscriber& subscriber) {
+  std::vector<StreamEvent> batch;
+  while (subscriber.ring.wait_nonempty()) {
+    batch.clear();
+    subscriber.ring.drain(batch, 256);
+    for (const StreamEvent& event : batch) {
+      subscriber.callback(event);
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      fanout_metrics().delivered.inc();
+    }
+  }
+}
+
+void StreamFanout::stop() {
+  std::vector<std::unique_ptr<Subscriber>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    to_join.swap(subscribers_);
+  }
+  for (const auto& subscriber : to_join) subscriber->ring.close();
+  for (const auto& subscriber : to_join) {
+    if (subscriber->dispatcher.joinable()) subscriber->dispatcher.join();
+  }
+}
+
+std::size_t StreamFanout::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.size();
+}
+
+}  // namespace ctwatch::logsvc

@@ -1,0 +1,338 @@
+#include "ctwatch/logsvc/service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <stdexcept>
+
+#include "ctwatch/obs/obs.hpp"
+
+namespace ctwatch::logsvc {
+
+namespace {
+
+// Shared across service instances, like ct.log.* — the fleet-wide view.
+struct SvcMetrics {
+  obs::Counter& submissions = obs::Registry::global().counter("logsvc.submissions");
+  obs::Counter& accepted = obs::Registry::global().counter("logsvc.accepted");
+  obs::Counter& rejected_invalid = obs::Registry::global().counter("logsvc.rejected_invalid");
+  obs::Counter& overloaded = obs::Registry::global().counter("logsvc.overload_rejections");
+  obs::Counter& dedup_hits = obs::Registry::global().counter("logsvc.dedup_hits");
+  obs::Counter& sealed_batches = obs::Registry::global().counter("logsvc.sealed_batches");
+  obs::Gauge& queue_depth = obs::Registry::global().gauge("logsvc.queue_depth");
+  obs::Gauge& tree_size = obs::Registry::global().gauge("logsvc.tree_size");
+  obs::Histogram& batch_size = obs::Registry::global().histogram(
+      "logsvc.batch_size", obs::exponential_bounds(1.0, 2.0, 16));
+  obs::Histogram& seal_us = obs::Registry::global().histogram("logsvc.seal_us");
+  obs::Histogram& submit_to_sct_us =
+      obs::Registry::global().histogram("logsvc.submit_to_sct_us");
+};
+
+SvcMetrics& svc_metrics() {
+  static SvcMetrics metrics;
+  return metrics;
+}
+
+std::uint64_t to_millis(SimTime now) {
+  return static_cast<std::uint64_t>(now.unix_seconds()) * 1000;
+}
+
+}  // namespace
+
+LogService::LogService(Config config)
+    : config_(std::move(config)),
+      signer_(crypto::make_signer("ct-log/" + config_.name, config_.scheme)),
+      queue_(config_.queue_capacity),
+      fanout_(config_.fanout_buffer) {
+  publish_snapshot(0);  // the signed empty tree: get-sth works from birth
+  running_.store(true, std::memory_order_release);
+  sequencer_ = std::thread([this] { sequencer_main(); });
+  obs::log_info("logsvc", "service started",
+                {{"log", config_.name},
+                 {"queue_capacity", config_.queue_capacity},
+                 {"max_batch", config_.max_batch},
+                 {"merge_delay_us", static_cast<std::uint64_t>(config_.merge_delay.count())}});
+}
+
+LogService::~LogService() { stop(); }
+
+void LogService::stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  queue_.close();
+  if (was_running && sequencer_.joinable()) sequencer_.join();
+  fanout_.stop();
+}
+
+ct::LogId LogService::log_id() const {
+  const crypto::Digest id = signer_->key_id();
+  ct::LogId out{};
+  std::copy(id.begin(), id.end(), out.begin());
+  return out;
+}
+
+SubmitStatus LogService::submit(ct::SignedEntry entry, const crypto::Digest& fingerprint,
+                                std::string issuer_cn, SimTime now, CompletionFn done) {
+  SvcMetrics& metrics = svc_metrics();
+  metrics.submissions.inc();
+  if (!running_.load(std::memory_order_acquire)) return SubmitStatus::shutdown;
+
+  Pending pending;
+  pending.entry = std::move(entry);
+  pending.fingerprint = fingerprint;
+  pending.issuer_cn = std::move(issuer_cn);
+  pending.timestamp_ms = to_millis(now);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  pending.done = std::move(done);
+
+  if (!queue_.try_push(std::move(pending))) {
+    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+    metrics.overloaded.inc();
+    obs::log_debug("logsvc", "submission rejected for overload", {{"log", config_.name}});
+    return SubmitStatus::overloaded;
+  }
+  return SubmitStatus::ok;
+}
+
+SubmitStatus LogService::submit_validated(const x509::Certificate& cert,
+                                          BytesView issuer_public_key, SimTime now,
+                                          ct::EntryType type, CompletionFn done) {
+  // Validation runs in the submitting thread, so it parallelizes across
+  // producers instead of serializing in the sequencer.
+  if (config_.verify_submissions && !cert.verify(issuer_public_key)) {
+    svc_metrics().rejected_invalid.inc();
+    obs::log_debug("logsvc", "submission failed chain verification",
+                   {{"log", config_.name}, {"issuer", cert.tbs.issuer.common_name}});
+    return SubmitStatus::rejected_invalid;
+  }
+  ct::SignedEntry entry = (type == ct::EntryType::precert_entry)
+                              ? ct::make_precert_entry(cert, issuer_public_key)
+                              : ct::make_x509_entry(cert);
+  return submit(std::move(entry), cert.fingerprint(), cert.tbs.issuer.common_name, now,
+                std::move(done));
+}
+
+SubmitStatus LogService::submit_chain(const x509::Certificate& cert, BytesView issuer_public_key,
+                                      SimTime now, CompletionFn done) {
+  if (cert.is_precertificate()) {
+    svc_metrics().rejected_invalid.inc();
+    return SubmitStatus::rejected_invalid;
+  }
+  return submit_validated(cert, issuer_public_key, now, ct::EntryType::x509_entry,
+                          std::move(done));
+}
+
+SubmitStatus LogService::submit_pre_chain(const x509::Certificate& precert,
+                                          BytesView issuer_public_key, SimTime now,
+                                          CompletionFn done) {
+  if (!precert.is_precertificate()) {
+    svc_metrics().rejected_invalid.inc();
+    return SubmitStatus::rejected_invalid;
+  }
+  return submit_validated(precert, issuer_public_key, now, ct::EntryType::precert_entry,
+                          std::move(done));
+}
+
+SubmitOutcome LogService::submit_and_wait(const x509::Certificate& cert,
+                                          BytesView issuer_public_key, SimTime now) {
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    SubmitOutcome outcome;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  auto done = [waiter](const SubmitOutcome& outcome) {
+    {
+      std::lock_guard<std::mutex> lock(waiter->mu);
+      waiter->outcome = outcome;
+      waiter->ready = true;
+    }
+    waiter->cv.notify_one();
+  };
+  const SubmitStatus status =
+      cert.is_precertificate() ? submit_pre_chain(cert, issuer_public_key, now, done)
+                               : submit_chain(cert, issuer_public_key, now, done);
+  if (status != SubmitStatus::ok) return SubmitOutcome{status, 0, std::nullopt};
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->ready; });
+  return waiter->outcome;
+}
+
+std::shared_ptr<const TreeSnapshot> LogService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::vector<crypto::Digest> LogService::inclusion_proof(std::uint64_t index,
+                                                        std::uint64_t tree_size) const {
+  if (tree_size > leaves_.size() || index >= tree_size) {
+    throw std::out_of_range("LogService::inclusion_proof: bad index/size");
+  }
+  return ct::merkle_inclusion_path(
+      [this](std::uint64_t i) -> const crypto::Digest& { return leaves_.at(i); }, index,
+      tree_size);
+}
+
+std::vector<crypto::Digest> LogService::consistency_proof(std::uint64_t old_size,
+                                                          std::uint64_t new_size) const {
+  if (new_size > leaves_.size() || old_size > new_size) {
+    throw std::out_of_range("LogService::consistency_proof: bad sizes");
+  }
+  return ct::merkle_consistency_path(
+      [this](std::uint64_t i) -> const crypto::Digest& { return leaves_.at(i); }, old_size,
+      new_size);
+}
+
+crypto::Digest LogService::leaf_hash_at(std::uint64_t index) const {
+  if (index >= leaves_.size()) {
+    throw std::out_of_range("LogService::leaf_hash_at: beyond published size");
+  }
+  return leaves_.at(index);
+}
+
+std::vector<EntryRecord> LogService::get_entries(std::uint64_t start, std::uint64_t count) const {
+  const std::uint64_t published = entries_.size();
+  std::vector<EntryRecord> out;
+  for (std::uint64_t i = start; i < start + count && i < published; ++i) {
+    out.push_back(entries_.at(i));
+  }
+  return out;
+}
+
+ct::SignedCertificateTimestamp LogService::sign_sct(std::uint64_t timestamp_ms,
+                                                    const ct::SignedEntry& entry) const {
+  ct::SignedCertificateTimestamp sct;
+  sct.log_id = log_id();
+  sct.timestamp_ms = timestamp_ms;
+  sct.signature = signer_->sign(ct::sct_signing_input(sct, entry));
+  return sct;
+}
+
+void LogService::publish_snapshot(std::uint64_t timestamp_ms) {
+  auto snapshot = std::make_shared<TreeSnapshot>();
+  snapshot->sth.tree_size = accumulator_.size();
+  snapshot->sth.timestamp_ms = timestamp_ms;
+  snapshot->sth.root_hash = accumulator_.root();
+  snapshot->sth.signature = signer_->sign(ct::sth_signing_input(snapshot->sth));
+  snapshot->seal_seq = seal_seq_;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+}
+
+void LogService::sequencer_main() {
+  SvcMetrics& metrics = svc_metrics();
+  std::vector<Pending> batch;
+  while (queue_.wait_nonempty()) {
+    // Frozen by the backpressure tests: hold off draining so the queue
+    // can be filled deterministically.
+    while (paused_.load(std::memory_order_relaxed) && !queue_.closed()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    // The merge-delay window opens at the first pending submission and
+    // closes at the deadline or when the batch is full.
+    const auto deadline = std::chrono::steady_clock::now() + config_.merge_delay;
+    batch.clear();
+    queue_.drain(batch, config_.max_batch);
+    while (batch.size() < config_.max_batch && queue_.wait_nonempty_until(deadline)) {
+      queue_.drain(batch, config_.max_batch - batch.size());
+    }
+    metrics.queue_depth.set(static_cast<std::int64_t>(queue_.depth()));
+    seal_batch(batch);
+  }
+  metrics.queue_depth.set(0);
+  obs::log_info("logsvc", "sequencer drained and exiting",
+                {{"log", config_.name}, {"tree_size", accumulator_.size()}});
+}
+
+void LogService::seal_batch(std::vector<Pending>& batch) {
+  if (batch.empty()) return;
+  SvcMetrics& metrics = svc_metrics();
+  CTWATCH_SPAN("logsvc.seal");
+  obs::ScopedTimer seal_timer(metrics.seal_us);
+
+  struct Completion {
+    CompletionFn done;
+    SubmitOutcome outcome;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+  std::vector<Completion> completions;
+  completions.reserve(batch.size());
+  std::vector<StreamEvent> events;
+  events.reserve(batch.size());
+  std::uint64_t appended = 0;
+
+  Bytes leaf_bytes;
+  for (Pending& pending : batch) {
+    last_timestamp_ms_ = std::max(last_timestamp_ms_, pending.timestamp_ms);
+
+    if (config_.dedup) {
+      if (const auto it = dedup_.find(pending.fingerprint); it != dedup_.end()) {
+        // RFC 6962 resubmission semantics: re-issue the SCT over the
+        // original timestamp instead of growing the tree.
+        metrics.dedup_hits.inc();
+        completions.push_back({std::move(pending.done),
+                               SubmitOutcome{SubmitStatus::ok, it->second.index,
+                                             sign_sct(it->second.timestamp_ms, pending.entry)},
+                               pending.enqueued_at});
+        continue;
+      }
+    }
+
+    const std::uint64_t index = accumulator_.size();
+    leaf_bytes = ct::merkle_leaf_bytes(pending.timestamp_ms, pending.entry);
+    const crypto::Digest leaf = ct::leaf_hash(leaf_bytes);
+    ct::SignedCertificateTimestamp sct = sign_sct(pending.timestamp_ms, pending.entry);
+
+    if (config_.dedup) {
+      dedup_.emplace(pending.fingerprint, DedupValue{index, pending.timestamp_ms});
+    }
+
+    EntryRecord record;
+    record.index = index;
+    record.timestamp_ms = pending.timestamp_ms;
+    record.fingerprint = pending.fingerprint;
+    record.issuer_cn = pending.issuer_cn;
+    if (config_.store_bodies) record.signed_entry = std::move(pending.entry);
+
+    StreamEvent event;
+    event.index = index;
+    event.timestamp_ms = pending.timestamp_ms;
+    event.leaf_hash = leaf;
+    event.fingerprint = pending.fingerprint;
+    event.issuer_cn = std::move(pending.issuer_cn);
+
+    leaves_.append(leaf);
+    accumulator_.add(leaf);
+    entries_.append(std::move(record));
+    events.push_back(std::move(event));
+    completions.push_back({std::move(pending.done),
+                           SubmitOutcome{SubmitStatus::ok, index, std::move(sct)},
+                           pending.enqueued_at});
+    ++appended;
+  }
+
+  if (appended > 0) {
+    // Publish order matters: stores first (release), then the snapshot
+    // that readers bound their accesses by, then the completions that
+    // tell submitters their entry is provable.
+    leaves_.publish();
+    entries_.publish();
+    ++seal_seq_;
+    publish_snapshot(last_timestamp_ms_);
+    sealed_batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics.sealed_batches.inc();
+    metrics.tree_size.set(static_cast<std::int64_t>(accumulator_.size()));
+  }
+  metrics.batch_size.observe(static_cast<double>(batch.size()));
+  accepted_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  const auto sealed_at = std::chrono::steady_clock::now();
+  for (Completion& completion : completions) {
+    metrics.accepted.inc();
+    metrics.submit_to_sct_us.observe(
+        std::chrono::duration<double, std::micro>(sealed_at - completion.enqueued_at).count());
+    if (completion.done) completion.done(completion.outcome);
+  }
+  for (const StreamEvent& event : events) fanout_.publish(event);
+}
+
+}  // namespace ctwatch::logsvc

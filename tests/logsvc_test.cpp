@@ -1,0 +1,383 @@
+// ctwatch::logsvc — service-level behaviour: asynchronous SCT delivery,
+// batching under the merge delay, dedup semantics, backpressure, snapshot
+// reads (including stale heads), streaming fanout loss accounting, graceful
+// shutdown, and a multi-threaded smoke test that is the ThreadSanitizer
+// target for the whole subsystem.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ctwatch/logsvc/logsvc.hpp"
+#include "ctwatch/sim/ca.hpp"
+#include "ctwatch/util/rng.hpp"
+
+namespace ctwatch::logsvc {
+namespace {
+
+using namespace std::chrono_literals;
+
+ct::SignedEntry entry_of(std::uint64_t n) {
+  ct::SignedEntry entry;
+  entry.type = ct::EntryType::x509_entry;
+  entry.data = to_bytes("entry-" + std::to_string(n));
+  return entry;
+}
+
+crypto::Digest fingerprint_of(std::uint64_t n) {
+  return crypto::Sha256::hash(to_bytes("fp-" + std::to_string(n)));
+}
+
+Config fast_config(const std::string& name) {
+  Config config;
+  config.name = name;
+  config.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  config.merge_delay = 500us;
+  return config;
+}
+
+/// Raw submit + block for the outcome (the async path, synchronized).
+SubmitOutcome submit_wait(LogService& service, std::uint64_t n, SimTime now) {
+  std::promise<SubmitOutcome> promise;
+  auto future = promise.get_future();
+  const SubmitStatus status =
+      service.submit(entry_of(n), fingerprint_of(n), "Test CA", now,
+                     [&promise](const SubmitOutcome& outcome) { promise.set_value(outcome); });
+  if (status != SubmitStatus::ok) return SubmitOutcome{status, 0, std::nullopt};
+  return future.get();
+}
+
+const SimTime kNow = SimTime::parse("2018-04-01");
+
+TEST(LogServiceTest, SubmissionCompletesWithVerifiableSctAndProof) {
+  LogService service(fast_config("Svc A"));
+  const SubmitOutcome outcome = submit_wait(service, 1, kNow);
+  ASSERT_EQ(outcome.status, SubmitStatus::ok);
+  ASSERT_TRUE(outcome.sct.has_value());
+  EXPECT_EQ(outcome.index, 0u);
+  EXPECT_EQ(outcome.sct->timestamp_ms, static_cast<std::uint64_t>(kNow.unix_seconds()) * 1000);
+
+  // The SCT verifies with the service's key over the submitted entry.
+  EXPECT_TRUE(ct::verify_sct(*outcome.sct, entry_of(1), service.public_key()));
+
+  // Completion fires after publication: the entry is provable immediately.
+  const ct::SignedTreeHead sth = service.get_sth();
+  EXPECT_TRUE(ct::verify_sth(sth, service.public_key()));
+  ASSERT_EQ(sth.tree_size, 1u);
+  EXPECT_TRUE(ct::verify_inclusion(service.leaf_hash_at(0), 0, 1,
+                                   service.inclusion_proof(0, 1), sth.root_hash));
+}
+
+TEST(LogServiceTest, MergeDelayBatchesConcurrentSubmissionsIntoOneSth) {
+  Config config = fast_config("Svc Batch");
+  config.merge_delay = 20ms;
+  LogService service(config);
+  service.pause_sequencer_for_test();  // hold the window open deterministically
+
+  std::vector<std::future<SubmitOutcome>> outcomes;
+  std::vector<std::promise<SubmitOutcome>> promises(3);
+  for (std::size_t i = 0; i < promises.size(); ++i) {
+    outcomes.push_back(promises[i].get_future());
+    auto* promise = &promises[i];
+    ASSERT_EQ(service.submit(entry_of(i), fingerprint_of(i), "Test CA", kNow,
+                             [promise](const SubmitOutcome& o) { promise->set_value(o); }),
+              SubmitStatus::ok);
+  }
+  service.resume_sequencer_for_test();
+  for (auto& future : outcomes) EXPECT_EQ(future.get().status, SubmitStatus::ok);
+
+  // One seal integrated all three: a single batch, a single new head.
+  EXPECT_EQ(service.sealed_batches(), 1u);
+  EXPECT_EQ(service.tree_size(), 3u);
+  EXPECT_EQ(service.snapshot()->seal_seq, 1u);
+}
+
+TEST(LogServiceTest, DedupReturnsOriginalIndexAndTimestamp) {
+  LogService service(fast_config("Svc Dedup"));
+  const SubmitOutcome first = submit_wait(service, 7, kNow);
+  ASSERT_EQ(first.status, SubmitStatus::ok);
+
+  // Resubmission an hour later: same index, the *original* timestamp, and
+  // the tree does not grow (RFC 6962 resubmission semantics).
+  const SubmitOutcome again = submit_wait(service, 7, kNow + 3600);
+  ASSERT_EQ(again.status, SubmitStatus::ok);
+  EXPECT_EQ(again.index, first.index);
+  EXPECT_EQ(again.sct->timestamp_ms, first.sct->timestamp_ms);
+  EXPECT_EQ(service.tree_size(), 1u);
+  EXPECT_TRUE(ct::verify_sct(*again.sct, entry_of(7), service.public_key()));
+}
+
+TEST(LogServiceTest, QueueFullFailsFastWithOverloaded) {
+  Config config = fast_config("Svc Overload");
+  config.queue_capacity = 4;
+  LogService service(config);
+  service.pause_sequencer_for_test();  // freeze draining: the queue can fill
+
+  std::atomic<int> completed{0};
+  auto count = [&completed](const SubmitOutcome&) { completed.fetch_add(1); };
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(service.submit(entry_of(i), fingerprint_of(i), "Test CA", kNow, count),
+              SubmitStatus::ok);
+  }
+  EXPECT_EQ(service.queue_depth(), 4u);
+  // Beyond capacity: fail fast, nothing blocks, the rejection is counted.
+  EXPECT_EQ(service.submit(entry_of(99), fingerprint_of(99), "Test CA", kNow, count),
+            SubmitStatus::overloaded);
+  EXPECT_EQ(service.overload_rejections(), 1u);
+
+  service.resume_sequencer_for_test();
+  service.stop();  // drains the four accepted submissions before exiting
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_EQ(service.tree_size(), 4u);
+}
+
+TEST(LogServiceTest, StopCompletesEverythingQueued) {
+  LogService service(fast_config("Svc Stop"));
+  service.pause_sequencer_for_test();
+  std::atomic<int> completed{0};
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(service.submit(entry_of(i), fingerprint_of(i), "Test CA", kNow,
+                             [&completed](const SubmitOutcome& o) {
+                               if (o.status == SubmitStatus::ok) completed.fetch_add(1);
+                             }),
+              SubmitStatus::ok);
+  }
+  service.resume_sequencer_for_test();
+  service.stop();
+  EXPECT_EQ(completed.load(), 16);
+  EXPECT_EQ(service.tree_size(), 16u);
+  // After stop, new submissions are refused.
+  EXPECT_EQ(service.submit(entry_of(99), fingerprint_of(99), "Test CA", kNow),
+            SubmitStatus::shutdown);
+}
+
+TEST(LogServiceTest, StaleSnapshotProofsKeepVerifying) {
+  LogService service(fast_config("Svc Stale"));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(submit_wait(service, i, kNow).status, SubmitStatus::ok);
+  }
+  const ct::SignedTreeHead stale = service.get_sth();
+  ASSERT_EQ(stale.tree_size, 5u);
+  for (std::uint64_t i = 5; i < 12; ++i) {
+    ASSERT_EQ(submit_wait(service, i, kNow + 60).status, SubmitStatus::ok);
+  }
+  const ct::SignedTreeHead fresh = service.get_sth();
+  ASSERT_EQ(fresh.tree_size, 12u);
+
+  // Inclusion still proves into the stale head at its recorded size...
+  EXPECT_TRUE(ct::verify_inclusion(service.leaf_hash_at(2), 2, stale.tree_size,
+                                   service.inclusion_proof(2, stale.tree_size),
+                                   stale.root_hash));
+  // ...and the stale head connects forward to the fresh one.
+  EXPECT_TRUE(ct::verify_consistency(stale.tree_size, fresh.tree_size, stale.root_hash,
+                                     fresh.root_hash,
+                                     service.consistency_proof(stale.tree_size, fresh.tree_size)));
+  // Requests beyond the published size are rejected, not served garbage.
+  EXPECT_THROW((void)service.inclusion_proof(0, 99), std::out_of_range);
+  EXPECT_THROW((void)service.consistency_proof(5, 99), std::out_of_range);
+  EXPECT_THROW((void)service.leaf_hash_at(12), std::out_of_range);
+}
+
+TEST(LogServiceTest, GetEntriesReturnsStoredRecordsAndClamps) {
+  LogService service(fast_config("Svc Entries"));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(submit_wait(service, i, kNow).status, SubmitStatus::ok);
+  }
+  const auto records = service.get_entries(1, 10);  // clamped to [1, 3)
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].index, 1u);
+  EXPECT_EQ(records[1].index, 2u);
+  EXPECT_EQ(records[0].fingerprint, fingerprint_of(1));
+  EXPECT_EQ(records[0].signed_entry.data, entry_of(1).data);  // store_bodies on
+  EXPECT_TRUE(service.get_entries(5, 2).empty());
+}
+
+TEST(LogServiceTest, RejectsInvalidChainsInTheCallerThread) {
+  Config config = fast_config("Svc Validate");
+  LogService service(config);  // verify_submissions defaults to true
+  sim::CertificateAuthority ca("Svc CA", "Svc Issuing CA",
+                               crypto::SignatureScheme::hmac_sha256_simulated);
+  sim::CertificateAuthority other("Other CA", "Other Issuing CA",
+                                  crypto::SignatureScheme::hmac_sha256_simulated);
+  sim::IssuanceRequest request;
+  request.subject_cn = "www.example.org";
+  request.sans = {x509::SanEntry::dns("www.example.org")};
+  request.not_before = kNow;
+  request.not_after = kNow + 90 * 86400;
+  const auto issued = ca.issue(request, kNow);
+
+  // Wrong issuer key: synchronous rejection, no completion pending.
+  EXPECT_EQ(service.submit_chain(issued.final_certificate, other.public_key(), kNow),
+            SubmitStatus::rejected_invalid);
+  // Entry-kind confusion is refused on both endpoints.
+  EXPECT_EQ(service.submit_chain(issued.precertificate, ca.public_key(), kNow),
+            SubmitStatus::rejected_invalid);
+  EXPECT_EQ(service.submit_pre_chain(issued.final_certificate, ca.public_key(), kNow),
+            SubmitStatus::rejected_invalid);
+  EXPECT_EQ(service.tree_size(), 0u);
+
+  // The valid flavors land: add-pre-chain then add-chain (distinct leaves).
+  const SubmitOutcome pre = service.submit_and_wait(issued.precertificate, ca.public_key(), kNow);
+  ASSERT_EQ(pre.status, SubmitStatus::ok);
+  const ct::SignedEntry entry = ct::make_precert_entry(issued.precertificate, ca.public_key());
+  EXPECT_TRUE(ct::verify_sct(*pre.sct, entry, service.public_key()));
+  const SubmitOutcome fin =
+      service.submit_and_wait(issued.final_certificate, ca.public_key(), kNow);
+  ASSERT_EQ(fin.status, SubmitStatus::ok);
+  EXPECT_EQ(service.tree_size(), 2u);
+}
+
+TEST(LogServiceTest, FanoutDropsForSlowConsumerWithoutStallingSeal) {
+  Config config = fast_config("Svc Fanout");
+  config.fanout_buffer = 2;  // tiny ring: a blocked consumer overflows fast
+  LogService service(config);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<std::uint64_t> seen{0};
+  service.subscribe("slow", [&](const StreamEvent&) {
+    seen.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  constexpr std::uint64_t kEvents = 32;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(submit_wait(service, i, kNow).status, SubmitStatus::ok);
+  }
+  // All 32 submissions completed (sealing never waited on the consumer)
+  // even though the consumer has processed at most one event.
+  EXPECT_EQ(service.tree_size(), kEvents);
+  EXPECT_GT(service.fanout().dropped(), 0u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  service.stop();  // drains what the ring still holds, then joins
+  EXPECT_EQ(service.fanout().delivered() + service.fanout().dropped(), kEvents);
+  EXPECT_EQ(service.fanout().delivered(), seen.load());
+}
+
+// The ThreadSanitizer target: concurrent submitters racing the sequencer
+// while readers serve proofs from snapshots and a streaming consumer
+// drains the fanout. Any locking mistake in queue/store/snapshot/fanout
+// shows up here as a TSAN race report.
+TEST(LogServiceTest, ConcurrentSubmittersAndReadersSmoke) {
+  Config config = fast_config("Svc Smoke");
+  config.max_batch = 64;
+  LogService service(config);
+
+  std::atomic<std::uint64_t> streamed{0};
+  service.subscribe("smoke", [&streamed](const StreamEvent&) { streamed.fetch_add(1); });
+
+  constexpr int kSubmitters = 4;
+  constexpr std::uint64_t kPerThread = 200;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<bool> writers_done{false};
+  std::atomic<std::uint64_t> proof_failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t n = static_cast<std::uint64_t>(t) * kPerThread + i;
+        const SubmitStatus status = service.submit(
+            entry_of(n), fingerprint_of(n), "Smoke CA", kNow,
+            [&completed](const SubmitOutcome& o) {
+              if (o.status == SubmitStatus::ok) completed.fetch_add(1);
+            });
+        if (status == SubmitStatus::ok) {
+          accepted.fetch_add(1);
+        } else {
+          std::this_thread::yield();  // overloaded: retry the next ordinal
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x5111feedULL + static_cast<std::uint64_t>(t));
+      const Bytes key = service.public_key();
+      while (!writers_done.load(std::memory_order_acquire)) {
+        const ct::SignedTreeHead sth = service.get_sth();
+        if (!ct::verify_sth(sth, key)) proof_failures.fetch_add(1);
+        if (sth.tree_size > 0) {
+          const std::uint64_t index = rng() % sth.tree_size;
+          if (!ct::verify_inclusion(service.leaf_hash_at(index), index, sth.tree_size,
+                                    service.inclusion_proof(index, sth.tree_size),
+                                    sth.root_hash)) {
+            proof_failures.fetch_add(1);
+          }
+          const std::uint64_t old_size = index + 1;
+          if (!ct::verify_consistency(old_size, sth.tree_size,
+                                      ct::merkle_root_of(
+                                          [&](std::uint64_t i) { return service.leaf_hash_at(i); },
+                                          old_size),
+                                      sth.root_hash,
+                                      service.consistency_proof(old_size, sth.tree_size))) {
+            proof_failures.fetch_add(1);
+          }
+        }
+        std::this_thread::sleep_for(1ms);
+      }
+    });
+  }
+
+  for (int t = 0; t < kSubmitters; ++t) threads[static_cast<std::size_t>(t)].join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::size_t t = kSubmitters; t < threads.size(); ++t) threads[t].join();
+  service.stop();
+
+  EXPECT_EQ(completed.load(), accepted.load());
+  EXPECT_EQ(service.tree_size(), accepted.load());
+  EXPECT_EQ(proof_failures.load(), 0u);
+  EXPECT_EQ(streamed.load() + service.fanout().dropped(), accepted.load());
+}
+
+// The queue primitive on its own: capacity, close semantics, bulk drain.
+TEST(BoundedQueueTest, CapacityCloseAndDrain) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: fail fast
+  EXPECT_EQ(queue.depth(), 2u);
+
+  std::vector<int> out;
+  EXPECT_EQ(queue.drain(out, 1), 1u);
+  EXPECT_EQ(out.back(), 1);
+  EXPECT_TRUE(queue.try_push(3));
+
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4));    // closed: no new work
+  EXPECT_TRUE(queue.wait_nonempty());  // ...but queued items stay drainable
+  EXPECT_EQ(queue.drain(out, 10), 2u);
+  EXPECT_FALSE(queue.wait_nonempty());  // closed and empty: sequencer exits
+}
+
+// The store primitive: readers only see published elements.
+TEST(AppendOnlyStoreTest, PublishGatesVisibility) {
+  AppendOnlyStore<std::uint64_t> store(/*chunk_bits=*/2, /*max_chunks=*/4);
+  EXPECT_EQ(store.size(), 0u);
+  for (std::uint64_t i = 0; i < 6; ++i) store.append(i * 10);  // spans chunks
+  EXPECT_EQ(store.size(), 0u);  // appended but not yet published
+  EXPECT_EQ(store.write_pos(), 6u);
+  store.publish();
+  ASSERT_EQ(store.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(store.at(i), i * 10);
+  // Capacity is bounded: chunk_bits=2, max_chunks=4 -> 16 elements.
+  for (std::uint64_t i = 6; i < 16; ++i) store.append(i);
+  EXPECT_THROW(store.append(99), std::length_error);
+}
+
+}  // namespace
+}  // namespace ctwatch::logsvc
