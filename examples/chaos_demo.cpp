@@ -1,0 +1,157 @@
+// chaos_demo — the fault-injection framework in one tour.
+//
+// Three vignettes, all deterministic from the seeds on this page:
+//   1. a FaultInjector scripting a flaky dependency (watch the same seed
+//      replay the same fault sequence),
+//   2. the K-of-N multi-log submitter riding out a log outage on circuit
+//      breakers, hedges, and retries,
+//   3. the enumeration funnel over a lossy DNS, with every lost query
+//      accounted for instead of silently deflating `confirmed`.
+//
+// Build & run:  ./chaos_demo
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctwatch/chaos/chaos.hpp"
+#include "ctwatch/dns/resolver.hpp"
+#include "ctwatch/enumeration/census.hpp"
+#include "ctwatch/enumeration/enumerator.hpp"
+#include "ctwatch/logsvc/logsvc.hpp"
+#include "ctwatch/util/rng.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+const char* kind_name(chaos::FaultKind kind) {
+  switch (kind) {
+    case chaos::FaultKind::none: return "ok";
+    case chaos::FaultKind::error: return "error";
+    case chaos::FaultKind::timeout: return "timeout";
+  }
+  return "?";
+}
+
+void demo_injector() {
+  std::printf("-- 1. deterministic fault injection ----------------------------\n");
+  chaos::FaultPlan plan;
+  plan.error_probability = 0.3;
+  plan.timeout_fraction = 0.5;
+  plan.latency_base_us = 2000;
+  plan.latency_exp_mean_us = 3000.0;
+
+  for (int round = 0; round < 2; ++round) {
+    chaos::FaultInjector injector(/*seed=*/0xbadcafeULL);
+    injector.plan("upstream.rpc", plan);
+    std::printf("seed 0xbadcafe, round %d: ", round + 1);
+    for (int i = 0; i < 8; ++i) {
+      const chaos::FaultDecision d = injector.evaluate("upstream.rpc");
+      std::printf("%s(%lluus) ", kind_name(d.kind),
+                  static_cast<unsigned long long>(d.latency_us));
+    }
+    std::printf("\n");
+  }
+  std::printf("identical rows: the i-th draw is a pure function of (seed, point, i)\n\n");
+}
+
+void demo_multilog() {
+  std::printf("-- 2. K-of-N submission through a log outage -------------------\n");
+  chaos::FaultInjector injector(/*seed=*/7);
+  std::vector<std::unique_ptr<logsvc::SimulatedLogTarget>> logs;
+  std::vector<logsvc::LogTarget*> targets;
+  for (int i = 0; i < 3; ++i) {
+    chaos::FaultPlan plan;
+    plan.error_probability = 0.05;
+    plan.latency_base_us = 15'000;
+    plan.latency_jitter_us = 10'000;
+    if (i == 2) {
+      // log2 is dark for the first 60 virtual seconds.
+      plan.outages.push_back(chaos::OutageWindow{0, 60'000'000});
+      plan.outage_kind = chaos::FaultKind::timeout;
+    }
+    const std::string point = "demo.log" + std::to_string(i);
+    injector.plan(point, plan);
+    logs.push_back(
+        std::make_unique<logsvc::SimulatedLogTarget>("log" + std::to_string(i), injector, point));
+    targets.push_back(logs.back().get());
+  }
+  logsvc::MultiLogSubmitter submitter(targets, logsvc::MultiLogOptions{});
+  for (std::uint64_t s = 0; s < 50; ++s) submitter.submit(s, s * 3'000'000);
+  const logsvc::MultiLogTotals& totals = submitter.totals();
+  std::printf("50 submissions, quorum 2 of 3, log2 down for the first 20:\n");
+  std::printf("  quorum=%llu degraded=%llu failed=%llu (resolved=%llu — never silence)\n",
+              static_cast<unsigned long long>(totals.quorum),
+              static_cast<unsigned long long>(totals.degraded),
+              static_cast<unsigned long long>(totals.failed),
+              static_cast<unsigned long long>(totals.resolved()));
+  std::printf("  retries=%llu hedges=%llu breaker trips=%llu — goodput %.1f%%\n\n",
+              static_cast<unsigned long long>(totals.retries),
+              static_cast<unsigned long long>(totals.hedges),
+              static_cast<unsigned long long>(submitter.breaker_trips()),
+              totals.goodput() * 100.0);
+}
+
+void demo_funnel() {
+  std::printf("-- 3. enumeration funnel over a lossy DNS ----------------------\n");
+  dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  enumeration::SubdomainCensus census(psl);
+  census.add_names(std::vector<std::string>{"api.seen1.de", "api.seen2.de", "api.seen3.de"});
+
+  dns::AuthoritativeServer server;
+  server.set_logging(false);
+  std::vector<std::string> domains;
+  for (int i = 0; i < 40; ++i) {
+    const std::string domain = "zone" + std::to_string(i) + ".de";
+    auto& zone = server.add_zone(dns::DnsName::parse_or_throw(domain));
+    if (i % 2 == 0) {
+      zone.add(dns::ResourceRecord{dns::DnsName::parse_or_throw("api." + domain), dns::RrType::A,
+                                   300, net::IPv4(100, 64, 0, static_cast<std::uint8_t>(i + 1))});
+    }
+    domains.push_back(domain);
+  }
+  chaos::FaultInjector injector(/*seed=*/1234);
+  chaos::FaultPlan lossy;
+  lossy.error_probability = 0.35;
+  lossy.timeout_fraction = 0.7;
+  injector.plan("dns.auth", lossy);
+  server.set_chaos(&injector);
+
+  dns::DnsUniverse universe;
+  universe.add_server(server);
+  const dns::RecursiveResolver resolver(
+      universe, dns::RecursiveResolver::Identity{net::IPv4(192, 0, 2, 53), 64496, "demo", false});
+  net::RoutingTable routing;
+  routing.add_route(*net::Prefix4::parse("100.64.0.0/10"));
+
+  enumeration::EnumerationOptions options;
+  options.min_label_count = 2;
+  for (const int retries : {0, 2}) {
+    options.dns_max_retries = retries;
+    enumeration::SubdomainEnumerator enumerator(census, psl, options);
+    Rng rng(1);
+    injector.reset_ordinals();  // same fault sequence for both rows
+    const enumeration::FunnelResult result = enumerator.run(
+        domains, /*sonar=*/{}, resolver, routing, rng, SimTime::parse("2018-04-27"));
+    std::printf("retries=%d: candidates=%llu confirmed=%llu lost_test=%llu lost_control=%llu "
+                "dns_retries=%llu conserves=%s\n",
+                retries, static_cast<unsigned long long>(result.candidates),
+                static_cast<unsigned long long>(result.confirmed),
+                static_cast<unsigned long long>(result.lost_test_queries),
+                static_cast<unsigned long long>(result.lost_control_queries),
+                static_cast<unsigned long long>(result.dns_retries),
+                result.conserves() ? "yes" : "NO");
+  }
+  std::printf("retries recover most of the loss; what remains is *counted*, not hidden\n");
+}
+
+}  // namespace
+
+int main() {
+  demo_injector();
+  demo_multilog();
+  demo_funnel();
+  return 0;
+}

@@ -1,0 +1,10 @@
+// ctwatch::chaos — umbrella header.
+//
+// Deterministic fault injection for the subsystems that must survive a
+// misbehaving ecosystem: named fault points with per-point plans (error
+// probability, latency distributions, timed outage windows), reproducible
+// from a seed. See fault.hpp for the determinism contract and DESIGN.md
+// for the seam map (which modules consult which points).
+#pragma once
+
+#include "ctwatch/chaos/fault.hpp"

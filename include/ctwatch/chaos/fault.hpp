@@ -1,0 +1,133 @@
+// ctwatch::chaos — deterministic, seeded fault injection.
+//
+// The ecosystem the paper measures is defined by partial failure: logs go
+// down or get disqualified, CAs issue bad SCTs past capacity (the Nimbus
+// incident), and the §4.3 mass-resolution funnel runs over a DNS that
+// times out and lies. This module turns those failure modes into named,
+// reproducible seams. A `FaultPoint` is a string naming a place in the
+// code that can misbehave ("logsvc.submit", "dns.auth", ...); a
+// `FaultPlan` says *how* it misbehaves (error probability, latency
+// distribution, timed outage windows); the `FaultInjector` evaluates a
+// point and returns a `FaultDecision`.
+//
+// Determinism contract: the i-th evaluation of a point is a pure function
+// of (injector seed, point name, i) — plus the caller-supplied virtual
+// time for outage windows. Evaluations at different points draw from
+// independent streams, so adding a fault point never perturbs another
+// point's sequence. Two injectors built from the same seed and plans
+// produce identical decision sequences; `reset_ordinals()` rewinds an
+// injector to replay its sequence exactly.
+//
+// Thread-safety: `evaluate` may be called from any thread. Each point's
+// ordinal counter is atomic, so concurrent callers each get a distinct
+// draw from the point's deterministic stream (the *set* of decisions is
+// reproducible; which thread observes which draw is scheduling-dependent,
+// which is why the fully-deterministic harnesses are single-threaded).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ctwatch::obs {
+class Counter;
+}
+
+namespace ctwatch::chaos {
+
+/// How a fault surfaces at the seam. `timeout` models a lost/overdue
+/// message (the caller waits out its deadline and learns nothing);
+/// `error` models an explicit failure answer (SERVFAIL, 5xx, a refused
+/// submission) that arrives quickly.
+enum class FaultKind : std::uint8_t { none, error, timeout };
+
+/// A half-open window [start_us, end_us) of virtual time during which the
+/// point faults unconditionally — a log outage, a DNS server falling over.
+struct OutageWindow {
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+
+  [[nodiscard]] bool contains(std::uint64_t now_us) const {
+    return now_us >= start_us && now_us < end_us;
+  }
+};
+
+/// Per-point misbehaviour description. The default plan is a healthy
+/// point: no errors, no latency.
+struct FaultPlan {
+  /// Probability in [0,1] that an evaluation faults (outside outages).
+  double error_probability = 0.0;
+  /// Of the injected faults, the fraction surfaced as `timeout` rather
+  /// than `error`.
+  double timeout_fraction = 0.0;
+  /// Latency composition: base + uniform jitter in [0, jitter] + an
+  /// exponential tail with the given mean. All evaluations (faulted or
+  /// not) carry this latency, which is how slow-but-correct dependencies
+  /// are modelled.
+  std::uint64_t latency_base_us = 0;
+  std::uint64_t latency_jitter_us = 0;
+  double latency_exp_mean_us = 0.0;
+  /// Timed outages in virtual time; inside a window every evaluation
+  /// faults with `outage_kind`.
+  std::vector<OutageWindow> outages;
+  FaultKind outage_kind = FaultKind::timeout;
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::none;
+  /// Simulated service latency for this evaluation (virtual µs).
+  std::uint64_t latency_us = 0;
+
+  [[nodiscard]] bool faulted() const { return kind != FaultKind::none; }
+};
+
+/// Evaluates named fault points against their plans, deterministically
+/// from a seed. Points without a registered plan evaluate as healthy (and
+/// still consume an ordinal, so registering a plan later does not shift
+/// other points' streams).
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xc4a0c4a0c4a0c4a0ULL) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Registers (or replaces) the plan for a point. Replacing a plan keeps
+  /// the point's ordinal, so the random stream continues where it was.
+  void plan(const std::string& point, FaultPlan plan);
+
+  /// Draws the next decision for the point. `now_us` is the caller's
+  /// virtual time, checked against the plan's outage windows.
+  FaultDecision evaluate(const std::string& point, std::uint64_t now_us = 0);
+
+  /// Total evaluations / injected faults at a point so far.
+  [[nodiscard]] std::uint64_t evaluations(const std::string& point) const;
+  [[nodiscard]] std::uint64_t faults(const std::string& point) const;
+
+  /// Rewinds every point's ordinal to zero (plans stay). The next
+  /// evaluation sequence replays the previous one exactly.
+  void reset_ordinals();
+
+ private:
+  struct Point {
+    std::shared_ptr<const FaultPlan> plan;  ///< swapped whole under mu_
+    std::uint64_t name_hash = 0;
+    std::atomic<std::uint64_t> ordinal{0};
+    std::atomic<std::uint64_t> faults{0};
+  };
+
+  /// Looks up or creates the point; must be called with mu_ held.
+  Point& point_for_locked(const std::string& name);
+
+  const std::uint64_t seed_;
+  mutable std::mutex mu_;  // guards the map, not the per-point atomics
+  std::map<std::string, std::unique_ptr<Point>> points_;
+};
+
+}  // namespace ctwatch::chaos

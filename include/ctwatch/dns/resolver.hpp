@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ctwatch/chaos/fault.hpp"
 #include "ctwatch/dns/zone.hpp"
 #include "ctwatch/net/autonomous_system.hpp"
 #include "ctwatch/util/time.hpp"
@@ -40,6 +41,12 @@ struct QueryLogEntry {
   bool answered = false;
 };
 
+/// What the wire did to one authoritative query. `timed_out` means the
+/// packet (or its reply) never arrived — the server logs nothing, because
+/// from its vantage point nothing happened. `servfail` is a failure the
+/// server itself produced, so the query *is* logged (unanswered).
+enum class ServerStatus : std::uint8_t { ok, timed_out, servfail };
+
 /// An authoritative server over a set of zones, with a full query log.
 /// Zone lookup is indexed by origin (ancestor walk), so serving tens of
 /// thousands of zones stays O(labels) per query.
@@ -56,16 +63,37 @@ class AuthoritativeServer {
   /// Answers a query and appends it to the log (when logging is enabled).
   std::vector<ResourceRecord> query(const DnsQuestion& question, const QueryContext& context);
 
+  /// As above, but reports chaos-injected faults through `status`. With no
+  /// injector attached, `status` is always `ok`.
+  std::vector<ResourceRecord> query(const DnsQuestion& question, const QueryContext& context,
+                                    ServerStatus& status);
+
+  /// Attaches a fault injector; faults on `point` turn queries into
+  /// timeouts or SERVFAILs. Pass nullptr to detach.
+  void set_chaos(chaos::FaultInjector* injector, std::string point = "dns.auth") {
+    chaos_ = injector;
+    chaos_point_ = std::move(point);
+  }
+
   /// Query logging costs memory; bulk-resolution servers turn it off. The
   /// honeypot's own server keeps it on — it is the §6 observable.
   void set_logging(bool enabled) { logging_ = enabled; }
   [[nodiscard]] const std::vector<QueryLogEntry>& log() const { return log_; }
-  void clear_log() { log_.clear(); }
+  /// Releases the log's memory, not just its size — long honeypot runs
+  /// clear between observation windows and must actually get bytes back.
+  void clear_log() { std::vector<QueryLogEntry>().swap(log_); }
+  /// Approximate heap footprint of the query log (capacity, not size —
+  /// what the allocator is actually holding for it).
+  [[nodiscard]] std::size_t log_bytes_approx() const {
+    return log_.capacity() * sizeof(QueryLogEntry);
+  }
 
  private:
   std::map<std::string, std::unique_ptr<Zone>> zones_;  // keyed by origin text
   std::vector<QueryLogEntry> log_;
   bool logging_ = true;
+  chaos::FaultInjector* chaos_ = nullptr;
+  std::string chaos_point_;
 };
 
 /// The set of authoritative servers making up the simulated DNS.
@@ -86,7 +114,14 @@ enum class ResolveStatus : std::uint8_t {
   nxdomain,         ///< no such name anywhere
   no_data,          ///< name exists but not for this type
   chain_too_long,   ///< CNAME indirection exceeded the hop limit
+  timed_out,        ///< a query in the chain was lost (chaos); retryable
+  servfail,         ///< a server in the chain failed (chaos); retryable
 };
+
+/// A status the caller may retry — the answer is unknown, not negative.
+[[nodiscard]] constexpr bool is_lossy(ResolveStatus status) {
+  return status == ResolveStatus::timed_out || status == ResolveStatus::servfail;
+}
 
 struct ResolveResult {
   ResolveStatus status = ResolveStatus::nxdomain;
@@ -113,8 +148,18 @@ class RecursiveResolver {
 
   [[nodiscard]] const Identity& identity() const { return identity_; }
 
+  /// Attaches a fault injector to the resolver's own client path (the
+  /// stub → resolver leg): faults on `point` lose or fail the whole
+  /// resolution before any authoritative server is asked. Faults on the
+  /// resolver → authoritative leg come from the *servers'* injectors.
+  void set_chaos(chaos::FaultInjector* injector, std::string point = "dns.resolver") {
+    chaos_ = injector;
+    chaos_point_ = std::move(point);
+  }
+
   /// Resolves on behalf of a stub client. When the resolver `sends_ecs`,
-  /// the client's /24 is attached to upstream queries.
+  /// the client's /24 is attached to upstream queries. Under chaos the
+  /// result may be `timed_out` or `servfail` — unknown, not negative.
   ResolveResult resolve(const DnsName& qname, RrType qtype, SimTime when,
                         std::optional<net::IPv4> stub_client = std::nullopt,
                         int max_cname_hops = 10) const;
@@ -122,6 +167,8 @@ class RecursiveResolver {
  private:
   const DnsUniverse* universe_;
   Identity identity_;
+  chaos::FaultInjector* chaos_ = nullptr;
+  std::string chaos_point_;
 };
 
 }  // namespace ctwatch::dns

@@ -42,21 +42,53 @@ struct EnumerationOptions {
   bool use_controls = true;
   /// Ablation switch: disable the routing-table filter.
   bool use_routing_filter = true;
+  /// Lossy-DNS hardening: re-ask a query that timed out or SERVFAILed up
+  /// to this many extra times before declaring it lost.
+  int dns_max_retries = 2;
+  /// First retry delay in simulated seconds; doubles per retry. Advancing
+  /// virtual time matters: it lets chaos outage windows pass.
+  std::int64_t retry_backoff_s = 1;
 };
 
-/// The §4.3 funnel, top to bottom.
+/// The §4.3 funnel, top to bottom. Under a lossy resolver the funnel
+/// accounts for every candidate explicitly — residual loss is counted,
+/// never silently folded into "did not resolve". Two invariants hold:
+///
+///   candidates   == test_replies + test_unanswered + lost_test_queries
+///   test_replies == unroutable_dropped + lost_control_queries
+///                   + control_rejected + confirmed
 struct FunnelResult {
   std::size_t labels_selected = 0;
   std::size_t label_suffix_pairs = 0;
   std::uint64_t candidates = 0;       ///< constructed FQDNs (paper: 210.7M)
   std::uint64_t test_replies = 0;     ///< answers to constructed names (80.3M)
+  std::uint64_t test_unanswered = 0;  ///< definitive negatives (nxdomain/no_data/...)
   std::uint64_t control_replies = 0;  ///< answers to pseudo-random controls (61.5M)
   std::uint64_t unroutable_dropped = 0;
   std::uint64_t chain_too_long = 0;
+  std::uint64_t control_rejected = 0; ///< test answered, but so did the control
   std::uint64_t confirmed = 0;        ///< new FQDNs (18.8M)
   std::uint64_t known_in_sonar = 0;   ///< of confirmed, already on Sonar (1.1M)
   std::uint64_t novel = 0;            ///< confirmed - known (17.7M)
+
+  // Residual loss under chaos, after retries. A lost control probe is a
+  // *conservative reject*: we cannot prove the zone is not a default-A
+  // responder, so the candidate is not confirmed — but it is counted
+  // here, not silently dropped.
+  std::uint64_t lost_test_queries = 0;
+  std::uint64_t lost_control_queries = 0;
+  std::uint64_t dns_timeouts = 0;   ///< per-attempt timeouts observed
+  std::uint64_t dns_servfails = 0;  ///< per-attempt SERVFAILs observed
+  std::uint64_t dns_retries = 0;    ///< extra attempts made after a loss
+
   std::vector<std::string> discoveries;  ///< capped sample
+
+  /// The conservation invariants above; tests assert this under chaos.
+  [[nodiscard]] bool conserves() const {
+    return candidates == test_replies + test_unanswered + lost_test_queries &&
+           test_replies ==
+               unroutable_dropped + lost_control_queries + control_rejected + confirmed;
+  }
 };
 
 class SubdomainEnumerator {

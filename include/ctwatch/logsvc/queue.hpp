@@ -1,7 +1,7 @@
 // ctwatch::logsvc — bounded multi-producer queue with fail-fast overload.
 //
 // The backpressure primitive of the service layer: producers never block.
-// When the queue is at capacity, try_push returns false immediately and
+// When the queue is at capacity, try_push returns `full` immediately and
 // the caller surfaces `overloaded` — the Nimbus lesson (a log that keeps
 // absorbing submissions past its capacity ends up issuing bad SCTs)
 // turned into an explicit API contract. The single consumer (the
@@ -18,6 +18,16 @@
 
 namespace ctwatch::logsvc {
 
+/// Why a push was refused — "full" is backpressure the producer should
+/// surface as overload; "closed" is teardown the producer should surface
+/// as shutdown. Conflating the two misattributes teardown races as
+/// overload in the metrics.
+enum class PushResult : std::uint8_t {
+  ok,      ///< item enqueued
+  full,    ///< at capacity — backpressure, item untouched
+  closed,  ///< queue closed — shutdown, item untouched
+};
+
 /// Bounded MPSC queue. Producers call try_push from any thread; the one
 /// consumer uses wait_nonempty/wait_nonempty_until + drain. close() wakes
 /// the consumer and makes further pushes fail; items already queued are
@@ -27,15 +37,16 @@ class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
-  /// False when the queue is full or closed; the item is untouched then.
-  bool try_push(T&& item) {
+  /// Fail-fast push; on `full`/`closed` the item is untouched.
+  PushResult try_push(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::closed;
+      if (items_.size() >= capacity_) return PushResult::full;
       items_.push_back(std::move(item));
     }
     nonempty_.notify_one();
-    return true;
+    return PushResult::ok;
   }
 
   /// Moves up to `max_items` into `out` (appended). Never blocks.

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ctwatch/chaos/fault.hpp"
 #include "ctwatch/ct/log.hpp"
 #include "ctwatch/ct/merkle.hpp"
 #include "ctwatch/ct/sct.hpp"
@@ -70,6 +71,17 @@ struct Config {
   std::chrono::microseconds merge_delay{1000};
   /// Per-subscriber ring depth for the streaming fanout.
   std::size_t fanout_buffer = std::size_t(1) << 16;
+  /// Optional fault seams (not owned; nullptr disables chaos). The
+  /// service consults three points, named under `chaos_prefix`:
+  ///   "<prefix>.submit" — faults drop the submission at ingress
+  ///                       (returned as SubmitStatus::dropped),
+  ///   "<prefix>.seal"   — injected latency stalls the sequencer before
+  ///                       it seals a batch (delayed merge),
+  ///   "<prefix>.sign"   — per-entry signer failure: the entry is not
+  ///                       integrated and its completion carries
+  ///                       SubmitStatus::internal_error.
+  chaos::FaultInjector* chaos = nullptr;
+  std::string chaos_prefix = "logsvc";
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -77,6 +89,8 @@ enum class SubmitStatus : std::uint8_t {
   rejected_invalid,  ///< chain did not verify / wrong entry kind
   overloaded,        ///< queue full — backpressure (Nimbus incident model)
   shutdown,          ///< service is stopping
+  dropped,           ///< chaos: submission lost at ingress (injected fault)
+  internal_error,    ///< chaos: signer failed at seal time (via CompletionFn)
 };
 
 struct SubmitOutcome {
@@ -190,6 +204,19 @@ class LogService {
   [[nodiscard]] std::uint64_t sealed_batches() const {
     return sealed_batches_.load(std::memory_order_relaxed);
   }
+  /// Submissions refused because the queue was closed (shutdown race) —
+  /// distinct from overload so teardown is never misread as backpressure.
+  [[nodiscard]] std::uint64_t shutdown_rejections() const {
+    return shutdown_rejections_.load(std::memory_order_relaxed);
+  }
+  /// Chaos accounting: ingress drops and seal-time signer failures. Both
+  /// are zero without a fault injector.
+  [[nodiscard]] std::uint64_t chaos_dropped() const {
+    return chaos_dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t signer_failures() const {
+    return signer_failures_.load(std::memory_order_relaxed);
+  }
 
   // --- test hooks ---
 
@@ -249,6 +276,9 @@ class LogService {
   std::atomic<bool> running_{false};
   std::atomic<bool> paused_{false};
   std::atomic<std::uint64_t> overload_rejections_{0};
+  std::atomic<std::uint64_t> shutdown_rejections_{0};
+  std::atomic<std::uint64_t> chaos_dropped_{0};
+  std::atomic<std::uint64_t> signer_failures_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> sealed_batches_{0};
 };

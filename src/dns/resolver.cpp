@@ -12,8 +12,17 @@ struct ResolverMetrics {
   obs::Counter& nxdomain = obs::Registry::global().counter("dns.resolver.nxdomain");
   obs::Counter& no_data = obs::Registry::global().counter("dns.resolver.no_data");
   obs::Counter& chain_too_long = obs::Registry::global().counter("dns.resolver.chain_too_long");
+  obs::Counter& timed_out = obs::Registry::global().counter("dns.resolver.timed_out");
+  obs::Counter& servfail = obs::Registry::global().counter("dns.resolver.servfail");
   obs::Counter& auth_queries = obs::Registry::global().counter("dns.auth.queries");
+  obs::Counter& auth_timed_out = obs::Registry::global().counter("dns.auth.timed_out");
+  obs::Counter& auth_servfail = obs::Registry::global().counter("dns.auth.servfail");
 };
+
+/// Chaos points take virtual time in microseconds; SimTime is seconds.
+std::uint64_t chaos_now_us(SimTime when) {
+  return static_cast<std::uint64_t>(when.unix_seconds()) * 1'000'000ULL;
+}
 
 ResolverMetrics& resolver_metrics() {
   static ResolverMetrics metrics;
@@ -44,7 +53,32 @@ const Zone* AuthoritativeServer::find_zone(const DnsName& name) const {
 
 std::vector<ResourceRecord> AuthoritativeServer::query(const DnsQuestion& question,
                                                        const QueryContext& context) {
+  ServerStatus status = ServerStatus::ok;
+  return query(question, context, status);
+}
+
+std::vector<ResourceRecord> AuthoritativeServer::query(const DnsQuestion& question,
+                                                       const QueryContext& context,
+                                                       ServerStatus& status) {
+  status = ServerStatus::ok;
   resolver_metrics().auth_queries.inc();
+  if (chaos_ != nullptr) {
+    const chaos::FaultDecision fault = chaos_->evaluate(chaos_point_, chaos_now_us(context.time));
+    if (fault.kind == chaos::FaultKind::timeout) {
+      // The packet never arrived: the server saw nothing, so it logs
+      // nothing — lossy-DNS undercounting is invisible at this vantage.
+      status = ServerStatus::timed_out;
+      resolver_metrics().auth_timed_out.inc();
+      return {};
+    }
+    if (fault.kind == chaos::FaultKind::error) {
+      // SERVFAIL: the query reached us, so it *is* an observable.
+      status = ServerStatus::servfail;
+      resolver_metrics().auth_servfail.inc();
+      if (logging_) log_.push_back(QueryLogEntry{question, context, false});
+      return {};
+    }
+  }
   std::vector<ResourceRecord> answers;
   if (const Zone* zone = find_zone(question.qname)) {
     answers = zone->lookup(question.qname, question.qtype);
@@ -82,6 +116,21 @@ ResolveResult RecursiveResolver::resolve(const DnsName& qname, RrType qtype, Sim
   ResolverMetrics& metrics = resolver_metrics();
   metrics.queries.inc();
   ResolveResult result;
+  if (chaos_ != nullptr) {
+    // The stub → resolver leg: a fault here loses the whole resolution
+    // before any authoritative server is asked (nothing gets logged).
+    const chaos::FaultDecision fault = chaos_->evaluate(chaos_point_, chaos_now_us(when));
+    if (fault.kind == chaos::FaultKind::timeout) {
+      result.status = ResolveStatus::timed_out;
+      metrics.timed_out.inc();
+      return result;
+    }
+    if (fault.kind == chaos::FaultKind::error) {
+      result.status = ResolveStatus::servfail;
+      metrics.servfail.inc();
+      return result;
+    }
+  }
   QueryContext context;
   context.time = when;
   context.resolver_addr = identity_.address;
@@ -99,7 +148,14 @@ ResolveResult RecursiveResolver::resolve(const DnsName& qname, RrType qtype, Sim
       metrics.nxdomain.inc();
       return result;
     }
-    const auto answers = server->query(DnsQuestion{current, qtype}, context);
+    ServerStatus server_status = ServerStatus::ok;
+    const auto answers = server->query(DnsQuestion{current, qtype}, context, server_status);
+    if (server_status != ServerStatus::ok) {
+      result.status = server_status == ServerStatus::timed_out ? ResolveStatus::timed_out
+                                                               : ResolveStatus::servfail;
+      (server_status == ServerStatus::timed_out ? metrics.timed_out : metrics.servfail).inc();
+      return result;
+    }
     if (answers.empty()) {
       // Distinguish "zone knows nothing" from "name exists with other data":
       // keep it simple and report no_data when any record type exists.

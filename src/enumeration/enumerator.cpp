@@ -17,6 +17,9 @@ struct FunnelMetrics {
   obs::Counter& unroutable = obs::Registry::global().counter("enum.funnel.unroutable_dropped");
   obs::Counter& confirmed = obs::Registry::global().counter("enum.funnel.confirmed");
   obs::Counter& novel = obs::Registry::global().counter("enum.funnel.novel");
+  obs::Counter& lost_test = obs::Registry::global().counter("enum.funnel.lost_test_queries");
+  obs::Counter& lost_control = obs::Registry::global().counter("enum.funnel.lost_control_queries");
+  obs::Counter& dns_retries = obs::Registry::global().counter("enum.funnel.dns_retries");
 };
 
 FunnelMetrics& funnel_metrics() {
@@ -73,23 +76,51 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
     }
   }
 
-  auto resolves = [&](const std::string& fqdn, bool& routable,
-                      bool& too_long) -> bool {
-    routable = false;
-    too_long = false;
+  // One verification lookup, hardened against a lossy resolver: a query
+  // that comes back timed_out/servfail is re-asked up to dns_max_retries
+  // times with doubling virtual-time backoff (so outage windows can pass
+  // underneath). Only after the budget is spent is the probe `lost` —
+  // unknown, which the funnel accounts separately from negative.
+  struct Probe {
+    bool lost = false;      ///< still lossy after all retries
+    bool positive = false;  ///< resolved to an A record
+    bool routable = false;
+    bool too_long = false;
+  };
+  auto probe = [&](const std::string& fqdn) -> Probe {
+    Probe p;
     const auto name = dns::DnsName::parse(fqdn);
-    if (!name) return false;
-    const dns::ResolveResult res =
-        resolver.resolve(*name, dns::RrType::A, when, std::nullopt, options_.max_cname_hops);
-    if (res.status == dns::ResolveStatus::chain_too_long) {
-      too_long = true;
-      return false;
+    if (!name) return p;
+    SimTime attempt_when = when;
+    std::int64_t backoff = options_.retry_backoff_s;
+    for (int attempt = 0;; ++attempt) {
+      const dns::ResolveResult res = resolver.resolve(*name, dns::RrType::A, attempt_when,
+                                                      std::nullopt, options_.max_cname_hops);
+      if (!dns::is_lossy(res.status)) {
+        if (res.status == dns::ResolveStatus::chain_too_long) {
+          p.too_long = true;
+          return p;
+        }
+        if (res.status != dns::ResolveStatus::ok) return p;
+        const auto a = res.first_a();
+        if (!a) return p;
+        p.positive = true;
+        p.routable = routing.routable(*a);
+        return p;
+      }
+      if (res.status == dns::ResolveStatus::timed_out) {
+        ++result.dns_timeouts;
+      } else {
+        ++result.dns_servfails;
+      }
+      if (attempt >= options_.dns_max_retries) {
+        p.lost = true;
+        return p;
+      }
+      ++result.dns_retries;
+      attempt_when += backoff;
+      backoff *= 2;
     }
-    if (res.status != dns::ResolveStatus::ok) return false;
-    const auto a = res.first_a();
-    if (!a) return false;
-    routable = routing.routable(*a);
-    return true;
   };
 
   for (const auto& [label, suffix] : plan) {
@@ -99,30 +130,45 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
       ++result.candidates;
       const std::string candidate = label + "." + *domain;
 
-      bool routable = false;
-      bool too_long = false;
-      const bool test_ok = resolves(candidate, routable, too_long);
-      if (too_long) ++result.chain_too_long;
-      if (test_ok) ++result.test_replies;
+      const Probe test = probe(candidate);
+      if (test.lost) {
+        // The test answer is unknown; probing the control could not make
+        // the candidate confirmable. Count the loss, skip the control.
+        ++result.lost_test_queries;
+        continue;
+      }
+      if (test.too_long) ++result.chain_too_long;
+      if (test.positive) {
+        ++result.test_replies;
+      } else {
+        ++result.test_unanswered;
+      }
 
       // The paper scans the pseudo-random control for every candidate, not
       // just the answered ones; both reply counts are funnel outputs.
-      bool control_ok = false;
+      Probe control;
       if (options_.use_controls) {
-        const std::string control =
+        const std::string control_fqdn =
             rng.alnum_label(options_.control_label_length) + "." + *domain;
-        bool control_routable = false;
-        bool control_too_long = false;
-        control_ok = resolves(control, control_routable, control_too_long);
-        if (control_ok) ++result.control_replies;
+        control = probe(control_fqdn);
+        if (control.positive) ++result.control_replies;
       }
 
-      if (!test_ok) continue;
-      if (options_.use_routing_filter && !routable) {
+      if (!test.positive) continue;
+      if (options_.use_routing_filter && !test.routable) {
         ++result.unroutable_dropped;
         continue;
       }
-      if (control_ok) continue;  // the zone answers anything; reject
+      if (control.lost) {
+        // Cannot prove the zone is not a default-A responder: reject
+        // conservatively, but count why.
+        ++result.lost_control_queries;
+        continue;
+      }
+      if (control.positive) {
+        ++result.control_rejected;  // the zone answers anything; reject
+        continue;
+      }
       ++result.confirmed;
       if (sonar.contains(candidate)) {
         ++result.known_in_sonar;
@@ -144,11 +190,16 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
   metrics.unroutable.inc(result.unroutable_dropped);
   metrics.confirmed.inc(result.confirmed);
   metrics.novel.inc(result.novel);
+  metrics.lost_test.inc(result.lost_test_queries);
+  metrics.lost_control.inc(result.lost_control_queries);
+  metrics.dns_retries.inc(result.dns_retries);
   obs::log_info("enum.funnel", "funnel complete",
                 {{"candidates", result.candidates},
                  {"test_replies", result.test_replies},
                  {"confirmed", result.confirmed},
-                 {"novel", result.novel}});
+                 {"novel", result.novel},
+                 {"lost_test", result.lost_test_queries},
+                 {"lost_control", result.lost_control_queries}});
   return result;
 }
 

@@ -31,7 +31,7 @@ void StreamFanout::publish(const StreamEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& subscriber : subscribers_) {
     StreamEvent copy = event;
-    if (!subscriber->ring.try_push(std::move(copy))) {
+    if (subscriber->ring.try_push(std::move(copy)) != PushResult::ok) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       fanout_metrics().dropped.inc();
       obs::log_debug("logsvc.fanout", "event dropped for slow subscriber",

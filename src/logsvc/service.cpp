@@ -16,6 +16,9 @@ struct SvcMetrics {
   obs::Counter& accepted = obs::Registry::global().counter("logsvc.accepted");
   obs::Counter& rejected_invalid = obs::Registry::global().counter("logsvc.rejected_invalid");
   obs::Counter& overloaded = obs::Registry::global().counter("logsvc.overload_rejections");
+  obs::Counter& shutdown_rejected = obs::Registry::global().counter("logsvc.shutdown_rejections");
+  obs::Counter& chaos_dropped = obs::Registry::global().counter("logsvc.chaos_dropped");
+  obs::Counter& signer_failures = obs::Registry::global().counter("logsvc.signer_failures");
   obs::Counter& dedup_hits = obs::Registry::global().counter("logsvc.dedup_hits");
   obs::Counter& sealed_batches = obs::Registry::global().counter("logsvc.sealed_batches");
   obs::Gauge& queue_depth = obs::Registry::global().gauge("logsvc.queue_depth");
@@ -75,6 +78,17 @@ SubmitStatus LogService::submit(ct::SignedEntry entry, const crypto::Digest& fin
   metrics.submissions.inc();
   if (!running_.load(std::memory_order_acquire)) return SubmitStatus::shutdown;
 
+  if (config_.chaos != nullptr) {
+    const chaos::FaultDecision decision =
+        config_.chaos->evaluate(config_.chaos_prefix + ".submit", to_millis(now) * 1000);
+    if (decision.faulted()) {
+      chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
+      metrics.chaos_dropped.inc();
+      obs::log_debug("logsvc", "submission dropped by fault injection", {{"log", config_.name}});
+      return SubmitStatus::dropped;
+    }
+  }
+
   Pending pending;
   pending.entry = std::move(entry);
   pending.fingerprint = fingerprint;
@@ -83,13 +97,20 @@ SubmitStatus LogService::submit(ct::SignedEntry entry, const crypto::Digest& fin
   pending.enqueued_at = std::chrono::steady_clock::now();
   pending.done = std::move(done);
 
-  if (!queue_.try_push(std::move(pending))) {
-    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
-    metrics.overloaded.inc();
-    obs::log_debug("logsvc", "submission rejected for overload", {{"log", config_.name}});
-    return SubmitStatus::overloaded;
+  switch (queue_.try_push(std::move(pending))) {
+    case PushResult::ok:
+      return SubmitStatus::ok;
+    case PushResult::full:
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      metrics.overloaded.inc();
+      obs::log_debug("logsvc", "submission rejected for overload", {{"log", config_.name}});
+      return SubmitStatus::overloaded;
+    case PushResult::closed:
+      break;
   }
-  return SubmitStatus::ok;
+  shutdown_rejections_.fetch_add(1, std::memory_order_relaxed);
+  metrics.shutdown_rejected.inc();
+  return SubmitStatus::shutdown;
 }
 
 SubmitStatus LogService::submit_validated(const x509::Certificate& cert,
@@ -249,6 +270,16 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
   CTWATCH_SPAN("logsvc.seal");
   obs::ScopedTimer seal_timer(metrics.seal_us);
 
+  if (config_.chaos != nullptr) {
+    // Delayed sealing: a stalled sequencer, the MMD stretched. The batch
+    // still seals — late, with the queue absorbing the backlog meanwhile.
+    const chaos::FaultDecision stall = config_.chaos->evaluate(
+        config_.chaos_prefix + ".seal", batch.front().timestamp_ms * 1000);
+    if (stall.latency_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(stall.latency_us));
+    }
+  }
+
   struct Completion {
     CompletionFn done;
     SubmitOutcome outcome;
@@ -263,6 +294,19 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
   Bytes leaf_bytes;
   for (Pending& pending : batch) {
     last_timestamp_ms_ = std::max(last_timestamp_ms_, pending.timestamp_ms);
+
+    if (config_.chaos != nullptr &&
+        config_.chaos->evaluate(config_.chaos_prefix + ".sign", pending.timestamp_ms * 1000)
+            .faulted()) {
+      // Signer failure: the entry is not integrated, but the submitter
+      // still hears about it — a counted failure, never silence.
+      signer_failures_.fetch_add(1, std::memory_order_relaxed);
+      metrics.signer_failures.inc();
+      completions.push_back({std::move(pending.done),
+                             SubmitOutcome{SubmitStatus::internal_error, 0, std::nullopt},
+                             pending.enqueued_at});
+      continue;
+    }
 
     if (config_.dedup) {
       if (const auto it = dedup_.find(pending.fingerprint); it != dedup_.end()) {
@@ -327,7 +371,7 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
 
   const auto sealed_at = std::chrono::steady_clock::now();
   for (Completion& completion : completions) {
-    metrics.accepted.inc();
+    if (completion.outcome.status == SubmitStatus::ok) metrics.accepted.inc();
     metrics.submit_to_sct_us.observe(
         std::chrono::duration<double, std::micro>(sealed_at - completion.enqueued_at).count());
     if (completion.done) completion.done(completion.outcome);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "ctwatch/chaos/chaos.hpp"
 #include "ctwatch/core/leakage.hpp"
 #include "ctwatch/enumeration/census.hpp"
 #include "ctwatch/enumeration/enumerator.hpp"
@@ -206,6 +207,102 @@ TEST_F(EnumeratorTest, WithoutRoutingFilterUnroutableCounts) {
   const FunnelResult result = run(opts);
   EXPECT_EQ(result.confirmed, 2u);  // target4's bogus answer counts
   EXPECT_EQ(result.unroutable_dropped, 0u);
+}
+
+// ---------- the funnel under a lossy DNS (chaos) ----------
+
+TEST_F(EnumeratorTest, ConservationHoldsWithoutChaos) {
+  const FunnelResult result = run(options());
+  EXPECT_TRUE(result.conserves());
+  EXPECT_EQ(result.lost_test_queries, 0u);
+  EXPECT_EQ(result.lost_control_queries, 0u);
+  EXPECT_EQ(result.dns_retries, 0u);
+  EXPECT_EQ(result.test_unanswered, 1u);  // target2 is NXDOMAIN
+  EXPECT_EQ(result.control_rejected, 1u);  // the catch-all zone
+}
+
+TEST_F(EnumeratorTest, TotalLossIsCountedNotSilent) {
+  chaos::FaultInjector injector(7);
+  chaos::FaultPlan dead;
+  dead.error_probability = 1.0;
+  dead.timeout_fraction = 1.0;
+  injector.plan("dns.auth", dead);
+  server_.set_chaos(&injector);
+
+  EnumerationOptions opts = options();
+  opts.dns_max_retries = 1;
+  const FunnelResult result = run(opts);
+  EXPECT_EQ(result.candidates, 4u);
+  EXPECT_EQ(result.lost_test_queries, 4u);  // every candidate explicitly lost
+  EXPECT_EQ(result.test_replies, 0u);
+  EXPECT_EQ(result.confirmed, 0u);
+  EXPECT_GT(result.dns_retries, 0u);
+  EXPECT_GT(result.dns_timeouts, 0u);
+  EXPECT_TRUE(result.conserves());
+}
+
+TEST_F(EnumeratorTest, RetriesWithBackoffRideOutAnOutageWindow) {
+  chaos::FaultInjector injector(7);
+  chaos::FaultPlan outage;
+  const std::uint64_t start_us =
+      static_cast<std::uint64_t>(SimTime::parse("2018-04-27").unix_seconds()) * 1'000'000ULL;
+  // Down for the first 1.5 simulated seconds of the run; the funnel's
+  // backoff (1s, then 2s) advances virtual time past the window.
+  outage.outages.push_back(chaos::OutageWindow{start_us, start_us + 1'500'000});
+  outage.outage_kind = chaos::FaultKind::timeout;
+  injector.plan("dns.auth", outage);
+  server_.set_chaos(&injector);
+
+  const FunnelResult baseline_free = [&] {
+    server_.set_chaos(nullptr);
+    const FunnelResult r = run(options());
+    server_.set_chaos(&injector);
+    return r;
+  }();
+
+  const FunnelResult result = run(options());
+  // Every probe recovered on retry: the funnel's verdicts match the
+  // chaos-free baseline, only the retry accounting differs.
+  EXPECT_EQ(result.confirmed, baseline_free.confirmed);
+  EXPECT_EQ(result.test_replies, baseline_free.test_replies);
+  EXPECT_EQ(result.lost_test_queries, 0u);
+  EXPECT_EQ(result.lost_control_queries, 0u);
+  EXPECT_GT(result.dns_retries, 0u);
+  EXPECT_GT(result.dns_timeouts, 0u);
+  EXPECT_TRUE(result.conserves());
+}
+
+TEST_F(EnumeratorTest, PartialLossConservesEveryCandidate) {
+  chaos::FaultInjector injector(1234);
+  chaos::FaultPlan flaky;
+  flaky.error_probability = 0.4;
+  flaky.timeout_fraction = 0.5;
+  injector.plan("dns.auth", flaky);
+  server_.set_chaos(&injector);
+
+  // Scale the world up so the probabilistic loss actually bites.
+  for (int i = 0; i < 60; ++i) {
+    const std::string domain = "bulk" + std::to_string(i) + ".de";
+    auto& zone = server_.add_zone(dns::DnsName::parse_or_throw(domain));
+    if (i % 2 == 0) {
+      zone.add(dns::ResourceRecord{dns::DnsName::parse_or_throw("api." + domain), dns::RrType::A,
+                                   300, net::IPv4(100, 64, 1, static_cast<std::uint8_t>(i))});
+    }
+    domains_.push_back(domain);
+  }
+
+  EnumerationOptions opts = options();
+  opts.dns_max_retries = 0;  // no second chances: maximize residual loss
+  const FunnelResult result = run(opts);
+  EXPECT_EQ(result.candidates, 64u);
+  EXPECT_GT(result.lost_test_queries, 0u);
+  EXPECT_GT(result.dns_timeouts + result.dns_servfails, 0u);
+  EXPECT_TRUE(result.conserves())
+      << "candidates=" << result.candidates << " test_replies=" << result.test_replies
+      << " unanswered=" << result.test_unanswered << " lost_test=" << result.lost_test_queries
+      << " unroutable=" << result.unroutable_dropped
+      << " lost_control=" << result.lost_control_queries
+      << " control_rejected=" << result.control_rejected << " confirmed=" << result.confirmed;
 }
 
 TEST_F(EnumeratorTest, DiscoveryCapRespected) {

@@ -345,23 +345,78 @@ TEST(LogServiceTest, ConcurrentSubmittersAndReadersSmoke) {
 }
 
 // The queue primitive on its own: capacity, close semantics, bulk drain.
+// try_push distinguishes backpressure (full) from teardown (closed) so the
+// producer can attribute the refusal correctly.
 TEST(BoundedQueueTest, CapacityCloseAndDrain) {
   BoundedQueue<int> queue(2);
-  EXPECT_TRUE(queue.try_push(1));
-  EXPECT_TRUE(queue.try_push(2));
-  EXPECT_FALSE(queue.try_push(3));  // full: fail fast
+  EXPECT_EQ(queue.try_push(1), PushResult::ok);
+  EXPECT_EQ(queue.try_push(2), PushResult::ok);
+  EXPECT_EQ(queue.try_push(3), PushResult::full);  // full: fail fast
   EXPECT_EQ(queue.depth(), 2u);
 
   std::vector<int> out;
   EXPECT_EQ(queue.drain(out, 1), 1u);
   EXPECT_EQ(out.back(), 1);
-  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_EQ(queue.try_push(3), PushResult::ok);
 
   queue.close();
-  EXPECT_FALSE(queue.try_push(4));    // closed: no new work
+  EXPECT_EQ(queue.try_push(4), PushResult::closed);  // closed: no new work
   EXPECT_TRUE(queue.wait_nonempty());  // ...but queued items stay drainable
   EXPECT_EQ(queue.drain(out, 10), 2u);
   EXPECT_FALSE(queue.wait_nonempty());  // closed and empty: sequencer exits
+}
+
+// closed wins over full: a closed-at-capacity queue reports teardown, not
+// backpressure — retrying "overloaded" against a dead queue would spin.
+TEST(BoundedQueueTest, ClosedTakesPrecedenceOverFull) {
+  BoundedQueue<int> queue(1);
+  EXPECT_EQ(queue.try_push(1), PushResult::ok);
+  queue.close();
+  EXPECT_EQ(queue.try_push(2), PushResult::closed);
+}
+
+// A deadline already in the past: wait_nonempty_until must not block, and
+// must still report queued items truthfully.
+TEST(BoundedQueueTest, WaitUntilPastDeadline) {
+  BoundedQueue<int> queue(4);
+  const auto past = std::chrono::steady_clock::now() - 1s;
+  EXPECT_FALSE(queue.wait_nonempty_until(past));  // empty, expired: no block
+  EXPECT_EQ(queue.try_push(7), PushResult::ok);
+  EXPECT_TRUE(queue.wait_nonempty_until(past));  // expired but nonempty
+}
+
+// close() racing a consumer parked in wait_nonempty_until: the consumer
+// must wake well before the (distant) deadline and see "closed and empty".
+TEST(BoundedQueueTest, CloseWakesWaitingConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> woke{false};
+  std::atomic<bool> saw_nonempty{true};
+  std::thread consumer([&] {
+    const auto far = std::chrono::steady_clock::now() + 60s;
+    saw_nonempty.store(queue.wait_nonempty_until(far));
+    woke.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(10ms);  // let the consumer park
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load(std::memory_order_acquire));
+  EXPECT_FALSE(saw_nonempty.load());
+}
+
+// Drain-after-close completeness: items accepted before close() are all
+// recoverable afterwards, in order — graceful shutdown loses nothing.
+TEST(BoundedQueueTest, DrainAfterCloseIsComplete) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(queue.try_push(std::move(i)), PushResult::ok);
+  queue.close();
+  std::vector<int> out;
+  // Drain in small bites to exercise repeated post-close drains.
+  while (queue.drain(out, 2) > 0) {
+  }
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  EXPECT_FALSE(queue.wait_nonempty());
+  EXPECT_EQ(queue.depth(), 0u);
 }
 
 // The store primitive: readers only see published elements.
