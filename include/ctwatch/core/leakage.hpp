@@ -17,6 +17,11 @@ struct LeakageReport {
   enumeration::WordlistComparison subbrute;
   enumeration::WordlistComparison dnsrecon;
   enumeration::FunnelResult funnel;                               ///< §4.3
+  // Footprint of the interned name corpus (census names + every funnel
+  // candidate composition) after the study ran.
+  std::size_t interned_bytes = 0;
+  std::uint64_t interned_names = 0;
+  std::size_t interned_labels = 0;
 };
 
 class LeakageStudy {

@@ -2,12 +2,19 @@
 // access. The §4 leakage study lives and dies on careful name handling —
 // the paper explicitly filters certificate names that are not valid FQDNs
 // before counting subdomain labels.
+//
+// Two storage forms share one validation core:
+//  * DnsName — labels as owned strings; convenient, used off the hot path;
+//  * namepool::NameRef via parse_into() — arena-interned labels for the
+//    funnel-scale §4/§5 pipelines (no per-name heap allocations).
 #pragma once
 
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "ctwatch/namepool/namepool.hpp"
 
 namespace ctwatch::dns {
 
@@ -38,6 +45,21 @@ class DnsName {
   /// Like parse() but throws std::invalid_argument.
   static DnsName parse_or_throw(std::string_view text, ParseOptions options = ParseOptions());
 
+  /// Validates exactly like parse(), but interns the labels into `pool`
+  /// and returns the canonical ref — no per-name heap allocation. The
+  /// accepted/rejected set and the resulting label sequence are identical
+  /// to parse()'s.
+  static std::optional<namepool::NameRef> parse_into(namepool::NamePool& pool,
+                                                     std::string_view text,
+                                                     ParseOptions options = ParseOptions());
+
+  /// Rebuilds the owned-string form from an interned ref (no validation:
+  /// refs only hold labels that already passed it).
+  static DnsName materialize(const namepool::NamePool& pool, namepool::NameRef ref);
+
+  /// Interns this name's labels into `pool` (canonicalizing ref).
+  [[nodiscard]] namepool::NameRef intern_into(namepool::NamePool& pool) const;
+
   [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
   [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
   [[nodiscard]] bool empty() const { return labels_.empty(); }
@@ -45,8 +67,11 @@ class DnsName {
   /// Textual form, no trailing dot.
   [[nodiscard]] std::string to_string() const;
 
-  /// The leftmost label, e.g. "www" in www.example.co.uk.
-  [[nodiscard]] const std::string& first_label() const { return labels_.front(); }
+  /// The leftmost label, e.g. "www" in www.example.co.uk. The root (empty)
+  /// name has no labels; it yields an empty view, never undefined behavior.
+  [[nodiscard]] std::string_view first_label() const {
+    return labels_.empty() ? std::string_view{} : std::string_view{labels_.front()};
+  }
 
   /// Drops the leftmost `n` labels (n <= label_count()).
   [[nodiscard]] DnsName parent(std::size_t n = 1) const;
@@ -55,7 +80,7 @@ class DnsName {
   [[nodiscard]] bool is_subdomain_of(const DnsName& other) const;
 
   /// Prepends a label (label must itself be valid); returns the new name.
-  [[nodiscard]] DnsName with_prefix_label(const std::string& label) const;
+  [[nodiscard]] DnsName with_prefix_label(std::string_view label) const;
 
   friend bool operator==(const DnsName&, const DnsName&) = default;
   friend auto operator<=>(const DnsName&, const DnsName&) = default;

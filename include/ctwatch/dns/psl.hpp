@@ -8,9 +8,15 @@
 // bundled snapshot, with the ability to add rules at runtime.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "ctwatch/dns/name.hpp"
@@ -27,11 +33,43 @@ struct NameSplit {
   [[nodiscard]] std::string subdomain() const;
 };
 
+/// Pooled split: the same decomposition, but every part stays interned.
+/// The leading subdomain label (what Table 2 counts) is
+/// pool.ids(name)[0] whenever subdomain_label_count > 0.
+struct RefSplit {
+  namepool::NameRef public_suffix;
+  namepool::NameRef registrable_domain;
+  std::uint32_t subdomain_label_count = 0;  ///< labels below the registrable domain
+};
+
 class PublicSuffixList {
  public:
   /// Empty list: every name's suffix is its TLD (the PSL "prevailing rule"
   /// is "*", i.e. match one label).
   PublicSuffixList() = default;
+  // The compiled-rule cache (mutex + pool binding) never travels with the
+  // list: copies and moved-from lists start with a fresh empty cache and
+  // recompile lazily.
+  PublicSuffixList(const PublicSuffixList& other) : rules_(other.rules_) {}
+  PublicSuffixList& operator=(const PublicSuffixList& other) {
+    if (this != &other) {
+      rules_ = other.rules_;
+      compiled_ = std::make_unique<CompiledCache>();
+    }
+    return *this;
+  }
+  PublicSuffixList(PublicSuffixList&& other)
+      : rules_(std::move(other.rules_)), compiled_(std::move(other.compiled_)) {
+    other.compiled_ = std::make_unique<CompiledCache>();
+  }
+  PublicSuffixList& operator=(PublicSuffixList&& other) {
+    if (this != &other) {
+      rules_ = std::move(other.rules_);
+      compiled_ = std::move(other.compiled_);
+      other.compiled_ = std::make_unique<CompiledCache>();
+    }
+    return *this;
+  }
 
   /// The bundled snapshot with the suffixes the experiments exercise plus
   /// common ICANN suffixes. Shaped like (a subset of) the real PSL.
@@ -56,6 +94,12 @@ class PublicSuffixList {
   /// Convenience over a textual name; invalid names yield std::nullopt.
   [[nodiscard]] std::optional<NameSplit> split(const std::string& name) const;
 
+  /// Splits a pooled name. Suffix and registrable domain are interned into
+  /// `pool` (usually pure table hits); no label text is copied. Applies the
+  /// same rules as split(), so the two decompositions always agree.
+  [[nodiscard]] std::optional<RefSplit> split(namepool::NamePool& pool,
+                                              namepool::NameRef name) const;
+
  private:
   enum class RuleKind { normal, wildcard, exception };
   struct Rule {
@@ -64,10 +108,39 @@ class PublicSuffixList {
   };
 
   /// Number of labels the matched suffix spans (>= 1 by the prevailing rule).
+  [[nodiscard]] std::size_t suffix_label_count(std::span<const std::string_view> labels) const;
   [[nodiscard]] std::size_t suffix_label_count(const std::vector<std::string>& labels) const;
+  /// Same decision over interned ids — what split(pool, ref) runs on. The
+  /// rules are lazily compiled to LabelId paths against `pool`'s label
+  /// table, so matching is integer hashing with no string in sight.
+  [[nodiscard]] std::size_t suffix_label_count_ids(namepool::NamePool& pool,
+                                                   std::span<const namepool::LabelId> ids) const;
 
-  // Keyed by reversed label path joined with '.'; simple and fast enough.
-  std::map<std::string, Rule> rules_;
+  // Keyed by reversed label path joined with '.'. The transparent
+  // comparator lets the hot matching loop probe with string_views built in
+  // a reusable buffer instead of allocating a key per lookup.
+  std::map<std::string, Rule, std::less<>> rules_;
+
+  /// One rule path compiled to interned ids (reversed, TLD first); the
+  /// three kinds are merged per path.
+  struct CompiledRule {
+    std::vector<namepool::LabelId> path;
+    bool normal = false;
+    bool wildcard = false;
+    bool exception = false;
+  };
+  // Compiled-rule cache for suffix_label_count_ids, keyed by the running
+  // hash of the reversed path. Bound to one pool at a time (recompiled on
+  // pool change or rule addition); all fields guarded by mu. Heap-held so
+  // the list itself stays copyable and movable.
+  struct CompiledCache {
+    std::mutex mu;
+    const namepool::NamePool* pool = nullptr;
+    std::size_t rule_count = 0;
+    std::size_t max_depth = 0;
+    std::unordered_map<std::uint64_t, std::vector<CompiledRule>> rules;
+  };
+  mutable std::unique_ptr<CompiledCache> compiled_ = std::make_unique<CompiledCache>();
 };
 
 }  // namespace ctwatch::dns

@@ -4,16 +4,27 @@
 // valid FQDNs (RFC 1035 rules, as the paper does with a validators
 // library), splits them at the public suffix, and counts subdomain labels
 // globally and per suffix — Table 2 and the per-suffix signature analysis.
+//
+// Storage is interned: every name lands in a namepool::NamePool and all
+// counting is keyed on LabelId / NameRef (integer hashing, one copy of
+// every label). The string-keyed std::map accessors remain for reporting
+// and tests; they are materialized lazily from the pooled state and always
+// agree with it.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ctwatch/dns/psl.hpp"
+#include "ctwatch/namepool/namepool.hpp"
 
 namespace ctwatch::enumeration {
 
@@ -29,6 +40,9 @@ struct ExtractionStats {
 
 class SubdomainCensus {
  public:
+  using RefSet = std::unordered_set<namepool::NameRef, namepool::NameRefHash>;
+  using RefCountMap = std::unordered_map<namepool::NameRef, std::uint64_t, namepool::NameRefHash>;
+
   explicit SubdomainCensus(const dns::PublicSuffixList& psl) : psl_(&psl) {}
 
   /// Ingests names (deduplicated across calls; each FQDN counted once, as
@@ -37,19 +51,42 @@ class SubdomainCensus {
 
   [[nodiscard]] const ExtractionStats& stats() const { return stats_; }
 
-  /// Global label -> occurrence count (one count per FQDN the label leads).
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& label_counts() const {
-    return label_counts_;
+  /// The pool every census name, label and suffix is interned into. The
+  /// pool is internally synchronized, so handing out a mutable reference
+  /// from a const census is sound; the enumerator interns its candidate
+  /// compositions into the same pool.
+  [[nodiscard]] namepool::NamePool& pool() const { return *pool_; }
+
+  // -- Pooled views (primary storage; O(1) hashing, no string keys) --
+
+  /// Global leading-label -> occurrence count.
+  [[nodiscard]] const std::unordered_map<namepool::LabelId, std::uint64_t>&
+  label_counts_by_id() const {
+    return label_counts_ref_;
   }
-  /// label -> (suffix -> count).
-  [[nodiscard]] const std::map<std::string, std::map<std::string, std::uint64_t>>&
-  label_suffix_counts() const {
-    return label_suffix_;
+  /// label -> (public suffix -> count).
+  [[nodiscard]] const std::unordered_map<namepool::LabelId, RefCountMap>&
+  label_suffix_counts_by_id() const {
+    return label_suffix_ref_;
   }
   /// Registrable domains seen, grouped by suffix.
-  [[nodiscard]] const std::map<std::string, std::set<std::string>>& domains_by_suffix() const {
-    return domains_by_suffix_;
+  [[nodiscard]] const std::unordered_map<namepool::NameRef, RefSet, namepool::NameRefHash>&
+  domains_by_suffix_refs() const {
+    return domains_by_suffix_ref_;
   }
+
+  /// O(1) count lookup for a label by text (0 when never seen leading).
+  [[nodiscard]] std::uint64_t label_count(std::string_view label) const;
+
+  // -- String views (materialized lazily from the pooled state) --
+
+  /// Global label -> occurrence count (one count per FQDN the label leads).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& label_counts() const;
+  /// label -> (suffix -> count).
+  [[nodiscard]] const std::map<std::string, std::map<std::string, std::uint64_t>>&
+  label_suffix_counts() const;
+  /// Registrable domains seen, grouped by suffix.
+  [[nodiscard]] const std::map<std::string, std::set<std::string>>& domains_by_suffix() const;
 
   /// The top-n labels by count (Table 2).
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> top_labels(
@@ -60,13 +97,27 @@ class SubdomainCensus {
   [[nodiscard]] std::uint64_t total_label_occurrences() const { return total_occurrences_; }
 
  private:
+  void materialize_caches() const;
+
   const dns::PublicSuffixList* psl_;
   ExtractionStats stats_;
-  std::set<std::string> seen_;
-  std::map<std::string, std::uint64_t> label_counts_;
-  std::map<std::string, std::map<std::string, std::uint64_t>> label_suffix_;
-  std::map<std::string, std::set<std::string>> domains_by_suffix_;
+  // NamePool is internally synchronized; mutable lets const pipeline stages
+  // (enumerator::run) intern into the shared pool. unique_ptr because the
+  // pool's arenas are address-pinned while the census moves by value.
+  mutable std::unique_ptr<namepool::NamePool> pool_ = std::make_unique<namepool::NamePool>();
+  // Census-level dedup. The pool dedups too, but it is shared with the
+  // enumerator, so "fresh in pool" is not "new to the census".
+  RefSet seen_;
+  std::unordered_map<namepool::LabelId, std::uint64_t> label_counts_ref_;
+  std::unordered_map<namepool::LabelId, RefCountMap> label_suffix_ref_;
+  std::unordered_map<namepool::NameRef, RefSet, namepool::NameRefHash> domains_by_suffix_ref_;
   std::uint64_t total_occurrences_ = 0;
+
+  // Lazily-materialized string views of the pooled state.
+  mutable bool caches_valid_ = false;
+  mutable std::map<std::string, std::uint64_t> label_counts_;
+  mutable std::map<std::string, std::map<std::string, std::uint64_t>> label_suffix_;
+  mutable std::map<std::string, std::set<std::string>> domains_by_suffix_;
 };
 
 /// §4.3's wordlist sanity check: how many entries of a brute-force wordlist

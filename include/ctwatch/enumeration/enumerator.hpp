@@ -13,6 +13,11 @@
 //     table (misconfigured servers); what remains and resolves while its
 //     control does not is a confirmed discovery. Finally diff against the
 //     Sonar-like list to count *novel* FQDNs.
+//
+// Candidate construction runs on the census name pool: the label × suffix
+// cross product is composed as integer work (LabelId prepended to an
+// interned registrable domain), with strings only built when a probe or a
+// report needs one.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +27,7 @@
 
 #include "ctwatch/dns/resolver.hpp"
 #include "ctwatch/enumeration/census.hpp"
+#include "ctwatch/namepool/namepool.hpp"
 #include "ctwatch/net/autonomous_system.hpp"
 #include "ctwatch/util/rng.hpp"
 
@@ -61,6 +67,7 @@ struct FunnelResult {
   std::size_t labels_selected = 0;
   std::size_t label_suffix_pairs = 0;
   std::uint64_t candidates = 0;       ///< constructed FQDNs (paper: 210.7M)
+  std::uint64_t unique_candidates = 0;///< distinct refs the composition interned
   std::uint64_t test_replies = 0;     ///< answers to constructed names (80.3M)
   std::uint64_t test_unanswered = 0;  ///< definitive negatives (nxdomain/no_data/...)
   std::uint64_t control_replies = 0;  ///< answers to pseudo-random controls (61.5M)
@@ -93,6 +100,22 @@ struct FunnelResult {
 
 class SubdomainEnumerator {
  public:
+  /// One (label, suffix) step of the construction plan, fully interned.
+  struct PlanEntry {
+    namepool::LabelId label;
+    namepool::NameRef suffix;
+  };
+
+  /// Candidate composition output for a domain list (step 3 on its own) —
+  /// what bench/name_interning measures. Every candidate lives in the
+  /// census pool; `refs` holds one 8-byte ref per constructed FQDN.
+  struct CandidateSet {
+    std::vector<namepool::NameRef> refs;
+    std::uint64_t composed = 0;   ///< total compositions (== refs.size())
+    std::uint64_t unique = 0;     ///< compositions that were new to the pool
+    std::uint64_t too_long = 0;   ///< skipped: textual form would exceed 253 chars
+  };
+
   SubdomainEnumerator(const SubdomainCensus& census, const dns::PublicSuffixList& psl,
                       EnumerationOptions options = EnumerationOptions())
       : census_(&census), psl_(&psl), options_(std::move(options)) {}
@@ -104,8 +127,15 @@ class SubdomainEnumerator {
                    const std::set<std::string>& sonar, const dns::RecursiveResolver& resolver,
                    const net::RoutingTable& routing, Rng& rng, SimTime when) const;
 
-  /// Step 1+2 only: the (label, suffix) construction plan.
+  /// Step 1+2 only: the (label, suffix) construction plan, interned.
+  [[nodiscard]] std::vector<PlanEntry> build_plan_refs() const;
+
+  /// Step 1+2 as text (materialized from build_plan_refs; same order).
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> build_plan() const;
+
+  /// Step 3 only: compose every candidate FQDN as a pooled ref (no DNS).
+  [[nodiscard]] CandidateSet generate_candidates(
+      const std::vector<std::string>& domain_list) const;
 
  private:
   const SubdomainCensus* census_;

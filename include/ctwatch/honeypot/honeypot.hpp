@@ -12,11 +12,13 @@
 // CT log entry and come from the CA's validation infrastructure).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "ctwatch/dns/resolver.hpp"
+#include "ctwatch/namepool/namepool.hpp"
 #include "ctwatch/net/autonomous_system.hpp"
 #include "ctwatch/net/capture.hpp"
 #include "ctwatch/net/reverse_dns.hpp"
@@ -39,6 +41,7 @@ struct HoneypotOptions {
 struct HoneypotDomain {
   std::string label;        ///< the random 12-char label
   std::string fqdn;
+  namepool::NameRef name;   ///< fqdn interned in the honeypot's pool
   net::IPv4 a_record;
   net::IPv6 aaaa_record;    ///< unique, never published elsewhere
   SimTime ct_logged;        ///< precertificate CT log entry time
@@ -70,6 +73,10 @@ class CtHoneypot {
   [[nodiscard]] const net::ReverseDns& reverse_dns() const { return reverse_dns_; }
   [[nodiscard]] sim::Ecosystem& ecosystem() { return *ecosystem_; }
   [[nodiscard]] const HoneypotOptions& options() const { return options_; }
+  /// Pool the honeypot's names live in; the analysis interns observed
+  /// query names into it to group the DNS log by interned ref instead of
+  /// comparing strings per (domain × log entry). Internally synchronized.
+  [[nodiscard]] namepool::NamePool& pool() const { return *pool_; }
 
   /// The label every CA-validation query carries in the query log, so the
   /// analysis can filter it (the paper filters by validation-infrastructure
@@ -84,6 +91,7 @@ class CtHoneypot {
   net::PacketCapture capture_;
   net::AsRegistry as_registry_;
   net::ReverseDns reverse_dns_;
+  mutable std::unique_ptr<namepool::NamePool> pool_ = std::make_unique<namepool::NamePool>();
   std::vector<HoneypotDomain> domains_;
   Rng rng_;
   std::uint32_t next_host_ = 0;

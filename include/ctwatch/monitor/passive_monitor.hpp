@@ -19,11 +19,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ctwatch/ct/loglist.hpp"
+#include "ctwatch/namepool/namepool.hpp"
 #include "ctwatch/tls/connection.hpp"
 
 namespace ctwatch::monitor {
@@ -126,8 +128,15 @@ class PassiveMonitor {
   std::vector<InvalidSctObservation> invalid_;
   std::unordered_map<const x509::Certificate*, CertAnalysis> cache_;
   // Streaming per-day attribution scratch (see daily_top_sct_server()).
+  // Server names are interned once; the scratch counts by 4-byte id, so a
+  // request storm to one popular name costs a hash of 4 bytes per hit
+  // instead of re-hashing (and initially copying) the name string.
   std::int64_t scratch_day_ = -1;
-  std::unordered_map<std::string, std::uint64_t> scratch_counts_;
+  // unique_ptr: the table's arenas are address-pinned (non-movable), but
+  // the monitor itself is returned by value from driver helpers.
+  std::unique_ptr<namepool::LabelTable> server_names_ =
+      std::make_unique<namepool::LabelTable>();
+  std::unordered_map<namepool::LabelId, std::uint64_t> scratch_counts_;
   std::map<std::int64_t, std::pair<std::string, std::uint64_t>> daily_top_;
   void finalize_scratch_day();
   void note_sct_connection(std::int64_t day, const std::string& server_name);

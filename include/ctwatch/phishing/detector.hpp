@@ -6,9 +6,17 @@
 // implemented here with std::regex patterns per brand; findings carry the
 // public suffix so the brand↔suffix link (eBay→bid/review, Microsoft→live)
 // can be quantified.
+//
+// Scanning is interned-label first: each rule declares dot-free keyword
+// literals, and a per-LabelId bitmask cache records which rules a label
+// can possibly satisfy. A name only reaches the (expensive) regex when one
+// of its labels carries a keyword of that rule — computed once per unique
+// label, not once per name. Rules without keywords always run their regex.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <regex>
 #include <span>
 #include <set>
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "ctwatch/dns/psl.hpp"
+#include "ctwatch/namepool/namepool.hpp"
 
 namespace ctwatch::phishing {
 
@@ -24,6 +33,12 @@ struct BrandRule {
   std::string brand;                         ///< e.g. "Apple"
   std::string pattern;                       ///< ECMAScript regex over the FQDN
   std::set<std::string> legitimate_domains;  ///< registrable domains to exclude
+  /// Prefilter contract: every match of `pattern` contains at least one of
+  /// these dot-free, lowercase literals. A dot-free substring of a dotted
+  /// FQDN always lies inside a single label, so "some label contains a
+  /// keyword" is a sound necessary condition. Empty = no prefilter; the
+  /// regex runs on every name.
+  std::vector<std::string> keywords;
 };
 
 /// The five services of Table 3 plus the government taxation offices.
@@ -50,18 +65,39 @@ class PhishingDetector {
   /// Scans FQDNs; invalid names are skipped (count reported separately).
   std::vector<Finding> scan(std::span<const std::string> fqdns);
 
+  /// Scans names already interned in this detector's pool.
+  std::vector<Finding> scan_refs(std::span<const namepool::NameRef> refs);
+
   /// Aggregates findings per brand.
   static std::map<std::string, BrandSummary> summarize(const std::vector<Finding>& findings);
 
   [[nodiscard]] std::uint64_t names_scanned() const { return scanned_; }
   [[nodiscard]] std::uint64_t names_skipped() const { return skipped_; }
+  /// How many regex_search calls actually ran — the prefilter's receipt.
+  [[nodiscard]] std::uint64_t regex_evaluations() const { return regex_evaluations_; }
+
+  /// The pool scanned names are interned into (scan_refs input must come
+  /// from here).
+  [[nodiscard]] namepool::NamePool& pool() { return *pool_; }
 
  private:
+  static constexpr std::uint64_t kMaskUnset = ~0ull;
+
+  void scan_one(namepool::NameRef ref, std::vector<Finding>& findings);
+  [[nodiscard]] std::uint64_t label_mask(namepool::LabelId id);
+
   const dns::PublicSuffixList* psl_;
   std::vector<BrandRule> rules_;
   std::vector<std::regex> compiled_;
+  // Address-pinned arenas; unique_ptr keeps the detector movable.
+  std::unique_ptr<namepool::NamePool> pool_ = std::make_unique<namepool::NamePool>();
+  /// Which of the first 63 rules each interned label can satisfy; lazily
+  /// computed, kMaskUnset = not yet. Rules beyond 63 always run.
+  std::vector<std::uint64_t> label_masks_;
+  std::uint64_t always_mask_ = 0;  ///< rules with no keywords
   std::uint64_t scanned_ = 0;
   std::uint64_t skipped_ = 0;
+  std::uint64_t regex_evaluations_ = 0;
 };
 
 }  // namespace ctwatch::phishing

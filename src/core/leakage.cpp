@@ -30,6 +30,9 @@ LeakageReport LeakageStudy::run(const enumeration::EnumerationOptions& options) 
   report.funnel = enumerator.run(corpus_->registrable_domains(), sonar, resolver,
                                  corpus_->routing_table(), rng,
                                  SimTime::parse("2018-04-27"));
+  report.interned_bytes = census.pool().bytes_used();
+  report.interned_names = census.pool().size();
+  report.interned_labels = census.pool().labels().size();
   return report;
 }
 

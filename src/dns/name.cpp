@@ -1,9 +1,61 @@
 #include "ctwatch/dns/name.hpp"
 
+#include <array>
 #include <cctype>
 #include <stdexcept>
 
 namespace ctwatch::dns {
+namespace {
+
+// DNS names never exceed 253 characters, so the shared validation core can
+// case-fold into a fixed stack buffer and hand out views — no allocation
+// until the caller decides what storage form it wants.
+struct ParsedLabels {
+  std::array<char, 253> buf;
+  std::array<std::string_view, 127> labels;  // >= ceil(253 / 2) one-char labels
+  std::size_t count = 0;
+};
+
+// The single source of truth for the accept/reject rules documented on
+// DnsName::parse(). Fills `out` with lowercase label views on success.
+bool parse_core(std::string_view text, ParseOptions options, ParsedLabels& out) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty() || text.size() > 253) return false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    out.buf[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  const std::string_view lowered{out.buf.data(), text.size()};
+
+  out.count = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= lowered.size(); ++i) {
+    if (i == lowered.size() || lowered[i] == '.') {
+      if (i == start) return false;  // empty label
+      out.labels[out.count++] = lowered.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  if (out.count < 2) return false;
+
+  for (std::size_t i = 0; i < out.count; ++i) {
+    const std::string_view label = out.labels[i];
+    if (i == 0 && options.allow_wildcard && label == "*") continue;
+    if (!valid_label(label, options.allow_underscore)) return false;
+  }
+  // All-numeric TLD would make e.g. "1.2.3.4" parse as a name.
+  const std::string_view tld = out.labels[out.count - 1];
+  bool all_digits = true;
+  for (char c : tld) {
+    if (c < '0' || c > '9') {
+      all_digits = false;
+      break;
+    }
+  }
+  return !all_digits;
+}
+
+}  // namespace
 
 bool valid_label(std::string_view label, bool allow_underscore) {
   if (label.empty() || label.size() > 63) return false;
@@ -17,43 +69,11 @@ bool valid_label(std::string_view label, bool allow_underscore) {
 }
 
 std::optional<DnsName> DnsName::parse(std::string_view text, ParseOptions options) {
-  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
-  if (text.empty() || text.size() > 253) return std::nullopt;
-
+  ParsedLabels parsed;
+  if (!parse_core(text, options, parsed)) return std::nullopt;
   std::vector<std::string> labels;
-  std::string current;
-  auto flush = [&]() -> bool {
-    if (current.empty()) return false;
-    labels.push_back(std::move(current));
-    current.clear();
-    return true;
-  };
-  for (char raw : text) {
-    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
-    if (c == '.') {
-      if (!flush()) return std::nullopt;  // empty label
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!flush()) return std::nullopt;
-  if (labels.size() < 2) return std::nullopt;
-
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    const std::string& label = labels[i];
-    if (i == 0 && options.allow_wildcard && label == "*") continue;
-    if (!valid_label(label, options.allow_underscore)) return std::nullopt;
-  }
-  // All-numeric TLD would make e.g. "1.2.3.4" parse as a name.
-  const std::string& tld = labels.back();
-  bool all_digits = true;
-  for (char c : tld) {
-    if (c < '0' || c > '9') {
-      all_digits = false;
-      break;
-    }
-  }
-  if (all_digits) return std::nullopt;
+  labels.reserve(parsed.count);
+  for (std::size_t i = 0; i < parsed.count; ++i) labels.emplace_back(parsed.labels[i]);
   return DnsName{std::move(labels)};
 }
 
@@ -61,6 +81,32 @@ DnsName DnsName::parse_or_throw(std::string_view text, ParseOptions options) {
   auto name = parse(text, options);
   if (!name) throw std::invalid_argument("invalid DNS name: " + std::string(text));
   return *std::move(name);
+}
+
+std::optional<namepool::NameRef> DnsName::parse_into(namepool::NamePool& pool,
+                                                     std::string_view text,
+                                                     ParseOptions options) {
+  ParsedLabels parsed;
+  if (!parse_core(text, options, parsed)) return std::nullopt;
+  std::array<namepool::LabelId, 127> ids;
+  for (std::size_t i = 0; i < parsed.count; ++i) {
+    ids[i] = pool.labels().intern(parsed.labels[i]);
+  }
+  return pool.intern_ids({ids.data(), parsed.count}).ref;
+}
+
+DnsName DnsName::materialize(const namepool::NamePool& pool, namepool::NameRef ref) {
+  std::vector<std::string> labels;
+  labels.reserve(ref.count);
+  for (namepool::LabelId id : pool.ids(ref)) labels.emplace_back(pool.labels().text(id));
+  return DnsName{std::move(labels)};
+}
+
+namepool::NameRef DnsName::intern_into(namepool::NamePool& pool) const {
+  std::vector<namepool::LabelId> ids;
+  ids.reserve(labels_.size());
+  for (const std::string& label : labels_) ids.push_back(pool.labels().intern(label));
+  return pool.intern_ids(ids).ref;
 }
 
 std::string DnsName::to_string() const {
@@ -83,13 +129,13 @@ bool DnsName::is_subdomain_of(const DnsName& other) const {
   return std::equal(other.labels_.rbegin(), other.labels_.rend(), labels_.rbegin());
 }
 
-DnsName DnsName::with_prefix_label(const std::string& label) const {
+DnsName DnsName::with_prefix_label(std::string_view label) const {
   if (!valid_label(label) && label != "*") {
-    throw std::invalid_argument("with_prefix_label: invalid label: " + label);
+    throw std::invalid_argument("with_prefix_label: invalid label: " + std::string(label));
   }
   std::vector<std::string> labels;
   labels.reserve(labels_.size() + 1);
-  labels.push_back(label);
+  labels.emplace_back(label);
   labels.insert(labels.end(), labels_.begin(), labels_.end());
   return DnsName{std::move(labels)};
 }

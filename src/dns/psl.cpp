@@ -1,6 +1,7 @@
 #include "ctwatch/dns/psl.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "ctwatch/util/strings.hpp"
@@ -206,7 +207,8 @@ void PublicSuffixList::add_rules_text(const std::string& text) {
   }
 }
 
-std::size_t PublicSuffixList::suffix_label_count(const std::vector<std::string>& labels) const {
+std::size_t PublicSuffixList::suffix_label_count(
+    std::span<const std::string_view> labels) const {
   // Evaluate rules per the PSL algorithm over the reversed label path:
   // exception rules beat wildcard/normal; otherwise the longest match wins;
   // no match -> prevailing rule "*" (one label).
@@ -214,20 +216,23 @@ std::size_t PublicSuffixList::suffix_label_count(const std::vector<std::string>&
   bool exception_hit = false;
   std::size_t exception_len = 0;
 
-  std::vector<std::string> reversed(labels.rbegin(), labels.rend());
   std::string path;
-  for (std::size_t depth = 1; depth <= reversed.size(); ++depth) {
+  std::string probe;  // reused "<path>.*" / "<path>.!" key buffer
+  for (std::size_t depth = 1; depth <= labels.size(); ++depth) {
     if (depth > 1) path.push_back('.');
-    path += reversed[depth - 1];
-    if (auto it = rules_.find(path); it != rules_.end() && it->second.kind == RuleKind::normal) {
+    path += labels[labels.size() - depth];
+    if (auto it = rules_.find(std::string_view(path));
+        it != rules_.end() && it->second.kind == RuleKind::normal) {
       best = std::max(best, depth);
     }
     // A wildcard rule "*.<path-of-depth-d>" matches a suffix of depth d+1.
-    if (auto it = rules_.find(path + ".*");
-        it != rules_.end() && depth + 1 <= reversed.size()) {
+    probe.assign(path).append(".*");
+    if (auto it = rules_.find(std::string_view(probe));
+        it != rules_.end() && depth + 1 <= labels.size()) {
       best = std::max(best, depth + 1);
     }
-    if (auto it = rules_.find(path + ".!"); it != rules_.end()) {
+    probe.assign(path).append(".!");
+    if (auto it = rules_.find(std::string_view(probe)); it != rules_.end()) {
       // Exception rule: the suffix is the rule minus its leftmost label.
       exception_hit = true;
       exception_len = depth - 1;
@@ -235,6 +240,100 @@ std::size_t PublicSuffixList::suffix_label_count(const std::vector<std::string>&
   }
   if (exception_hit) return std::max<std::size_t>(exception_len, 1);
   return best;
+}
+
+std::size_t PublicSuffixList::suffix_label_count(const std::vector<std::string>& labels) const {
+  std::vector<std::string_view> views(labels.begin(), labels.end());
+  return suffix_label_count(std::span<const std::string_view>(views));
+}
+
+namespace {
+constexpr std::uint64_t kPathHashBasis = 1469598103934665603ull;
+constexpr std::uint64_t kPathHashPrime = 1099511628211ull;
+}  // namespace
+
+std::size_t PublicSuffixList::suffix_label_count_ids(
+    namepool::NamePool& pool, std::span<const namepool::LabelId> ids) const {
+  CompiledCache& cache = *compiled_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.pool != &pool || cache.rule_count != rules_.size()) {
+    // (Re)compile every rule path to ids in `pool`'s label table. Interning
+    // (not find) keeps the ids valid even for labels no name has used yet.
+    cache.rules.clear();
+    cache.max_depth = 0;
+    for (const auto& [key, rule] : rules_) {
+      std::vector<namepool::LabelId> path;
+      path.reserve(rule.labels.size());
+      std::uint64_t hash = kPathHashBasis;
+      for (const std::string& label : rule.labels) {
+        const namepool::LabelId id = pool.labels().intern(label);
+        path.push_back(id);
+        hash = (hash ^ id) * kPathHashPrime;
+      }
+      auto& bucket = cache.rules[hash];
+      CompiledRule* slot = nullptr;
+      for (CompiledRule& existing : bucket) {
+        if (existing.path == path) slot = &existing;
+      }
+      if (slot == nullptr) {
+        bucket.push_back(CompiledRule{std::move(path), false, false, false});
+        slot = &bucket.back();
+      }
+      switch (rule.kind) {
+        case RuleKind::normal: slot->normal = true; break;
+        case RuleKind::wildcard: slot->wildcard = true; break;
+        case RuleKind::exception: slot->exception = true; break;
+      }
+      cache.max_depth = std::max(cache.max_depth, slot->path.size());
+    }
+    cache.pool = &pool;
+    cache.rule_count = rules_.size();
+  }
+
+  // Same decision procedure as the string overload, on integers: walk the
+  // reversed path depth by depth with a running hash. No rule is longer
+  // than cache.max_depth, so the walk stops there.
+  std::size_t best = 1;
+  bool exception_hit = false;
+  std::size_t exception_len = 0;
+  std::uint64_t hash = kPathHashBasis;
+  const std::size_t max_depth = std::min(ids.size(), cache.max_depth);
+  for (std::size_t depth = 1; depth <= max_depth; ++depth) {
+    hash = (hash ^ ids[ids.size() - depth]) * kPathHashPrime;
+    const auto it = cache.rules.find(hash);
+    if (it == cache.rules.end()) continue;
+    for (const CompiledRule& rule : it->second) {
+      if (rule.path.size() != depth) continue;
+      bool matches = true;
+      for (std::size_t i = 0; i < depth; ++i) {
+        if (rule.path[i] != ids[ids.size() - 1 - i]) {
+          matches = false;
+          break;
+        }
+      }
+      if (!matches) continue;
+      if (rule.normal) best = std::max(best, depth);
+      if (rule.wildcard && depth + 1 <= ids.size()) best = std::max(best, depth + 1);
+      if (rule.exception) {
+        exception_hit = true;
+        exception_len = depth - 1;
+      }
+    }
+  }
+  if (exception_hit) return std::max<std::size_t>(exception_len, 1);
+  return best;
+}
+
+std::optional<RefSplit> PublicSuffixList::split(namepool::NamePool& pool,
+                                                namepool::NameRef name) const {
+  const std::span<const namepool::LabelId> ids = pool.ids(name);
+  const std::size_t suffix_len = suffix_label_count_ids(pool, ids);
+  if (ids.size() <= suffix_len) return std::nullopt;  // the name IS a suffix
+  RefSplit out;
+  out.public_suffix = pool.parent(name, ids.size() - suffix_len);
+  out.registrable_domain = pool.parent(name, ids.size() - suffix_len - 1);
+  out.subdomain_label_count = static_cast<std::uint32_t>(ids.size() - suffix_len - 1);
+  return out;
 }
 
 std::string PublicSuffixList::public_suffix(const DnsName& name) const {

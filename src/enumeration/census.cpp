@@ -15,38 +15,87 @@ void SubdomainCensus::add_names(std::span<const std::string> names) {
       ++stats_.redacted;
       continue;
     }
-    const auto name = dns::DnsName::parse(raw);
-    if (!name) {
+    const auto ref = dns::DnsName::parse_into(*pool_, raw);
+    if (!ref) {
       ++stats_.invalid_rejected;
       continue;
     }
-    const std::string canonical = name->to_string();
-    if (!seen_.insert(canonical).second) {
+    if (!seen_.insert(*ref).second) {
       ++stats_.duplicates;
       continue;
     }
-    const auto split = psl_->split(*name);
+    caches_valid_ = false;
+    const auto split = psl_->split(*pool_, *ref);
     if (!split) {
       ++stats_.invalid_rejected;  // the name is itself a public suffix
       continue;
     }
     ++stats_.valid_fqdns;
-    domains_by_suffix_[split->public_suffix].insert(split->registrable_domain);
-    if (!split->subdomain_labels.empty()) {
+    domains_by_suffix_ref_[split->public_suffix].insert(split->registrable_domain);
+    if (split->subdomain_label_count > 0) {
       // The paper counts the label leading the FQDN (e.g. "www" for
       // www.dev.example.org leads; deeper labels describe structure).
-      const std::string& label = split->subdomain_labels.front();
-      ++label_counts_[label];
-      ++label_suffix_[label][split->public_suffix];
+      const namepool::LabelId label = pool_->ids(*ref)[0];
+      ++label_counts_ref_[label];
+      ++label_suffix_ref_[label][split->public_suffix];
       ++total_occurrences_;
     }
   }
 }
 
+std::uint64_t SubdomainCensus::label_count(std::string_view label) const {
+  const auto id = pool_->labels().find(label);
+  if (!id) return 0;
+  const auto it = label_counts_ref_.find(*id);
+  return it == label_counts_ref_.end() ? 0 : it->second;
+}
+
+void SubdomainCensus::materialize_caches() const {
+  if (caches_valid_) return;
+  label_counts_.clear();
+  label_suffix_.clear();
+  domains_by_suffix_.clear();
+  for (const auto& [id, count] : label_counts_ref_) {
+    label_counts_.emplace(pool_->labels().text(id), count);
+  }
+  for (const auto& [id, suffixes] : label_suffix_ref_) {
+    auto& per_label = label_suffix_[std::string(pool_->labels().text(id))];
+    for (const auto& [suffix, count] : suffixes) {
+      per_label.emplace(pool_->to_string(suffix), count);
+    }
+  }
+  for (const auto& [suffix, domains] : domains_by_suffix_ref_) {
+    auto& per_suffix = domains_by_suffix_[pool_->to_string(suffix)];
+    for (const namepool::NameRef domain : domains) {
+      per_suffix.insert(pool_->to_string(domain));
+    }
+  }
+  caches_valid_ = true;
+}
+
+const std::map<std::string, std::uint64_t>& SubdomainCensus::label_counts() const {
+  materialize_caches();
+  return label_counts_;
+}
+
+const std::map<std::string, std::map<std::string, std::uint64_t>>&
+SubdomainCensus::label_suffix_counts() const {
+  materialize_caches();
+  return label_suffix_;
+}
+
+const std::map<std::string, std::set<std::string>>& SubdomainCensus::domains_by_suffix() const {
+  materialize_caches();
+  return domains_by_suffix_;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> SubdomainCensus::top_labels(
     std::size_t n) const {
-  std::vector<std::pair<std::string, std::uint64_t>> all(label_counts_.begin(),
-                                                         label_counts_.end());
+  std::vector<std::pair<std::string, std::uint64_t>> all;
+  all.reserve(label_counts_ref_.size());
+  for (const auto& [id, count] : label_counts_ref_) {
+    all.emplace_back(std::string(pool_->labels().text(id)), count);
+  }
   std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
     return a.second != b.second ? a.second > b.second : a.first < b.first;
   });
@@ -55,12 +104,17 @@ std::vector<std::pair<std::string, std::uint64_t>> SubdomainCensus::top_labels(
 }
 
 std::map<std::string, std::string> SubdomainCensus::top_label_per_suffix() const {
-  // suffix -> (best label, count)
+  // suffix -> (best label, count); ties go to the lexicographically
+  // smaller label, matching the historical ordered-map iteration.
   std::map<std::string, std::pair<std::string, std::uint64_t>> best;
-  for (const auto& [label, suffixes] : label_suffix_) {
+  for (const auto& [id, suffixes] : label_suffix_ref_) {
+    const std::string_view label = pool_->labels().text(id);
     for (const auto& [suffix, count] : suffixes) {
-      auto& slot = best[suffix];
-      if (count > slot.second) slot = {label, count};
+      auto [it, inserted] = best.try_emplace(pool_->to_string(suffix));
+      auto& slot = it->second;
+      if (count > slot.second || (count == slot.second && (inserted || label < slot.first))) {
+        slot = {std::string(label), count};
+      }
     }
   }
   std::map<std::string, std::string> out;
@@ -73,7 +127,7 @@ WordlistComparison compare_wordlist(std::span<const std::string> wordlist,
   WordlistComparison out;
   out.wordlist_size = wordlist.size();
   for (const std::string& word : wordlist) {
-    if (census.label_counts().contains(word)) ++out.present_in_ct;
+    if (census.label_count(word) > 0) ++out.present_in_ct;
   }
   return out;
 }

@@ -1,7 +1,8 @@
 #include "ctwatch/enumeration/enumerator.hpp"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "ctwatch/dns/name.hpp"
 #include "ctwatch/obs/obs.hpp"
@@ -12,6 +13,8 @@ namespace {
 
 struct FunnelMetrics {
   obs::Counter& candidates = obs::Registry::global().counter("enum.funnel.candidates");
+  obs::Counter& unique_candidates =
+      obs::Registry::global().counter("enum.funnel.unique_candidates");
   obs::Counter& test_replies = obs::Registry::global().counter("enum.funnel.test_replies");
   obs::Counter& control_replies = obs::Registry::global().counter("enum.funnel.control_replies");
   obs::Counter& unroutable = obs::Registry::global().counter("enum.funnel.unroutable_dropped");
@@ -27,29 +30,130 @@ FunnelMetrics& funnel_metrics() {
   return metrics;
 }
 
+/// A registrable domain admitted to construction: its list text plus its
+/// interned form (composition prepends a LabelId to `ref`).
+struct ConstructionDomain {
+  const std::string* text;
+  namepool::NameRef ref;
+};
+
+/// One suffix's admitted registrable domains, plus what batch composition
+/// needs: the refs as a contiguous span and the longest domain text (for
+/// the whole-group 253-char fast path).
+struct DomainGroup {
+  std::vector<ConstructionDomain> domains;
+  std::vector<namepool::NameRef> refs;
+  std::size_t max_text = 0;
+};
+
+/// Groups the domain list by interned public suffix. Only registrable
+/// domains themselves participate in construction.
+std::unordered_map<namepool::NameRef, DomainGroup, namepool::NameRefHash> group_domains(
+    namepool::NamePool& pool, const dns::PublicSuffixList& psl,
+    const std::vector<std::string>& domain_list) {
+  std::unordered_map<namepool::NameRef, DomainGroup, namepool::NameRefHash> by_suffix;
+  for (const std::string& domain : domain_list) {
+    const auto ref = dns::DnsName::parse_into(pool, domain);
+    if (!ref) continue;
+    const auto split = psl.split(pool, *ref);
+    if (!split) continue;
+    if (split->subdomain_label_count == 0) {
+      DomainGroup& group = by_suffix[split->public_suffix];
+      group.domains.push_back({&domain, *ref});
+      group.refs.push_back(*ref);
+      group.max_text = std::max(group.max_text, domain.size());
+    }
+  }
+  return by_suffix;
+}
+
 }  // namespace
 
-std::vector<std::pair<std::string, std::string>> SubdomainEnumerator::build_plan() const {
-  std::vector<std::pair<std::string, std::string>> plan;
-  for (const auto& [label, count] : census_->label_counts()) {
+std::vector<SubdomainEnumerator::PlanEntry> SubdomainEnumerator::build_plan_refs() const {
+  namepool::NamePool& pool = census_->pool();
+  // Labels in lexicographic order (the historical ordered-map iteration);
+  // the plan order feeds the RNG stream, so it must stay stable.
+  std::vector<std::pair<std::string_view, namepool::LabelId>> labels;
+  for (const auto& [id, count] : census_->label_counts_by_id()) {
     if (count < options_.min_label_count) continue;
-    const auto it = census_->label_suffix_counts().find(label);
-    if (it == census_->label_suffix_counts().end()) continue;
+    labels.emplace_back(pool.labels().text(id), id);
+  }
+  std::sort(labels.begin(), labels.end());
+
+  std::vector<PlanEntry> plan;
+  const auto& by_label = census_->label_suffix_counts_by_id();
+  for (const auto& [label_text, label_id] : labels) {
+    const auto it = by_label.find(label_id);
+    if (it == by_label.end()) continue;
     // Rank this label's suffixes by occurrence count.
-    std::vector<std::pair<std::string, std::uint64_t>> suffixes;
+    struct RankedSuffix {
+      std::string text;
+      std::uint64_t count;
+      namepool::NameRef ref;
+    };
+    std::vector<RankedSuffix> suffixes;
     for (const auto& [suffix, n] : it->second) {
-      if (options_.excluded_suffixes.contains(suffix)) continue;
-      suffixes.emplace_back(suffix, n);
+      std::string text = pool.to_string(suffix);
+      if (options_.excluded_suffixes.contains(text)) continue;
+      suffixes.push_back({std::move(text), n, suffix});
     }
     std::sort(suffixes.begin(), suffixes.end(), [](const auto& a, const auto& b) {
-      return a.second != b.second ? a.second > b.second : a.first < b.first;
+      return a.count != b.count ? a.count > b.count : a.text < b.text;
     });
     if (suffixes.size() > options_.top_suffixes_per_label) {
       suffixes.resize(options_.top_suffixes_per_label);
     }
-    for (const auto& [suffix, n] : suffixes) plan.emplace_back(label, suffix);
+    for (const auto& ranked : suffixes) plan.push_back({label_id, ranked.ref});
   }
   return plan;
+}
+
+std::vector<std::pair<std::string, std::string>> SubdomainEnumerator::build_plan() const {
+  namepool::NamePool& pool = census_->pool();
+  std::vector<std::pair<std::string, std::string>> plan;
+  for (const PlanEntry& entry : build_plan_refs()) {
+    plan.emplace_back(pool.labels().text(entry.label), pool.to_string(entry.suffix));
+  }
+  return plan;
+}
+
+SubdomainEnumerator::CandidateSet SubdomainEnumerator::generate_candidates(
+    const std::vector<std::string>& domain_list) const {
+  CTWATCH_SPAN("enum.generate_candidates");
+  namepool::NamePool& pool = census_->pool();
+  CandidateSet out;
+  const auto plan = build_plan_refs();
+  const auto by_suffix = group_domains(pool, *psl_, domain_list);
+  std::size_t upper_bound = 0;
+  for (const PlanEntry& entry : plan) {
+    const auto it = by_suffix.find(entry.suffix);
+    if (it != by_suffix.end()) upper_bound += it->second.domains.size();
+  }
+  out.refs.reserve(upper_bound);
+  std::vector<namepool::NameRef> admitted;  // scratch for groups with long names
+  for (const PlanEntry& entry : plan) {
+    const auto it = by_suffix.find(entry.suffix);
+    if (it == by_suffix.end()) continue;
+    const DomainGroup& group = it->second;
+    const std::size_t label_len = pool.labels().text(entry.label).size();
+    if (label_len + 1 + group.max_text <= 253) {
+      // Whole group fits: one lock acquisition for the entire suffix.
+      out.unique += pool.with_prefix_batch(entry.label, group.refs, out.refs);
+      out.composed += group.refs.size();
+    } else {
+      admitted.clear();
+      for (const ConstructionDomain& domain : group.domains) {
+        if (label_len + 1 + domain.text->size() > 253) {
+          ++out.too_long;
+          continue;
+        }
+        admitted.push_back(domain.ref);
+      }
+      out.unique += pool.with_prefix_batch(entry.label, admitted, out.refs);
+      out.composed += admitted.size();
+    }
+  }
+  return out;
 }
 
 FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_list,
@@ -58,23 +162,16 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
                                       const net::RoutingTable& routing, Rng& rng,
                                       SimTime when) const {
   CTWATCH_SPAN("enum.funnel.run");
+  namepool::NamePool& pool = census_->pool();
   FunnelResult result;
-  const auto plan = build_plan();
-  std::set<std::string> labels_used;
-  for (const auto& [label, suffix] : plan) labels_used.insert(label);
+  const auto plan = build_plan_refs();
+  std::unordered_set<namepool::LabelId> labels_used;
+  for (const PlanEntry& entry : plan) labels_used.insert(entry.label);
   result.labels_selected = labels_used.size();
   result.label_suffix_pairs = plan.size();
 
   // Group the domain list by public suffix once.
-  std::map<std::string, std::vector<const std::string*>> by_suffix;
-  for (const std::string& domain : domain_list) {
-    const auto split = psl_->split(domain);
-    if (!split) continue;
-    // Only registrable domains themselves participate in construction.
-    if (split->subdomain_labels.empty()) {
-      by_suffix[split->public_suffix].push_back(&domain);
-    }
-  }
+  const auto by_suffix = group_domains(pool, *psl_, domain_list);
 
   // One verification lookup, hardened against a lossy resolver: a query
   // that comes back timed_out/servfail is re-asked up to dns_max_retries
@@ -87,14 +184,12 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
     bool routable = false;
     bool too_long = false;
   };
-  auto probe = [&](const std::string& fqdn) -> Probe {
+  auto probe_name = [&](const dns::DnsName& name) -> Probe {
     Probe p;
-    const auto name = dns::DnsName::parse(fqdn);
-    if (!name) return p;
     SimTime attempt_when = when;
     std::int64_t backoff = options_.retry_backoff_s;
     for (int attempt = 0;; ++attempt) {
-      const dns::ResolveResult res = resolver.resolve(*name, dns::RrType::A, attempt_when,
+      const dns::ResolveResult res = resolver.resolve(name, dns::RrType::A, attempt_when,
                                                       std::nullopt, options_.max_cname_hops);
       if (!dns::is_lossy(res.status)) {
         if (res.status == dns::ResolveStatus::chain_too_long) {
@@ -122,15 +217,33 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
       backoff *= 2;
     }
   };
+  auto probe_text = [&](const std::string& fqdn) -> Probe {
+    const auto name = dns::DnsName::parse(fqdn);
+    if (!name) return Probe{};
+    return probe_name(*name);
+  };
 
-  for (const auto& [label, suffix] : plan) {
-    const auto it = by_suffix.find(suffix);
+  for (const PlanEntry& entry : plan) {
+    const auto it = by_suffix.find(entry.suffix);
     if (it == by_suffix.end()) continue;
-    for (const std::string* domain : it->second) {
+    const std::string_view label_text = pool.labels().text(entry.label);
+    for (const ConstructionDomain& domain : it->second.domains) {
       ++result.candidates;
-      const std::string candidate = label + "." + *domain;
+      std::string candidate;
+      candidate.reserve(label_text.size() + 1 + domain.text->size());
+      candidate += label_text;
+      candidate += '.';
+      candidate += *domain.text;
 
-      const Probe test = probe(candidate);
+      // Candidate composition is integer work against the pool; only a
+      // name whose textual form would be unparseable (> 253 chars) is
+      // skipped, mirroring the string path's parse failure.
+      Probe test;
+      if (candidate.size() <= 253) {
+        const auto comp = pool.with_prefix(domain.ref, entry.label);
+        if (comp.fresh) ++result.unique_candidates;
+        test = probe_name(dns::DnsName::materialize(pool, comp.ref));
+      }
       if (test.lost) {
         // The test answer is unknown; probing the control could not make
         // the candidate confirmable. Count the loss, skip the control.
@@ -149,8 +262,8 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
       Probe control;
       if (options_.use_controls) {
         const std::string control_fqdn =
-            rng.alnum_label(options_.control_label_length) + "." + *domain;
-        control = probe(control_fqdn);
+            rng.alnum_label(options_.control_label_length) + "." + *domain.text;
+        control = probe_text(control_fqdn);
         if (control.positive) ++result.control_replies;
       }
 
@@ -185,6 +298,7 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
   // traffic while the registry still sees every funnel stage.
   FunnelMetrics& metrics = funnel_metrics();
   metrics.candidates.inc(result.candidates);
+  metrics.unique_candidates.inc(result.unique_candidates);
   metrics.test_replies.inc(result.test_replies);
   metrics.control_replies.inc(result.control_replies);
   metrics.unroutable.inc(result.unroutable_dropped);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
+#include "ctwatch/namepool/namepool.hpp"
 #include "ctwatch/util/strings.hpp"
 
 namespace ctwatch::honeypot {
@@ -12,6 +14,18 @@ HoneypotReport analyze(const CtHoneypot& honeypot, const AnalysisOptions& option
   HoneypotReport report;
   const auto& log = honeypot.dns_server().log();
   const auto& capture = honeypot.capture();
+
+  // Group the query log by interned name once: turns the per-domain scan
+  // from (domains x log entries) string comparisons into one hash lookup
+  // per domain. Interning canonicalizes, so equal names share a ref.
+  namepool::NamePool& pool = honeypot.pool();
+  std::unordered_map<namepool::NameRef, std::vector<const dns::QueryLogEntry*>,
+                     namepool::NameRefHash>
+      log_by_name;
+  for (const dns::QueryLogEntry& entry : log) {
+    log_by_name[entry.question.qname.intern_into(pool)].push_back(&entry);
+  }
+  const std::vector<const dns::QueryLogEntry*> no_entries;
 
   std::size_t index = 0;
   for (const HoneypotDomain& domain : honeypot.domains()) {
@@ -24,8 +38,10 @@ HoneypotReport analyze(const CtHoneypot& honeypot, const AnalysisOptions& option
     std::set<net::Asn> asns;
     std::set<std::string> subnets;
     std::vector<std::pair<SimTime, net::Asn>> arrivals;
-    for (const dns::QueryLogEntry& entry : log) {
-      if (entry.question.qname.to_string() != domain.fqdn) continue;
+    const auto log_it = log_by_name.find(domain.name);
+    const auto& domain_entries = log_it != log_by_name.end() ? log_it->second : no_entries;
+    for (const dns::QueryLogEntry* entry_ptr : domain_entries) {
+      const dns::QueryLogEntry& entry = *entry_ptr;
       // Filter the CA's validation lookups: identified by their origin and
       // by arriving before the CT log entry (the paper does both).
       if (entry.context.resolver_label == CtHoneypot::kValidationLabel ||

@@ -19,6 +19,7 @@ const HoneypotDomain& CtHoneypot::create_subdomain(SimTime now) {
   domain.aaaa_record = net::IPv6::from_hextets(hextets);
 
   const dns::DnsName name = dns::DnsName::parse_or_throw(domain.fqdn);
+  domain.name = name.intern_into(*pool_);
   zone_->add(dns::ResourceRecord{name, dns::RrType::A, 300, domain.a_record});
   zone_->add(dns::ResourceRecord{name, dns::RrType::AAAA, 300, domain.aaaa_record});
 

@@ -98,7 +98,7 @@ void PassiveMonitor::note_sct_connection(std::int64_t day, const std::string& se
     finalize_scratch_day();
     scratch_day_ = day;
   }
-  ++scratch_counts_[server_name];
+  ++scratch_counts_[server_names_->intern(server_name)];
 }
 
 void PassiveMonitor::finalize_scratch_day() {
@@ -106,11 +106,20 @@ void PassiveMonitor::finalize_scratch_day() {
     scratch_counts_.clear();
     return;
   }
-  const auto top = std::max_element(
-      scratch_counts_.begin(), scratch_counts_.end(),
-      [](const auto& a, const auto& b) { return a.second < b.second; });
+  // Highest count wins; ties go to the earlier-interned (first-seen) name,
+  // making the attribution deterministic.
+  namepool::LabelId top_id = 0;
+  std::uint64_t top_count = 0;
+  bool have_top = false;
+  for (const auto& [id, count] : scratch_counts_) {
+    if (!have_top || count > top_count || (count == top_count && id < top_id)) {
+      top_id = id;
+      top_count = count;
+      have_top = true;
+    }
+  }
   auto& slot = daily_top_[scratch_day_];
-  if (top->second > slot.second) slot = {top->first, top->second};
+  if (top_count > slot.second) slot = {std::string(server_names_->text(top_id)), top_count};
   scratch_counts_.clear();
 }
 

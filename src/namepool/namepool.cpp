@@ -1,0 +1,410 @@
+#include "ctwatch/namepool/namepool.hpp"
+
+#include <stdexcept>
+
+#include "ctwatch/obs/obs.hpp"
+
+namespace ctwatch::namepool {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Gauge& bytes = obs::Registry::global().gauge("namepool.bytes");
+  obs::Gauge& labels = obs::Registry::global().gauge("namepool.labels");
+  obs::Gauge& names = obs::Registry::global().gauge("namepool.names");
+  obs::Counter& label_hits = obs::Registry::global().counter("namepool.label_intern.hits");
+  obs::Counter& name_hits = obs::Registry::global().counter("namepool.name_intern.hits");
+  obs::Counter& name_misses = obs::Registry::global().counter("namepool.name_intern.misses");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+// FNV-1a over the bytes of a LabelId span, finalized with a splitmix step
+// so short sequences still spread across the table.
+std::uint64_t hash_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- LabelTable
+
+LabelTable::~LabelTable() {
+  PoolMetrics& metrics = pool_metrics();
+  metrics.bytes.add(-static_cast<std::int64_t>(bytes_.load(std::memory_order_relaxed)));
+  metrics.labels.add(-static_cast<std::int64_t>(count_.load(std::memory_order_relaxed)));
+  for (auto& block : blocks_) {
+    delete[] block.load(std::memory_order_relaxed);
+  }
+}
+
+std::string_view LabelTable::text(LabelId id) const {
+  const Entry* block = blocks_[id / kEntriesPerBlock].load(std::memory_order_acquire);
+  const Entry& entry = block[id % kEntriesPerBlock];
+  return {entry.ptr, entry.len};
+}
+
+const char* LabelTable::store_text(std::string_view text) {
+  // The empty-string check doubles as the chunks_.empty() guard: a
+  // zero-length first intern must not reach chunks_.back().
+  if (chunks_.empty() || chunk_cap_ - chunk_used_ < text.size()) {
+    const std::size_t cap = text.size() > kMinChunk ? text.size() : kMinChunk;
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_cap_ = cap;
+    chunk_used_ = 0;
+    bytes_.fetch_add(cap, std::memory_order_relaxed);
+    pool_metrics().bytes.add(static_cast<std::int64_t>(cap));
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, text.data(), text.size());
+  chunk_used_ += text.size();
+  return dst;
+}
+
+LabelId LabelTable::intern(std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t hash = hash_bytes(text.data(), text.size());
+
+  auto probe = [&](const std::vector<std::uint32_t>& index) -> std::size_t {
+    const std::size_t mask = index.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    while (index[slot] != 0) {
+      const LabelId id = index[slot] - 1;
+      const Entry* block = blocks_[id / kEntriesPerBlock].load(std::memory_order_relaxed);
+      const Entry& entry = block[id % kEntriesPerBlock];
+      if (entry.len == text.size() && std::memcmp(entry.ptr, text.data(), entry.len) == 0) {
+        return slot;
+      }
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  };
+
+  if (index_.empty()) {
+    index_.assign(1u << 10, 0);
+    bytes_.fetch_add(index_.size() * sizeof(std::uint32_t), std::memory_order_relaxed);
+    pool_metrics().bytes.add(static_cast<std::int64_t>(index_.size() * sizeof(std::uint32_t)));
+  }
+  std::size_t slot = probe(index_);
+  if (index_[slot] != 0) {
+    pool_metrics().label_hits.inc();
+    return index_[slot] - 1;
+  }
+
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  if (id / kEntriesPerBlock >= kMaxBlocks) {
+    throw std::length_error("LabelTable: table full");
+  }
+  Entry* block = blocks_[id / kEntriesPerBlock].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Entry[kEntriesPerBlock];
+    blocks_[id / kEntriesPerBlock].store(block, std::memory_order_release);
+    bytes_.fetch_add(kEntriesPerBlock * sizeof(Entry), std::memory_order_relaxed);
+    pool_metrics().bytes.add(static_cast<std::int64_t>(kEntriesPerBlock * sizeof(Entry)));
+  }
+  block[id % kEntriesPerBlock] = Entry{store_text(text), static_cast<std::uint32_t>(text.size())};
+  count_.store(id + 1, std::memory_order_release);  // publish the entry
+
+  index_[slot] = id + 1;
+  if (++index_used_ * 10 > index_.size() * 7) {
+    std::vector<std::uint32_t> bigger(index_.size() * 2, 0);
+    const std::int64_t delta =
+        static_cast<std::int64_t>(bigger.size() - index_.size()) *
+        static_cast<std::int64_t>(sizeof(std::uint32_t));
+    index_.swap(bigger);
+    for (const std::uint32_t stored : bigger) {
+      if (stored == 0) continue;
+      const Entry* b = blocks_[(stored - 1) / kEntriesPerBlock].load(std::memory_order_relaxed);
+      const Entry& entry = b[(stored - 1) % kEntriesPerBlock];
+      const std::uint64_t h = hash_bytes(entry.ptr, entry.len);
+      const std::size_t mask = index_.size() - 1;
+      std::size_t s = static_cast<std::size_t>(h) & mask;
+      while (index_[s] != 0) s = (s + 1) & mask;
+      index_[s] = stored;
+    }
+    bytes_.fetch_add(static_cast<std::size_t>(delta), std::memory_order_relaxed);
+    pool_metrics().bytes.add(delta);
+  }
+  pool_metrics().labels.add(1);
+  return id;
+}
+
+std::optional<LabelId> LabelTable::find(std::string_view text) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.empty()) return std::nullopt;
+  const std::uint64_t hash = hash_bytes(text.data(), text.size());
+  const std::size_t mask = index_.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(hash) & mask;
+  while (index_[slot] != 0) {
+    const LabelId id = index_[slot] - 1;
+    const Entry* block = blocks_[id / kEntriesPerBlock].load(std::memory_order_relaxed);
+    const Entry& entry = block[id % kEntriesPerBlock];
+    if (entry.len == text.size() && std::memcmp(entry.ptr, text.data(), entry.len) == 0) {
+      return id;
+    }
+    slot = (slot + 1) & mask;
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------------ NamePool
+
+NamePool::~NamePool() {
+  PoolMetrics& metrics = pool_metrics();
+  metrics.bytes.add(-static_cast<std::int64_t>(bytes_.load(std::memory_order_relaxed)));
+  metrics.names.add(-static_cast<std::int64_t>(names_.load(std::memory_order_relaxed)));
+  for (auto& block : blocks_) {
+    delete[] block.load(std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t NamePool::hash_ids(std::span<const LabelId> ids) {
+  return hash_bytes(ids.data(), ids.size_bytes());
+}
+
+std::span<const LabelId> NamePool::ids(NameRef ref) const {
+  if (ref.count == 0) return {};
+  const LabelId* block = blocks_[ref.offset / kIdsPerBlock].load(std::memory_order_acquire);
+  return {block + ref.offset % kIdsPerBlock, ref.count};
+}
+
+bool NamePool::ids_equal(std::uint32_t offset, std::span<const LabelId> wanted) const {
+  const LabelId* block = blocks_[offset / kIdsPerBlock].load(std::memory_order_relaxed);
+  const std::size_t at = offset % kIdsPerBlock;
+  if (block[at - 1] != wanted.size()) return false;
+  return std::memcmp(block + at, wanted.data(), wanted.size_bytes()) == 0;
+}
+
+std::uint32_t NamePool::append_ids(std::span<const LabelId> ids) {
+  const std::size_t need = ids.size() + 1;  // [count][ids...]
+  std::uint32_t used = arena_used_.load(std::memory_order_relaxed);
+  // A name never spans blocks; skip the block tail when it cannot fit.
+  if (kIdsPerBlock - used % kIdsPerBlock < need) {
+    used += static_cast<std::uint32_t>(kIdsPerBlock - used % kIdsPerBlock);
+  }
+  if (used / kIdsPerBlock >= kMaxBlocks || need > kIdsPerBlock) {
+    throw std::length_error("NamePool: arena full");
+  }
+  LabelId* block = blocks_[used / kIdsPerBlock].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new LabelId[kIdsPerBlock];
+    blocks_[used / kIdsPerBlock].store(block, std::memory_order_release);
+    bytes_.fetch_add(kIdsPerBlock * sizeof(LabelId), std::memory_order_relaxed);
+    pool_metrics().bytes.add(static_cast<std::int64_t>(kIdsPerBlock * sizeof(LabelId)));
+  }
+  const std::size_t at = used % kIdsPerBlock;
+  block[at] = static_cast<LabelId>(ids.size());
+  std::memcpy(block + at + 1, ids.data(), ids.size_bytes());
+  const std::uint32_t offset = used + 1;
+  arena_used_.store(used + static_cast<std::uint32_t>(need), std::memory_order_release);
+  return offset;
+}
+
+void NamePool::grow_dedup() {
+  const std::size_t old_bytes = dedup_.size() * sizeof(std::uint32_t);
+  std::vector<std::uint32_t> old(dedup_.size() * 2, 0);
+  dedup_.swap(old);
+  for (const std::uint32_t stored : old) {
+    if (stored == 0) continue;
+    const std::uint32_t offset = stored - 1;
+    const LabelId* block = blocks_[offset / kIdsPerBlock].load(std::memory_order_relaxed);
+    const std::size_t at = offset % kIdsPerBlock;
+    const std::uint64_t h = hash_bytes(block + at, block[at - 1] * sizeof(LabelId));
+    const std::size_t mask = dedup_.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(h) & mask;
+    while (dedup_[slot] != 0) slot = (slot + 1) & mask;
+    dedup_[slot] = stored;
+  }
+  const std::int64_t delta =
+      static_cast<std::int64_t>(dedup_.size() * sizeof(std::uint32_t) - old_bytes);
+  bytes_.fetch_add(static_cast<std::size_t>(delta), std::memory_order_relaxed);
+  pool_metrics().bytes.add(delta);
+}
+
+NamePool::Interned NamePool::intern_ids_locked(std::span<const LabelId> ids) {
+  if (dedup_.empty()) {
+    dedup_.assign(1u << 10, 0);
+    bytes_.fetch_add(dedup_.size() * sizeof(std::uint32_t), std::memory_order_relaxed);
+    pool_metrics().bytes.add(static_cast<std::int64_t>(dedup_.size() * sizeof(std::uint32_t)));
+  }
+  const std::uint64_t hash = hash_ids(ids);
+  const std::size_t mask = dedup_.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(hash) & mask;
+  while (dedup_[slot] != 0) {
+    if (ids_equal(dedup_[slot] - 1, ids)) {
+      return Interned{NameRef{dedup_[slot] - 1, static_cast<std::uint32_t>(ids.size())}, false};
+    }
+    slot = (slot + 1) & mask;
+  }
+  const std::uint32_t offset = append_ids(ids);
+  dedup_[slot] = offset + 1;
+  if (++dedup_used_ * 10 > dedup_.size() * 7) grow_dedup();
+  names_.fetch_add(1, std::memory_order_relaxed);
+  return Interned{NameRef{offset, static_cast<std::uint32_t>(ids.size())}, true};
+}
+
+NamePool::Interned NamePool::intern_ids(std::span<const LabelId> ids) {
+  if (ids.empty()) return Interned{NameRef{0, 0}, false};
+  Interned out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = intern_ids_locked(ids);
+  }
+  PoolMetrics& metrics = pool_metrics();
+  if (out.fresh) {
+    metrics.names.add(1);
+    metrics.name_misses.inc();
+  } else {
+    metrics.name_hits.inc();
+  }
+  return out;
+}
+
+NamePool::Interned NamePool::intern_text(std::string_view dotted) {
+  std::vector<LabelId> scratch;
+  LabelId stack[64];
+  std::size_t n = 0;
+  std::size_t start = 0;
+  auto push = [&](std::string_view piece) {
+    const LabelId id = labels_.intern(piece);
+    if (n < 64) {
+      stack[n++] = id;
+    } else {
+      if (scratch.empty()) scratch.assign(stack, stack + n);
+      scratch.push_back(id);
+      ++n;
+    }
+  };
+  if (!dotted.empty()) {
+    for (std::size_t i = 0; i <= dotted.size(); ++i) {
+      if (i == dotted.size() || dotted[i] == '.') {
+        push(dotted.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+  const std::span<const LabelId> ids =
+      scratch.empty() ? std::span<const LabelId>(stack, n) : std::span<const LabelId>(scratch);
+  return intern_ids(ids);
+}
+
+std::optional<NameRef> NamePool::find_ids(std::span<const LabelId> ids) const {
+  if (ids.empty()) return NameRef{0, 0};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dedup_.empty()) return std::nullopt;
+  const std::uint64_t hash = hash_ids(ids);
+  const std::size_t mask = dedup_.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(hash) & mask;
+  while (dedup_[slot] != 0) {
+    if (ids_equal(dedup_[slot] - 1, ids)) {
+      return NameRef{dedup_[slot] - 1, static_cast<std::uint32_t>(ids.size())};
+    }
+    slot = (slot + 1) & mask;
+  }
+  return std::nullopt;
+}
+
+std::string NamePool::to_string(NameRef ref) const {
+  std::string out;
+  append_to(out, ref);
+  return out;
+}
+
+void NamePool::append_to(std::string& out, NameRef ref) const {
+  const std::span<const LabelId> sequence = ids(ref);
+  std::size_t total = sequence.empty() ? 0 : sequence.size() - 1;
+  for (const LabelId id : sequence) total += labels_.text(id).size();
+  out.reserve(out.size() + total);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += labels_.text(sequence[i]);
+  }
+}
+
+NameRef NamePool::parent(NameRef ref, std::size_t n) {
+  if (n > ref.count) throw std::out_of_range("NamePool::parent: too many labels dropped");
+  if (n == 0) return ref;
+  return intern_ids(ids(ref).subspan(n)).ref;
+}
+
+std::uint64_t NamePool::with_prefix_batch(LabelId label, std::span<const NameRef> suffixes,
+                                          std::vector<NameRef>& out) {
+  std::uint64_t fresh = 0;
+  std::uint64_t hits = 0;
+  LabelId stack[64];
+  std::vector<LabelId> heap;
+  stack[0] = label;
+  out.reserve(out.size() + suffixes.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const NameRef suffix : suffixes) {
+      const std::span<const LabelId> suffix_ids = ids(suffix);
+      std::span<const LabelId> combined;
+      if (suffix_ids.size() + 1 <= 64) {
+        if (!suffix_ids.empty()) {
+          std::memcpy(stack + 1, suffix_ids.data(), suffix_ids.size_bytes());
+        }
+        combined = std::span<const LabelId>(stack, suffix_ids.size() + 1);
+      } else {
+        heap.clear();
+        heap.reserve(suffix_ids.size() + 1);
+        heap.push_back(label);
+        heap.insert(heap.end(), suffix_ids.begin(), suffix_ids.end());
+        combined = heap;
+      }
+      const Interned comp = intern_ids_locked(combined);
+      out.push_back(comp.ref);
+      if (comp.fresh) {
+        ++fresh;
+      } else {
+        ++hits;
+      }
+    }
+  }
+  PoolMetrics& metrics = pool_metrics();
+  if (fresh > 0) {
+    metrics.names.add(static_cast<std::int64_t>(fresh));
+    metrics.name_misses.inc(fresh);
+  }
+  if (hits > 0) metrics.name_hits.inc(hits);
+  return fresh;
+}
+
+NamePool::Interned NamePool::with_prefix(NameRef ref, LabelId label) {
+  LabelId stack[64];
+  std::vector<LabelId> heap;
+  const std::span<const LabelId> suffix = ids(ref);
+  std::span<const LabelId> combined;
+  if (suffix.size() + 1 <= 64) {
+    stack[0] = label;
+    if (!suffix.empty()) std::memcpy(stack + 1, suffix.data(), suffix.size_bytes());
+    combined = std::span<const LabelId>(stack, suffix.size() + 1);
+  } else {
+    heap.reserve(suffix.size() + 1);
+    heap.push_back(label);
+    heap.insert(heap.end(), suffix.begin(), suffix.end());
+    combined = heap;
+  }
+  return intern_ids(combined);
+}
+
+bool NamePool::is_subdomain_of(NameRef name, NameRef ancestor) const {
+  if (ancestor.count > name.count) return false;
+  if (ancestor.count == 0) return true;
+  const std::span<const LabelId> child = ids(name);
+  const std::span<const LabelId> anc = ids(ancestor);
+  return std::memcmp(child.data() + (child.size() - anc.size()), anc.data(),
+                     anc.size_bytes()) == 0;
+}
+
+}  // namespace ctwatch::namepool

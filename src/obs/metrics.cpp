@@ -216,10 +216,15 @@ void preregister_pipeline_metrics() {
            "dns.resolver.no_data", "dns.resolver.chain_too_long",
            "enum.funnel.candidates", "enum.funnel.test_replies", "enum.funnel.control_replies",
            "enum.funnel.confirmed", "enum.funnel.novel",
+           "namepool.label_intern.hits", "namepool.name_intern.hits",
+           "namepool.name_intern.misses",
        }) {
     registry.counter(name);
   }
   registry.gauge("sim.timeline.day");
+  registry.gauge("namepool.bytes");
+  registry.gauge("namepool.labels");
+  registry.gauge("namepool.names");
   registry.histogram("ct.log.merkle_integrate_us");
 #endif
 }

@@ -5,17 +5,25 @@
 namespace ctwatch::phishing {
 
 const std::vector<BrandRule>& standard_rules() {
+  // Keywords: see the contract on BrandRule::keywords — one dot-free
+  // literal per regex alternative (a branch like "apple\.com" still always
+  // contains "apple" without the dot).
   static const std::vector<BrandRule> rules = {
-      {"Apple", R"(appleid|apple\.com)", {"apple.com", "icloud.com"}},
-      {"PayPal", R"(paypal)", {"paypal.com", "paypal.me"}},
+      {"Apple", R"(appleid|apple\.com)", {"apple.com", "icloud.com"}, {"apple"}},
+      {"PayPal", R"(paypal)", {"paypal.com", "paypal.me"}, {"paypal"}},
       {"Microsoft",
        R"(hotmail|login\.live|outlook|microsoft)",
-       {"microsoft.com", "live.com", "outlook.com", "hotmail.com", "office.com"}},
-      {"Google", R"(google)", {"google.com", "googleapis.com", "google.de", "google.co.uk"}},
-      {"eBay", R"(ebay)", {"ebay.com", "ebay.co.uk", "ebay.de", "ebay.com.au"}},
+       {"microsoft.com", "live.com", "outlook.com", "hotmail.com", "office.com"},
+       {"hotmail", "live", "outlook", "microsoft"}},
+      {"Google",
+       R"(google)",
+       {"google.com", "googleapis.com", "google.de", "google.co.uk"},
+       {"google"}},
+      {"eBay", R"(ebay)", {"ebay.com", "ebay.co.uk", "ebay.de", "ebay.com.au"}, {"ebay"}},
       {"Taxation",
        R"(ato\.gov\.au|hmrc\.gov\.uk|irs\.gov)",
-       {"ato.gov.au", "hmrc.gov.uk", "irs.gov"}},
+       {"ato.gov.au", "hmrc.gov.uk", "irs.gov"},
+       {"ato", "hmrc", "irs"}},
   };
   return rules;
 }
@@ -23,8 +31,54 @@ const std::vector<BrandRule>& standard_rules() {
 PhishingDetector::PhishingDetector(const dns::PublicSuffixList& psl, std::vector<BrandRule> rules)
     : psl_(&psl), rules_(std::move(rules)) {
   compiled_.reserve(rules_.size());
-  for (const BrandRule& rule : rules_) {
-    compiled_.emplace_back(rule.pattern, std::regex::ECMAScript | std::regex::icase);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    compiled_.emplace_back(rules_[i].pattern, std::regex::ECMAScript | std::regex::icase);
+    if (i < 63 && rules_[i].keywords.empty()) always_mask_ |= 1ull << i;
+  }
+}
+
+std::uint64_t PhishingDetector::label_mask(namepool::LabelId id) {
+  if (id >= label_masks_.size()) label_masks_.resize(id + 1, kMaskUnset);
+  std::uint64_t& slot = label_masks_[id];
+  if (slot != kMaskUnset) return slot;
+  const std::string_view text = pool_->labels().text(id);
+  std::uint64_t mask = 0;
+  const std::size_t n = std::min<std::size_t>(rules_.size(), 63);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& keyword : rules_[i].keywords) {
+      if (text.find(keyword) != std::string_view::npos) {
+        mask |= 1ull << i;
+        break;
+      }
+    }
+  }
+  slot = mask;
+  return mask;
+}
+
+void PhishingDetector::scan_one(namepool::NameRef ref, std::vector<Finding>& findings) {
+  const auto split = psl_->split(*pool_, ref);
+  if (!split) {
+    ++skipped_;
+    return;
+  }
+  std::uint64_t mask = always_mask_;
+  for (const namepool::LabelId id : pool_->ids(ref)) mask |= label_mask(id);
+  if (mask == 0 && rules_.size() <= 63) return;  // no rule can match; skip the regexes
+
+  const std::string text = pool_->to_string(ref);
+  std::string registrable;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (i < 63 && !(mask >> i & 1)) continue;
+    ++regex_evaluations_;
+    if (!std::regex_search(text, compiled_[i])) continue;
+    // Exclude the brand's own domains: a match inside the legitimate
+    // registrable domain is not phishing.
+    if (registrable.empty()) registrable = pool_->to_string(split->registrable_domain);
+    if (rules_[i].legitimate_domains.contains(registrable)) continue;
+    findings.push_back(
+        Finding{rules_[i].brand, text, pool_->to_string(split->public_suffix), registrable});
+    break;  // first matching brand wins
   }
 }
 
@@ -32,26 +86,21 @@ std::vector<Finding> PhishingDetector::scan(std::span<const std::string> fqdns) 
   std::vector<Finding> findings;
   for (const std::string& raw : fqdns) {
     ++scanned_;
-    const auto name = dns::DnsName::parse(raw);
-    if (!name) {
+    const auto ref = dns::DnsName::parse_into(*pool_, raw);
+    if (!ref) {
       ++skipped_;
       continue;
     }
-    const auto split = psl_->split(*name);
-    if (!split) {
-      ++skipped_;
-      continue;
-    }
-    const std::string text = name->to_string();
-    for (std::size_t i = 0; i < rules_.size(); ++i) {
-      if (!std::regex_search(text, compiled_[i])) continue;
-      // Exclude the brand's own domains: a match inside the legitimate
-      // registrable domain is not phishing.
-      if (rules_[i].legitimate_domains.contains(split->registrable_domain)) continue;
-      findings.push_back(
-          Finding{rules_[i].brand, text, split->public_suffix, split->registrable_domain});
-      break;  // first matching brand wins
-    }
+    scan_one(*ref, findings);
+  }
+  return findings;
+}
+
+std::vector<Finding> PhishingDetector::scan_refs(std::span<const namepool::NameRef> refs) {
+  std::vector<Finding> findings;
+  for (const namepool::NameRef ref : refs) {
+    ++scanned_;
+    scan_one(ref, findings);
   }
   return findings;
 }

@@ -69,6 +69,43 @@ TEST(DnsNameTest, WithPrefixLabel) {
   EXPECT_THROW((void)base.with_prefix_label("bad label"), std::invalid_argument);
 }
 
+TEST(DnsNameTest, WithPrefixLabelAcceptsStringView) {
+  const DnsName base = DnsName::parse_or_throw("example.org");
+  const std::string_view prefix = "api";
+  EXPECT_EQ(base.with_prefix_label(prefix).to_string(), "api.example.org");
+  EXPECT_EQ(base.with_prefix_label("*").first_label(), "*");
+}
+
+// Regression: first_label() on the empty (root) name used to read
+// labels_.front() of an empty vector — undefined behavior. It must return
+// an empty view.
+TEST(DnsNameTest, FirstLabelOnEmptyNameIsSafe) {
+  const DnsName root;
+  EXPECT_TRUE(root.empty());
+  EXPECT_EQ(root.first_label(), std::string_view{});
+  EXPECT_TRUE(root.first_label().empty());
+}
+
+TEST(DnsNameTest, ParseIntoMatchesParse) {
+  namepool::NamePool pool;
+  const char* cases[] = {"WWW.Example.COM", "a.b.example.co.uk", "example.org.",
+                         "xn--idn.example", "a-b.c-d.io"};
+  for (const char* text : cases) {
+    const auto parsed = DnsName::parse(text);
+    const auto ref = DnsName::parse_into(pool, text);
+    ASSERT_TRUE(parsed && ref) << text;
+    EXPECT_EQ(pool.to_string(*ref), parsed->to_string());
+    EXPECT_EQ(DnsName::materialize(pool, *ref), *parsed);
+    EXPECT_EQ(parsed->intern_into(pool), *ref);  // canonical: same ref back
+  }
+  // Rejections agree too.
+  const char* bad[] = {"", "nolabel", "a..b.com", "-x.example.com", "1.2.3.4"};
+  for (const char* text : bad) {
+    EXPECT_FALSE(DnsName::parse(text)) << text;
+    EXPECT_FALSE(DnsName::parse_into(pool, text)) << text;
+  }
+}
+
 TEST(DnsNameTest, ParseOrThrowThrows) {
   EXPECT_THROW(DnsName::parse_or_throw("no"), std::invalid_argument);
   EXPECT_NO_THROW(DnsName::parse_or_throw("ok.example"));
