@@ -46,32 +46,18 @@ inline sim::Ecosystem& timeline_ecosystem(double scale = 1.0 / 2000.0) {
   return *ecosystem;
 }
 
-/// Where run_benchmarks() writes the metrics snapshot: the
-/// CTWATCH_METRICS_JSON environment variable, or "<program>.metrics.json"
-/// in the working directory.
+/// Where run_benchmarks() writes the metrics snapshot (see
+/// obs::metrics_snapshot_path — the logic lives in obs so tests share it).
 inline std::string metrics_snapshot_path(const char* argv0) {
-  if (const char* env = std::getenv("CTWATCH_METRICS_JSON"); env != nullptr && env[0] != '\0') {
-    return env;
-  }
-  std::string name = argv0 != nullptr ? argv0 : "bench";
-  if (const std::size_t slash = name.find_last_of('/'); slash != std::string::npos) {
-    name = name.substr(slash + 1);
-  }
-  return name + ".metrics.json";
+  return obs::metrics_snapshot_path(argv0);
 }
 
-/// Dumps the full metrics registry as JSON. The headline pipeline metrics
-/// are pre-registered first so the key set is stable across benches even
-/// when a bench never exercised a given subsystem.
+/// Dumps the full metrics registry as JSON via obs::dump_metrics_snapshot
+/// (headline metrics pre-registered for a stable key set).
 inline void dump_metrics_snapshot(const std::string& path) {
-  obs::preregister_pipeline_metrics();
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "[obs] cannot write metrics snapshot to %s\n", path.c_str());
-    return;
+  if (obs::dump_metrics_snapshot(path)) {
+    std::printf("[obs] metrics snapshot written to %s\n", path.c_str());
   }
-  out << obs::Registry::global().render_json() << "\n";
-  std::printf("[obs] metrics snapshot written to %s\n", path.c_str());
 }
 
 inline int run_benchmarks(int argc, char** argv) {

@@ -1,0 +1,214 @@
+// ctwatch::par — the sharded parallel pipeline head-to-head with its own
+// serial path, parity enforced.
+//
+// Runs the three parallelized analysis stages (census build + Table 2
+// ranking, the §4.3 DNS-verification funnel, the phishing scan) once per
+// thread count: 1 (the compiled-down serial path), 2, and the machine
+// width. Every run must be byte-identical to the single-thread baseline —
+// rendered Table 2 rows, every funnel counter, every phishing finding —
+// or the binary exits nonzero. With --strict the census+funnel pair must
+// additionally reach a 3x combined speedup, gated only on machines with
+// >= 8 hardware threads and never under sanitizers (parity is always
+// gated).
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ctwatch/par/par.hpp"
+#include "ctwatch/phishing/detector.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CTWATCH_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CTWATCH_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef CTWATCH_BENCH_SANITIZED
+#define CTWATCH_BENCH_SANITIZED 0
+#endif
+
+using namespace ctwatch;
+
+namespace {
+
+sim::DomainCorpus& corpus() {
+  static sim::DomainCorpus corpus;
+  return corpus;
+}
+
+struct PipelineRun {
+  unsigned threads = 0;
+  std::string table2;
+  enumeration::FunnelResult funnel;
+  std::vector<phishing::Finding> findings;
+  double census_seconds = 0;
+  double funnel_seconds = 0;
+  double phishing_seconds = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// One full pass over the corpus at `threads`. Fresh census, enumerator
+/// and detector per run so interning freshness and counters are
+/// comparable across thread counts.
+PipelineRun run_pipeline(unsigned threads) {
+  par::TaskPool::set_global_threads(threads);
+  PipelineRun run;
+  run.threads = threads;
+
+  auto start = std::chrono::steady_clock::now();
+  enumeration::SubdomainCensus census(corpus().psl());
+  census.add_names(corpus().ct_names());
+  const auto top = census.top_labels(20);
+  run.census_seconds = seconds_since(start);
+  for (const auto& [label, count] : top) {
+    run.table2 += label + " " + std::to_string(count) + "\n";
+  }
+
+  const dns::RecursiveResolver resolver(
+      corpus().universe(),
+      dns::RecursiveResolver::Identity{net::IPv4(192, 0, 2, 53), 64496, "bench", false});
+  const std::set<std::string> sonar(corpus().sonar_names().begin(),
+                                    corpus().sonar_names().end());
+  enumeration::SubdomainEnumerator enumerator(census, corpus().psl());
+  Rng rng(corpus().options().seed ^ 0xabcdef);
+  start = std::chrono::steady_clock::now();
+  run.funnel = enumerator.run(corpus().registrable_domains(), sonar, resolver,
+                              corpus().routing_table(), rng, SimTime::parse("2018-04-27"));
+  run.funnel_seconds = seconds_since(start);
+
+  phishing::PhishingDetector detector(corpus().psl(), phishing::standard_rules());
+  start = std::chrono::steady_clock::now();
+  run.findings = detector.scan(corpus().ct_names());
+  run.phishing_seconds = seconds_since(start);
+
+  par::TaskPool::set_global_threads(0);
+  return run;
+}
+
+bool funnel_equal(const enumeration::FunnelResult& a, const enumeration::FunnelResult& b) {
+  return a.labels_selected == b.labels_selected &&
+         a.label_suffix_pairs == b.label_suffix_pairs && a.candidates == b.candidates &&
+         a.unique_candidates == b.unique_candidates && a.test_replies == b.test_replies &&
+         a.test_unanswered == b.test_unanswered && a.control_replies == b.control_replies &&
+         a.unroutable_dropped == b.unroutable_dropped && a.chain_too_long == b.chain_too_long &&
+         a.control_rejected == b.control_rejected && a.confirmed == b.confirmed &&
+         a.known_in_sonar == b.known_in_sonar && a.novel == b.novel &&
+         a.lost_test_queries == b.lost_test_queries &&
+         a.lost_control_queries == b.lost_control_queries && a.dns_timeouts == b.dns_timeouts &&
+         a.dns_servfails == b.dns_servfails && a.dns_retries == b.dns_retries &&
+         a.discoveries == b.discoveries;
+}
+
+bool findings_equal(const std::vector<phishing::Finding>& a,
+                    const std::vector<phishing::Finding>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].brand != b[i].brand || a[i].fqdn != b[i].fqdn ||
+        a[i].public_suffix != b[i].public_suffix ||
+        a[i].registrable_domain != b[i].registrable_domain) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Byte-identity of `run` against the serial baseline; mismatches go to
+/// stderr with the thread count that produced them.
+bool check_parity(const PipelineRun& run, const PipelineRun& baseline) {
+  bool ok = true;
+  if (run.table2 != baseline.table2) {
+    std::fprintf(stderr, "PARITY MISMATCH at %u threads: Table 2 rows differ\n", run.threads);
+    ok = false;
+  }
+  if (!funnel_equal(run.funnel, baseline.funnel)) {
+    std::fprintf(stderr, "PARITY MISMATCH at %u threads: funnel counters differ\n",
+                 run.threads);
+    ok = false;
+  }
+  if (!findings_equal(run.findings, baseline.findings)) {
+    std::fprintf(stderr, "PARITY MISMATCH at %u threads: phishing findings differ\n",
+                 run.threads);
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
+  bench::banner("ctwatch::par — sharded parallel pipeline vs its serial path",
+                "census + funnel + phishing at 1/2/N threads; byte-identical or exit 1");
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Always run the 2-thread config, even on one core: oversubscription is
+  // harmless and keeps the parity check meaningful on any machine.
+  std::vector<unsigned> thread_counts = {1, 2};
+  if (hw > 2) thread_counts.push_back(hw);
+
+  std::vector<PipelineRun> runs;
+  for (const unsigned threads : thread_counts) runs.push_back(run_pipeline(threads));
+  const PipelineRun& baseline = runs.front();
+  const PipelineRun& widest = runs.back();
+
+  bool parity = true;
+  for (std::size_t i = 1; i < runs.size(); ++i) parity &= check_parity(runs[i], baseline);
+
+  for (const PipelineRun& run : runs) {
+    std::printf("%2u threads: census %7.1f ms   funnel %7.1f ms   phishing %7.1f ms\n",
+                run.threads, run.census_seconds * 1e3, run.funnel_seconds * 1e3,
+                run.phishing_seconds * 1e3);
+  }
+  const double serial_core = baseline.census_seconds + baseline.funnel_seconds;
+  const double widest_core = widest.census_seconds + widest.funnel_seconds;
+  const double speedup = widest_core > 0 ? serial_core / widest_core : 0;
+  std::printf("census+funnel speedup at %u threads: %.2fx   parity: %s\n\n", widest.threads,
+              speedup, parity ? "ok" : "FAILED");
+
+  std::printf(
+      "RESULT {\"par_pipeline\":{\"hardware_threads\":%u,\"widest_threads\":%u,"
+      "\"census_serial_s\":%.4f,\"funnel_serial_s\":%.4f,\"phishing_serial_s\":%.4f,"
+      "\"census_parallel_s\":%.4f,\"funnel_parallel_s\":%.4f,\"phishing_parallel_s\":%.4f,"
+      "\"speedup\":%.3f,\"candidates\":%llu,\"confirmed\":%llu,\"phishing_findings\":%zu,"
+      "\"parity\":%s,\"sanitized\":%s}}\n",
+      hw, widest.threads, baseline.census_seconds, baseline.funnel_seconds,
+      baseline.phishing_seconds, widest.census_seconds, widest.funnel_seconds,
+      widest.phishing_seconds, speedup,
+      static_cast<unsigned long long>(baseline.funnel.candidates),
+      static_cast<unsigned long long>(baseline.funnel.confirmed), baseline.findings.size(),
+      parity ? "true" : "false", CTWATCH_BENCH_SANITIZED ? "true" : "false");
+
+  int violations = 0;
+  if (!parity) {
+    std::fprintf(stderr, "FAIL: parallel/serial parity\n");
+    ++violations;
+  }
+  // The throughput floor only means something on real parallel hardware
+  // running real code: waived below 8 threads and under sanitizers.
+  if (strict && hw >= 8 && !CTWATCH_BENCH_SANITIZED && speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: census+funnel speedup %.2fx below the 3x floor\n", speedup);
+    ++violations;
+  }
+
+  bench::dump_metrics_snapshot(bench::metrics_snapshot_path(argc > 0 ? argv[0] : nullptr));
+  return violations;
+}

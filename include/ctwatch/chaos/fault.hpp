@@ -23,6 +23,17 @@
 // draw from the point's deterministic stream (the *set* of decisions is
 // reproducible; which thread observes which draw is scheduling-dependent,
 // which is why the fully-deterministic harnesses are single-threaded).
+//
+// Parallel determinism (`StreamScope`): a chunked-parallel caller (the
+// ctwatch::par funnel) cannot rely on the global per-point ordinal — the
+// interleaving of chunks would decide which chunk sees which draw. While
+// a thread holds a StreamScope, evaluations on that thread instead use a
+// scope-local ordinal per point and mix the scope's stream id into the
+// draw: the i-th evaluation of a point inside stream s is a pure function
+// of (seed, point, s, i), independent of how chunks interleave. A caller
+// that opens one scope per chunk (stream id = chunk index) gets fault
+// sequences that are identical at every thread count, including the
+// serial inline path. Without an active scope nothing changes.
 #pragma once
 
 #include <atomic>
@@ -31,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ctwatch::obs {
@@ -83,6 +95,34 @@ struct FaultDecision {
   std::uint64_t latency_us = 0;
 
   [[nodiscard]] bool faulted() const { return kind != FaultKind::none; }
+};
+
+/// RAII deterministic-stream scope for chunked-parallel callers (see the
+/// header comment). Scopes nest per thread (the innermost wins) and apply
+/// to every FaultInjector evaluated on the owning thread while active.
+/// The global per-point ordinals (and `evaluations()` accounting) still
+/// advance; only the *draw* is re-keyed to (stream id, local ordinal).
+class StreamScope {
+ public:
+  explicit StreamScope(std::uint64_t stream_id);
+  ~StreamScope();
+  StreamScope(const StreamScope&) = delete;
+  StreamScope& operator=(const StreamScope&) = delete;
+
+  [[nodiscard]] std::uint64_t stream_id() const { return stream_id_; }
+
+  /// The scope active on the calling thread, or nullptr.
+  static StreamScope* current();
+
+ private:
+  friend class FaultInjector;
+
+  /// Next scope-local ordinal for a point (keyed by its name hash).
+  std::uint64_t next_ordinal(std::uint64_t point_hash) { return ordinals_[point_hash]++; }
+
+  std::uint64_t stream_id_;
+  StreamScope* prev_;
+  std::unordered_map<std::uint64_t, std::uint64_t> ordinals_;
 };
 
 /// Evaluates named fault points against their plans, deterministically

@@ -135,7 +135,10 @@ class PublicSuffixList {
   // the list itself stays copyable and movable.
   struct CompiledCache {
     std::mutex mu;
-    const namepool::NamePool* pool = nullptr;
+    // Keyed by NamePool::generation(), never by address: a fresh pool can
+    // reuse a destroyed pool's address, and rule ids compiled against the
+    // old pool would silently mis-match every multi-label suffix.
+    std::uint64_t pool_generation = 0;  // 0 = never compiled
     std::size_t rule_count = 0;
     std::size_t max_depth = 0;
     std::unordered_map<std::uint64_t, std::vector<CompiledRule>> rules;

@@ -12,6 +12,7 @@
 // agree with it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,7 +47,11 @@ class SubdomainCensus {
   explicit SubdomainCensus(const dns::PublicSuffixList& psl) : psl_(&psl) {}
 
   /// Ingests names (deduplicated across calls; each FQDN counted once, as
-  /// in the paper).
+  /// in the paper). Runs sharded-parallel over the global par pool when
+  /// one exists: names are parsed in chunks, bucketed by NameRef hash,
+  /// deduplicated and counted shard-locally, then merged in shard order —
+  /// every stat and every materialized view is identical at any thread
+  /// count, including the serial (1-thread) inline path.
   void add_names(std::span<const std::string> names);
 
   [[nodiscard]] const ExtractionStats& stats() const { return stats_; }
@@ -105,9 +110,13 @@ class SubdomainCensus {
   // (enumerator::run) intern into the shared pool. unique_ptr because the
   // pool's arenas are address-pinned while the census moves by value.
   mutable std::unique_ptr<namepool::NamePool> pool_ = std::make_unique<namepool::NamePool>();
-  // Census-level dedup. The pool dedups too, but it is shared with the
-  // enumerator, so "fresh in pool" is not "new to the census".
-  RefSet seen_;
+  // Census-level dedup, sharded by NameRef hash so the parallel ingestion
+  // shards own disjoint key sets without locking. (The pool dedups too,
+  // but it is shared with the enumerator, so "fresh in pool" is not "new
+  // to the census".) The shard count is a constant of the data layout,
+  // never of the thread count — totals are invariant under it.
+  static constexpr std::size_t kShards = 64;
+  std::array<RefSet, kShards> seen_shards_;
   std::unordered_map<namepool::LabelId, std::uint64_t> label_counts_ref_;
   std::unordered_map<namepool::LabelId, RefCountMap> label_suffix_ref_;
   std::unordered_map<namepool::NameRef, RefSet, namepool::NameRefHash> domains_by_suffix_ref_;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -81,6 +82,14 @@ class PassiveMonitor {
   /// Analyzes one connection.
   void process(const tls::ConnectionRecord& connection);
 
+  /// Analyzes a batch. The per-certificate validation work (the expensive
+  /// part) runs in parallel over the ctwatch::par global pool for
+  /// certificates not yet in the cache; the stream itself is then
+  /// replayed in order through the serial path, so every total, daily
+  /// counter, invalid-SCT record and cache hit/miss count is byte-
+  /// identical to calling process() on each record — at any thread count.
+  void process_batch(std::span<const tls::ConnectionRecord> connections);
+
   /// Finalizes the in-flight day of the peak-attribution scratch; call
   /// when the input stream ends (drivers do this automatically).
   void flush() { finalize_scratch_day(); }
@@ -114,12 +123,23 @@ class PassiveMonitor {
     std::vector<std::pair<std::string, bool>> cert_channel;
     std::vector<std::pair<std::string, bool>> tls_channel;
     std::vector<std::pair<std::string, bool>> ocsp_channel;
+    /// Invalid-SCT records produced while validating this certificate;
+    /// moved into invalid_ when the analysis is adopted — i.e. at the
+    /// certificate's *first* connection, exactly where the serial path
+    /// records them.
+    std::vector<InvalidSctObservation> invalid_observations;
   };
 
   const CertAnalysis& analyze(const tls::ConnectionRecord& connection);
+  /// Pure validation work: no member mutation, safe to run concurrently.
+  [[nodiscard]] CertAnalysis compute_analysis(const tls::ConnectionRecord& connection) const;
+  /// First-connection bookkeeping (unique-cert totals, invalid_ append)
+  /// plus insertion into the cache.
+  const CertAnalysis& adopt_analysis(const x509::Certificate* key, CertAnalysis analysis);
   void validate_channel(const tls::SctList& scts, const ct::SignedEntry& entry,
                         const tls::ConnectionRecord& connection, tls::SctDelivery delivery,
-                        std::vector<std::pair<std::string, bool>>& out);
+                        std::vector<std::pair<std::string, bool>>& out,
+                        std::vector<InvalidSctObservation>& invalid_out) const;
 
   const ct::LogList* logs_;
   MonitorTotals totals_;
@@ -127,6 +147,9 @@ class PassiveMonitor {
   std::map<std::string, LogUsage> log_usage_;
   std::vector<InvalidSctObservation> invalid_;
   std::unordered_map<const x509::Certificate*, CertAnalysis> cache_;
+  /// Analyses computed ahead of time by process_batch, waiting for their
+  /// certificate's first connection to adopt them into cache_.
+  std::unordered_map<const x509::Certificate*, CertAnalysis> pending_;
   // Streaming per-day attribution scratch (see daily_top_sct_server()).
   // Server names are interned once; the scratch counts by 4-byte id, so a
   // request storm to one popular name costs a hash of 4 bytes per hit

@@ -186,6 +186,12 @@ class NamePool {
     return labels_.bytes_used() + bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Distinct for every pool ever constructed. Caches keyed by pool
+  /// identity must use this, not the pool's address: a destroyed pool's
+  /// storage can be reused for a fresh pool at the same address, and ids
+  /// cached against the old pool are meaningless in the new one.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
  private:
   static constexpr std::size_t kIdsPerBlock = 1u << 16;
   static constexpr std::size_t kMaxBlocks = 1u << 13;  // up to ~536M label slots
@@ -211,6 +217,12 @@ class NamePool {
   // lives in the arena at offset - 1, so slots are 4 bytes, not 8.
   std::vector<std::uint32_t> dedup_;
   std::size_t dedup_used_ = 0;
+
+  const std::uint64_t generation_ = next_generation();
+  [[nodiscard]] static std::uint64_t next_generation() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 };
 
 }  // namespace ctwatch::namepool

@@ -17,6 +17,7 @@
 
 #include "ctwatch/obs/log.hpp"
 #include "ctwatch/obs/metrics.hpp"
+#include "ctwatch/obs/snapshot.hpp"
 #include "ctwatch/obs/trace.hpp"
 
 namespace ctwatch::obs {

@@ -1,0 +1,7 @@
+// Umbrella header for ctwatch::par: work-stealing TaskPool + TaskGroup,
+// deterministic parallel_for / parallel_reduce, ShardedAccumulator.
+#pragma once
+
+#include "ctwatch/par/parallel.hpp"   // IWYU pragma: export
+#include "ctwatch/par/sharded.hpp"    // IWYU pragma: export
+#include "ctwatch/par/task_pool.hpp"  // IWYU pragma: export

@@ -1,0 +1,121 @@
+// Deterministic data-parallel primitives over index ranges.
+//
+// The determinism contract that makes byte-identical parallel output
+// possible:
+//  * chunk boundaries are a pure function of (n, grain, max_chunks) —
+//    never of the worker count or the scheduling. The same call chunks
+//    the same way at 1 thread and at 64;
+//  * chunks execute in any order on any thread, so a chunk body must only
+//    touch its own slot/partial (plus internally-synchronized sinks like
+//    NamePool or obs counters);
+//  * partial results are combined in fixed chunk order: parallel_reduce
+//    tree-merges pairwise (c0⊕c1)⊕(c2⊕c3)…, which for any associative ⊕
+//    equals the serial left fold — commutativity is not required.
+// When TaskPool::global() is null (1 thread) the same chunk structure
+// runs inline on the caller: the serial path, no pool machinery.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ctwatch/par/task_pool.hpp"
+
+namespace ctwatch::par {
+
+/// Half-open index range [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Cap on chunks per parallel call: enough slack for stealing to balance
+/// a skewed workload, small enough that per-chunk state stays cheap.
+inline constexpr std::size_t kDefaultMaxChunks = 256;
+
+/// The chunk decomposition of [0, n): `chunks` ranges whose sizes differ
+/// by at most one, boundaries independent of thread count.
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+
+  static ChunkPlan over(std::size_t n, std::size_t grain = 1,
+                        std::size_t max_chunks = kDefaultMaxChunks) {
+    ChunkPlan plan;
+    plan.n = n;
+    if (n == 0) return plan;
+    if (grain == 0) grain = 1;
+    if (max_chunks == 0) max_chunks = 1;
+    const std::size_t desired = (n + grain - 1) / grain;
+    plan.chunks = desired < max_chunks ? desired : max_chunks;
+    return plan;
+  }
+
+  [[nodiscard]] IndexRange chunk(std::size_t i) const {
+    const std::size_t base = n / chunks;
+    const std::size_t remainder = n % chunks;
+    const std::size_t begin = i * base + (i < remainder ? i : remainder);
+    return {begin, begin + base + (i < remainder ? 1 : 0)};
+  }
+};
+
+/// Runs fn(chunk_index, range) over the chunk decomposition of [0, n).
+/// Chunks run concurrently when the global pool exists, inline otherwise;
+/// either way the set of (chunk_index, range) pairs is identical.
+template <typename Fn>
+void parallel_for_chunks(std::size_t n, std::size_t grain, Fn&& fn,
+                         std::size_t max_chunks = kDefaultMaxChunks) {
+  const ChunkPlan plan = ChunkPlan::over(n, grain, max_chunks);
+  if (plan.chunks == 0) return;
+  TaskPool* pool = plan.chunks > 1 ? TaskPool::global() : nullptr;
+  TaskGroup group(pool);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    group.run([&fn, &plan, c] { fn(c, plan.chunk(c)); });
+  }
+  group.wait();
+}
+
+/// Element-wise parallel loop: fn(i) for every i in [0, n).
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t grain, Fn&& fn) {
+  parallel_for_chunks(n, grain, [&fn](std::size_t, IndexRange range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) fn(i);
+  });
+}
+
+/// Maps every chunk to a partial (map(chunk_index, range) -> T) and
+/// combines the partials with a deterministic pairwise tree merge in
+/// chunk order, finally folding `init` in from the left. For associative
+/// `merge` the result equals the serial fold
+///   merge(...merge(merge(init, map(c0)), map(c1))..., map(ck))
+/// at every thread count.
+template <typename T, typename MapFn, typename MergeFn>
+T parallel_reduce(std::size_t n, std::size_t grain, T init, MapFn&& map, MergeFn&& merge,
+                  std::size_t max_chunks = kDefaultMaxChunks) {
+  const ChunkPlan plan = ChunkPlan::over(n, grain, max_chunks);
+  if (plan.chunks == 0) return init;
+  std::vector<std::optional<T>> partials(plan.chunks);
+  parallel_for_chunks(
+      n, grain,
+      [&](std::size_t c, IndexRange range) { partials[c].emplace(map(c, range)); },
+      max_chunks);
+  std::vector<T> level;
+  level.reserve(partials.size());
+  for (auto& partial : partials) level.push_back(std::move(*partial));
+  while (level.size() > 1) {
+    std::vector<T> next;
+    next.reserve(level.size() / 2 + 1);
+    std::size_t i = 0;
+    for (; i + 1 < level.size(); i += 2) {
+      next.push_back(merge(std::move(level[i]), std::move(level[i + 1])));
+    }
+    if (i < level.size()) next.push_back(std::move(level[i]));
+    level = std::move(next);
+  }
+  return merge(std::move(init), std::move(level.front()));
+}
+
+}  // namespace ctwatch::par

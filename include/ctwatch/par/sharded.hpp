@@ -1,0 +1,93 @@
+// ShardedAccumulator — per-shard partial state, merged in shard order.
+//
+// The census and funnel aggregate by interned key (LabelId / NameRef).
+// Instead of one global map behind a lock, state is split into a fixed
+// number of shards keyed by the key's hash: each shard is owned by at
+// most one task at a time, so shard-local mutation needs no lock, and the
+// final collapse walks shards in index order — a deterministic merge as
+// long as the per-shard content is order-independent (counts, sets).
+//
+// The shard count is part of the decomposition, not of the execution: it
+// must be a constant of the call site (never derived from the thread
+// count), because the shard a key lands in determines which partial it
+// mutates. Totals are invariant under the shard count (every key lands in
+// exactly one shard); the property suite locks that in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ctwatch::par {
+
+template <typename T>
+class ShardedAccumulator {
+ public:
+  static constexpr std::size_t kDefaultShards = 64;
+
+  explicit ShardedAccumulator(std::size_t shards = kDefaultShards)
+      : shards_(shards > 0 ? shards : 1) {}
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  T& shard(std::size_t index) { return shards_[index].value; }
+  [[nodiscard]] const T& shard(std::size_t index) const { return shards_[index].value; }
+
+  /// The shard a hash value lands in. Mixes before reducing so that
+  /// low-entropy hashes (e.g. sequential LabelIds) still spread.
+  [[nodiscard]] std::size_t shard_of(std::uint64_t hash) const {
+    hash = (hash ^ (hash >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    hash = (hash ^ (hash >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>((hash ^ (hash >> 31)) % shards_.size());
+  }
+
+  template <typename Key, typename Hash>
+  [[nodiscard]] std::size_t shard_for(const Key& key, const Hash& hasher) const {
+    return shard_of(static_cast<std::uint64_t>(hasher(key)));
+  }
+
+  /// Visits shards in index order: fn(shard_index, shard). This is the
+  /// deterministic merge point.
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) fn(i, shards_[i].value);
+  }
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) const {
+    for (std::size_t i = 0; i < shards_.size(); ++i) fn(i, shards_[i].value);
+  }
+
+  /// Folds every shard into `target` in shard order: merge(target, shard).
+  template <typename Target, typename MergeFn>
+  void collapse_into(Target& target, MergeFn&& merge) {
+    for (auto& slot : shards_) merge(target, slot.value);
+  }
+
+  /// max/mean shard load in milli-units (1000 = perfectly balanced),
+  /// given a per-shard size extractor; 0 when everything is empty. Feeds
+  /// the par.imbalance.* gauges.
+  template <typename SizeFn>
+  [[nodiscard]] std::int64_t imbalance_milli(SizeFn&& size_of) const {
+    std::uint64_t total = 0;
+    std::uint64_t max_size = 0;
+    for (const auto& slot : shards_) {
+      const std::uint64_t s = size_of(slot.value);
+      total += s;
+      if (s > max_size) max_size = s;
+    }
+    if (total == 0) return 0;
+    const double mean = static_cast<double>(total) / static_cast<double>(shards_.size());
+    return static_cast<std::int64_t>(static_cast<double>(max_size) * 1000.0 / mean);
+  }
+
+ private:
+  // Padded so neighbouring shards do not share a cache line while tasks
+  // mutate them concurrently.
+  struct alignas(64) Padded {
+    T value{};
+  };
+  std::vector<Padded> shards_;
+};
+
+}  // namespace ctwatch::par

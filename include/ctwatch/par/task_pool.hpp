@@ -1,0 +1,214 @@
+// ctwatch::par — work-stealing task pool for the analysis pipeline.
+//
+// The paper's workloads are embarrassingly parallel (§4's funnel alone
+// composes hundreds of millions of candidates), but the repo's contract is
+// stronger than "fast": every consumer must produce byte-identical output
+// at any thread count, including 1. The pool therefore only provides
+// *execution*; all determinism lives in the callers (see parallel.hpp):
+// work is pre-split into chunks whose boundaries never depend on the
+// worker count, and partial results are merged in fixed chunk order.
+//
+// Execution model:
+//  * one deque per worker; the owner pushes/pops at the back (LIFO,
+//    cache-warm), thieves take half of a victim's queue from the front
+//    (FIFO — the oldest, coarsest work migrates first);
+//  * idle workers park on a condition variable (no spinning between
+//    parallel sections; idle time is metered into par.idle_ns);
+//  * TaskGroup is the fork/join primitive: the caller that wait()s helps
+//    execute queued tasks, so nested parallel sections cannot deadlock;
+//    the first exception thrown by any task is rethrown from wait().
+//
+// Thread-count policy: the process-wide pool is sized by the
+// CTWATCH_PAR_THREADS environment variable, else the compile-time default
+// (-DCTWATCH_PAR_THREADS=N), else the hardware. At 1 thread global()
+// returns nullptr and every par primitive runs its chunks inline on the
+// caller — the serial path, with no pool, no locks and no worker handoff.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ctwatch::par {
+
+using Task = std::function<void()>;
+
+namespace detail {
+
+/// One worker's queue. Mutex-guarded: the owner end is uncontended in
+/// steady state and steal traffic only appears when the pool is
+/// imbalanced, which is exactly when a cache-friendly lock-free deque
+/// would not help either.
+class WorkDeque {
+ public:
+  void push(Task task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+
+  /// Owner end: newest task first.
+  bool pop(Task& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    out = std::move(tasks_.back());
+    tasks_.pop_back();
+    return true;
+  }
+
+  /// Thief end: oldest task first (used by TaskGroup::wait helpers).
+  bool take_front(Task& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    out = std::move(tasks_.front());
+    tasks_.pop_front();
+    return true;
+  }
+
+  /// Takes ceil(size/2) tasks from the front into `out` (appended in
+  /// queue order). Returns how many were taken.
+  std::size_t steal_half(std::deque<Task>& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t take = (tasks_.size() + 1) / 2;
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(tasks_.front()));
+      tasks_.pop_front();
+    }
+    return take;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Task> tasks_;
+};
+
+}  // namespace detail
+
+class TaskPool {
+ public:
+  /// Spawns `workers` worker threads (>= 1).
+  explicit TaskPool(unsigned workers);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task (round-robin over the worker deques) and wakes a
+  /// parked worker if any.
+  void submit(Task task);
+
+  /// Runs one queued task on the calling thread if one can be found.
+  /// Returns false when every deque looked empty — the caller should
+  /// then briefly block rather than spin.
+  bool help_one();
+
+  /// Tasks queued but not yet taken by any thread.
+  [[nodiscard]] std::size_t queued() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  // ---- process-wide pool ----
+
+  /// Thread count from the environment (CTWATCH_PAR_THREADS), else the
+  /// compile-time default (-DCTWATCH_PAR_THREADS), else the hardware.
+  static unsigned configured_threads();
+  /// The shared pool, or nullptr when the effective thread count is 1
+  /// (the serial path: par primitives then run inline on the caller).
+  static TaskPool* global();
+  /// Re-sizes the shared pool (0 = re-resolve from env/hardware). Callers
+  /// must not hold work in flight; intended for tests and benches that
+  /// compare thread counts in one process.
+  static void set_global_threads(unsigned threads);
+  /// The thread count global() represents (>= 1; 1 means serial).
+  static unsigned effective_threads();
+
+ private:
+  struct Worker {
+    detail::WorkDeque deque;
+    std::thread thread;
+  };
+
+  void worker_loop(unsigned index);
+  bool find_task(unsigned self, Task& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> next_{0};     // round-robin submit cursor
+  std::atomic<std::size_t> queued_{0};   // tasks sitting in deques
+  std::atomic<unsigned> parked_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+};
+
+/// Fork/join scope over a pool. With a null pool every run() executes
+/// inline (the serial path) with the same exception semantics: the first
+/// exception is captured and rethrown from wait(), later tasks still run.
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool* pool) : pool_(pool) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  template <typename Fn>
+  void run(Fn&& fn) {
+    if (pool_ == nullptr) {
+      try {
+        fn();
+      } catch (...) {
+        record_error();
+      }
+      return;
+    }
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    pool_->submit([this, fn = std::forward<Fn>(fn)]() mutable {
+      try {
+        fn();
+      } catch (...) {
+        record_error();
+      }
+      finish_one();
+    });
+  }
+
+  /// Blocks until every task submitted through this group finished. The
+  /// caller helps execute queued tasks (its own or other groups'), so a
+  /// task may itself create a group and wait on it. Rethrows the first
+  /// captured exception; the group is reusable afterwards.
+  void wait();
+
+ private:
+  void record_error() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  void finish_one() {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  TaskPool* pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;
+};
+
+}  // namespace ctwatch::par

@@ -12,11 +12,20 @@
 // can possibly satisfy. A name only reaches the (expensive) regex when one
 // of its labels carries a keyword of that rule — computed once per unique
 // label, not once per name. Rules without keywords always run their regex.
+//
+// scan()/scan_refs() run chunked over the ctwatch::par global pool when
+// one exists; chunk outputs are concatenated in chunk order, so the
+// findings vector (and every counter) is byte-identical to the serial
+// scan at any thread count.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <regex>
 #include <span>
 #include <set>
@@ -83,8 +92,57 @@ class PhishingDetector {
  private:
   static constexpr std::uint64_t kMaskUnset = ~0ull;
 
-  void scan_one(namepool::NameRef ref, std::vector<Finding>& findings);
-  [[nodiscard]] std::uint64_t label_mask(namepool::LabelId id);
+  /// Thread-safe lazily-filled LabelId -> rule-mask cache. Slots live in
+  /// fixed blocks of atomics; a block is allocated under the mutex the
+  /// first time its id range is touched, and readers never lock.
+  /// Concurrent first computations of the same label are benign — the
+  /// mask is a pure function of the label text, so both writers store the
+  /// same value. Held by unique_ptr to keep the detector movable.
+  struct MaskCache {
+    static constexpr std::size_t kBlockSize = 4096;
+    static constexpr std::size_t kMaxBlocks = 4096;
+    struct Block {
+      std::array<std::atomic<std::uint64_t>, kBlockSize> slots;
+    };
+
+    ~MaskCache() {
+      for (auto& slot : blocks) delete slot.load(std::memory_order_relaxed);
+    }
+
+    /// The slot for a label id, allocating its block on first touch;
+    /// nullptr for ids beyond the fixed capacity (callers recompute).
+    std::atomic<std::uint64_t>* slot(std::size_t id) {
+      const std::size_t block_index = id / kBlockSize;
+      if (block_index >= kMaxBlocks) return nullptr;
+      Block* block = blocks[block_index].load(std::memory_order_acquire);
+      if (!block) {
+        std::lock_guard<std::mutex> lock(grow_mu);
+        block = blocks[block_index].load(std::memory_order_relaxed);
+        if (!block) {
+          block = new Block;
+          for (auto& s : block->slots) s.store(kMaskUnset, std::memory_order_relaxed);
+          blocks[block_index].store(block, std::memory_order_release);
+        }
+      }
+      return &block->slots[id % kBlockSize];
+    }
+
+    std::array<std::atomic<Block*>, kMaxBlocks> blocks{};
+    std::mutex grow_mu;
+  };
+
+  /// Per-chunk counter partial; merged serially in chunk order.
+  struct ScanTally {
+    std::uint64_t scanned = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t regex_evaluations = 0;
+  };
+
+  void scan_one(namepool::NameRef ref, std::vector<Finding>& findings, ScanTally& tally) const;
+  [[nodiscard]] std::uint64_t label_mask(namepool::LabelId id) const;
+  std::vector<Finding> merge_chunks(std::vector<Finding> findings,
+                                    std::vector<std::vector<Finding>>& chunk_findings,
+                                    std::vector<ScanTally>& tallies);
 
   const dns::PublicSuffixList* psl_;
   std::vector<BrandRule> rules_;
@@ -93,7 +151,7 @@ class PhishingDetector {
   std::unique_ptr<namepool::NamePool> pool_ = std::make_unique<namepool::NamePool>();
   /// Which of the first 63 rules each interned label can satisfy; lazily
   /// computed, kMaskUnset = not yet. Rules beyond 63 always run.
-  std::vector<std::uint64_t> label_masks_;
+  std::unique_ptr<MaskCache> masks_ = std::make_unique<MaskCache>();
   std::uint64_t always_mask_ = 0;  ///< rules with no keywords
   std::uint64_t scanned_ = 0;
   std::uint64_t skipped_ = 0;

@@ -36,7 +36,17 @@ std::uint64_t fnv1a(const std::string& text) {
 
 double to_unit(std::uint64_t x) { return static_cast<double>(x >> 11) * 0x1.0p-53; }
 
+thread_local StreamScope* tl_scope = nullptr;
+
 }  // namespace
+
+StreamScope::StreamScope(std::uint64_t stream_id) : stream_id_(stream_id), prev_(tl_scope) {
+  tl_scope = this;
+}
+
+StreamScope::~StreamScope() { tl_scope = prev_; }
+
+StreamScope* StreamScope::current() { return tl_scope; }
 
 void FaultInjector::plan(const std::string& point, FaultPlan plan) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -64,12 +74,22 @@ FaultDecision FaultInjector::evaluate(const std::string& point, std::uint64_t no
     plan_ref = state->plan;
   }
   const FaultPlan& plan = *plan_ref;
+  // The global ordinal always advances (it backs evaluations()); inside a
+  // StreamScope the draw is instead keyed to (stream id, local ordinal),
+  // making it independent of how concurrent chunks interleave.
   const std::uint64_t ordinal = state->ordinal.fetch_add(1, std::memory_order_relaxed);
 
-  // The point's stream: three independent uniform draws per ordinal, each
-  // a pure function of (seed, name, ordinal).
+  // The point's stream: four independent uniform draws per ordinal, each
+  // a pure function of (seed, name, ordinal) — plus the scope's stream id
+  // when one is active.
   std::uint64_t stream = seed_ ^ state->name_hash;
-  stream += 0x9e3779b97f4a7c15ULL * (ordinal + 1);
+  if (StreamScope* scope = StreamScope::current()) {
+    std::uint64_t id_state = scope->stream_id() ^ 0xd1b54a32d192ed03ULL;
+    stream ^= splitmix64(id_state);
+    stream += 0x9e3779b97f4a7c15ULL * (scope->next_ordinal(state->name_hash) + 1);
+  } else {
+    stream += 0x9e3779b97f4a7c15ULL * (ordinal + 1);
+  }
   const double u_error = to_unit(splitmix64(stream));
   const double u_kind = to_unit(splitmix64(stream));
   const double u_jitter = to_unit(splitmix64(stream));

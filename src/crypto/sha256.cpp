@@ -33,6 +33,7 @@ void Sha256::reset() {
 
 Sha256& Sha256::update(BytesView data) {
   if (finished_) throw std::logic_error("Sha256::update after finish");
+  if (data.empty()) return *this;  // empty views may carry a null data()
   length_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

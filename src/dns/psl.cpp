@@ -256,7 +256,7 @@ std::size_t PublicSuffixList::suffix_label_count_ids(
     namepool::NamePool& pool, std::span<const namepool::LabelId> ids) const {
   CompiledCache& cache = *compiled_;
   std::lock_guard<std::mutex> lock(cache.mu);
-  if (cache.pool != &pool || cache.rule_count != rules_.size()) {
+  if (cache.pool_generation != pool.generation() || cache.rule_count != rules_.size()) {
     // (Re)compile every rule path to ids in `pool`'s label table. Interning
     // (not find) keeps the ids valid even for labels no name has used yet.
     cache.rules.clear();
@@ -286,7 +286,7 @@ std::size_t PublicSuffixList::suffix_label_count_ids(
       }
       cache.max_depth = std::max(cache.max_depth, slot->path.size());
     }
-    cache.pool = &pool;
+    cache.pool_generation = pool.generation();
     cache.rule_count = rules_.size();
   }
 

@@ -1,46 +1,128 @@
 #include "ctwatch/enumeration/census.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "ctwatch/dns/name.hpp"
+#include "ctwatch/obs/obs.hpp"
+#include "ctwatch/par/par.hpp"
 #include "ctwatch/x509/redaction.hpp"
 #include "ctwatch/util/rng.hpp"
 
 namespace ctwatch::enumeration {
 
+namespace {
+obs::Gauge& census_imbalance_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge("par.imbalance.census");
+  return gauge;
+}
+}  // namespace
+
 void SubdomainCensus::add_names(std::span<const std::string> names) {
-  for (const std::string& raw : names) {
-    ++stats_.names_in;
-    if (x509::is_redacted_name(raw)) {
-      ++stats_.redacted;
-      continue;
+  if (names.empty()) return;
+  stats_.names_in += names.size();
+
+  // Shard-local partial census state; every field is an order-independent
+  // count or set, so the shard-order merge below reproduces the serial
+  // single-loop ingestion exactly.
+  struct ShardState {
+    std::uint64_t inserted = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t suffix_only = 0;
+    std::uint64_t valid_fqdns = 0;
+    std::uint64_t occurrences = 0;
+    std::unordered_map<namepool::LabelId, std::uint64_t> label_counts;
+    std::unordered_map<namepool::LabelId, RefCountMap> label_suffix;
+    std::unordered_map<namepool::NameRef, RefSet, namepool::NameRefHash> domains_by_suffix;
+  };
+  par::ShardedAccumulator<ShardState> shards(kShards);
+
+  // Phase 1 — parse: chunks of the batch run concurrently (the pool
+  // interns canonically, so equal names yield equal refs no matter which
+  // thread interns first); surviving refs are bucketed by shard.
+  struct ChunkParse {
+    std::uint64_t redacted = 0;
+    std::uint64_t unparsable = 0;
+    std::vector<std::vector<namepool::NameRef>> buckets;
+  };
+  const par::ChunkPlan plan = par::ChunkPlan::over(names.size(), 256);
+  std::vector<ChunkParse> parsed(plan.chunks);
+  par::parallel_for_chunks(names.size(), 256, [&](std::size_t c, par::IndexRange range) {
+    ChunkParse& out = parsed[c];
+    out.buckets.resize(kShards);
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const std::string& raw = names[i];
+      if (x509::is_redacted_name(raw)) {
+        ++out.redacted;
+        continue;
+      }
+      const auto ref = dns::DnsName::parse_into(*pool_, raw);
+      if (!ref) {
+        ++out.unparsable;
+        continue;
+      }
+      out.buckets[shards.shard_for(*ref, namepool::NameRefHash{})].push_back(*ref);
     }
-    const auto ref = dns::DnsName::parse_into(*pool_, raw);
-    if (!ref) {
-      ++stats_.invalid_rejected;
-      continue;
+  });
+
+  // Phase 2 — count: each shard walks its buckets in chunk order, owning
+  // its slice of the census-level dedup set and its partial maps; no two
+  // shards ever hold the same key, so nothing is locked and nothing is
+  // order-dependent.
+  par::parallel_for(kShards, 1, [&](std::size_t s) {
+    ShardState& state = shards.shard(s);
+    RefSet& seen = seen_shards_[s];
+    for (const ChunkParse& chunk : parsed) {
+      for (const namepool::NameRef ref : chunk.buckets[s]) {
+        if (!seen.insert(ref).second) {
+          ++state.duplicates;
+          continue;
+        }
+        ++state.inserted;
+        const auto split = psl_->split(*pool_, ref);
+        if (!split) {
+          ++state.suffix_only;  // the name is itself a public suffix
+          continue;
+        }
+        ++state.valid_fqdns;
+        state.domains_by_suffix[split->public_suffix].insert(split->registrable_domain);
+        if (split->subdomain_label_count > 0) {
+          // The paper counts the label leading the FQDN (e.g. "www" for
+          // www.dev.example.org leads; deeper labels describe structure).
+          const namepool::LabelId label = pool_->ids(ref)[0];
+          ++state.label_counts[label];
+          ++state.label_suffix[label][split->public_suffix];
+          ++state.occurrences;
+        }
+      }
     }
-    if (!seen_.insert(*ref).second) {
-      ++stats_.duplicates;
-      continue;
-    }
-    caches_valid_ = false;
-    const auto split = psl_->split(*pool_, *ref);
-    if (!split) {
-      ++stats_.invalid_rejected;  // the name is itself a public suffix
-      continue;
-    }
-    ++stats_.valid_fqdns;
-    domains_by_suffix_ref_[split->public_suffix].insert(split->registrable_domain);
-    if (split->subdomain_label_count > 0) {
-      // The paper counts the label leading the FQDN (e.g. "www" for
-      // www.dev.example.org leads; deeper labels describe structure).
-      const namepool::LabelId label = pool_->ids(*ref)[0];
-      ++label_counts_ref_[label];
-      ++label_suffix_ref_[label][split->public_suffix];
-      ++total_occurrences_;
-    }
+  });
+
+  // Phase 3 — merge, serial, chunk order for parse stats then shard order
+  // for counts.
+  for (const ChunkParse& chunk : parsed) {
+    stats_.redacted += chunk.redacted;
+    stats_.invalid_rejected += chunk.unparsable;
   }
+  std::uint64_t inserted_total = 0;
+  shards.for_each_ordered([&](std::size_t, ShardState& state) {
+    inserted_total += state.inserted;
+    stats_.duplicates += state.duplicates;
+    stats_.invalid_rejected += state.suffix_only;
+    stats_.valid_fqdns += state.valid_fqdns;
+    total_occurrences_ += state.occurrences;
+    for (const auto& [label, count] : state.label_counts) label_counts_ref_[label] += count;
+    for (auto& [label, suffixes] : state.label_suffix) {
+      RefCountMap& target = label_suffix_ref_[label];
+      for (const auto& [suffix, count] : suffixes) target[suffix] += count;
+    }
+    for (auto& [suffix, domains] : state.domains_by_suffix) {
+      domains_by_suffix_ref_[suffix].merge(domains);
+    }
+  });
+  if (inserted_total > 0) caches_valid_ = false;
+  census_imbalance_gauge().set(shards.imbalance_milli(
+      [](const ShardState& state) { return state.inserted + state.duplicates; }));
 }
 
 std::uint64_t SubdomainCensus::label_count(std::string_view label) const {
@@ -91,14 +173,37 @@ const std::map<std::string, std::set<std::string>>& SubdomainCensus::domains_by_
 
 std::vector<std::pair<std::string, std::uint64_t>> SubdomainCensus::top_labels(
     std::size_t n) const {
-  std::vector<std::pair<std::string, std::uint64_t>> all;
-  all.reserve(label_counts_ref_.size());
-  for (const auto& [id, count] : label_counts_ref_) {
-    all.emplace_back(std::string(pool_->labels().text(id)), count);
-  }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+  // Snapshot the ids serially (cheap), then materialize + sort chunk-wise
+  // and combine with an order-merge. Label texts are unique, so the rank
+  // comparator is a total order and the merged sequence is the same at
+  // every thread count.
+  std::vector<std::pair<namepool::LabelId, std::uint64_t>> entries;
+  entries.reserve(label_counts_ref_.size());
+  for (const auto& [id, count] : label_counts_ref_) entries.emplace_back(id, count);
+  using Ranked = std::vector<std::pair<std::string, std::uint64_t>>;
+  const auto by_rank = [](const auto& a, const auto& b) {
     return a.second != b.second ? a.second > b.second : a.first < b.first;
-  });
+  };
+  Ranked all = par::parallel_reduce(
+      entries.size(), 1024, Ranked{},
+      [&](std::size_t, par::IndexRange range) {
+        Ranked part;
+        part.reserve(range.size());
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          part.emplace_back(std::string(pool_->labels().text(entries[i].first)),
+                            entries[i].second);
+        }
+        std::sort(part.begin(), part.end(), by_rank);
+        return part;
+      },
+      [&](Ranked a, Ranked b) {
+        Ranked merged;
+        merged.reserve(a.size() + b.size());
+        std::merge(std::make_move_iterator(a.begin()), std::make_move_iterator(a.end()),
+                   std::make_move_iterator(b.begin()), std::make_move_iterator(b.end()),
+                   std::back_inserter(merged), by_rank);
+        return merged;
+      });
   if (all.size() > n) all.resize(n);
   return all;
 }

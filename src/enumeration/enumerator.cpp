@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "ctwatch/chaos/fault.hpp"
 #include "ctwatch/dns/name.hpp"
 #include "ctwatch/obs/obs.hpp"
+#include "ctwatch/par/par.hpp"
 
 namespace ctwatch::enumeration {
 
@@ -129,29 +131,46 @@ SubdomainEnumerator::CandidateSet SubdomainEnumerator::generate_candidates(
     const auto it = by_suffix.find(entry.suffix);
     if (it != by_suffix.end()) upper_bound += it->second.domains.size();
   }
-  out.refs.reserve(upper_bound);
-  std::vector<namepool::NameRef> admitted;  // scratch for groups with long names
-  for (const PlanEntry& entry : plan) {
-    const auto it = by_suffix.find(entry.suffix);
-    if (it == by_suffix.end()) continue;
-    const DomainGroup& group = it->second;
-    const std::size_t label_len = pool.labels().text(entry.label).size();
-    if (label_len + 1 + group.max_text <= 253) {
-      // Whole group fits: one lock acquisition for the entire suffix.
-      out.unique += pool.with_prefix_batch(entry.label, group.refs, out.refs);
-      out.composed += group.refs.size();
-    } else {
-      admitted.clear();
-      for (const ConstructionDomain& domain : group.domains) {
-        if (label_len + 1 + domain.text->size() > 253) {
-          ++out.too_long;
-          continue;
+  // Composition runs chunked over the plan. Distinct plan entries can
+  // never compose the same FQDN (label1.domain1 == label2.domain2 forces
+  // the same entry), so the per-chunk `unique` counts partition cleanly,
+  // and concatenating chunk refs in chunk order reproduces the serial
+  // composition order exactly — chunks cover contiguous plan slices.
+  const par::ChunkPlan cplan = par::ChunkPlan::over(plan.size(), 4);
+  std::vector<CandidateSet> partials(cplan.chunks);
+  par::parallel_for_chunks(plan.size(), 4, [&](std::size_t c, par::IndexRange range) {
+    CandidateSet& part = partials[c];
+    std::vector<namepool::NameRef> admitted;  // scratch for groups with long names
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const PlanEntry& entry = plan[i];
+      const auto it = by_suffix.find(entry.suffix);
+      if (it == by_suffix.end()) continue;
+      const DomainGroup& group = it->second;
+      const std::size_t label_len = pool.labels().text(entry.label).size();
+      if (label_len + 1 + group.max_text <= 253) {
+        // Whole group fits: one lock acquisition for the entire suffix.
+        part.unique += pool.with_prefix_batch(entry.label, group.refs, part.refs);
+        part.composed += group.refs.size();
+      } else {
+        admitted.clear();
+        for (const ConstructionDomain& domain : group.domains) {
+          if (label_len + 1 + domain.text->size() > 253) {
+            ++part.too_long;
+            continue;
+          }
+          admitted.push_back(domain.ref);
         }
-        admitted.push_back(domain.ref);
+        part.unique += pool.with_prefix_batch(entry.label, admitted, part.refs);
+        part.composed += admitted.size();
       }
-      out.unique += pool.with_prefix_batch(entry.label, admitted, out.refs);
-      out.composed += admitted.size();
     }
+  });
+  out.refs.reserve(upper_bound);
+  for (CandidateSet& part : partials) {
+    out.refs.insert(out.refs.end(), part.refs.begin(), part.refs.end());
+    out.composed += part.composed;
+    out.unique += part.unique;
+    out.too_long += part.too_long;
   }
   return out;
 }
@@ -184,114 +203,168 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
     bool routable = false;
     bool too_long = false;
   };
-  auto probe_name = [&](const dns::DnsName& name) -> Probe {
-    Probe p;
-    SimTime attempt_when = when;
-    std::int64_t backoff = options_.retry_backoff_s;
-    for (int attempt = 0;; ++attempt) {
-      const dns::ResolveResult res = resolver.resolve(name, dns::RrType::A, attempt_when,
-                                                      std::nullopt, options_.max_cname_hops);
-      if (!dns::is_lossy(res.status)) {
-        if (res.status == dns::ResolveStatus::chain_too_long) {
-          p.too_long = true;
+
+  // Verification runs chunked over the plan. Each chunk owns a
+  // FunnelResult partial, an Rng derived from one base draw, and a
+  // chaos::StreamScope keyed by the chunk index — all pure functions of
+  // the chunk decomposition, never of the thread count, so the whole
+  // funnel (fault draws included) is byte-identical at 1 and N threads.
+  // The caller's rng advances by exactly one draw per run.
+  const par::ChunkPlan cplan = par::ChunkPlan::over(plan.size(), 4);
+  std::vector<FunnelResult> partials(cplan.chunks);
+  const std::uint64_t rng_base = rng();
+
+  par::parallel_for_chunks(plan.size(), 4, [&](std::size_t c, par::IndexRange range) {
+    FunnelResult& part = partials[c];
+    std::uint64_t derive = rng_base ^ (0x9e3779b97f4a7c15ULL * (c + 1));
+    Rng chunk_rng(splitmix64(derive));
+    chaos::StreamScope scope(c);
+
+    auto probe_name = [&](const dns::DnsName& name) -> Probe {
+      Probe p;
+      SimTime attempt_when = when;
+      std::int64_t backoff = options_.retry_backoff_s;
+      for (int attempt = 0;; ++attempt) {
+        const dns::ResolveResult res = resolver.resolve(name, dns::RrType::A, attempt_when,
+                                                        std::nullopt, options_.max_cname_hops);
+        if (!dns::is_lossy(res.status)) {
+          if (res.status == dns::ResolveStatus::chain_too_long) {
+            p.too_long = true;
+            return p;
+          }
+          if (res.status != dns::ResolveStatus::ok) return p;
+          const auto a = res.first_a();
+          if (!a) return p;
+          p.positive = true;
+          p.routable = routing.routable(*a);
           return p;
         }
-        if (res.status != dns::ResolveStatus::ok) return p;
-        const auto a = res.first_a();
-        if (!a) return p;
-        p.positive = true;
-        p.routable = routing.routable(*a);
-        return p;
+        if (res.status == dns::ResolveStatus::timed_out) {
+          ++part.dns_timeouts;
+        } else {
+          ++part.dns_servfails;
+        }
+        if (attempt >= options_.dns_max_retries) {
+          p.lost = true;
+          return p;
+        }
+        ++part.dns_retries;
+        attempt_when += backoff;
+        backoff *= 2;
       }
-      if (res.status == dns::ResolveStatus::timed_out) {
-        ++result.dns_timeouts;
-      } else {
-        ++result.dns_servfails;
-      }
-      if (attempt >= options_.dns_max_retries) {
-        p.lost = true;
-        return p;
-      }
-      ++result.dns_retries;
-      attempt_when += backoff;
-      backoff *= 2;
-    }
-  };
-  auto probe_text = [&](const std::string& fqdn) -> Probe {
-    const auto name = dns::DnsName::parse(fqdn);
-    if (!name) return Probe{};
-    return probe_name(*name);
-  };
+    };
+    auto probe_text = [&](const std::string& fqdn) -> Probe {
+      const auto name = dns::DnsName::parse(fqdn);
+      if (!name) return Probe{};
+      return probe_name(*name);
+    };
 
-  for (const PlanEntry& entry : plan) {
-    const auto it = by_suffix.find(entry.suffix);
-    if (it == by_suffix.end()) continue;
-    const std::string_view label_text = pool.labels().text(entry.label);
-    for (const ConstructionDomain& domain : it->second.domains) {
-      ++result.candidates;
-      std::string candidate;
-      candidate.reserve(label_text.size() + 1 + domain.text->size());
-      candidate += label_text;
-      candidate += '.';
-      candidate += *domain.text;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const PlanEntry& entry = plan[i];
+      const auto it = by_suffix.find(entry.suffix);
+      if (it == by_suffix.end()) continue;
+      const std::string_view label_text = pool.labels().text(entry.label);
+      for (const ConstructionDomain& domain : it->second.domains) {
+        ++part.candidates;
+        std::string candidate;
+        candidate.reserve(label_text.size() + 1 + domain.text->size());
+        candidate += label_text;
+        candidate += '.';
+        candidate += *domain.text;
 
-      // Candidate composition is integer work against the pool; only a
-      // name whose textual form would be unparseable (> 253 chars) is
-      // skipped, mirroring the string path's parse failure.
-      Probe test;
-      if (candidate.size() <= 253) {
-        const auto comp = pool.with_prefix(domain.ref, entry.label);
-        if (comp.fresh) ++result.unique_candidates;
-        test = probe_name(dns::DnsName::materialize(pool, comp.ref));
-      }
-      if (test.lost) {
-        // The test answer is unknown; probing the control could not make
-        // the candidate confirmable. Count the loss, skip the control.
-        ++result.lost_test_queries;
-        continue;
-      }
-      if (test.too_long) ++result.chain_too_long;
-      if (test.positive) {
-        ++result.test_replies;
-      } else {
-        ++result.test_unanswered;
-      }
+        // Candidate composition is integer work against the pool; only a
+        // name whose textual form would be unparseable (> 253 chars) is
+        // skipped, mirroring the string path's parse failure.
+        Probe test;
+        if (candidate.size() <= 253) {
+          const auto comp = pool.with_prefix(domain.ref, entry.label);
+          if (comp.fresh) ++part.unique_candidates;
+          test = probe_name(dns::DnsName::materialize(pool, comp.ref));
+        }
+        if (test.lost) {
+          // The test answer is unknown; probing the control could not make
+          // the candidate confirmable. Count the loss, skip the control.
+          ++part.lost_test_queries;
+          continue;
+        }
+        if (test.too_long) ++part.chain_too_long;
+        if (test.positive) {
+          ++part.test_replies;
+        } else {
+          ++part.test_unanswered;
+        }
 
-      // The paper scans the pseudo-random control for every candidate, not
-      // just the answered ones; both reply counts are funnel outputs.
-      Probe control;
-      if (options_.use_controls) {
-        const std::string control_fqdn =
-            rng.alnum_label(options_.control_label_length) + "." + *domain.text;
-        control = probe_text(control_fqdn);
-        if (control.positive) ++result.control_replies;
-      }
+        // The paper scans the pseudo-random control for every candidate,
+        // not just the answered ones; both reply counts are funnel outputs.
+        Probe control;
+        if (options_.use_controls) {
+          const std::string control_fqdn =
+              chunk_rng.alnum_label(options_.control_label_length) + "." + *domain.text;
+          control = probe_text(control_fqdn);
+          if (control.positive) ++part.control_replies;
+        }
 
-      if (!test.positive) continue;
-      if (options_.use_routing_filter && !test.routable) {
-        ++result.unroutable_dropped;
-        continue;
-      }
-      if (control.lost) {
-        // Cannot prove the zone is not a default-A responder: reject
-        // conservatively, but count why.
-        ++result.lost_control_queries;
-        continue;
-      }
-      if (control.positive) {
-        ++result.control_rejected;  // the zone answers anything; reject
-        continue;
-      }
-      ++result.confirmed;
-      if (sonar.contains(candidate)) {
-        ++result.known_in_sonar;
-      } else {
-        ++result.novel;
-      }
-      if (result.discoveries.size() < options_.keep_discoveries) {
-        result.discoveries.push_back(candidate);
+        if (!test.positive) continue;
+        if (options_.use_routing_filter && !test.routable) {
+          ++part.unroutable_dropped;
+          continue;
+        }
+        if (control.lost) {
+          // Cannot prove the zone is not a default-A responder: reject
+          // conservatively, but count why.
+          ++part.lost_control_queries;
+          continue;
+        }
+        if (control.positive) {
+          ++part.control_rejected;  // the zone answers anything; reject
+          continue;
+        }
+        ++part.confirmed;
+        if (sonar.contains(candidate)) {
+          ++part.known_in_sonar;
+        } else {
+          ++part.novel;
+        }
+        if (part.discoveries.size() < options_.keep_discoveries) {
+          part.discoveries.push_back(candidate);
+        }
       }
     }
+  });
+
+  // Merge in chunk order. Chunks cover contiguous plan slices, so
+  // concatenating the per-chunk discovery samples (each already capped)
+  // and truncating to the cap equals the serial capped list.
+  std::uint64_t imbalance_max = 0;
+  for (FunnelResult& part : partials) {
+    result.candidates += part.candidates;
+    result.unique_candidates += part.unique_candidates;
+    result.test_replies += part.test_replies;
+    result.test_unanswered += part.test_unanswered;
+    result.control_replies += part.control_replies;
+    result.unroutable_dropped += part.unroutable_dropped;
+    result.chain_too_long += part.chain_too_long;
+    result.control_rejected += part.control_rejected;
+    result.confirmed += part.confirmed;
+    result.known_in_sonar += part.known_in_sonar;
+    result.novel += part.novel;
+    result.lost_test_queries += part.lost_test_queries;
+    result.lost_control_queries += part.lost_control_queries;
+    result.dns_timeouts += part.dns_timeouts;
+    result.dns_servfails += part.dns_servfails;
+    result.dns_retries += part.dns_retries;
+    imbalance_max = std::max(imbalance_max, part.candidates);
+    for (std::string& discovery : part.discoveries) {
+      if (result.discoveries.size() >= options_.keep_discoveries) break;
+      result.discoveries.push_back(std::move(discovery));
+    }
+  }
+  if (result.candidates > 0 && cplan.chunks > 0) {
+    const double mean =
+        static_cast<double>(result.candidates) / static_cast<double>(cplan.chunks);
+    obs::Registry::global()
+        .gauge("par.imbalance.funnel")
+        .set(static_cast<std::int64_t>(static_cast<double>(imbalance_max) * 1000.0 / mean));
   }
 
   // One bulk update per run keeps the per-candidate loop free of metric

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "ctwatch/obs/obs.hpp"
+#include "ctwatch/par/par.hpp"
 
 namespace ctwatch::monitor {
 
@@ -131,13 +133,31 @@ const PassiveMonitor::CertAnalysis& PassiveMonitor::analyze(
     return it->second;
   }
   monitor_metrics().cache_misses.inc();
+  if (const auto it = pending_.find(key); it != pending_.end()) {
+    CertAnalysis analysis = std::move(it->second);
+    pending_.erase(it);
+    return adopt_analysis(key, std::move(analysis));
+  }
+  return adopt_analysis(key, compute_analysis(connection));
+}
 
-  CertAnalysis analysis;
+const PassiveMonitor::CertAnalysis& PassiveMonitor::adopt_analysis(const x509::Certificate* key,
+                                                                   CertAnalysis analysis) {
   ++totals_.unique_certificates;
+  if (analysis.has_cert_sct) ++totals_.unique_certs_with_embedded_sct;
+  for (InvalidSctObservation& observation : analysis.invalid_observations) {
+    invalid_.push_back(std::move(observation));
+  }
+  analysis.invalid_observations.clear();
+  return cache_.emplace(key, std::move(analysis)).first->second;
+}
+
+PassiveMonitor::CertAnalysis PassiveMonitor::compute_analysis(
+    const tls::ConnectionRecord& connection) const {
+  CertAnalysis analysis;
 
   const tls::SctList cert_scts = tls::embedded_scts(*connection.certificate);
   analysis.has_cert_sct = !cert_scts.empty();
-  if (analysis.has_cert_sct) ++totals_.unique_certs_with_embedded_sct;
   analysis.has_tls_sct =
       connection.tls_extension_scts && !connection.tls_extension_scts->empty();
   analysis.has_ocsp_sct = connection.ocsp_scts && !connection.ocsp_scts->empty();
@@ -150,33 +170,67 @@ const PassiveMonitor::CertAnalysis& PassiveMonitor::analyze(
         *connection.certificate,
         connection.issuer_public_key ? BytesView{*connection.issuer_public_key} : BytesView{empty_key});
     validate_channel(cert_scts, precert_entry, connection, tls::SctDelivery::certificate,
-                     analysis.cert_channel);
+                     analysis.cert_channel, analysis.invalid_observations);
   }
   if (analysis.has_tls_sct || analysis.has_ocsp_sct) {
     const ct::SignedEntry x509_entry = ct::make_x509_entry(*connection.certificate);
     if (analysis.has_tls_sct) {
       validate_channel(*connection.tls_extension_scts, x509_entry, connection,
-                       tls::SctDelivery::tls_extension, analysis.tls_channel);
+                       tls::SctDelivery::tls_extension, analysis.tls_channel,
+                       analysis.invalid_observations);
     }
     if (analysis.has_ocsp_sct) {
       validate_channel(*connection.ocsp_scts, x509_entry, connection,
-                       tls::SctDelivery::ocsp_staple, analysis.ocsp_channel);
+                       tls::SctDelivery::ocsp_staple, analysis.ocsp_channel,
+                       analysis.invalid_observations);
     }
   }
-  return cache_.emplace(key, std::move(analysis)).first->second;
+  return analysis;
+}
+
+void PassiveMonitor::process_batch(std::span<const tls::ConnectionRecord> connections) {
+  // Stage 1 — serial: the first connection of every not-yet-cached
+  // certificate, in stream order.
+  std::vector<std::size_t> fresh;
+  {
+    std::unordered_set<const x509::Certificate*> queued;
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      const x509::Certificate* key = connections[i].certificate.get();
+      if (key == nullptr) continue;  // process() throws when replayed below
+      if (cache_.contains(key) || pending_.contains(key)) continue;
+      if (queued.insert(key).second) fresh.push_back(i);
+    }
+  }
+
+  // Stage 2 — parallel: the expensive signature checks, one pure
+  // compute_analysis per fresh certificate.
+  std::vector<CertAnalysis> computed(fresh.size());
+  par::parallel_for(fresh.size(), 1, [&](std::size_t i) {
+    computed[i] = compute_analysis(connections[fresh[i]]);
+  });
+
+  // Stage 3 — serial: stage the analyses, then replay the stream through
+  // the ordinary path; analyze() adopts each pending analysis at its
+  // certificate's first connection, so every counter, order effect and
+  // cache hit/miss metric lands exactly as in a record-by-record run.
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    pending_.emplace(connections[fresh[i]].certificate.get(), std::move(computed[i]));
+  }
+  for (const tls::ConnectionRecord& connection : connections) process(connection);
 }
 
 void PassiveMonitor::validate_channel(const tls::SctList& scts, const ct::SignedEntry& entry,
                                       const tls::ConnectionRecord& connection,
                                       tls::SctDelivery delivery,
-                                      std::vector<std::pair<std::string, bool>>& out) {
+                                      std::vector<std::pair<std::string, bool>>& out,
+                                      std::vector<InvalidSctObservation>& invalid_out) const {
   for (const auto& sct : scts) {
     const ct::LogListEntry* log = logs_->find(sct.log_id);
     const std::string log_name = log != nullptr ? log->name : "<unknown>";
     const bool valid = log != nullptr && ct::verify_sct(sct, entry, log->public_key);
     if (!valid) {
       const crypto::Digest fp = connection.certificate->fingerprint();
-      invalid_.push_back(InvalidSctObservation{
+      invalid_out.push_back(InvalidSctObservation{
           connection.server_name, connection.certificate->tbs.issuer.common_name, delivery,
           log != nullptr ? log->name : "", Bytes(fp.begin(), fp.end())});
       obs::log_debug("monitor", "sct validation failed",

@@ -110,8 +110,12 @@ void Histogram::reset() {
 }
 
 Registry& Registry::global() {
-  static Registry registry;
-  return registry;
+  // Intentionally leaked: worker threads (ctwatch::par's global pool) may
+  // still be incrementing counters while function-local statics are torn
+  // down at exit. A heap singleton with no destructor call means metric
+  // storage outlives every thread; the OS reclaims it at process end.
+  static Registry* registry = new Registry();
+  return *registry;
 }
 
 Counter& Registry::counter(const std::string& name) {
@@ -218,6 +222,7 @@ void preregister_pipeline_metrics() {
            "enum.funnel.confirmed", "enum.funnel.novel",
            "namepool.label_intern.hits", "namepool.name_intern.hits",
            "namepool.name_intern.misses",
+           "par.tasks", "par.steals", "par.idle_ns",
        }) {
     registry.counter(name);
   }
@@ -225,6 +230,9 @@ void preregister_pipeline_metrics() {
   registry.gauge("namepool.bytes");
   registry.gauge("namepool.labels");
   registry.gauge("namepool.names");
+  registry.gauge("par.workers");
+  registry.gauge("par.imbalance.census");
+  registry.gauge("par.imbalance.funnel");
   registry.histogram("ct.log.merkle_integrate_us");
 #endif
 }

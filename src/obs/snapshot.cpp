@@ -1,0 +1,33 @@
+#include "ctwatch/obs/snapshot.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "ctwatch/obs/obs.hpp"
+
+namespace ctwatch::obs {
+
+std::string metrics_snapshot_path(const char* argv0) {
+  if (const char* env = std::getenv("CTWATCH_METRICS_JSON"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::string name = argv0 != nullptr ? argv0 : "bench";
+  if (const std::size_t slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  return name + ".metrics.json";
+}
+
+bool dump_metrics_snapshot(const std::string& path) {
+  preregister_pipeline_metrics();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot write metrics snapshot to %s\n", path.c_str());
+    return false;
+  }
+  out << Registry::global().render_json() << "\n";
+  return true;
+}
+
+}  // namespace ctwatch::obs

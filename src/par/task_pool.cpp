@@ -1,0 +1,199 @@
+#include "ctwatch/par/task_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "ctwatch/obs/obs.hpp"
+
+#ifndef CTWATCH_PAR_DEFAULT_THREADS
+#define CTWATCH_PAR_DEFAULT_THREADS 0  // 0 = auto-detect
+#endif
+
+namespace ctwatch::par {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter& tasks = obs::Registry::global().counter("par.tasks");
+  obs::Counter& steals = obs::Registry::global().counter("par.steals");
+  obs::Counter& idle_ns = obs::Registry::global().counter("par.idle_ns");
+  obs::Gauge& workers = obs::Registry::global().gauge("par.workers");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+struct GlobalPool {
+  std::mutex mu;
+  bool resolved = false;
+  unsigned threads = 1;
+  std::unique_ptr<TaskPool> pool;
+};
+
+GlobalPool& global_state() {
+  static GlobalPool state;
+  return state;
+}
+
+/// Rebuilds the shared pool for `threads`; caller holds state.mu.
+void rebuild_locked(GlobalPool& state, unsigned threads) {
+  state.pool.reset();
+  state.threads = threads == 0 ? 1 : threads;
+  state.resolved = true;
+  if (state.threads > 1) state.pool = std::make_unique<TaskPool>(state.threads);
+  pool_metrics().workers.set(static_cast<std::int64_t>(state.threads));
+}
+
+}  // namespace
+
+TaskPool::TaskPool(unsigned workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) workers_.push_back(std::make_unique<Worker>());
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  park_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void TaskPool::submit(Task task) {
+  const std::size_t target =
+      next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  workers_[target]->deque.push(std::move(task));
+  queued_.fetch_add(1, std::memory_order_release);
+  pool_metrics().tasks.inc();
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_one();
+  }
+}
+
+bool TaskPool::help_one() {
+  // An outside thread has no own deque; drain from the front so helping
+  // takes the oldest (coarsest) work.
+  for (auto& worker : workers_) {
+    Task task;
+    if (worker->deque.take_front(task)) {
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TaskPool::find_task(unsigned self, Task& out) {
+  if (workers_[self]->deque.pop(out)) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Steal half of the first non-empty victim's queue into our own deque,
+  // then run from there.
+  const std::size_t n = workers_.size();
+  std::deque<Task> loot;
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    const std::size_t victim = (self + offset) % n;
+    if (workers_[victim]->deque.steal_half(loot) > 0) {
+      pool_metrics().steals.inc();
+      out = std::move(loot.front());
+      loot.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      for (auto& task : loot) workers_[self]->deque.push(std::move(task));
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::worker_loop(unsigned index) {
+  for (;;) {
+    Task task;
+    if (find_task(index, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (queued_.load(std::memory_order_acquire) > 0) continue;  // lost race: rescan
+    parked_.fetch_add(1, std::memory_order_release);
+    const auto idle_from = std::chrono::steady_clock::now();
+    park_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    const auto idle = std::chrono::steady_clock::now() - idle_from;
+    parked_.fetch_sub(1, std::memory_order_release);
+    pool_metrics().idle_ns.inc(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(idle).count()));
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+unsigned TaskPool::configured_threads() {
+  if (const char* env = std::getenv("CTWATCH_PAR_THREADS"); env != nullptr && env[0] != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+#if CTWATCH_PAR_DEFAULT_THREADS > 0
+  return static_cast<unsigned>(CTWATCH_PAR_DEFAULT_THREADS);
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+#endif
+}
+
+TaskPool* TaskPool::global() {
+  GlobalPool& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.resolved) rebuild_locked(state, configured_threads());
+  return state.pool.get();
+}
+
+void TaskPool::set_global_threads(unsigned threads) {
+  GlobalPool& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  rebuild_locked(state, threads == 0 ? configured_threads() : threads);
+}
+
+unsigned TaskPool::effective_threads() {
+  GlobalPool& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.resolved) rebuild_locked(state, configured_threads());
+  return state.threads;
+}
+
+void TaskGroup::wait() {
+  if (pool_ != nullptr) {
+    while (pending_.load(std::memory_order_acquire) > 0) {
+      if (pool_->help_one()) continue;
+      // Nothing to help with: our tasks are running on workers. Block
+      // briefly; finish_one notifies, the timeout covers lost races.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(200),
+                   [this] { return pending_.load(std::memory_order_acquire) == 0; });
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::swap(error, error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ctwatch::par

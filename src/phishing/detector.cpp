@@ -1,6 +1,9 @@
 #include "ctwatch/phishing/detector.hpp"
 
+#include <iterator>
+
 #include "ctwatch/dns/name.hpp"
+#include "ctwatch/par/par.hpp"
 
 namespace ctwatch::phishing {
 
@@ -37,10 +40,12 @@ PhishingDetector::PhishingDetector(const dns::PublicSuffixList& psl, std::vector
   }
 }
 
-std::uint64_t PhishingDetector::label_mask(namepool::LabelId id) {
-  if (id >= label_masks_.size()) label_masks_.resize(id + 1, kMaskUnset);
-  std::uint64_t& slot = label_masks_[id];
-  if (slot != kMaskUnset) return slot;
+std::uint64_t PhishingDetector::label_mask(namepool::LabelId id) const {
+  std::atomic<std::uint64_t>* slot = masks_->slot(id);
+  if (slot) {
+    const std::uint64_t cached = slot->load(std::memory_order_relaxed);
+    if (cached != kMaskUnset) return cached;
+  }
   const std::string_view text = pool_->labels().text(id);
   std::uint64_t mask = 0;
   const std::size_t n = std::min<std::size_t>(rules_.size(), 63);
@@ -52,14 +57,15 @@ std::uint64_t PhishingDetector::label_mask(namepool::LabelId id) {
       }
     }
   }
-  slot = mask;
+  if (slot) slot->store(mask, std::memory_order_relaxed);
   return mask;
 }
 
-void PhishingDetector::scan_one(namepool::NameRef ref, std::vector<Finding>& findings) {
+void PhishingDetector::scan_one(namepool::NameRef ref, std::vector<Finding>& findings,
+                                ScanTally& tally) const {
   const auto split = psl_->split(*pool_, ref);
   if (!split) {
-    ++skipped_;
+    ++tally.skipped;
     return;
   }
   std::uint64_t mask = always_mask_;
@@ -70,7 +76,7 @@ void PhishingDetector::scan_one(namepool::NameRef ref, std::vector<Finding>& fin
   std::string registrable;
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     if (i < 63 && !(mask >> i & 1)) continue;
-    ++regex_evaluations_;
+    ++tally.regex_evaluations;
     if (!std::regex_search(text, compiled_[i])) continue;
     // Exclude the brand's own domains: a match inside the legitimate
     // registrable domain is not phishing.
@@ -82,27 +88,52 @@ void PhishingDetector::scan_one(namepool::NameRef ref, std::vector<Finding>& fin
   }
 }
 
-std::vector<Finding> PhishingDetector::scan(std::span<const std::string> fqdns) {
-  std::vector<Finding> findings;
-  for (const std::string& raw : fqdns) {
-    ++scanned_;
-    const auto ref = dns::DnsName::parse_into(*pool_, raw);
-    if (!ref) {
-      ++skipped_;
-      continue;
-    }
-    scan_one(*ref, findings);
+std::vector<Finding> PhishingDetector::merge_chunks(
+    std::vector<Finding> findings, std::vector<std::vector<Finding>>& chunk_findings,
+    std::vector<ScanTally>& tallies) {
+  // Chunks cover contiguous input slices, so chunk-order concatenation is
+  // the serial findings order; the tallies are order-independent sums.
+  for (const ScanTally& tally : tallies) {
+    scanned_ += tally.scanned;
+    skipped_ += tally.skipped;
+    regex_evaluations_ += tally.regex_evaluations;
+  }
+  for (std::vector<Finding>& chunk : chunk_findings) {
+    findings.insert(findings.end(), std::make_move_iterator(chunk.begin()),
+                    std::make_move_iterator(chunk.end()));
   }
   return findings;
 }
 
+std::vector<Finding> PhishingDetector::scan(std::span<const std::string> fqdns) {
+  const par::ChunkPlan plan = par::ChunkPlan::over(fqdns.size(), 256);
+  std::vector<std::vector<Finding>> chunk_findings(plan.chunks);
+  std::vector<ScanTally> tallies(plan.chunks);
+  par::parallel_for_chunks(fqdns.size(), 256, [&](std::size_t c, par::IndexRange range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      ++tallies[c].scanned;
+      const auto ref = dns::DnsName::parse_into(*pool_, fqdns[i]);
+      if (!ref) {
+        ++tallies[c].skipped;
+        continue;
+      }
+      scan_one(*ref, chunk_findings[c], tallies[c]);
+    }
+  });
+  return merge_chunks({}, chunk_findings, tallies);
+}
+
 std::vector<Finding> PhishingDetector::scan_refs(std::span<const namepool::NameRef> refs) {
-  std::vector<Finding> findings;
-  for (const namepool::NameRef ref : refs) {
-    ++scanned_;
-    scan_one(ref, findings);
-  }
-  return findings;
+  const par::ChunkPlan plan = par::ChunkPlan::over(refs.size(), 256);
+  std::vector<std::vector<Finding>> chunk_findings(plan.chunks);
+  std::vector<ScanTally> tallies(plan.chunks);
+  par::parallel_for_chunks(refs.size(), 256, [&](std::size_t c, par::IndexRange range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      ++tallies[c].scanned;
+      scan_one(refs[i], chunk_findings[c], tallies[c]);
+    }
+  });
+  return merge_chunks({}, chunk_findings, tallies);
 }
 
 std::map<std::string, BrandSummary> PhishingDetector::summarize(

@@ -28,11 +28,17 @@ TrafficStats TrafficGenerator::run(monitor::PassiveMonitor& monitor) {
     const auto volume = static_cast<std::uint64_t>(
         static_cast<double>(base) * (0.9 + 0.2 * rng_.uniform()));
 
+    // Generate the whole day first (the rng draw order is exactly the
+    // per-connection order), then hand the day to the monitor as one
+    // batch: process_batch parallelizes the certificate validation and
+    // replays the records in this same order.
+    std::vector<tls::ConnectionRecord> records;
+    records.reserve(volume);
     for (std::uint64_t i = 0; i < volume; ++i) {
       std::size_t rank = population_->popularity().sample(rng_);
       const SimTime when = SimTime{day * 86400 + static_cast<std::int64_t>(rng_.below(86400))};
       const bool signals = rng_.chance(options_.client_signal_rate);
-      monitor.process(population_->connect(rank, when, signals));
+      records.push_back(population_->connect(rank, when, signals));
       ++stats.connections;
     }
     if (burst) {
@@ -42,10 +48,11 @@ TrafficStats TrafficGenerator::run(monitor::PassiveMonitor& monitor) {
       for (std::uint64_t i = 0; i < extra; ++i) {
         const SimTime when =
             SimTime{day * 86400 + static_cast<std::int64_t>(rng_.below(86400))};
-        monitor.process(population_->connect(0, when, rng_.chance(options_.client_signal_rate)));
+        records.push_back(population_->connect(0, when, rng_.chance(options_.client_signal_rate)));
         ++stats.connections;
       }
     }
+    monitor.process_batch(records);
   }
   monitor.flush();
   return stats;
@@ -54,6 +61,8 @@ TrafficStats TrafficGenerator::run(monitor::PassiveMonitor& monitor) {
 ScanStats ScanDriver::run(monitor::PassiveMonitor& monitor) {
   ScanStats stats;
   const SimTime when = SimTime::parse(options_.date) + 12 * 3600;
+  std::vector<tls::ConnectionRecord> records;
+  records.reserve(population_->size());
   for (std::size_t rank = 0; rank < population_->size(); ++rank) {
     // Ethics: honor the opt-out blacklist (§3.1 best scanning practices).
     if (options_.blacklist.contains(population_->site(rank).fqdn)) {
@@ -61,9 +70,10 @@ ScanStats ScanDriver::run(monitor::PassiveMonitor& monitor) {
       continue;
     }
     // The scanner always offers the SCT extension.
-    monitor.process(population_->connect(rank, when, true));
+    records.push_back(population_->connect(rank, when, true));
     ++stats.servers_scanned;
   }
+  monitor.process_batch(records);
   monitor.flush();
   return stats;
 }

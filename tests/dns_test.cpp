@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "ctwatch/dns/name.hpp"
 #include "ctwatch/dns/psl.hpp"
 #include "ctwatch/dns/resolver.hpp"
@@ -167,6 +169,28 @@ TEST_F(PslTest, ExceptionRule) {
 TEST_F(PslTest, StringOverloadFiltersInvalidNames) {
   EXPECT_FALSE(psl_.split("not_valid..name"));
   EXPECT_TRUE(psl_.split("www.example.de"));
+}
+
+// Regression: the pooled-split rule cache was keyed by the NamePool's
+// address. A fresh pool reusing a destroyed pool's heap address hit the
+// stale cache, whose compiled label ids mean nothing in the new pool, and
+// every multi-label suffix silently degraded to its last label
+// ("co.uk" -> "uk"). The cache is keyed by NamePool::generation() now;
+// the create/destroy loop makes address reuse overwhelmingly likely.
+TEST_F(PslTest, PooledSplitSurvivesPoolReincarnation) {
+  for (int round = 0; round < 16; ++round) {
+    auto pool = std::make_unique<namepool::NamePool>();
+    // A different number of padding labels per round shifts every label id,
+    // so stale cached rule ids can never line up by coincidence.
+    for (int i = 0; i <= round; ++i) pool->labels().intern("pad" + std::to_string(i));
+    const auto ref = DnsName::parse_into(*pool, "www.example.co.uk");
+    ASSERT_TRUE(ref);
+    const auto split = psl_.split(*pool, *ref);
+    ASSERT_TRUE(split) << "round " << round;
+    EXPECT_EQ(pool->to_string(split->public_suffix), "co.uk") << "round " << round;
+    EXPECT_EQ(pool->to_string(split->registrable_domain), "example.co.uk");
+    EXPECT_EQ(split->subdomain_label_count, 1u);
+  }
 }
 
 TEST(PslRuleTest, AddRuleRejectsMalformed) {

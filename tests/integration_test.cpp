@@ -4,7 +4,13 @@
 // repository's regression net for the calibration.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+
 #include "ctwatch/core/ctwatch.hpp"
+#include "ctwatch/obs/obs.hpp"
 
 namespace ctwatch {
 namespace {
@@ -261,6 +267,51 @@ TEST(EndToEnd, Section34MonitorFlagsWhatTheStudyExplains) {
   const core::InvalidSctReport report = study.run();
   EXPECT_EQ(report.by_cause.count("san-reorder (GlobalSign class)"), 1u);
 }
+
+// ---------- the metrics snapshot producer ----------
+
+#ifndef CTWATCH_OBS_DISABLED
+TEST(EndToEnd, MetricsSnapshotHonorsEnvAndCarriesPreregisteredKeys) {
+  const std::string path = ::testing::TempDir() + "/ctwatch_metrics_snapshot.json";
+  ::setenv("CTWATCH_METRICS_JSON", path.c_str(), 1);
+  EXPECT_EQ(obs::metrics_snapshot_path("some_bench"), path);
+  ASSERT_TRUE(obs::dump_metrics_snapshot(obs::metrics_snapshot_path("some_bench")));
+  ::unsetenv("CTWATCH_METRICS_JSON");
+  // Without the env override, the path derives from the binary name.
+  EXPECT_EQ(obs::metrics_snapshot_path("/x/y/some_bench"), "some_bench.metrics.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  // Structural sanity: one top-level object with the three sections,
+  // balanced braces and quotes all through.
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  std::int64_t depth = 0;
+  std::int64_t quotes = 0;
+  for (const char c : json) {
+    if (c == '"') ++quotes;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  // The preregistered key set: namepool and par instrumentation must be
+  // present even when the corresponding code path never ran.
+  for (const char* key : {"\"namepool.bytes\"", "\"namepool.labels\"", "\"par.workers\"",
+                          "\"par.tasks\"", "\"par.steals\"", "\"par.idle_ns\"",
+                          "\"par.imbalance.census\"", "\"par.imbalance.funnel\"",
+                          "\"enum.funnel.candidates\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+#endif  // CTWATCH_OBS_DISABLED
 
 }  // namespace
 }  // namespace ctwatch

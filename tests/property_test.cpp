@@ -6,6 +6,8 @@
 
 #include "ctwatch/ct/auditor.hpp"
 #include "ctwatch/dns/psl.hpp"
+#include "ctwatch/namepool/namepool.hpp"
+#include "ctwatch/par/par.hpp"
 #include "ctwatch/sim/ca.hpp"
 #include "ctwatch/util/rng.hpp"
 #include "ctwatch/x509/redaction.hpp"
@@ -231,6 +233,101 @@ TEST_P(SeededProperty, PslSplitReassemblesToOriginalName) {
     if (suffix) {
       EXPECT_EQ(registrable->label_count(), suffix->label_count() + 1);
       EXPECT_TRUE(registrable->is_subdomain_of(*suffix));
+    }
+  }
+}
+
+// ---------- parallel primitives ----------
+
+TEST_P(SeededProperty, ParallelReduceMatchesSerialFoldAtRandomShapes) {
+  struct Guard {
+    ~Guard() { par::TaskPool::set_global_threads(0); }
+  } guard;
+  // String concatenation is associative but not commutative: the tree
+  // merge must equal the serial left fold for every (n, grain, threads).
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = rng_.below(1200);
+    const std::size_t grain = 1 + rng_.below(100);
+    const unsigned threads = 1 + static_cast<unsigned>(rng_.below(8));
+    par::TaskPool::set_global_threads(threads);
+
+    std::string expected;
+    for (std::size_t i = 0; i < n; ++i) expected += std::to_string(i) + ";";
+    const std::string got = par::parallel_reduce(
+        n, grain, std::string{},
+        [](std::size_t, par::IndexRange range) {
+          std::string part;
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            part += std::to_string(i) + ";";
+          }
+          return part;
+        },
+        [](std::string a, std::string b) { return std::move(a) + b; });
+    EXPECT_EQ(got, expected) << "n=" << n << " grain=" << grain << " threads=" << threads;
+  }
+}
+
+TEST_P(SeededProperty, ShardedTotalsAreInvariantUnderShardCount) {
+  // Whatever the shard count, every key lands in exactly one shard: the
+  // collapsed total is a constant of the data.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  const std::size_t count = 500 + rng_.below(3000);
+  std::uint64_t reference = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t key = rng_();
+    const std::uint64_t value = rng_.below(1000);
+    entries.emplace_back(key, value);
+    reference += value;
+  }
+  for (const std::size_t shard_count : {1u, 3u, 64u, 257u}) {
+    par::ShardedAccumulator<std::uint64_t> shards(shard_count);
+    for (const auto& [key, value] : entries) {
+      shards.shard(shards.shard_of(key)) += value;
+    }
+    std::uint64_t total = 0;
+    shards.collapse_into(total, [](std::uint64_t& target, std::uint64_t v) { target += v; });
+    EXPECT_EQ(total, reference) << shard_count << " shards";
+  }
+}
+
+// ---------- pooled name parsing vs the string path ----------
+
+TEST_P(SeededProperty, PooledParseAndPslSplitAgreeWithStringPath) {
+  const dns::PublicSuffixList psl = dns::PublicSuffixList::bundled();
+  namepool::NamePool pool;
+  const std::vector<std::string> suffixes = {"com", "co.uk", "de", "tech", "gov.uk",
+                                             "unknowntld"};
+  for (int i = 0; i < 80; ++i) {
+    // Random names, occasionally mangled into invalid shapes; parse()
+    // and parse_into() must agree on validity and on every byte.
+    std::string name = rng_.alnum_label(1 + rng_.below(10));
+    const std::size_t depth = rng_.below(3);
+    for (std::size_t d = 0; d < depth; ++d) name += "." + rng_.alnum_label(1 + rng_.below(10));
+    name += "." + suffixes[rng_.below(suffixes.size())];
+    if (rng_.chance(0.15)) name += ".";                       // trailing dot
+    if (rng_.chance(0.15)) name[rng_.below(name.size())] = 'A';  // case folding
+    if (rng_.chance(0.1)) name.insert(rng_.below(name.size()), ".");  // maybe ".."
+
+    const auto parsed = dns::DnsName::parse(name);
+    const auto ref = dns::DnsName::parse_into(pool, name);
+    ASSERT_EQ(parsed.has_value(), ref.has_value()) << name;
+    if (!parsed) continue;
+
+    // Round trip through the pool reproduces the parsed name exactly.
+    EXPECT_EQ(dns::DnsName::materialize(pool, *ref), *parsed) << name;
+    EXPECT_EQ(pool.to_string(*ref), parsed->to_string()) << name;
+
+    // The pooled PSL split agrees with the string split on every part.
+    const auto split = psl.split(*parsed);
+    const auto ref_split = psl.split(pool, *ref);
+    ASSERT_EQ(split.has_value(), ref_split.has_value()) << name;
+    if (!split) continue;
+    EXPECT_EQ(pool.to_string(ref_split->public_suffix), split->public_suffix) << name;
+    EXPECT_EQ(pool.to_string(ref_split->registrable_domain), split->registrable_domain)
+        << name;
+    EXPECT_EQ(ref_split->subdomain_label_count, split->subdomain_labels.size()) << name;
+    if (ref_split->subdomain_label_count > 0) {
+      EXPECT_EQ(pool.label(*ref, 0), split->subdomain_labels[0]) << name;
     }
   }
 }
