@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +53,25 @@ enum class ServerStatus : std::uint8_t { ok, timed_out, servfail };
 /// thousands of zones stays O(labels) per query.
 class AuthoritativeServer {
  public:
+  AuthoritativeServer() = default;
+  // Movable for setup-time composition only (the log mutex is not moved,
+  // the target gets a fresh one); never move a server with queries in
+  // flight.
+  AuthoritativeServer(AuthoritativeServer&& other) noexcept
+      : zones_(std::move(other.zones_)),
+        log_(std::move(other.log_)),
+        logging_(other.logging_),
+        chaos_(other.chaos_),
+        chaos_point_(std::move(other.chaos_point_)) {}
+  AuthoritativeServer& operator=(AuthoritativeServer&& other) noexcept {
+    zones_ = std::move(other.zones_);
+    log_ = std::move(other.log_);
+    logging_ = other.logging_;
+    chaos_ = other.chaos_;
+    chaos_point_ = std::move(other.chaos_point_);
+    return *this;
+  }
+
   /// Adds a zone; overlapping origins resolve to the longest match.
   /// Re-adding an origin replaces the zone.
   Zone& add_zone(DnsName origin);
@@ -77,19 +97,31 @@ class AuthoritativeServer {
 
   /// Query logging costs memory; bulk-resolution servers turn it off. The
   /// honeypot's own server keeps it on — it is the §6 observable.
+  /// Call before queries start, not concurrently with them.
   void set_logging(bool enabled) { logging_ = enabled; }
+  /// The log itself is append-safe under concurrent queries (the parallel
+  /// funnel resolves from many chunks at once; entries land in completion
+  /// order, so a parallel run's log *order* is interleaving-dependent —
+  /// order-sensitive consumers must drive the server serially). The
+  /// returned reference is unguarded: read it only after in-flight
+  /// queries have drained.
   [[nodiscard]] const std::vector<QueryLogEntry>& log() const { return log_; }
   /// Releases the log's memory, not just its size — long honeypot runs
   /// clear between observation windows and must actually get bytes back.
-  void clear_log() { std::vector<QueryLogEntry>().swap(log_); }
+  void clear_log() {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    std::vector<QueryLogEntry>().swap(log_);
+  }
   /// Approximate heap footprint of the query log (capacity, not size —
   /// what the allocator is actually holding for it).
   [[nodiscard]] std::size_t log_bytes_approx() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
     return log_.capacity() * sizeof(QueryLogEntry);
   }
 
  private:
   std::map<std::string, std::unique_ptr<Zone>> zones_;  // keyed by origin text
+  mutable std::mutex log_mu_;
   std::vector<QueryLogEntry> log_;
   bool logging_ = true;
   chaos::FaultInjector* chaos_ = nullptr;

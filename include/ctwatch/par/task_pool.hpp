@@ -198,8 +198,13 @@ class TaskGroup {
     if (!error_) error_ = std::current_exception();
   }
   void finish_one() {
+    // The decrement and the notify must form one critical section: wait()
+    // makes its return decision under mu_, so it can never observe zero
+    // while a worker sits between the decrement and the notify — the
+    // group is a stack local in the fork/join callers, and returning in
+    // that window would destroy the mutex under the worker's feet.
+    std::lock_guard<std::mutex> lock(mu_);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mu_);
       cv_.notify_all();
     }
   }

@@ -75,7 +75,10 @@ std::vector<ResourceRecord> AuthoritativeServer::query(const DnsQuestion& questi
       // SERVFAIL: the query reached us, so it *is* an observable.
       status = ServerStatus::servfail;
       resolver_metrics().auth_servfail.inc();
-      if (logging_) log_.push_back(QueryLogEntry{question, context, false});
+      if (logging_) {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        log_.push_back(QueryLogEntry{question, context, false});
+      }
       return {};
     }
   }
@@ -83,7 +86,10 @@ std::vector<ResourceRecord> AuthoritativeServer::query(const DnsQuestion& questi
   if (const Zone* zone = find_zone(question.qname)) {
     answers = zone->lookup(question.qname, question.qtype);
   }
-  if (logging_) log_.push_back(QueryLogEntry{question, context, !answers.empty()});
+  if (logging_) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.push_back(QueryLogEntry{question, context, !answers.empty()});
+  }
   return answers;
 }
 

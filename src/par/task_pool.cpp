@@ -72,12 +72,16 @@ void TaskPool::submit(Task task) {
   const std::size_t target =
       next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   workers_[target]->deque.push(std::move(task));
-  queued_.fetch_add(1, std::memory_order_release);
   pool_metrics().tasks.inc();
-  if (parked_.load(std::memory_order_acquire) > 0) {
-    std::lock_guard<std::mutex> lock(park_mu_);
-    park_cv_.notify_one();
-  }
+  // The queued_ increment and the notify decision happen under park_mu_,
+  // the same mutex a worker holds while deciding to park (queued_ check +
+  // parked_ increment). Either this section runs first — the worker then
+  // sees queued_ > 0 and rescans — or the worker parked first and
+  // parked_ > 0 forces the notify. Without the mutex both sides can read
+  // stale values and a worker sleeps untimed with this task queued.
+  std::lock_guard<std::mutex> lock(park_mu_);
+  queued_.fetch_add(1, std::memory_order_release);
+  if (parked_.load(std::memory_order_acquire) > 0) park_cv_.notify_one();
 }
 
 bool TaskPool::help_one() {
@@ -179,13 +183,24 @@ unsigned TaskPool::effective_threads() {
 
 void TaskGroup::wait() {
   if (pool_ != nullptr) {
-    while (pending_.load(std::memory_order_acquire) > 0) {
+    for (;;) {
+      {
+        // finish_one decrements pending_ under mu_, so seeing zero while
+        // holding mu_ means every worker has left the group's critical
+        // section — only then is it safe to return (and let the caller
+        // destroy this stack-local group).
+        std::lock_guard<std::mutex> lock(mu_);
+        if (pending_.load(std::memory_order_acquire) == 0) break;
+      }
       if (pool_->help_one()) continue;
       // Nothing to help with: our tasks are running on workers. Block
-      // briefly; finish_one notifies, the timeout covers lost races.
+      // briefly; finish_one notifies under mu_, the timeout covers tasks
+      // we could not see when help_one scanned the deques.
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::microseconds(200),
-                   [this] { return pending_.load(std::memory_order_acquire) == 0; });
+      if (cv_.wait_for(lock, std::chrono::microseconds(200),
+                       [this] { return pending_.load(std::memory_order_acquire) == 0; })) {
+        break;
+      }
     }
   }
   std::exception_ptr error;

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ctwatch/dns/resolver.hpp"
 #include "ctwatch/par/par.hpp"
 
 namespace ctwatch::par {
@@ -83,7 +84,9 @@ TEST(ChunkPlanTest, ChunksPartitionTheRange) {
         expect_begin = range.end;
       }
       EXPECT_EQ(covered, n) << "n=" << n << " grain=" << grain;
-      if (plan.chunks > 0) EXPECT_EQ(plan.chunk(plan.chunks - 1).end, n);
+      if (plan.chunks > 0) {
+        EXPECT_EQ(plan.chunk(plan.chunks - 1).end, n);
+      }
     }
   }
 }
@@ -149,6 +152,24 @@ TEST(TaskPoolTest, GroupIsReusableAfterWait) {
     group.wait();
   }
   EXPECT_EQ(count.load(), 150);
+}
+
+TEST(TaskPoolTest, GroupDestructionAfterWaitIsSafeUnderChurn) {
+  // Regression: finish_one once decremented pending_ outside mu_, so a
+  // wait()er could observe zero, return, and destroy the stack-local
+  // group while a worker was still about to lock its mutex. Thousands of
+  // tiny fork/join cycles keep workers in exactly that window; under TSAN
+  // a regression shows up as a lock of a destroyed mutex.
+  TaskPool pool(4);
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    std::atomic<int> ran{0};
+    TaskGroup group(&pool);
+    for (int i = 0; i < 4; ++i) {
+      group.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    ASSERT_EQ(ran.load(), 4);
+  }
 }
 
 TEST(TaskPoolTest, FirstExceptionIsRethrownAndLaterTasksStillRun) {
@@ -219,6 +240,45 @@ TEST(ParallelForTest, NestedParallelForCompletes) {
                  [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
   });
   EXPECT_EQ(total.load(), 8u * 200u);
+}
+
+TEST(ParallelForTest, LoggingAuthoritativeServerIsSafeUnderConcurrentResolves) {
+  GlobalThreadsGuard guard;
+  TaskPool::set_global_threads(4);
+  // Logging stays ON — this is the funnel-reaches-a-logging-server path
+  // (the honeypot's own server keeps logging enabled by design). Every
+  // resolve appends to the query log from whichever worker runs the
+  // chunk; the log must end up race-free and complete, though entry
+  // order is completion order (order-sensitive consumers drive the
+  // server serially).
+  dns::AuthoritativeServer server;
+  dns::Zone& zone = server.add_zone(dns::DnsName::parse_or_throw("example.org"));
+  zone.add(dns::ResourceRecord{dns::DnsName::parse_or_throw("www.example.org"), dns::RrType::A,
+                               300, net::IPv4(192, 0, 2, 1)});
+  dns::DnsUniverse universe;
+  universe.add_server(server);
+  dns::RecursiveResolver::Identity identity;
+  identity.address = net::IPv4(8, 8, 8, 8);
+  identity.asn = 15169;
+  identity.label = "par-test-resolver";
+  const dns::RecursiveResolver resolver(universe, identity);
+  const SimTime when = SimTime::parse("2018-04-27");
+  const auto qname = dns::DnsName::parse_or_throw("www.example.org");
+
+  constexpr std::size_t kQueries = 512;
+  std::atomic<std::size_t> answered{0};
+  parallel_for(kQueries, 8, [&](std::size_t) {
+    const auto result = resolver.resolve(qname, dns::RrType::A, when);
+    if (result.status == dns::ResolveStatus::ok) {
+      answered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(answered.load(), kQueries);
+  EXPECT_EQ(server.log().size(), kQueries);
+  for (const dns::QueryLogEntry& entry : server.log()) {
+    EXPECT_TRUE(entry.answered);
+    EXPECT_EQ(entry.context.resolver_label, "par-test-resolver");
+  }
 }
 
 TEST(ParallelForTest, ExceptionPropagatesFromChunkBody) {
