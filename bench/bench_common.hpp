@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,6 +17,57 @@
 #include "ctwatch/obs/obs.hpp"
 
 namespace ctwatch::bench {
+
+/// Minimal JSON object builder for RESULT lines. Insertion order is
+/// preserved; values are rendered eagerly so a field() chain reads like
+/// the object it produces.
+class Json {
+ public:
+  Json& field(const char* key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  Json& field(const char* key, std::int64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  Json& field(const char* key, int value) { return field(key, static_cast<std::int64_t>(value)); }
+  Json& field(const char* key, unsigned value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+  Json& field(const char* key, double value, int precision = 4) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return raw(key, buffer);
+  }
+  Json& field(const char* key, bool value) { return raw(key, value ? "true" : "false"); }
+  Json& field(const char* key, const char* value) { return field(key, std::string(value)); }
+  Json& field(const char* key, const std::string& value) {
+    return raw(key, "\"" + value + "\"");  // RESULT strings are identifier-like; no escaping
+  }
+  Json& field(const char* key, const Json& value) { return raw(key, value.str()); }
+
+  /// Appends a pre-rendered JSON value verbatim.
+  Json& raw(const char* key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+    body_ += rendered;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// The one RESULT schema every bench prints (and CI archives as
+/// BENCH_<name>.json): {"bench":<name>,"config":<inputs>,"metrics":<outputs>}.
+/// Scrapers key on the bench name instead of guessing each binary's shape.
+inline void emit_result(const char* bench, const Json& config, const Json& metrics) {
+  std::printf("RESULT {\"bench\":\"%s\",\"config\":%s,\"metrics\":%s}\n", bench,
+              config.str().c_str(), metrics.str().c_str());
+}
 
 inline void banner(const char* artifact, const char* note) {
   std::printf("================================================================\n");

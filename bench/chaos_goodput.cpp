@@ -150,11 +150,7 @@ int main(int argc, char** argv) {
 
   bool lost_completions = false;
   bool floor_violated = false;
-  std::string json = "RESULT {\"chaos_goodput\":{\"submissions\":" +
-                     std::to_string(options.submissions) +
-                     ",\"logs\":" + std::to_string(options.logs) +
-                     ",\"quorum\":" + std::to_string(options.quorum) + ",\"scenarios\":{";
-  bool first = true;
+  bench::Json scenarios_json;
   for (const Scenario& scenario : scenarios) {
     const ScenarioResult result = run_scenario(scenario, options);
     const logsvc::MultiLogTotals& totals = result.totals;
@@ -167,28 +163,35 @@ int main(int argc, char** argv) {
                 totals.hedges, result.breaker_trips, result.p50_us / 1000.0,
                 result.p99_us / 1000.0);
 
-    char buffer[512];
-    std::snprintf(
-        buffer, sizeof(buffer),
-        "%s\"%s\":{\"goodput\":%.4f,\"quorum\":%" PRIu64 ",\"degraded\":%" PRIu64
-        ",\"failed\":%" PRIu64 ",\"resolved\":%" PRIu64 ",\"attempts\":%" PRIu64
-        ",\"retries\":%" PRIu64 ",\"hedges\":%" PRIu64 ",\"timeouts\":%" PRIu64
-        ",\"errors\":%" PRIu64 ",\"breaker_skips\":%" PRIu64 ",\"breaker_trips\":%" PRIu64
-        ",\"quorum_latency_us\":{\"p50\":%.1f,\"p99\":%.1f}}",
-        first ? "" : ",", scenario.name, totals.goodput(), totals.quorum, totals.degraded,
-        totals.failed, totals.resolved(), totals.attempts, totals.retries, totals.hedges,
-        totals.timeouts, totals.errors, totals.breaker_skips, result.breaker_trips,
-        result.p50_us, result.p99_us);
-    json += buffer;
-    first = false;
+    scenarios_json.field(
+        scenario.name,
+        bench::Json()
+            .field("goodput", totals.goodput())
+            .field("quorum", totals.quorum)
+            .field("degraded", totals.degraded)
+            .field("failed", totals.failed)
+            .field("resolved", totals.resolved())
+            .field("attempts", totals.attempts)
+            .field("retries", totals.retries)
+            .field("hedges", totals.hedges)
+            .field("timeouts", totals.timeouts)
+            .field("errors", totals.errors)
+            .field("breaker_skips", totals.breaker_skips)
+            .field("breaker_trips", result.breaker_trips)
+            .field("quorum_latency_us", bench::Json()
+                                            .field("p50", result.p50_us, 1)
+                                            .field("p99", result.p99_us, 1)));
   }
-  json += "},\"lost_completions\":";
-  json += lost_completions ? "true" : "false";
-  json += ",\"goodput_floor_met\":";
-  json += floor_violated ? "false" : "true";
-  json += "}}";
-
-  std::printf("\n%s\n", json.c_str());
+  std::printf("\n");
+  bench::emit_result("chaos_goodput",
+                     bench::Json()
+                         .field("submissions", options.submissions)
+                         .field("logs", options.logs)
+                         .field("quorum", options.quorum),
+                     bench::Json()
+                         .field("scenarios", scenarios_json)
+                         .field("lost_completions", lost_completions)
+                         .field("goodput_floor_met", !floor_violated));
   if (lost_completions) std::fprintf(stderr, "FAIL: some submissions never resolved\n");
   if (floor_violated) {
     std::fprintf(stderr, "FAIL: acceptance scenario goodput below the 95%% floor\n");

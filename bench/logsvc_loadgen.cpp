@@ -268,20 +268,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(read_total.inclusion_verified),
               static_cast<unsigned long long>(read_total.consistency_verified),
               static_cast<unsigned long long>(read_total.failures));
-  std::printf(
-      "RESULT {\"loadgen\":{\"submitters\":%d,\"readers\":%d,\"window_s\":%.3f,"
-      "\"attempted\":%llu,\"queued\":%llu,\"overload_rejected\":%llu,\"completed\":%llu,"
-      "\"throughput_per_s\":%.1f,\"latency_us\":{\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f},"
-      "\"reads\":{\"sth\":%llu,\"inclusion\":%llu,\"consistency\":%llu,\"failures\":%llu}}}\n",
-      options.submitters, options.readers, submit_window_s,
-      static_cast<unsigned long long>(submit_total.attempted),
-      static_cast<unsigned long long>(submit_total.queued),
-      static_cast<unsigned long long>(submit_total.overloaded),
-      static_cast<unsigned long long>(done), throughput, p50, p90, p99,
-      static_cast<unsigned long long>(read_total.sth_verified),
-      static_cast<unsigned long long>(read_total.inclusion_verified),
-      static_cast<unsigned long long>(read_total.consistency_verified),
-      static_cast<unsigned long long>(read_total.failures));
+  bench::emit_result(
+      "logsvc_loadgen",
+      bench::Json()
+          .field("submitters", options.submitters)
+          .field("readers", options.readers)
+          .field("window_s", submit_window_s, 3),
+      bench::Json()
+          .field("attempted", submit_total.attempted)
+          .field("queued", submit_total.queued)
+          .field("overload_rejected", submit_total.overloaded)
+          .field("completed", done)
+          .field("throughput_per_s", throughput, 1)
+          .field("latency_us",
+                 bench::Json().field("p50", p50, 1).field("p90", p90, 1).field("p99", p99, 1))
+          .field("reads", bench::Json()
+                              .field("sth", read_total.sth_verified)
+                              .field("inclusion", read_total.inclusion_verified)
+                              .field("consistency", read_total.consistency_verified)
+                              .field("failures", read_total.failures)));
 
   bench::dump_metrics_snapshot(bench::metrics_snapshot_path(argv[0]));
   return (read_total.failures == 0 && complete) ? 0 : 1;

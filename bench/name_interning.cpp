@@ -318,18 +318,25 @@ int main(int argc, char** argv) {
               pooled_rank_time.seconds * 1e3, string_rank_time.seconds * 1e3, ct_names.size(),
               table2_speedup, table2_parity ? "ok" : "FAILED");
 
-  std::printf(
-      "RESULT {\"name_interning\":{\"composed\":%llu,\"unique\":%llu,\"too_long\":%llu,"
-      "\"pooled_candidates_per_s\":%.0f,\"string_candidates_per_s\":%.0f,"
-      "\"speedup\":%.3f,\"pooled_resident_bytes\":%zu,\"string_resident_bytes\":%zu,"
-      "\"memory_ratio\":%.3f,\"pool_bytes_used\":%zu,\"parity\":%s,"
-      "\"table2_pooled_names_per_s\":%.0f,\"table2_string_names_per_s\":%.0f,"
-      "\"table2_speedup\":%.3f,\"table2_parity\":%s}}\n",
-      static_cast<unsigned long long>(pooled.composed),
-      static_cast<unsigned long long>(pooled.unique),
-      static_cast<unsigned long long>(pooled.too_long), pooled_rate, string_rate, speedup,
-      pooled_resident, string_resident, mem_ratio, pool.bytes_used(), parity ? "true" : "false",
-      pooled_rank_rate, string_rank_rate, table2_speedup, table2_parity ? "true" : "false");
+  bench::emit_result(
+      "name_interning",
+      bench::Json()
+          .field("composed", pooled.composed)
+          .field("unique", pooled.unique)
+          .field("too_long", pooled.too_long),
+      bench::Json()
+          .field("pooled_candidates_per_s", pooled_rate, 0)
+          .field("string_candidates_per_s", string_rate, 0)
+          .field("speedup", speedup, 3)
+          .field("pooled_resident_bytes", static_cast<std::uint64_t>(pooled_resident))
+          .field("string_resident_bytes", static_cast<std::uint64_t>(string_resident))
+          .field("memory_ratio", mem_ratio, 3)
+          .field("pool_bytes_used", static_cast<std::uint64_t>(pool.bytes_used()))
+          .field("parity", parity)
+          .field("table2_pooled_names_per_s", pooled_rank_rate, 0)
+          .field("table2_string_names_per_s", string_rank_rate, 0)
+          .field("table2_speedup", table2_speedup, 3)
+          .field("table2_parity", table2_parity));
 
   int violations = 0;
   if (!parity) {

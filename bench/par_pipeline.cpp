@@ -184,18 +184,24 @@ int main(int argc, char** argv) {
   std::printf("census+funnel speedup at %u threads: %.2fx   parity: %s\n\n", widest.threads,
               speedup, parity ? "ok" : "FAILED");
 
-  std::printf(
-      "RESULT {\"par_pipeline\":{\"hardware_threads\":%u,\"widest_threads\":%u,"
-      "\"census_serial_s\":%.4f,\"funnel_serial_s\":%.4f,\"phishing_serial_s\":%.4f,"
-      "\"census_parallel_s\":%.4f,\"funnel_parallel_s\":%.4f,\"phishing_parallel_s\":%.4f,"
-      "\"speedup\":%.3f,\"candidates\":%llu,\"confirmed\":%llu,\"phishing_findings\":%zu,"
-      "\"parity\":%s,\"sanitized\":%s}}\n",
-      hw, widest.threads, baseline.census_seconds, baseline.funnel_seconds,
-      baseline.phishing_seconds, widest.census_seconds, widest.funnel_seconds,
-      widest.phishing_seconds, speedup,
-      static_cast<unsigned long long>(baseline.funnel.candidates),
-      static_cast<unsigned long long>(baseline.funnel.confirmed), baseline.findings.size(),
-      parity ? "true" : "false", CTWATCH_BENCH_SANITIZED ? "true" : "false");
+  bench::emit_result(
+      "par_pipeline",
+      bench::Json()
+          .field("hardware_threads", hw)
+          .field("widest_threads", widest.threads)
+          .field("sanitized", static_cast<bool>(CTWATCH_BENCH_SANITIZED)),
+      bench::Json()
+          .field("census_serial_s", baseline.census_seconds, 4)
+          .field("funnel_serial_s", baseline.funnel_seconds, 4)
+          .field("phishing_serial_s", baseline.phishing_seconds, 4)
+          .field("census_parallel_s", widest.census_seconds, 4)
+          .field("funnel_parallel_s", widest.funnel_seconds, 4)
+          .field("phishing_parallel_s", widest.phishing_seconds, 4)
+          .field("speedup", speedup, 3)
+          .field("candidates", baseline.funnel.candidates)
+          .field("confirmed", baseline.funnel.confirmed)
+          .field("phishing_findings", static_cast<std::uint64_t>(baseline.findings.size()))
+          .field("parity", parity));
 
   int violations = 0;
   if (!parity) {

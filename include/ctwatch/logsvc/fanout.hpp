@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -19,6 +20,7 @@
 
 #include "ctwatch/crypto/sha256.hpp"
 #include "ctwatch/logsvc/queue.hpp"
+#include "ctwatch/obs/trace.hpp"
 
 namespace ctwatch::logsvc {
 
@@ -30,6 +32,11 @@ struct StreamEvent {
   crypto::Digest leaf_hash{};
   crypto::Digest fingerprint{};
   std::string issuer_cn;
+  /// Causal link to the submission's span tree: dispatch spans opened
+  /// under this context parent to the sequencer's per-entry span.
+  obs::TraceContext trace{};
+  /// When publish() offered the event; dispatch latency measures from it.
+  std::chrono::steady_clock::time_point published_at{};
 };
 
 class StreamFanout {

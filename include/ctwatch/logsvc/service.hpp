@@ -46,6 +46,7 @@
 #include "ctwatch/logsvc/fanout.hpp"
 #include "ctwatch/logsvc/queue.hpp"
 #include "ctwatch/logsvc/store.hpp"
+#include "ctwatch/obs/trace.hpp"
 #include "ctwatch/util/time.hpp"
 
 namespace ctwatch::logsvc {
@@ -232,6 +233,9 @@ class LogService {
     std::string issuer_cn;
     std::uint64_t timestamp_ms = 0;
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Submitter's trace position: sequencer-side spans parent to the
+    /// submit span, stitching the batch hand-off across threads.
+    obs::TraceContext trace{};
     CompletionFn done;
   };
 

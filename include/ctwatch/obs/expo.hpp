@@ -1,0 +1,105 @@
+// ctwatch::obs — ExpoServer: live metrics over HTTP.
+//
+// A deliberately small exposition endpoint: one background thread runs a
+// poll()-based non-blocking loop over a listening TCP socket and its
+// accepted connections, answering
+//
+//   GET /metrics  Prometheus text exposition 0.0.4 (counters, gauges,
+//                 and every histogram as a quantile-labelled summary)
+//   GET /vars     the registry's JSON rendering
+//   GET /trace    the most recent spans as JSON (id/parent/trace/thread)
+//
+// It exists so a running bench or service can be scraped while it works —
+// and as the seed of the eventual ctwatch::httpd front end (ROADMAP item:
+// the CT log HTTP API will grow out of this event loop). No threads per
+// connection, no blocking I/O, no dependencies beyond POSIX sockets.
+//
+// Thread-safety: the loop thread only reads process-global state through
+// the registry's and tracer's own locks; start()/stop() may be called
+// from any single thread. Under CTWATCH_OBS_DISABLED (or non-POSIX), the
+// server compiles to a stub whose start() fails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#ifndef CTWATCH_OBS_DISABLED
+
+#include <atomic>
+#include <thread>
+
+namespace ctwatch::obs {
+
+class ExpoServer {
+ public:
+  struct Options {
+    /// 0 picks an ephemeral port; read it back with port() after start().
+    std::uint16_t port = 0;
+    /// Loopback by default: this is an operator endpoint, not a public one.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  ExpoServer() = default;
+  explicit ExpoServer(Options options) : options_(std::move(options)) {}
+  ~ExpoServer();
+
+  ExpoServer(const ExpoServer&) = delete;
+  ExpoServer& operator=(const ExpoServer&) = delete;
+
+  /// Binds, listens, and starts the loop thread. False if the socket
+  /// could not be set up (port in use, bad address). Idempotent while
+  /// running.
+  bool start();
+
+  /// Wakes the loop, closes every socket, joins the thread. Safe to call
+  /// when not running.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound port (resolves Options::port == 0). 0 before start().
+  [[nodiscard]] std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Requests answered since start (any status). For tests.
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  /// Builds the full HTTP response for one parsed request line.
+  std::string respond(const std::string& method, const std::string& path, bool keep_alive);
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: stop() pokes the poll loop
+  std::thread thread_;
+};
+
+}  // namespace ctwatch::obs
+
+#else  // CTWATCH_OBS_DISABLED
+
+namespace ctwatch::obs {
+
+class ExpoServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;
+    std::string bind_address = "127.0.0.1";
+  };
+  ExpoServer() = default;
+  explicit ExpoServer(Options) {}
+  bool start() { return false; }
+  void stop() {}
+  [[nodiscard]] bool running() const { return false; }
+  [[nodiscard]] std::uint16_t port() const { return 0; }
+  [[nodiscard]] std::uint64_t requests_served() const { return 0; }
+};
+
+}  // namespace ctwatch::obs
+
+#endif  // CTWATCH_OBS_DISABLED

@@ -14,7 +14,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "ctwatch/obs/histogram.hpp"
 
 #ifndef CTWATCH_OBS_DISABLED
 
@@ -25,6 +28,12 @@
 #include <mutex>
 
 namespace ctwatch::obs {
+
+/// logfmt/Prometheus-safe metric name: [a-zA-Z_] first, then
+/// [a-zA-Z0-9_.], non-empty. Dots are the ctwatch namespace separator
+/// (rendered as '_' in Prometheus exposition). Debug builds assert this
+/// on every registry registration.
+[[nodiscard]] bool is_valid_metric_name(std::string_view name);
 
 /// Monotonically increasing event count. Thread-safe; increments are
 /// relaxed — totals are exact, ordering against other metrics is not.
@@ -62,8 +71,10 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
   [[nodiscard]] double mean() const;
-  /// q in [0,1]; returns the interpolated value, or 0 when empty. Mass in
-  /// the overflow bucket reports the largest finite bound.
+  /// q is clamped into [0,1] (NaN reads as 0). Returns the interpolated
+  /// value, or 0 when empty; the result is always clamped to the finite
+  /// bound range — mass in the overflow bucket reports the largest finite
+  /// bound, never a value extrapolated past it.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
@@ -80,12 +91,13 @@ class Histogram {
 /// the usual latency-histogram layout.
 std::vector<double> exponential_bounds(double start, double factor, std::size_t count);
 
-/// Times a scope and records microseconds into a histogram. Compiles to
-/// nothing when the subsystem is disabled (no clock reads).
+/// Times a scope and records microseconds into a histogram (fixed-bucket
+/// Histogram or LogLinearHistogram — anything with observe(double)).
+/// Compiles to nothing when the subsystem is disabled (no clock reads).
+template <typename H = Histogram>
 class ScopedTimer {
  public:
-  explicit ScopedTimer(Histogram& hist)
-      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimer(H& hist) : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
   ~ScopedTimer() {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     hist_->observe(std::chrono::duration<double, std::micro>(elapsed).count());
@@ -94,9 +106,12 @@ class ScopedTimer {
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
-  Histogram* hist_;
+  H* hist_;
   std::chrono::steady_clock::time_point start_;
 };
+
+template <typename H>
+ScopedTimer(H&) -> ScopedTimer<H>;
 
 /// Name -> metric. Lookup is mutexed; returned references live for the
 /// process, so modules resolve their handles once in a local static.
@@ -109,20 +124,35 @@ class Registry {
   /// Re-requesting an existing histogram ignores `bounds`. An empty
   /// `bounds` gets the default microsecond latency layout.
   Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+  /// Auto-ranging log-linear histogram — the hot-path latency type: O(1)
+  /// record, mergeable, no bounds to choose. Shares the "histograms"
+  /// section of every rendering with the fixed-bucket kind (names must
+  /// not collide across the two).
+  LogLinearHistogram& latency(const std::string& name);
 
   /// Human-readable table, one metric per line, sorted by name.
   [[nodiscard]] std::string render_text() const;
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
   /// p50,p90,p99}}} with names sorted.
   [[nodiscard]] std::string render_json() const;
+  /// Prometheus text exposition (version 0.0.4): names with dots mapped
+  /// to underscores and prefixed "ctwatch_", histograms rendered as
+  /// summaries (quantile-labelled samples plus _sum/_count). What the
+  /// ExpoServer serves at /metrics.
+  [[nodiscard]] std::string render_prometheus() const;
   /// Zeroes every metric; handles stay valid. Intended for tests.
   void reset();
 
  private:
+  struct DistRow;  // one rendered distribution, either histogram type
+  /// Merged, name-sorted snapshot of histograms_ + latencies_. mu_ held.
+  [[nodiscard]] std::vector<DistRow> distribution_rows() const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LogLinearHistogram>> latencies_;
 };
 
 }  // namespace ctwatch::obs
@@ -130,6 +160,8 @@ class Registry {
 #else  // CTWATCH_OBS_DISABLED — same API, empty inline bodies.
 
 namespace ctwatch::obs {
+
+inline bool is_valid_metric_name(std::string_view) { return true; }
 
 class Counter {
  public:
@@ -159,10 +191,14 @@ class Histogram {
 
 inline std::vector<double> exponential_bounds(double, double, std::size_t) { return {}; }
 
+template <typename H = Histogram>
 class ScopedTimer {
  public:
-  explicit ScopedTimer(Histogram&) {}
+  explicit ScopedTimer(H&) {}
 };
+
+template <typename H>
+ScopedTimer(H&) -> ScopedTimer<H>;
 
 class Registry {
  public:
@@ -173,16 +209,19 @@ class Registry {
   Counter& counter(const std::string&) { return counter_; }
   Gauge& gauge(const std::string&) { return gauge_; }
   Histogram& histogram(const std::string&, std::vector<double> = {}) { return histogram_; }
+  LogLinearHistogram& latency(const std::string&) { return latency_; }
   [[nodiscard]] std::string render_text() const { return ""; }
   [[nodiscard]] std::string render_json() const {
     return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
   }
+  [[nodiscard]] std::string render_prometheus() const { return ""; }
   void reset() {}
 
  private:
   Counter counter_;
   Gauge gauge_;
   Histogram histogram_;
+  LogLinearHistogram latency_;
 };
 
 }  // namespace ctwatch::obs

@@ -1,8 +1,10 @@
 // ctwatch::obs — umbrella header.
 //
 // Observability for the measurement pipeline itself: a metrics registry
-// (counters / gauges / histograms), tracing spans with chrome://tracing
-// export, and a structured logger. Sits below util in the layering — it
+// (counters / gauges / fixed-bucket and log-linear histograms), causal
+// tracing spans with chrome://tracing export (cross-thread hand-offs as
+// flow events), an always-on flight recorder, a structured logger, and a
+// live HTTP exposition endpoint. Sits below util in the layering — it
 // depends on nothing else in ctwatch, so every module may instrument
 // itself freely.
 //
@@ -15,6 +17,9 @@
 // compile the whole subsystem down to no-ops.
 #pragma once
 
+#include "ctwatch/obs/expo.hpp"
+#include "ctwatch/obs/flight.hpp"
+#include "ctwatch/obs/histogram.hpp"
 #include "ctwatch/obs/log.hpp"
 #include "ctwatch/obs/metrics.hpp"
 #include "ctwatch/obs/snapshot.hpp"

@@ -126,6 +126,9 @@ FaultDecision FaultInjector::evaluate(const std::string& point, std::uint64_t no
     state->faults.fetch_add(1, std::memory_order_relaxed);
     metrics.faults.inc();
     (decision.kind == FaultKind::timeout ? metrics.timeouts : metrics.errors).inc();
+    // Anomalies land in the flight recorder: a post-mortem dump shows
+    // which injected fault preceded the failure, with its point ordinal.
+    obs::flight_note("chaos.fault", ordinal, static_cast<std::uint64_t>(decision.kind));
   }
   return decision;
 }

@@ -25,6 +25,8 @@ struct FunnelMetrics {
   obs::Counter& lost_test = obs::Registry::global().counter("enum.funnel.lost_test_queries");
   obs::Counter& lost_control = obs::Registry::global().counter("enum.funnel.lost_control_queries");
   obs::Counter& dns_retries = obs::Registry::global().counter("enum.funnel.dns_retries");
+  obs::Gauge& imbalance = obs::Registry::global().gauge("par.imbalance.funnel");
+  obs::LogLinearHistogram& stage_us = obs::Registry::global().latency("enum.funnel.stage_us");
 };
 
 FunnelMetrics& funnel_metrics() {
@@ -181,6 +183,7 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
                                       const net::RoutingTable& routing, Rng& rng,
                                       SimTime when) const {
   CTWATCH_SPAN("enum.funnel.run");
+  obs::ScopedTimer stage_timer(funnel_metrics().stage_us);
   namepool::NamePool& pool = census_->pool();
   FunnelResult result;
   const auto plan = build_plan_refs();
@@ -359,17 +362,15 @@ FunnelResult SubdomainEnumerator::run(const std::vector<std::string>& domain_lis
       result.discoveries.push_back(std::move(discovery));
     }
   }
-  if (result.candidates > 0 && cplan.chunks > 0) {
-    const double mean =
-        static_cast<double>(result.candidates) / static_cast<double>(cplan.chunks);
-    obs::Registry::global()
-        .gauge("par.imbalance.funnel")
-        .set(static_cast<std::int64_t>(static_cast<double>(imbalance_max) * 1000.0 / mean));
-  }
-
   // One bulk update per run keeps the per-candidate loop free of metric
   // traffic while the registry still sees every funnel stage.
   FunnelMetrics& metrics = funnel_metrics();
+  if (result.candidates > 0 && cplan.chunks > 0) {
+    const double mean =
+        static_cast<double>(result.candidates) / static_cast<double>(cplan.chunks);
+    metrics.imbalance.set(
+        static_cast<std::int64_t>(static_cast<double>(imbalance_max) * 1000.0 / mean));
+  }
   metrics.candidates.inc(result.candidates);
   metrics.unique_candidates.inc(result.unique_candidates);
   metrics.test_replies.inc(result.test_replies);

@@ -9,6 +9,8 @@ namespace {
 struct FanoutMetrics {
   obs::Counter& delivered = obs::Registry::global().counter("logsvc.fanout.delivered");
   obs::Counter& dropped = obs::Registry::global().counter("logsvc.fanout.dropped");
+  obs::LogLinearHistogram& dispatch_us =
+      obs::Registry::global().latency("logsvc.fanout_dispatch_us");
 };
 
 FanoutMetrics& fanout_metrics() {
@@ -28,9 +30,11 @@ void StreamFanout::subscribe(std::string name, Callback callback) {
 }
 
 void StreamFanout::publish(const StreamEvent& event) {
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& subscriber : subscribers_) {
     StreamEvent copy = event;
+    copy.published_at = now;
     if (subscriber->ring.try_push(std::move(copy)) != PushResult::ok) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       fanout_metrics().dropped.inc();
@@ -46,6 +50,17 @@ void StreamFanout::dispatch_loop(Subscriber& subscriber) {
     batch.clear();
     subscriber.ring.drain(batch, 256);
     for (const StreamEvent& event : batch) {
+      // The dispatch span parents to the sequencer's per-entry span — the
+      // third thread in a submission's causal tree (submitter, sequencer,
+      // dispatcher).
+      obs::ContextScope link(event.trace);
+      CTWATCH_SPAN("logsvc.fanout.dispatch");
+      if (event.published_at.time_since_epoch().count() != 0) {
+        fanout_metrics().dispatch_us.observe(std::chrono::duration<double, std::micro>(
+                                                 std::chrono::steady_clock::now() -
+                                                 event.published_at)
+                                                 .count());
+      }
       subscriber.callback(event);
       delivered_.fetch_add(1, std::memory_order_relaxed);
       fanout_metrics().delivered.inc();

@@ -21,6 +21,10 @@ struct MultiLogMetrics {
   obs::Counter& breaker_trips = obs::Registry::global().counter("multilog.breaker_trips");
   obs::Histogram& quorum_latency_us = obs::Registry::global().histogram(
       "multilog.quorum_latency_us", obs::exponential_bounds(64.0, 2.0, 20));
+  // Wall-clock cost of running one submission's virtual-time event loop
+  // (quorum_latency_us above is simulated time; this is compute time).
+  obs::LogLinearHistogram& submit_wall_us =
+      obs::Registry::global().latency("multilog.submit_wall_us");
 };
 
 MultiLogMetrics& multilog_metrics() {
@@ -45,6 +49,8 @@ std::uint64_t MultiLogSubmitter::breaker_trips() const {
 }
 
 SubmitReport MultiLogSubmitter::submit(std::uint64_t submission_id, std::uint64_t start_us) {
+  CTWATCH_SPAN("multilog.submit");
+  obs::ScopedTimer wall_timer(multilog_metrics().submit_wall_us);
   enum class EventType : std::uint8_t { completion, hedge_check, retry };
   struct Event {
     std::uint64_t time;

@@ -28,6 +28,15 @@ struct SvcMetrics {
   obs::Histogram& seal_us = obs::Registry::global().histogram("logsvc.seal_us");
   obs::Histogram& submit_to_sct_us =
       obs::Registry::global().histogram("logsvc.submit_to_sct_us");
+  // Per-stage latencies (log-linear: auto-ranging, mergeable) — one
+  // submission's journey decomposed: ingress, queue wait, merge window,
+  // per-entry signing. Fanout dispatch lives in fanout.cpp.
+  obs::LogLinearHistogram& submit_us = obs::Registry::global().latency("logsvc.submit_us");
+  obs::LogLinearHistogram& queue_wait_us =
+      obs::Registry::global().latency("logsvc.queue_wait_us");
+  obs::LogLinearHistogram& merge_delay_us =
+      obs::Registry::global().latency("logsvc.merge_delay_us");
+  obs::LogLinearHistogram& sign_us = obs::Registry::global().latency("logsvc.sign_us");
 };
 
 SvcMetrics& svc_metrics() {
@@ -75,6 +84,11 @@ ct::LogId LogService::log_id() const {
 SubmitStatus LogService::submit(ct::SignedEntry entry, const crypto::Digest& fingerprint,
                                 std::string issuer_cn, SimTime now, CompletionFn done) {
   SvcMetrics& metrics = svc_metrics();
+  // Root of the submission's causal tree: the sequencer's per-entry span
+  // and the fanout dispatch span both descend from this one via the
+  // context captured into Pending below.
+  obs::Span submit_span("logsvc.submit");
+  obs::ScopedTimer submit_timer(metrics.submit_us);
   metrics.submissions.inc();
   if (!running_.load(std::memory_order_acquire)) return SubmitStatus::shutdown;
 
@@ -84,6 +98,7 @@ SubmitStatus LogService::submit(ct::SignedEntry entry, const crypto::Digest& fin
     if (decision.faulted()) {
       chaos_dropped_.fetch_add(1, std::memory_order_relaxed);
       metrics.chaos_dropped.inc();
+      obs::flight_note("logsvc.chaos_drop", to_millis(now));
       obs::log_debug("logsvc", "submission dropped by fault injection", {{"log", config_.name}});
       return SubmitStatus::dropped;
     }
@@ -95,6 +110,7 @@ SubmitStatus LogService::submit(ct::SignedEntry entry, const crypto::Digest& fin
   pending.issuer_cn = std::move(issuer_cn);
   pending.timestamp_ms = to_millis(now);
   pending.enqueued_at = std::chrono::steady_clock::now();
+  pending.trace = submit_span.context();
   pending.done = std::move(done);
 
   switch (queue_.try_push(std::move(pending))) {
@@ -103,6 +119,7 @@ SubmitStatus LogService::submit(ct::SignedEntry entry, const crypto::Digest& fin
     case PushResult::full:
       overload_rejections_.fetch_add(1, std::memory_order_relaxed);
       metrics.overloaded.inc();
+      obs::flight_note("logsvc.overloaded", queue_.depth());
       obs::log_debug("logsvc", "submission rejected for overload", {{"log", config_.name}});
       return SubmitStatus::overloaded;
     case PushResult::closed:
@@ -250,12 +267,18 @@ void LogService::sequencer_main() {
     }
     // The merge-delay window opens at the first pending submission and
     // closes at the deadline or when the batch is full.
-    const auto deadline = std::chrono::steady_clock::now() + config_.merge_delay;
+    const auto window_open = std::chrono::steady_clock::now();
+    const auto deadline = window_open + config_.merge_delay;
     batch.clear();
     queue_.drain(batch, config_.max_batch);
     while (batch.size() < config_.max_batch && queue_.wait_nonempty_until(deadline)) {
       queue_.drain(batch, config_.max_batch - batch.size());
     }
+    // Observed merge delay: how long this batch was actually held open
+    // (short of the configured MMD when max_batch filled it early).
+    metrics.merge_delay_us.observe(std::chrono::duration<double, std::micro>(
+                                       std::chrono::steady_clock::now() - window_open)
+                                       .count());
     metrics.queue_depth.set(static_cast<std::int64_t>(queue_.depth()));
     seal_batch(batch);
   }
@@ -269,6 +292,7 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
   SvcMetrics& metrics = svc_metrics();
   CTWATCH_SPAN("logsvc.seal");
   obs::ScopedTimer seal_timer(metrics.seal_us);
+  obs::flight_note("logsvc.seal", batch.size(), accumulator_.size());
 
   if (config_.chaos != nullptr) {
     // Delayed sealing: a stalled sequencer, the MMD stretched. The batch
@@ -291,8 +315,16 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
   events.reserve(batch.size());
   std::uint64_t appended = 0;
 
+  const auto seal_started = std::chrono::steady_clock::now();
   Bytes leaf_bytes;
   for (Pending& pending : batch) {
+    // Restore the submitter's trace position so this per-entry span (and
+    // the fanout dispatch span that descends from it) land in the
+    // submission's causal tree despite running on the sequencer thread.
+    obs::ContextScope link(pending.trace);
+    obs::Span entry_span("logsvc.seal_entry");
+    metrics.queue_wait_us.observe(
+        std::chrono::duration<double, std::micro>(seal_started - pending.enqueued_at).count());
     last_timestamp_ms_ = std::max(last_timestamp_ms_, pending.timestamp_ms);
 
     if (config_.chaos != nullptr &&
@@ -302,6 +334,7 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
       // still hears about it — a counted failure, never silence.
       signer_failures_.fetch_add(1, std::memory_order_relaxed);
       metrics.signer_failures.inc();
+      obs::flight_note("logsvc.signer_failure", pending.timestamp_ms);
       completions.push_back({std::move(pending.done),
                              SubmitOutcome{SubmitStatus::internal_error, 0, std::nullopt},
                              pending.enqueued_at});
@@ -324,7 +357,11 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
     const std::uint64_t index = accumulator_.size();
     leaf_bytes = ct::merkle_leaf_bytes(pending.timestamp_ms, pending.entry);
     const crypto::Digest leaf = ct::leaf_hash(leaf_bytes);
-    ct::SignedCertificateTimestamp sct = sign_sct(pending.timestamp_ms, pending.entry);
+    ct::SignedCertificateTimestamp sct;
+    {
+      obs::ScopedTimer sign_timer(metrics.sign_us);
+      sct = sign_sct(pending.timestamp_ms, pending.entry);
+    }
 
     if (config_.dedup) {
       dedup_.emplace(pending.fingerprint, DedupValue{index, pending.timestamp_ms});
@@ -343,6 +380,7 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
     event.leaf_hash = leaf;
     event.fingerprint = pending.fingerprint;
     event.issuer_cn = std::move(pending.issuer_cn);
+    event.trace = entry_span.context();
 
     leaves_.append(leaf);
     accumulator_.add(leaf);

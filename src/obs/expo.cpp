@@ -1,0 +1,275 @@
+#include "ctwatch/obs/expo.hpp"
+
+#ifndef CTWATCH_OBS_DISABLED
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ctwatch/obs/metrics.hpp"
+#include "ctwatch/obs/trace.hpp"
+
+namespace ctwatch::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;  // header-only requests; no bodies
+constexpr std::size_t kMaxConnections = 64;
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// One accepted connection: bytes in until a blank line, bytes out until
+// the response drains, then either reset for keep-alive or close.
+struct Connection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool close_after_write = false;
+};
+
+std::string http_response(int status, const char* reason, const std::string& content_type,
+                          const std::string& body, bool keep_alive) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+std::string trace_json(std::size_t limit) {
+  const std::vector<SpanRecord> spans = Tracer::global().recent_spans(limit);
+  std::ostringstream out;
+  out << "{\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":" << span.id << ",\"parent\":" << span.parent_id
+        << ",\"trace\":" << span.trace_id << ",\"thread\":" << span.thread_id << ",\"name\":\""
+        << span.name << "\",\"start_us\":" << span.start_us << ",\"dur_us\":" << span.duration_us
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace
+
+ExpoServer::~ExpoServer() { stop(); }
+
+bool ExpoServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(listen_fd_, 16) != 0 || !set_nonblocking(listen_fd_)) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  // Resolve the ephemeral port before the caller can observe running().
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof bound;
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (pipe(wake_fds_) != 0 || !set_nonblocking(wake_fds_[0])) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+    if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+    wake_fds_[0] = wake_fds_[1] = -1;
+    return false;
+  }
+
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void ExpoServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Poke the self-pipe so a parked poll() returns immediately.
+  const char byte = 'x';
+  (void)!write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  close(wake_fds_[0]);
+  close(wake_fds_[1]);
+  listen_fd_ = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
+  port_.store(0, std::memory_order_release);
+}
+
+std::string ExpoServer::respond(const std::string& method, const std::string& path,
+                                bool keep_alive) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain; charset=utf-8",
+                         "method not allowed\n", keep_alive);
+  }
+  // Ignore any query string: /metrics?foo=1 is still /metrics.
+  const std::string route = path.substr(0, path.find('?'));
+  if (route == "/metrics") {
+    return http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                         Registry::global().render_prometheus(), keep_alive);
+  }
+  if (route == "/vars") {
+    return http_response(200, "OK", "application/json", Registry::global().render_json(),
+                         keep_alive);
+  }
+  if (route == "/trace") {
+    return http_response(200, "OK", "application/json", trace_json(256), keep_alive);
+  }
+  if (route == "/" || route == "/healthz") {
+    return http_response(200, "OK", "text/plain; charset=utf-8", "ctwatch obs\n", keep_alive);
+  }
+  return http_response(404, "Not Found", "text/plain; charset=utf-8", "not found\n", keep_alive);
+}
+
+void ExpoServer::serve_loop() {
+  std::vector<Connection> connections;
+
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Connection& connection : connections) {
+      short events = POLLIN;
+      if (connection.out_pos < connection.out.size()) events |= POLLOUT;
+      fds.push_back({connection.fd, events, 0});
+    }
+
+    if (poll(fds.data(), static_cast<nfds_t>(fds.size()), 500) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (read(wake_fds_[0], drain, sizeof drain) > 0) {
+      }
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (connections.size() >= kMaxConnections || !set_nonblocking(fd)) {
+          close(fd);
+          continue;
+        }
+        Connection connection;
+        connection.fd = fd;
+        connections.push_back(std::move(connection));
+      }
+    }
+
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      Connection& connection = connections[i];
+      // pollfd index: 2 fixed slots, then connections in order — but
+      // accepts above may have grown the vector past what was polled.
+      const std::size_t fd_index = i + 2;
+      if (fd_index >= fds.size()) break;
+      const short revents = fds[fd_index].revents;
+      bool dead = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+
+      if (!dead && (revents & POLLIN) != 0) {
+        char buf[2048];
+        for (;;) {
+          const ssize_t n = read(connection.fd, buf, sizeof buf);
+          if (n > 0) {
+            connection.in.append(buf, static_cast<std::size_t>(n));
+            if (connection.in.size() > kMaxRequestBytes) {
+              dead = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) dead = true;  // peer closed
+          break;                    // EAGAIN or EOF
+        }
+        // Parse complete requests off the front (clients may pipeline).
+        std::size_t header_end;
+        while (!dead && (header_end = connection.in.find("\r\n\r\n")) != std::string::npos) {
+          const std::string head = connection.in.substr(0, header_end);
+          connection.in.erase(0, header_end + 4);
+          std::istringstream request(head);
+          std::string method, path, version;
+          request >> method >> path >> version;
+          // Keep-alive is HTTP/1.1's default; honor an explicit close.
+          bool keep_alive = version != "HTTP/1.0";
+          std::string lowered = head;
+          std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                         [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+          if (lowered.find("connection: close") != std::string::npos) keep_alive = false;
+          connection.out += respond(method, path, keep_alive);
+          if (!keep_alive) {
+            connection.close_after_write = true;
+            break;
+          }
+        }
+      }
+
+      if (!dead && connection.out_pos < connection.out.size()) {
+        for (;;) {
+          const ssize_t n = write(connection.fd, connection.out.data() + connection.out_pos,
+                                  connection.out.size() - connection.out_pos);
+          if (n <= 0) break;  // EAGAIN: poll will re-arm POLLOUT
+          connection.out_pos += static_cast<std::size_t>(n);
+          if (connection.out_pos == connection.out.size()) break;
+        }
+        if (connection.out_pos == connection.out.size()) {
+          connection.out.clear();
+          connection.out_pos = 0;
+          if (connection.close_after_write) dead = true;
+        }
+      }
+
+      if (dead) {
+        close(connection.fd);
+        connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(i));
+        --i;
+        // fds no longer lines up past this point; the next poll rebuilds it.
+        break;
+      }
+    }
+  }
+
+  for (Connection& connection : connections) close(connection.fd);
+}
+
+}  // namespace ctwatch::obs
+
+#endif  // CTWATCH_OBS_DISABLED

@@ -5,6 +5,8 @@
 #ifndef CTWATCH_OBS_DISABLED
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -43,7 +45,26 @@ std::string format_number(double v) {
   return buf;
 }
 
+// "logsvc.queue_wait_us" -> "ctwatch_logsvc_queue_wait_us". Prometheus
+// names admit [a-zA-Z0-9_:]; our only other charset member is '.'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ctwatch_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += (c == '.') ? '_' : c;
+  return out;
+}
+
 }  // namespace
+
+bool is_valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const char first = name.front();
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.')) return false;
+  }
+  return true;
+}
 
 std::vector<double> exponential_bounds(double start, double factor, std::size_t count) {
   std::vector<double> bounds;
@@ -78,13 +99,18 @@ double Histogram::mean() const {
 double Histogram::quantile(double q) const {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(n);
+  // rank in [1, n]: q=0 targets the first observation's bucket instead of
+  // interpolating below every recorded value, q=1 the last observation's.
+  const double rank = std::max(1.0, q * static_cast<double>(n));
   double cumulative = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     const auto in_bucket = static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
     if (in_bucket == 0) continue;
     if (cumulative + in_bucket >= rank) {
+      // Overflow bucket: clamp to the largest finite bound rather than
+      // inventing a value past the layout.
       if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
       const double upper = bounds_[i];
       const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
@@ -119,6 +145,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
+  assert(is_valid_metric_name(name));
   std::lock_guard lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -126,6 +153,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  assert(is_valid_metric_name(name));
   std::lock_guard lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -133,6 +161,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  assert(is_valid_metric_name(name));
   std::lock_guard lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) {
@@ -140,6 +169,36 @@ Histogram& Registry::histogram(const std::string& name, std::vector<double> boun
     slot = std::make_unique<Histogram>(std::move(bounds));
   }
   return *slot;
+}
+
+LogLinearHistogram& Registry::latency(const std::string& name) {
+  assert(is_valid_metric_name(name));
+  std::lock_guard lock(mu_);
+  auto& slot = latencies_[name];
+  if (!slot) slot = std::make_unique<LogLinearHistogram>();
+  return *slot;
+}
+
+// One distribution row, whichever histogram type backs it. Snapshotting
+// through this keeps the two maps rendering identically everywhere.
+struct Registry::DistRow {
+  std::string name;
+  std::uint64_t count;
+  double sum, mean, p50, p90, p99;
+};
+
+std::vector<Registry::DistRow> Registry::distribution_rows() const {
+  std::vector<DistRow> rows;
+  rows.reserve(histograms_.size() + latencies_.size());
+  const auto snap = [&rows](const std::string& name, const auto& h) {
+    rows.push_back({name, h.count(), h.sum(), h.mean(), h.quantile(0.50), h.quantile(0.90),
+                    h.quantile(0.99)});
+  };
+  for (const auto& [name, h] : histograms_) snap(name, *h);
+  for (const auto& [name, h] : latencies_) snap(name, *h);
+  std::sort(rows.begin(), rows.end(),
+            [](const DistRow& a, const DistRow& b) { return a.name < b.name; });
+  return rows;
 }
 
 std::string Registry::render_text() const {
@@ -151,11 +210,10 @@ std::string Registry::render_text() const {
   for (const auto& [name, g] : gauges_) {
     out << name << " = " << g->value() << "\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    out << name << " count=" << h->count() << " mean=" << format_number(h->mean())
-        << " p50=" << format_number(h->quantile(0.50))
-        << " p90=" << format_number(h->quantile(0.90))
-        << " p99=" << format_number(h->quantile(0.99)) << "\n";
+  for (const DistRow& row : distribution_rows()) {
+    out << row.name << " count=" << row.count << " mean=" << format_number(row.mean)
+        << " p50=" << format_number(row.p50) << " p90=" << format_number(row.p90)
+        << " p99=" << format_number(row.p99) << "\n";
   }
   return out.str();
 }
@@ -179,16 +237,41 @@ std::string Registry::render_json() const {
   }
   out << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const DistRow& row : distribution_rows()) {
     if (!first) out << ",";
     first = false;
-    out << "\"" << json_escape(name) << "\":{\"count\":" << h->count()
-        << ",\"sum\":" << format_number(h->sum()) << ",\"mean\":" << format_number(h->mean())
-        << ",\"p50\":" << format_number(h->quantile(0.50))
-        << ",\"p90\":" << format_number(h->quantile(0.90))
-        << ",\"p99\":" << format_number(h->quantile(0.99)) << "}";
+    out << "\"" << json_escape(row.name) << "\":{\"count\":" << row.count
+        << ",\"sum\":" << format_number(row.sum) << ",\"mean\":" << format_number(row.mean)
+        << ",\"p50\":" << format_number(row.p50) << ",\"p90\":" << format_number(row.p90)
+        << ",\"p99\":" << format_number(row.p99) << "}";
   }
   out << "}}";
+  return out.str();
+}
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << g->value() << "\n";
+  }
+  // Distributions render as precomputed summaries: quantile-labelled
+  // samples plus _sum/_count, the format scrapers accept without needing
+  // our bucket layouts.
+  for (const DistRow& row : distribution_rows()) {
+    const std::string prom = prometheus_name(row.name);
+    out << "# TYPE " << prom << " summary\n";
+    out << prom << "{quantile=\"0.5\"} " << format_number(row.p50) << "\n";
+    out << prom << "{quantile=\"0.9\"} " << format_number(row.p90) << "\n";
+    out << prom << "{quantile=\"0.99\"} " << format_number(row.p99) << "\n";
+    out << prom << "_sum " << format_number(row.sum) << "\n";
+    out << prom << "_count " << row.count << "\n";
+  }
   return out.str();
 }
 
@@ -197,6 +280,7 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : latencies_) h->reset();
 }
 
 }  // namespace ctwatch::obs
@@ -234,6 +318,16 @@ void preregister_pipeline_metrics() {
   registry.gauge("par.imbalance.census");
   registry.gauge("par.imbalance.funnel");
   registry.histogram("ct.log.merkle_integrate_us");
+  // Per-stage submission latencies (log-linear: auto-ranging, mergeable).
+  // One certificate's journey: queue wait -> batch merge delay -> STH sign
+  // -> fanout dispatch; enum.* mirror the §4 funnel stages.
+  for (const char* name : {
+           "logsvc.queue_wait_us", "logsvc.merge_delay_us", "logsvc.sign_us",
+           "logsvc.fanout_dispatch_us", "logsvc.submit_us",
+           "enum.funnel.stage_us", "multilog.submit_wall_us",
+       }) {
+    registry.latency(name);
+  }
 #endif
 }
 

@@ -69,6 +69,19 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::submit(Task task) {
+  // Causal tracing across the pool boundary: capture the submitter's trace
+  // context and restore it on whichever worker (or thief, or helper) runs
+  // the task, so spans opened inside parent to the submitter's span even
+  // after a steal. Only wraps when the tracer is live — the default path
+  // submits the task untouched.
+  if (obs::Tracer::global().enabled()) {
+    if (const obs::TraceContext ctx = obs::current_context(); ctx.active()) {
+      task = [ctx, inner = std::move(task)] {
+        obs::ContextScope scope(ctx);
+        inner();
+      };
+    }
+  }
   const std::size_t target =
       next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   workers_[target]->deque.push(std::move(task));

@@ -1,0 +1,30 @@
+// Compiled into every ctwatch test binary (see tests/CMakeLists.txt).
+//
+// Registers a gtest listener that dumps the flight recorder's recent
+// events to stderr when a test fails, so the post-mortem shows what the
+// code under test was doing right before the assertion fired — without
+// any per-test plumbing.
+
+#include <gtest/gtest.h>
+
+#include "ctwatch/obs/flight.hpp"
+
+namespace {
+
+class FlightDumpOnFailure : public ::testing::EmptyTestEventListener {
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed()) return;
+    ctwatch::obs::FlightRecorder& recorder = ctwatch::obs::FlightRecorder::global();
+    if (recorder.recorded() == 0) return;
+    recorder.dump_to_stderr("gtest failure");
+  }
+};
+
+// gtest's listener list exists before RUN_ALL_TESTS; appending from a
+// static initializer keeps test sources untouched.
+const bool registered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new FlightDumpOnFailure);
+  return true;
+}();
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ctwatch/logsvc/logsvc.hpp"
+#include "ctwatch/obs/obs.hpp"
 #include "ctwatch/sim/ca.hpp"
 #include "ctwatch/util/rng.hpp"
 
@@ -432,6 +433,113 @@ TEST(AppendOnlyStoreTest, PublishGatesVisibility) {
   // Capacity is bounded: chunk_bits=2, max_chunks=4 -> 16 elements.
   for (std::uint64_t i = 6; i < 16; ++i) store.append(i);
   EXPECT_THROW(store.append(99), std::length_error);
+}
+
+
+#ifndef CTWATCH_OBS_DISABLED
+
+// One submission's causal span tree: the submit span (caller thread), the
+// sequencer's per-entry span, and the fanout dispatch span (dispatcher
+// thread) share one trace id and chain parent -> child across all three
+// threads — visible as two cross-thread flow links.
+TEST(LogServiceTest, SubmissionSpanTreeCrossesThreeThreads) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  {
+    Config config = fast_config("Svc Trace");
+    LogService service(config);
+    std::promise<void> streamed;
+    service.subscribe("trace-probe", [&streamed](const StreamEvent& event) {
+      if (event.index == 0) streamed.set_value();
+    });
+    const SubmitOutcome outcome = submit_wait(service, 900, kNow);
+    ASSERT_EQ(outcome.status, SubmitStatus::ok);
+    streamed.get_future().wait();
+    service.stop();
+  }
+  tracer.set_enabled(false);
+
+  const std::vector<obs::SpanRecord> spans = tracer.spans();
+  const obs::SpanRecord* submit = nullptr;
+  const obs::SpanRecord* seal_entry = nullptr;
+  const obs::SpanRecord* dispatch = nullptr;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "logsvc.submit") submit = &span;
+    if (span.name == "logsvc.seal_entry") seal_entry = &span;
+    if (span.name == "logsvc.fanout.dispatch") dispatch = &span;
+  }
+  ASSERT_NE(submit, nullptr);
+  ASSERT_NE(seal_entry, nullptr);
+  ASSERT_NE(dispatch, nullptr);
+
+  // One trace, parent chain submit -> seal_entry -> dispatch.
+  EXPECT_NE(submit->trace_id, 0u);
+  EXPECT_EQ(seal_entry->trace_id, submit->trace_id);
+  EXPECT_EQ(dispatch->trace_id, submit->trace_id);
+  EXPECT_EQ(seal_entry->parent_id, submit->id);
+  EXPECT_EQ(dispatch->parent_id, seal_entry->id);
+
+  // Three distinct threads: submitter, sequencer, fanout dispatcher.
+  EXPECT_NE(submit->thread_id, seal_entry->thread_id);
+  EXPECT_NE(seal_entry->thread_id, dispatch->thread_id);
+  EXPECT_NE(submit->thread_id, dispatch->thread_id);
+
+  // Both hand-offs appear as flow links (and so as chrome flow events).
+  const std::vector<obs::FlowLink> links = obs::flow_links(spans);
+  bool submit_to_seal = false;
+  bool seal_to_dispatch = false;
+  for (const obs::FlowLink& link : links) {
+    if (link.parent_id == submit->id && link.child_id == seal_entry->id) submit_to_seal = true;
+    if (link.parent_id == seal_entry->id && link.child_id == dispatch->id) {
+      seal_to_dispatch = true;
+    }
+  }
+  EXPECT_TRUE(submit_to_seal);
+  EXPECT_TRUE(seal_to_dispatch);
+  tracer.clear();
+}
+
+#endif  // CTWATCH_OBS_DISABLED
+
+// Per-stage latency histograms fill during normal operation: every stage
+// of a submission's journey lands at least one observation.
+TEST(LogServiceTest, StageLatencyHistogramsObserveTraffic) {
+  obs::Registry& registry = obs::Registry::global();
+  obs::LogLinearHistogram& queue_wait = registry.latency("logsvc.queue_wait_us");
+  obs::LogLinearHistogram& merge_delay = registry.latency("logsvc.merge_delay_us");
+  obs::LogLinearHistogram& sign = registry.latency("logsvc.sign_us");
+  obs::LogLinearHistogram& dispatch = registry.latency("logsvc.fanout_dispatch_us");
+  const std::uint64_t queue_wait_before = queue_wait.count();
+  const std::uint64_t merge_delay_before = merge_delay.count();
+  const std::uint64_t sign_before = sign.count();
+  const std::uint64_t dispatch_before = dispatch.count();
+
+  {
+    LogService service(fast_config("Svc Stage Metrics"));
+    std::promise<void> streamed;
+    service.subscribe("stage-probe", [&streamed](const StreamEvent& event) {
+      if (event.index == 2) streamed.set_value();
+    });
+    for (std::uint64_t n = 0; n < 3; ++n) {
+      ASSERT_EQ(submit_wait(service, 1000 + n, kNow).status, SubmitStatus::ok);
+    }
+    streamed.get_future().wait();
+    service.stop();
+  }
+
+#ifndef CTWATCH_OBS_DISABLED
+  EXPECT_GE(queue_wait.count(), queue_wait_before + 3);
+  EXPECT_GE(merge_delay.count(), merge_delay_before + 1);
+  EXPECT_GE(sign.count(), sign_before + 3);
+  EXPECT_GE(dispatch.count(), dispatch_before + 3);
+#else
+  EXPECT_EQ(queue_wait.count(), 0u);
+  EXPECT_EQ(merge_delay.count(), 0u);
+  EXPECT_EQ(sign.count(), 0u);
+  EXPECT_EQ(dispatch.count(), 0u);
+#endif
 }
 
 }  // namespace

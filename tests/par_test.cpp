@@ -5,6 +5,10 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "ctwatch/dns/resolver.hpp"
+#include "ctwatch/obs/obs.hpp"
 #include "ctwatch/par/par.hpp"
 
 namespace ctwatch::par {
@@ -142,6 +147,81 @@ TEST(TaskPoolTest, EveryTaskRunsExactlyOnce) {
   group.wait();
   EXPECT_EQ(sum.load(), 1000u * 1001u / 2);
 }
+
+#ifndef CTWATCH_OBS_DISABLED
+TEST(TaskPoolTest, SubmitPropagatesTraceContextToWorkers) {
+  // With the tracer on, a span open at submit() time becomes the parent
+  // of spans the task opens on whatever worker thread runs it — the
+  // hand-off is one causal tree, not a forest of per-thread roots.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    obs::Span root("par_test.submit_root");
+    TaskPool pool(2);
+    TaskGroup group(&pool);
+    // The wait()ing caller helps run queued tasks, so tiny tasks can all
+    // execute inline on the submitting thread. Hold each task at a
+    // rendezvous until two distinct threads have entered one: with two
+    // dedicated workers available this cannot deadlock, and it guarantees
+    // at least one task runs off-thread.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::set<std::thread::id> entered;
+    for (int i = 0; i < 8; ++i) {
+      group.run([&mu, &cv, &entered] {
+        obs::Span task_span("par_test.pool_task");
+        std::unique_lock<std::mutex> lock(mu);
+        entered.insert(std::this_thread::get_id());
+        cv.notify_all();
+        cv.wait(lock, [&entered] { return entered.size() >= 2; });
+      });
+    }
+    group.wait();
+  }
+  tracer.set_enabled(false);
+
+  const std::vector<obs::SpanRecord> spans = tracer.spans();
+  const obs::SpanRecord* root = nullptr;
+  std::size_t tasks = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "par_test.submit_root") root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  bool crossed_thread = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name != "par_test.pool_task") continue;
+    ++tasks;
+    EXPECT_EQ(span.trace_id, root->trace_id);
+    EXPECT_EQ(span.parent_id, root->id);
+    crossed_thread |= span.thread_id != root->thread_id;
+  }
+  EXPECT_EQ(tasks, 8u);
+  EXPECT_TRUE(crossed_thread);
+  // Each cross-thread task edge is a flow link for chrome://tracing.
+  std::size_t cross = 0;
+  for (const obs::FlowLink& link : obs::flow_links(spans)) {
+    EXPECT_EQ(link.parent_id, root->id);
+    ++cross;
+  }
+  EXPECT_GE(cross, 1u);
+  tracer.clear();
+}
+
+TEST(TaskPoolTest, DisabledTracerAddsNoWrappingAndNoSpans) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  ASSERT_FALSE(tracer.enabled());  // the default: parity mode
+  obs::Span root("par_test.inert_root");  // inert while disabled
+  TaskPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) group.run([&ran] { ++ran; });
+  group.wait();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_TRUE(tracer.spans().empty());
+}
+#endif  // CTWATCH_OBS_DISABLED
 
 TEST(TaskPoolTest, GroupIsReusableAfterWait) {
   TaskPool pool(2);
