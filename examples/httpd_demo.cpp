@@ -1,0 +1,293 @@
+// httpd demo: the RFC 6962 front end end to end over real sockets.
+//
+// Starts a LogService behind the epoll HTTP server and serves the CT API
+// (add-chain, get-sth, proofs, entries) plus the obs exposition routes.
+// Three modes compose for CI and humans alike:
+//
+//   ./build/examples/httpd_demo --self-check
+//       in-process wire round trip: POST add-chain, verify the returned
+//       SCT cryptographically, fetch get-proof-by-hash and verify the
+//       audit path against get-sth. Exit 0 on success.
+//
+//   ./build/examples/httpd_demo --emit-chain /tmp/chain.json
+//       write a valid add-chain request body (leaf + issuer, base64 DER)
+//       for use with curl:  curl -d @/tmp/chain.json .../ct/v1/add-chain
+//
+//   ./build/examples/httpd_demo --port 8080 --serve-seconds 30
+//       serve for N seconds (0 = until stdin closes), for external
+//       clients such as the CI curl smoke.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "ctwatch/crypto/signature.hpp"
+#include "ctwatch/ct/log.hpp"
+#include "ctwatch/ct/merkle.hpp"
+#include "ctwatch/ct/wire.hpp"
+#include "ctwatch/httpd/ct_handlers.hpp"
+#include "ctwatch/httpd/json.hpp"
+#include "ctwatch/httpd/server.hpp"
+#include "ctwatch/logsvc/logsvc.hpp"
+#include "ctwatch/obs/obs.hpp"
+#include "ctwatch/util/encoding.hpp"
+#include "ctwatch/x509/certificate.hpp"
+
+using namespace ctwatch;
+
+namespace {
+
+struct DemoCa {
+  std::unique_ptr<crypto::Signer> signer =
+      crypto::make_signer("httpd-demo-ca", crypto::SignatureScheme::ecdsa_p256_sha256);
+  x509::Certificate issuer_cert;
+  std::atomic<std::uint64_t> next_serial{100};
+
+  DemoCa() {
+    x509::CertificateBuilder builder;
+    x509::DistinguishedName dn;
+    dn.common_name = "Httpd Demo CA";
+    builder.serial(1)
+        .issuer(dn)
+        .subject_cn("Httpd Demo CA")
+        .validity(SimTime::parse("2018-01-01"), SimTime::parse("2020-01-01"))
+        .subject_key(*signer);
+    issuer_cert = builder.sign(*signer);
+  }
+
+  x509::Certificate leaf(const std::string& cn) {
+    x509::CertificateBuilder builder;
+    x509::DistinguishedName dn;
+    dn.common_name = "Httpd Demo CA";
+    builder.serial(next_serial.fetch_add(1))
+        .issuer(dn)
+        .subject_cn(cn)
+        .validity(SimTime::parse("2018-04-01"), SimTime::parse("2018-07-01"))
+        .subject_key(*signer)
+        .add_dns_san(cn);
+    return builder.sign(*signer);
+  }
+
+  std::string chain_body(const x509::Certificate& leaf_cert) const {
+    httpd::json::Array chain;
+    chain.emplace_back(base64_encode(leaf_cert.encode()));
+    chain.emplace_back(base64_encode(issuer_cert.encode()));
+    httpd::json::Object body;
+    body.emplace("chain", httpd::json::Value(std::move(chain)));
+    return httpd::json::Value(std::move(body)).dump();
+  }
+};
+
+/// Blocking one-shot HTTP client for the self-check.
+std::optional<httpd::ParsedResponse> wire_request(std::uint16_t port, const std::string& head,
+                                                  const std::string& body = {}) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string wire = head + body;
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  httpd::ResponseParser parser;
+  httpd::ParsedResponse parsed;
+  for (;;) {
+    const httpd::ParseResult r = parser.next(parsed);
+    if (r == httpd::ParseResult::request) {
+      ::close(fd);
+      return parsed;
+    }
+    if (r != httpd::ParseResult::need_more) break;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    parser.feed(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return std::nullopt;
+}
+
+std::optional<httpd::ParsedResponse> wire_get(std::uint16_t port, const std::string& path) {
+  return wire_request(port, "GET " + path + " HTTP/1.1\r\nHost: demo\r\n"
+                            "Connection: close\r\n\r\n");
+}
+
+std::optional<httpd::ParsedResponse> wire_post(std::uint16_t port, const std::string& path,
+                                               const std::string& body) {
+  return wire_request(port,
+                      "POST " + path + " HTTP/1.1\r\nHost: demo\r\n"
+                      "Content-Type: application/json\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n",
+                      body);
+}
+
+int self_check(std::uint16_t port, logsvc::LogService& service, DemoCa& ca) {
+  const x509::Certificate leaf = ca.leaf("self-check.example.org");
+  const auto added = wire_post(port, "/ct/v1/add-chain", ca.chain_body(leaf));
+  if (!added || added->status != 200) {
+    std::fprintf(stderr, "self-check: add-chain failed (%d)\n", added ? added->status : -1);
+    return 1;
+  }
+  const auto sct_doc = httpd::json::parse(added->body);
+  if (!sct_doc) return 1;
+  ct::SignedCertificateTimestamp sct;
+  sct.version = 0;
+  const Bytes id = base64_decode(std::string(*sct_doc->get_string("id")));
+  std::copy(id.begin(), id.end(), sct.log_id.begin());
+  sct.timestamp_ms = *sct_doc->get_u64("timestamp");
+  sct.extensions = base64_decode(std::string(*sct_doc->get_string("extensions")));
+  const Bytes sig = base64_decode(std::string(*sct_doc->get_string("signature")));
+  ct::wire::Reader sig_reader(sig);
+  sct.signature.scheme = static_cast<crypto::SignatureScheme>(sig_reader.u8());
+  const BytesView sig_bytes = sig_reader.opaque16();
+  sct.signature.data.assign(sig_bytes.begin(), sig_bytes.end());
+
+  const ct::SignedEntry entry = ct::make_x509_entry(leaf);
+  const bool sct_ok = ct::verify_sct(sct, entry, service.public_key());
+  std::printf("self-check: SCT over the wire verifies: %s\n", sct_ok ? "yes" : "NO");
+
+  const auto sth_response = wire_get(port, "/ct/v1/get-sth");
+  if (!sth_response || sth_response->status != 200) return 1;
+  const auto sth_doc = httpd::json::parse(sth_response->body);
+  const std::uint64_t tree_size = *sth_doc->get_u64("tree_size");
+
+  const crypto::Digest leaf_hash = ct::leaf_hash(ct::merkle_leaf_bytes(sct.timestamp_ms, entry));
+  std::string hash_param;
+  for (const char c : base64_encode(leaf_hash)) {
+    if (c == '+') hash_param += "%2B";
+    else if (c == '/') hash_param += "%2F";
+    else if (c == '=') hash_param += "%3D";
+    else hash_param.push_back(c);
+  }
+  const auto proof_response =
+      wire_get(port, "/ct/v1/get-proof-by-hash?hash=" + hash_param +
+                         "&tree_size=" + std::to_string(tree_size));
+  if (!proof_response || proof_response->status != 200) {
+    std::fprintf(stderr, "self-check: get-proof-by-hash failed\n");
+    return 1;
+  }
+  const auto proof_doc = httpd::json::parse(proof_response->body);
+  std::vector<crypto::Digest> path;
+  for (const auto& node : proof_doc->get("audit_path")->as_array()) {
+    const Bytes raw = base64_decode(node.as_string());
+    crypto::Digest digest{};
+    std::copy(raw.begin(), raw.end(), digest.begin());
+    path.push_back(digest);
+  }
+  const Bytes root = base64_decode(std::string(*sth_doc->get_string("sha256_root_hash")));
+  crypto::Digest root_digest{};
+  std::copy(root.begin(), root.end(), root_digest.begin());
+  const bool proof_ok = ct::verify_inclusion(leaf_hash, *proof_doc->get_u64("leaf_index"),
+                                             tree_size, path, root_digest);
+  std::printf("self-check: inclusion proven over the wire: %s\n", proof_ok ? "yes" : "NO");
+  return sct_ok && proof_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  int workers = 2;
+  int serve_seconds = -1;
+  std::string emit_chain;
+  bool run_self_check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(std::strlen(prefix));
+      return std::nullopt;
+    };
+    if (const auto v = value("--port=")) port = static_cast<std::uint16_t>(std::stoi(*v));
+    else if (const auto v = value("--workers=")) workers = std::stoi(*v);
+    else if (const auto v = value("--serve-seconds=")) serve_seconds = std::stoi(*v);
+    else if (const auto v = value("--emit-chain=")) emit_chain = *v;
+    else if (arg == "--self-check") run_self_check = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: httpd_demo [--port=N] [--workers=N] [--serve-seconds=N]\n"
+                   "                  [--emit-chain=FILE] [--self-check]\n");
+      return 2;
+    }
+  }
+
+  DemoCa ca;
+  if (!emit_chain.empty()) {
+    std::ofstream out(emit_chain);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", emit_chain.c_str());
+      return 1;
+    }
+    out << ca.chain_body(ca.leaf("curl.example.org"));
+    std::printf("wrote add-chain body to %s\n", emit_chain.c_str());
+    if (serve_seconds < 0 && !run_self_check) return 0;
+  }
+
+  logsvc::Config config;
+  config.name = "Httpd Demo Log";
+  config.merge_delay = std::chrono::milliseconds(5);
+  logsvc::LogService service(config);
+
+  httpd::Router router;
+  httpd::register_ct_api(router, service);
+  router.get("/metrics", [](const httpd::Request&, httpd::Completion done) {
+    done(httpd::text_response(200, obs::Registry::global().render_prometheus()));
+  });
+  router.get("/healthz", [](const httpd::Request&, httpd::Completion done) {
+    done(httpd::text_response(200, "ok\n"));
+  });
+
+  httpd::ServerOptions options;
+  options.port = port;
+  options.workers = workers;
+  httpd::Server server(options, std::move(router));
+  if (!server.start()) {
+    std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", static_cast<unsigned>(port));
+    return 1;
+  }
+  std::printf("serving RFC 6962 API on 127.0.0.1:%u (%d workers)\n",
+              static_cast<unsigned>(server.port()), workers);
+
+  int rc = 0;
+  if (run_self_check) {
+    rc = self_check(server.port(), service, ca);
+  }
+  if (serve_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  } else if (serve_seconds == 0) {
+    // Serve until stdin closes (Ctrl-D / parent exits).
+    char buf[64];
+    while (::read(0, buf, sizeof buf) > 0) {
+    }
+  }
+
+  server.stop();
+  service.stop();
+  std::printf("served %llu requests over %llu connections\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.connections_accepted()));
+  return rc;
+}

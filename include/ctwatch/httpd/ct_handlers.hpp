@@ -1,0 +1,38 @@
+// RFC 6962 endpoints over a logsvc::LogService, mounted on a Router.
+//
+// The read endpoints (get-sth, get-sth-consistency, get-proof-by-hash,
+// get-entries) answer synchronously from the service's lock-light
+// snapshot and append-only stores. add-chain and add-pre-chain are
+// asynchronous end to end: the handler submits, the sequencer seals the
+// batch under its merge delay, and the SCT travels back through the
+// logsvc CompletionFn into the connection's response slot — the event
+// loop never blocks on the merge delay.
+//
+// JSON shapes follow RFC 6962 §4: base64 bodies, `tree_head_signature`
+// and `signature` carrying the TLS digitally-signed blob (here:
+// u8 scheme + u16-length-prefixed signature bytes, matching
+// SignedCertificateTimestamp::serialize). Errors are structured:
+// {"error": "<code>", "detail": "..."}.
+#pragma once
+
+#include <functional>
+
+#include "ctwatch/httpd/router.hpp"
+#include "ctwatch/logsvc/service.hpp"
+
+namespace ctwatch::httpd {
+
+struct CtApiOptions {
+  /// Submission timestamp source. Everything here runs on simulated
+  /// time; the default pins the paper's measurement era.
+  std::function<SimTime()> clock = [] { return SimTime{1522540800}; };  // 2018-04-01
+  /// Longest accepted submission chain (leaf + intermediates).
+  std::size_t max_chain = 8;
+};
+
+/// Registers /ct/v1/{add-chain, add-pre-chain, get-sth,
+/// get-sth-consistency, get-proof-by-hash, get-entries} on `router`.
+/// `service` must outlive the server the router is given to.
+void register_ct_api(Router& router, logsvc::LogService& service, CtApiOptions options = {});
+
+}  // namespace ctwatch::httpd

@@ -1,0 +1,69 @@
+// ctwatch::httpd — request routing.
+//
+// A route is (method, exact path) -> handler. Handlers complete through a
+// `Completion` callable — immediately for synchronous reads (get-sth and
+// friends answer from the lock-light snapshot), or later from another
+// thread for asynchronous work (add-chain's SCT arrives from the logsvc
+// sequencer's CompletionFn). The completion is thread-safe and
+// at-most-once: calling it after the connection died is a silent no-op,
+// never a dangling write.
+//
+// Each route carries its obs handles (request counter + latency
+// histogram), resolved once at registration so the per-request hot path
+// never takes the registry lock.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/httpd/http.hpp"
+#include "ctwatch/obs/histogram.hpp"
+#include "ctwatch/obs/metrics.hpp"
+
+namespace ctwatch::httpd {
+
+/// Completes one request. Callable from any thread, at most once; later
+/// calls (and calls after the connection closed) are dropped.
+using Completion = std::function<void(Response)>;
+
+/// A handler either calls `done` before returning (synchronous) or
+/// stores it and calls it exactly once later (asynchronous). It must not
+/// block the calling thread: it runs on the event loop.
+using Handler = std::function<void(const Request&, Completion done)>;
+
+class Router {
+ public:
+  struct Route {
+    std::string method;
+    std::string path;
+    Handler handler;
+    /// Sanitized path used in metric names ("/ct/v1/get-sth" ->
+    /// "ct_v1_get_sth").
+    std::string metric_key;
+    obs::Counter* hits = nullptr;
+    obs::LogLinearHistogram* latency_us = nullptr;
+  };
+
+  enum class Match : std::uint8_t { ok, not_found, method_not_allowed };
+
+  /// Registers a route; replaces an existing (method, path) route.
+  Router& handle(std::string method, std::string path, Handler handler);
+  Router& get(std::string path, Handler handler) {
+    return handle("GET", std::move(path), std::move(handler));
+  }
+  Router& post(std::string path, Handler handler) {
+    return handle("POST", std::move(path), std::move(handler));
+  }
+
+  /// Exact-path lookup. `route` is set only on `ok`.
+  [[nodiscard]] Match find(const std::string& method, const std::string& path,
+                           const Route** route) const;
+
+  [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace ctwatch::httpd

@@ -1,0 +1,148 @@
+// ctwatch::httpd — the epoll edge: event loops serving a Router.
+//
+// Architecture (DESIGN.md §10):
+//
+//   listen fd ──> worker 0 accept loop ──> round-robin fd handoff
+//                                          (inbox + eventfd wake)
+//   worker i: epoll (edge-triggered) over its connections
+//     read  ──> RequestParser ──> dispatch ──> response slot queue
+//     write <── in-order flush of ready slots (partial-write buffers,
+//               write backpressure pauses parsing)
+//   async handlers complete from any thread through the worker's inbox;
+//   the eventfd wakes the loop, the slot fills, the flush happens on the
+//   owning worker — connections are single-threaded by construction.
+//
+// Keep-alive and pipelining come from the parser/slot design: many
+// requests may be in flight per connection, responses always leave in
+// request order. Slow clients (stalled writes) and idle connections are
+// evicted on a coarse timer. Chaos fault points ("httpd.accept",
+// "httpd.read", "httpd.respond") inject accept drops, stalled/aborted
+// reads, and response latency or 503s. Everything observable lands in
+// obs: per-endpoint latency histograms, connection/byte counters, flight
+// notes for every anomaly.
+//
+// On non-Linux POSIX the same loop runs over poll(2) (level-triggered)
+// behind the small Poller shim in server.cpp; the public API is
+// identical.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ctwatch/chaos/fault.hpp"
+#include "ctwatch/httpd/router.hpp"
+
+namespace ctwatch::httpd {
+
+struct ServerOptions {
+  /// 0 picks an ephemeral port; read it back with port() after start().
+  std::uint16_t port = 0;
+  std::string bind_address = "127.0.0.1";
+  /// Event-loop threads. Worker 0 owns the accept loop and hands
+  /// accepted fds round-robin across all workers.
+  int workers = 1;
+  /// Open connections across all workers; accepts beyond are closed.
+  std::size_t max_connections = 4096;
+  /// Parser bounds (431/413 when exceeded).
+  Limits limits;
+  /// Responses queued per connection before parsing pauses (pipelining
+  /// depth bound).
+  std::size_t max_pipeline = 64;
+  /// Bytes of unflushed response per connection before parsing pauses
+  /// (write backpressure bound).
+  std::size_t max_outbuf_bytes = 1 << 20;
+  /// Connections with no request activity are evicted after this long.
+  std::chrono::milliseconds idle_timeout{30000};
+  /// Connections whose writes make no progress (slow/stalled clients)
+  /// are evicted after this long.
+  std::chrono::milliseconds write_stall_timeout{10000};
+  /// Optional fault seams (not owned; nullptr disables chaos):
+  ///   "<prefix>.accept"  — accepted fd dropped at ingress,
+  ///   "<prefix>.read"    — latency stalls parsing; error aborts the
+  ///                        connection mid-request,
+  ///   "<prefix>.respond" — latency delays the response; error turns it
+  ///                        into an injected 503.
+  chaos::FaultInjector* chaos = nullptr;
+  std::string chaos_prefix = "httpd";
+};
+
+class Server {
+ public:
+  Server(ServerOptions options, Router router);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, spawns the worker loops. False if the socket could
+  /// not be set up. Idempotent while running.
+  bool start();
+
+  /// Wakes every loop, closes every socket, joins the threads. Safe to
+  /// call when not running; idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (resolves ServerOptions::port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  // --- counters (relaxed; for tests and exposition) ---
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_open() const {
+    return open_.load(std::memory_order_relaxed);
+  }
+  /// Requests dispatched (including 404/405 and parse-reject replies).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t responses_sent() const {
+    return responses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t parse_rejects() const {
+    return parse_rejects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evicted_idle() const {
+    return evicted_idle_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evicted_slow() const {
+    return evicted_slow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t chaos_accept_drops() const {
+    return chaos_accept_drops_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+  struct WorkerState;  // event-loop internals; defined in server.cpp
+
+ private:
+  friend struct WorkerLoop;
+
+  ServerOptions options_;
+  Router router_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  int listen_fd_ = -1;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> parse_rejects_{0};
+  std::atomic<std::uint64_t> evicted_idle_{0};
+  std::atomic<std::uint64_t> evicted_slow_{0};
+  std::atomic<std::uint64_t> chaos_accept_drops_{0};
+};
+
+}  // namespace ctwatch::httpd

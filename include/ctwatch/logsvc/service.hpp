@@ -72,6 +72,10 @@ struct Config {
   std::chrono::microseconds merge_delay{1000};
   /// Per-subscriber ring depth for the streaming fanout.
   std::size_t fanout_buffer = std::size_t(1) << 16;
+  /// get_entries window cap: a single read returns at most this many
+  /// entries regardless of the requested count (RFC 6962 §4.6 lets logs
+  /// return fewer than asked; production logs cap near 1000).
+  std::uint64_t max_get_entries = 1024;
   /// Optional fault seams (not owned; nullptr disables chaos). The
   /// service consults three points, named under `chaos_prefix`:
   ///   "<prefix>.submit" — faults drop the submission at ingress
@@ -179,7 +183,12 @@ class LogService {
                                                               std::uint64_t new_size) const;
   /// Merkle leaf hash of an integrated entry (what inclusion verifies).
   [[nodiscard]] crypto::Digest leaf_hash_at(std::uint64_t index) const;
-  /// get-entries [start, start+count), clamped to the published size.
+  /// get-proof-by-hash support: the leaf index whose Merkle leaf hash is
+  /// `leaf_hash`, if integrated (first occurrence wins for duplicates).
+  [[nodiscard]] std::optional<std::uint64_t> leaf_index_of(const crypto::Digest& leaf_hash) const;
+  /// get-entries [start, start+count), clamped: empty when start is at or
+  /// beyond the published size, the window capped at
+  /// Config::max_get_entries, and start+count overflow is harmless.
   [[nodiscard]] std::vector<EntryRecord> get_entries(std::uint64_t start,
                                                      std::uint64_t count) const;
   /// Published tree size (== get_sth().tree_size).
@@ -274,6 +283,12 @@ class LogService {
 
   mutable std::mutex snapshot_mu_;  // held only for the shared_ptr swap/copy
   std::shared_ptr<const TreeSnapshot> snapshot_;
+
+  // leaf hash -> index, written by the sequencer at seal time, read by
+  // get-proof-by-hash. Its own narrow lock: readers never touch the
+  // snapshot or queue locks.
+  mutable std::mutex leaf_index_mu_;
+  std::unordered_map<crypto::Digest, std::uint64_t, DigestHash> leaf_index_;
 
   StreamFanout fanout_;
   std::thread sequencer_;

@@ -1,23 +1,23 @@
 // ctwatch::obs — ExpoServer: live metrics over HTTP.
 //
-// A deliberately small exposition endpoint: one background thread runs a
-// poll()-based non-blocking loop over a listening TCP socket and its
-// accepted connections, answering
+// A deliberately small exposition endpoint answering
 //
 //   GET /metrics  Prometheus text exposition 0.0.4 (counters, gauges,
 //                 and every histogram as a quantile-labelled summary)
 //   GET /vars     the registry's JSON rendering
 //   GET /trace    the most recent spans as JSON (id/parent/trace/thread)
+//   GET /         "ctwatch obs" banner; /healthz for probes
 //
-// It exists so a running bench or service can be scraped while it works —
-// and as the seed of the eventual ctwatch::httpd front end (ROADMAP item:
-// the CT log HTTP API will grow out of this event loop). No threads per
-// connection, no blocking I/O, no dependencies beyond POSIX sockets.
+// It exists so a running bench or service can be scraped while it works.
+// Since the ctwatch::httpd front end landed, this is a thin facade over
+// that shared event loop (one HTTP implementation in the tree): the
+// header stays dependency-free via a pimpl, the implementation lives in
+// src/httpd/expo.cpp, and binaries that use ExpoServer link ct_httpd.
 //
-// Thread-safety: the loop thread only reads process-global state through
-// the registry's and tracer's own locks; start()/stop() may be called
-// from any single thread. Under CTWATCH_OBS_DISABLED (or non-POSIX), the
-// server compiles to a stub whose start() fails.
+// Thread-safety: handlers only read process-global state through the
+// registry's and tracer's own locks; start()/stop() may be called from
+// any single thread. Under CTWATCH_OBS_DISABLED the server compiles to a
+// stub whose start() fails.
 #pragma once
 
 #include <cstdint>
@@ -25,8 +25,7 @@
 
 #ifndef CTWATCH_OBS_DISABLED
 
-#include <atomic>
-#include <thread>
+#include <memory>
 
 namespace ctwatch::obs {
 
@@ -39,8 +38,8 @@ class ExpoServer {
     std::string bind_address = "127.0.0.1";
   };
 
-  ExpoServer() = default;
-  explicit ExpoServer(Options options) : options_(std::move(options)) {}
+  ExpoServer();
+  explicit ExpoServer(Options options);
   ~ExpoServer();
 
   ExpoServer(const ExpoServer&) = delete;
@@ -55,28 +54,17 @@ class ExpoServer {
   /// when not running.
   void stop();
 
-  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  [[nodiscard]] bool running() const;
 
   /// Actual bound port (resolves Options::port == 0). 0 before start().
-  [[nodiscard]] std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::uint16_t port() const;
 
   /// Requests answered since start (any status). For tests.
-  [[nodiscard]] std::uint64_t requests_served() const {
-    return requests_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t requests_served() const;
 
  private:
-  void serve_loop();
-  /// Builds the full HTTP response for one parsed request line.
-  std::string respond(const std::string& method, const std::string& path, bool keep_alive);
-
-  Options options_;
-  std::atomic<bool> running_{false};
-  std::atomic<std::uint16_t> port_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: stop() pokes the poll loop
-  std::thread thread_;
+  struct Impl;  // wraps the shared httpd::Server (src/httpd/expo.cpp)
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace ctwatch::obs

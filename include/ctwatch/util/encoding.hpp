@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ctwatch {
@@ -19,12 +21,23 @@ std::string hex_encode(BytesView data);
 /// odd length or non-hex characters.
 Bytes hex_decode(const std::string& hex);
 
+/// Non-throwing hex decode: nullopt on odd length or non-hex characters.
+std::optional<Bytes> try_hex_decode(std::string_view hex);
+
 /// Standard base64 with padding.
 std::string base64_encode(BytesView data);
 
 /// Decodes base64 (padding required). Throws std::invalid_argument on
-/// malformed input.
+/// malformed input; same strictness as try_base64_decode.
 Bytes base64_decode(const std::string& b64);
+
+/// Strict RFC 4648 §4 decode, nullopt instead of throwing — the right
+/// form on untrusted-input paths (HTTP handlers, report ingestion).
+/// Rejects: length not a multiple of 4, whitespace or any character
+/// outside the standard alphabet, misplaced or missing padding, data
+/// after padding, and non-canonical encodings (nonzero bits discarded
+/// from the final quantum, e.g. "QR==" for "QQ==").
+std::optional<Bytes> try_base64_decode(std::string_view b64);
 
 /// Converts a string's bytes to a byte vector (no encoding change).
 Bytes to_bytes(const std::string& s);

@@ -1,0 +1,61 @@
+#include "ctwatch/httpd/router.hpp"
+
+#include <cctype>
+
+namespace ctwatch::httpd {
+
+namespace {
+
+/// "/ct/v1/get-sth" -> "ct_v1_get_sth": a metric-name-safe route key.
+std::string metric_key_for(const std::string& path) {
+  std::string key;
+  key.reserve(path.size());
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      key.push_back(c);
+    } else if (!key.empty() && key.back() != '_') {
+      key.push_back('_');
+    }
+  }
+  while (!key.empty() && key.back() == '_') key.pop_back();
+  if (key.empty()) key = "root";
+  return key;
+}
+
+}  // namespace
+
+Router& Router::handle(std::string method, std::string path, Handler handler) {
+  for (Route& route : routes_) {
+    if (route.method == method && route.path == path) {
+      route.handler = std::move(handler);
+      return *this;
+    }
+  }
+  Route route;
+  route.method = std::move(method);
+  route.path = std::move(path);
+  route.handler = std::move(handler);
+  route.metric_key = metric_key_for(route.path);
+  // Resolve the obs handles once here so the per-request path never
+  // touches the registry lock.
+  route.hits = &obs::Registry::global().counter("httpd.requests." + route.metric_key);
+  route.latency_us = &obs::Registry::global().latency("httpd.latency." + route.metric_key);
+  routes_.push_back(std::move(route));
+  return *this;
+}
+
+Router::Match Router::find(const std::string& method, const std::string& path,
+                           const Route** route) const {
+  bool path_exists = false;
+  for (const Route& candidate : routes_) {
+    if (candidate.path != path) continue;
+    path_exists = true;
+    if (candidate.method == method) {
+      *route = &candidate;
+      return Match::ok;
+    }
+  }
+  return path_exists ? Match::method_not_allowed : Match::not_found;
+}
+
+}  // namespace ctwatch::httpd

@@ -1,0 +1,957 @@
+#include "ctwatch/httpd/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+#include "ctwatch/obs/flight.hpp"
+#include "ctwatch/obs/log.hpp"
+#include "ctwatch/obs/metrics.hpp"
+#include "ctwatch/obs/trace.hpp"
+
+namespace ctwatch::httpd {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+/// Parser-buffer ceiling: past this we stop draining the socket and let
+/// TCP flow control push back (re-polled from the sweep, so no ET stall).
+constexpr std::size_t kReadPauseSlack = 64 * 1024;
+
+struct EdgeMetrics {
+  obs::Counter& accepted;
+  obs::Counter& closed;
+  obs::Counter& refused;
+  obs::Counter& requests;
+  obs::Counter& responses;
+  obs::Counter& parse_rejects;
+  obs::Counter& evicted_idle;
+  obs::Counter& evicted_slow;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& chaos_accept_drops;
+  obs::Counter& chaos_read_faults;
+  obs::Counter& chaos_respond_faults;
+  obs::Counter& stale_completions;
+  obs::Gauge& open_conns;
+};
+
+EdgeMetrics& edge_metrics() {
+  static EdgeMetrics metrics{
+      obs::Registry::global().counter("httpd.conn.accepted"),
+      obs::Registry::global().counter("httpd.conn.closed"),
+      obs::Registry::global().counter("httpd.conn.refused"),
+      obs::Registry::global().counter("httpd.requests"),
+      obs::Registry::global().counter("httpd.responses"),
+      obs::Registry::global().counter("httpd.parse_rejects"),
+      obs::Registry::global().counter("httpd.conn.evicted_idle"),
+      obs::Registry::global().counter("httpd.conn.evicted_slow"),
+      obs::Registry::global().counter("httpd.bytes_in"),
+      obs::Registry::global().counter("httpd.bytes_out"),
+      obs::Registry::global().counter("httpd.chaos.accept_drops"),
+      obs::Registry::global().counter("httpd.chaos.read_faults"),
+      obs::Registry::global().counter("httpd.chaos.respond_faults"),
+      obs::Registry::global().counter("httpd.completions_stale"),
+      obs::Registry::global().gauge("httpd.conn.open"),
+  };
+  return metrics;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Poller: edge-triggered epoll on Linux, poll(2) elsewhere. The loop body
+// is written to be correct under both (it always drains reads and writes
+// to EAGAIN and tracks write interest itself).
+// ---------------------------------------------------------------------------
+
+struct PollEvent {
+  std::uint64_t id = 0;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+#if defined(__linux__)
+
+class Poller {
+ public:
+  Poller() = default;
+  ~Poller() {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool init() {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    return epfd_ >= 0;
+  }
+
+  bool add(int fd, std::uint64_t id, bool want_write) {
+    return ctl(EPOLL_CTL_ADD, fd, id, want_write);
+  }
+  bool mod(int fd, std::uint64_t id, bool want_write) {
+    return ctl(EPOLL_CTL_MOD, fd, id, want_write);
+  }
+  void del(int fd) { ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+  void wait(int timeout_ms, std::vector<PollEvent>& out) {
+    epoll_event events[128];
+    const int n = ::epoll_wait(epfd_, events, 128, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      PollEvent ev;
+      ev.id = events[i].data.u64;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & EPOLLERR) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  bool ctl(int op, int fd, std::uint64_t id, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET | (want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = id;
+    return ::epoll_ctl(epfd_, op, fd, &ev) == 0;
+  }
+  int epfd_ = -1;
+};
+
+#else  // poll(2) fallback (level-triggered; same loop body works)
+
+class Poller {
+ public:
+  bool init() { return true; }
+  bool add(int fd, std::uint64_t id, bool want_write) {
+    entries_[id] = {fd, want_write};
+    return true;
+  }
+  bool mod(int fd, std::uint64_t id, bool want_write) {
+    entries_[id] = {fd, want_write};
+    return true;
+  }
+  void del(int fd) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.fd == fd) {
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void wait(int timeout_ms, std::vector<PollEvent>& out) {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> ids;
+    fds.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) {
+      short interest = POLLIN;
+      if (entry.want_write) interest |= POLLOUT;
+      fds.push_back({entry.fd, interest, 0});
+      ids.push_back(id);
+    }
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms) <= 0) return;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      PollEvent ev;
+      ev.id = ids[i];
+      ev.readable = (fds[i].revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (fds[i].revents & POLLOUT) != 0;
+      ev.error = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  struct Entry {
+    int fd = -1;
+    bool want_write = false;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------------
+
+/// One queued response position. Slots fill out of order (async handlers)
+/// but flush strictly in request order.
+struct Slot {
+  std::uint64_t seq = 0;
+  bool ready = false;
+  bool request_keep_alive = true;
+  Response response;
+  Clock::time_point parsed_at{};
+  Clock::time_point ready_at{};  ///< earliest flush time (chaos latency)
+  const Router::Route* route = nullptr;
+};
+
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  RequestParser parser;
+  std::deque<Slot> slots;
+  std::uint64_t next_slot_seq = 0;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool want_write = false;      ///< EPOLLOUT currently armed
+  bool close_after_flush = false;
+  bool no_more_requests = false;  ///< stop parsing (close requested / parse error)
+  bool peer_eof = false;
+  bool read_paused = false;  ///< parser buffer full; socket left undrained
+  bool in_flush = false;     ///< flush() re-entrancy guard (sync completions)
+  bool flush_again = false;  ///< a re-entrant flush was requested
+  Clock::time_point last_activity{};
+  Clock::time_point stall_since{};      ///< write stall clock (valid while out pending)
+  Clock::time_point parse_resume_at{};  ///< chaos read stall deadline
+};
+
+/// Cross-thread mailbox: fd handoffs from the acceptor and response
+/// completions from any thread. The wake pipe's write end lives and dies
+/// under `mu` so completions can never write a closed fd.
+struct InboxItem {
+  int new_fd = -1;
+  std::uint64_t conn_id = 0;
+  std::uint64_t slot_seq = 0;
+  bool has_response = false;
+  Response response;
+};
+
+struct Inbox {
+  std::mutex mu;
+  bool closed = false;
+  int wake_write_fd = -1;
+  std::vector<InboxItem> items;
+};
+
+}  // namespace
+
+struct Server::WorkerState {
+  Server* server = nullptr;
+  std::size_t index = 0;
+  Poller poller;
+  int wake_read_fd = -1;
+  std::shared_ptr<Inbox> inbox;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = kFirstConnId;
+  std::size_t rr_next = 0;  ///< acceptor's round-robin cursor (worker 0)
+  Clock::time_point last_sweep{};
+  std::vector<PollEvent> events;
+  std::vector<std::uint64_t> scratch_ids;
+};
+
+namespace {
+
+thread_local Server::WorkerState* t_current_worker = nullptr;
+
+void wake_inbox_locked(Inbox& inbox) {
+  if (inbox.wake_write_fd < 0) return;
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(inbox.wake_write_fd, &byte, 1);
+}
+
+std::uint64_t chaos_now_us() {
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch).count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerLoop: all per-connection logic. Free-standing struct (friended)
+// so server.hpp stays free of the Conn/Poller internals.
+// ---------------------------------------------------------------------------
+
+struct WorkerLoop {
+  Server& server;
+  Server::WorkerState& w;
+  EdgeMetrics& metrics = edge_metrics();
+
+  const ServerOptions& opts() const { return server.options_; }
+
+  // --- lifecycle ---
+
+  void run() {
+    t_current_worker = &w;
+    while (server.running_.load(std::memory_order_acquire)) {
+      w.events.clear();
+      w.poller.wait(20, w.events);
+      if (!server.running_.load(std::memory_order_acquire)) break;
+      for (const PollEvent& ev : w.events) {
+        if (ev.id == kWakeId) {
+          drain_wake();
+        } else if (ev.id == kListenId) {
+          do_accept();
+        } else {
+          handle_conn_event(ev);
+        }
+      }
+      drain_inbox();
+      sweep();
+    }
+    shutdown();
+    t_current_worker = nullptr;
+  }
+
+  void shutdown() {
+    for (auto& [id, conn] : w.conns) {
+      ::close(conn->fd);
+      metrics.closed.inc();
+      metrics.open_conns.add(-1);
+      server.open_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    w.conns.clear();
+    {
+      std::lock_guard<std::mutex> lock(w.inbox->mu);
+      w.inbox->closed = true;
+      if (w.inbox->wake_write_fd >= 0) {
+        ::close(w.inbox->wake_write_fd);
+        w.inbox->wake_write_fd = -1;
+      }
+    }
+    if (w.wake_read_fd >= 0) {
+      ::close(w.wake_read_fd);
+      w.wake_read_fd = -1;
+    }
+  }
+
+  void drain_wake() {
+    char drain[256];
+    while (::read(w.wake_read_fd, drain, sizeof drain) > 0) {
+    }
+  }
+
+  // --- accept path (worker 0 only) ---
+
+  void do_accept() {
+    for (;;) {
+      const int fd = ::accept(server.listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN, or transient (EMFILE): the next event retries
+      }
+      server.accepted_.fetch_add(1, std::memory_order_relaxed);
+      metrics.accepted.inc();
+      if (opts().chaos != nullptr &&
+          opts().chaos->evaluate(opts().chaos_prefix + ".accept", chaos_now_us()).faulted()) {
+        // Ingress fault: the connection never existed as far as the
+        // server is concerned. Count first, then close — the close is
+        // the client-visible event, and observers (tests) must not see
+        // it before the counter reflects it.
+        server.chaos_accept_drops_.fetch_add(1, std::memory_order_relaxed);
+        metrics.chaos_accept_drops.inc();
+        obs::flight_note("httpd.accept_drop");
+        ::close(fd);
+        continue;
+      }
+      if (server.open_.load(std::memory_order_relaxed) >= opts().max_connections) {
+        ::close(fd);
+        metrics.refused.inc();
+        obs::flight_note("httpd.conn_refused", server.open_.load(std::memory_order_relaxed));
+        continue;
+      }
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      server.open_.fetch_add(1, std::memory_order_relaxed);
+      metrics.open_conns.add(1);
+
+      const std::size_t target = w.rr_next++ % server.workers_.size();
+      if (target == w.index) {
+        adopt(fd);
+      } else {
+        Inbox& inbox = *server.workers_[target]->inbox;
+        std::lock_guard<std::mutex> lock(inbox.mu);
+        if (inbox.closed) {
+          ::close(fd);
+          server.open_.fetch_sub(1, std::memory_order_relaxed);
+          metrics.open_conns.add(-1);
+          continue;
+        }
+        InboxItem item;
+        item.new_fd = fd;
+        inbox.items.push_back(std::move(item));
+        wake_inbox_locked(inbox);
+      }
+    }
+  }
+
+  void adopt(int fd) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = w.next_conn_id++;
+    conn->parser = RequestParser(opts().limits);
+    conn->last_activity = Clock::now();
+    if (!w.poller.add(fd, conn->id, false)) {
+      ::close(fd);
+      server.open_.fetch_sub(1, std::memory_order_relaxed);
+      metrics.open_conns.add(-1);
+      return;
+    }
+    obs::flight_note("httpd.conn_open", conn->id);
+    w.conns.emplace(conn->id, std::move(conn));
+  }
+
+  // --- inbox: fd handoffs + async completions ---
+
+  void drain_inbox() {
+    std::vector<InboxItem> items;
+    {
+      std::lock_guard<std::mutex> lock(w.inbox->mu);
+      items.swap(w.inbox->items);
+    }
+    for (InboxItem& item : items) {
+      if (item.new_fd >= 0) {
+        adopt(item.new_fd);
+      } else if (item.has_response) {
+        deliver(item.conn_id, item.slot_seq, std::move(item.response));
+      }
+    }
+  }
+
+  /// Fills a slot with its response (from the worker thread) and flushes
+  /// whatever became sendable. Stale deliveries — the connection or slot
+  /// died first — are dropped and counted.
+  void deliver(std::uint64_t conn_id, std::uint64_t slot_seq, Response response) {
+    const auto it = w.conns.find(conn_id);
+    if (it == w.conns.end()) {
+      metrics.stale_completions.inc();
+      return;
+    }
+    Conn& c = *it->second;
+    Slot* slot = nullptr;
+    for (Slot& s : c.slots) {
+      if (s.seq == slot_seq) {
+        slot = &s;
+        break;
+      }
+    }
+    if (slot == nullptr || slot->ready) {
+      metrics.stale_completions.inc();
+      return;
+    }
+    const Clock::time_point now = Clock::now();
+    slot->ready_at = now;
+    if (opts().chaos != nullptr) {
+      const chaos::FaultDecision d =
+          opts().chaos->evaluate(opts().chaos_prefix + ".respond", chaos_now_us());
+      if (d.faulted()) {
+        response = error_response(503, "injected_fault", "chaos: response fault injected");
+        metrics.chaos_respond_faults.inc();
+        obs::flight_note("httpd.chaos_respond", conn_id);
+      }
+      if (d.latency_us > 0) {
+        slot->ready_at = now + std::chrono::microseconds(d.latency_us);
+      }
+    }
+    slot->response = std::move(response);
+    slot->ready = true;
+    flush(c);
+  }
+
+  // --- read / parse / dispatch ---
+
+  void handle_conn_event(const PollEvent& ev) {
+    const auto it = w.conns.find(ev.id);
+    if (it == w.conns.end()) return;  // closed earlier this iteration
+    Conn& c = *it->second;
+    if (ev.error) {
+      close_conn(c, "error");
+      return;
+    }
+    if (ev.writable) {
+      if (!write_out(c)) return;  // connection died
+    }
+    if (ev.readable) {
+      read_in(c);
+    }
+  }
+
+  /// Drains the socket into the parser buffer, then parses. Returns
+  /// false if the connection was closed.
+  bool read_in(Conn& c) {
+    char buf[16384];
+    bool got_bytes = false;
+    for (;;) {
+      if (c.parser.buffered() >
+          opts().limits.max_head_bytes + opts().limits.max_body_bytes + kReadPauseSlack) {
+        c.read_paused = true;  // sweep re-enters once the backlog drains
+        break;
+      }
+      const ssize_t n = ::read(c.fd, buf, sizeof buf);
+      if (n > 0) {
+        got_bytes = true;
+        c.parser.feed(buf, static_cast<std::size_t>(n));
+        metrics.bytes_in.inc(static_cast<std::uint64_t>(n));
+        c.last_activity = Clock::now();
+        continue;
+      }
+      if (n == 0) {
+        c.peer_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c, "read_error");
+      return false;
+    }
+    if (got_bytes && opts().chaos != nullptr) {
+      const chaos::FaultDecision d =
+          opts().chaos->evaluate(opts().chaos_prefix + ".read", chaos_now_us());
+      if (d.kind == chaos::FaultKind::error) {
+        // A violent ingress fault: the connection is torn down with
+        // whatever was mid-flight.
+        metrics.chaos_read_faults.inc();
+        obs::flight_note("httpd.chaos_read_abort", c.id);
+        close_conn(c, "chaos_read");
+        return false;
+      }
+      if (d.latency_us > 0) {
+        metrics.chaos_read_faults.inc();
+        obs::flight_note("httpd.chaos_read_stall", c.id, d.latency_us);
+        c.parse_resume_at = Clock::now() + std::chrono::microseconds(d.latency_us);
+      }
+    }
+    return parse_and_dispatch(c);
+  }
+
+  bool parse_and_dispatch(Conn& c) {
+    const Clock::time_point now = Clock::now();
+    if (now < c.parse_resume_at) return true;  // chaos read stall in effect
+    const std::uint64_t id = c.id;
+    while (!c.no_more_requests && c.slots.size() < opts().max_pipeline &&
+           c.out.size() - c.out_pos < opts().max_outbuf_bytes) {
+      Request request;
+      const ParseResult r = c.parser.next(request);
+      if (r == ParseResult::need_more) break;
+      if (r == ParseResult::request) {
+        dispatch(c, std::move(request));
+        // A handler that completes synchronously re-enters deliver ->
+        // flush, which can close (and free) the connection before
+        // dispatch returns. Touch `c` again only if it survived.
+        if (w.conns.find(id) == w.conns.end()) return false;
+        continue;
+      }
+      reject(c, r);
+      if (w.conns.find(id) == w.conns.end()) return false;
+      break;
+    }
+    if (c.peer_eof && !c.no_more_requests) {
+      // The peer is done sending. Any queued responses still flush (it
+      // may only have shut down its write side); nothing further parses.
+      c.no_more_requests = true;
+      if (c.slots.empty() && c.out_pos == c.out.size()) {
+        close_conn(c, "peer_eof");
+        return false;
+      }
+      c.close_after_flush = true;
+    }
+    return flush(c);
+  }
+
+  void dispatch(Conn& c, Request request) {
+    server.requests_.fetch_add(1, std::memory_order_relaxed);
+    metrics.requests.inc();
+    Slot slot;
+    slot.seq = c.next_slot_seq++;
+    slot.parsed_at = Clock::now();
+    slot.request_keep_alive = request.keep_alive;
+    if (!request.keep_alive) c.no_more_requests = true;
+
+    const Router::Route* route = nullptr;
+    const Router::Match match = server.router_.find(request.method, request.path, &route);
+    slot.route = route;
+    c.slots.push_back(std::move(slot));
+    const std::uint64_t seq = c.slots.back().seq;
+
+    switch (match) {
+      case Router::Match::not_found:
+        deliver(c.id, seq, error_response(404, "not_found", "unknown path: " + request.path));
+        return;
+      case Router::Match::method_not_allowed:
+        deliver(c.id, seq,
+                error_response(405, "method_not_allowed",
+                               request.method + " not served on " + request.path));
+        return;
+      case Router::Match::ok:
+        break;
+    }
+    route->hits->inc();
+    // The request span roots the causal tree: an add-chain handler's
+    // logsvc.submit span (and the sequencer's seal spans behind it)
+    // parent here, linking wire request to batch seal across threads.
+    obs::Span request_span("httpd.request");
+    Completion done = make_completion(c.id, seq);
+    try {
+      route->handler(request, std::move(done));
+    } catch (const std::exception& e) {
+      deliver(c.id, seq, error_response(500, "internal_error", e.what()));
+    } catch (...) {
+      deliver(c.id, seq, error_response(500, "internal_error", "handler threw"));
+    }
+  }
+
+  Completion make_completion(std::uint64_t conn_id, std::uint64_t slot_seq) {
+    auto used = std::make_shared<std::atomic<bool>>(false);
+    std::weak_ptr<Inbox> weak_inbox = w.inbox;
+    Server::WorkerState* worker = &w;
+    Server* srv = &server;
+    return [used, weak_inbox, worker, srv, conn_id, slot_seq](Response response) {
+      if (used->exchange(true, std::memory_order_acq_rel)) return;
+      if (t_current_worker == worker) {
+        // Synchronous completion on the owning loop: deliver directly,
+        // skipping the mailbox and its wake syscall.
+        WorkerLoop loop{*srv, *worker};
+        loop.deliver(conn_id, slot_seq, std::move(response));
+        return;
+      }
+      const std::shared_ptr<Inbox> inbox = weak_inbox.lock();
+      if (!inbox) return;
+      std::lock_guard<std::mutex> lock(inbox->mu);
+      if (inbox->closed) return;
+      InboxItem item;
+      item.conn_id = conn_id;
+      item.slot_seq = slot_seq;
+      item.has_response = true;
+      item.response = std::move(response);
+      inbox->items.push_back(std::move(item));
+      wake_inbox_locked(*inbox);
+    };
+  }
+
+  void reject(Conn& c, ParseResult r) {
+    int status = 400;
+    const char* code = "bad_request";
+    switch (r) {
+      case ParseResult::head_too_large:
+        status = 431;
+        code = "headers_too_large";
+        break;
+      case ParseResult::body_too_large:
+        status = 413;
+        code = "body_too_large";
+        break;
+      case ParseResult::unsupported:
+        status = 501;
+        code = "unsupported";
+        break;
+      default:
+        break;
+    }
+    server.requests_.fetch_add(1, std::memory_order_relaxed);
+    server.parse_rejects_.fetch_add(1, std::memory_order_relaxed);
+    metrics.requests.inc();
+    metrics.parse_rejects.inc();
+    obs::flight_note("httpd.parse_reject", static_cast<std::uint64_t>(status), c.id);
+    c.no_more_requests = true;
+    Slot slot;
+    slot.seq = c.next_slot_seq++;
+    slot.parsed_at = Clock::now();
+    slot.request_keep_alive = false;
+    c.slots.push_back(std::move(slot));
+    deliver(c.id, c.slots.back().seq,
+            error_response(status, code, "request rejected by parser", /*keep_alive=*/false));
+  }
+
+  // --- write path ---
+
+  /// Serializes every leading ready slot into the out buffer (strict
+  /// request order), then writes. Returns false if the conn died.
+  ///
+  /// Handlers that complete synchronously re-enter flush from inside
+  /// flush_step's dispatch; the guard turns the recursion into a loop
+  /// (bounded stack no matter how deep the pipelined burst) and keeps
+  /// a freed connection from being touched after a re-entrant close.
+  bool flush(Conn& c) {
+    if (c.in_flush) {
+      c.flush_again = true;
+      return true;
+    }
+    c.in_flush = true;
+    const std::uint64_t id = c.id;
+    for (;;) {
+      c.flush_again = false;
+      if (!flush_step(c)) return false;  // conn closed and freed
+      if (w.conns.find(id) == w.conns.end()) return false;
+      if (!c.flush_again) break;
+    }
+    c.in_flush = false;
+    return true;
+  }
+
+  bool flush_step(Conn& c) {
+    const Clock::time_point now = Clock::now();
+    while (!c.slots.empty()) {
+      Slot& s = c.slots.front();
+      if (!s.ready || s.ready_at > now) break;
+      Response& r = s.response;
+      r.keep_alive = r.keep_alive && s.request_keep_alive;
+      if (c.out.empty()) c.stall_since = now;  // write stall clock restarts
+      c.out += r.serialize();
+      server.responses_.fetch_add(1, std::memory_order_relaxed);
+      metrics.responses.inc();
+      if (s.route != nullptr && s.route->latency_us != nullptr) {
+        s.route->latency_us->observe(
+            std::chrono::duration<double, std::micro>(now - s.parsed_at).count());
+      }
+      const bool closing = !r.keep_alive;
+      c.slots.pop_front();
+      if (closing) {
+        // Later pipelined slots are discarded per close semantics; their
+        // completions will land as stale.
+        c.close_after_flush = true;
+        c.no_more_requests = true;
+        c.slots.clear();
+        break;
+      }
+    }
+    if (!write_out(c)) return false;
+    // Room may have opened for pipelined requests that were paused on
+    // the outbuf/pipeline bounds. Re-check liveness after every
+    // dispatch/reject: a synchronous completion can close the conn.
+    const std::uint64_t id = c.id;
+    while (w.conns.find(id) != w.conns.end() && !c.no_more_requests &&
+           c.parser.buffered() > 0 && c.slots.size() < opts().max_pipeline &&
+           c.out.size() - c.out_pos < opts().max_outbuf_bytes) {
+      Request request;
+      const ParseResult r = c.parser.next(request);
+      if (r == ParseResult::request) {
+        dispatch(c, std::move(request));
+        continue;
+      }
+      if (parse_failed(r)) reject(c, r);
+      break;
+    }
+    return w.conns.find(id) != w.conns.end();
+  }
+
+  bool write_out(Conn& c) {
+    while (c.out_pos < c.out.size()) {
+      const ssize_t n = ::write(c.fd, c.out.data() + c.out_pos, c.out.size() - c.out_pos);
+      if (n > 0) {
+        c.out_pos += static_cast<std::size_t>(n);
+        metrics.bytes_out.inc(static_cast<std::uint64_t>(n));
+        c.stall_since = Clock::now();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!c.want_write) {
+          c.want_write = true;
+          w.poller.mod(c.fd, c.id, true);
+        }
+        // Compact a large flushed prefix so pathological slow clients
+        // don't pin the full history of their responses.
+        if (c.out_pos > (1u << 18)) {
+          c.out.erase(0, c.out_pos);
+          c.out_pos = 0;
+        }
+        return true;
+      }
+      close_conn(c, "write_error");
+      return false;
+    }
+    c.out.clear();
+    c.out_pos = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      w.poller.mod(c.fd, c.id, false);
+    }
+    if (c.close_after_flush && c.slots.empty()) {
+      close_conn(c, "drained");
+      return false;
+    }
+    return true;
+  }
+
+  void close_conn(Conn& c, const char* reason) {
+    obs::flight_note("httpd.conn_close", c.id);
+    (void)reason;
+    w.poller.del(c.fd);
+    ::close(c.fd);
+    metrics.closed.inc();
+    metrics.open_conns.add(-1);
+    server.open_.fetch_sub(1, std::memory_order_relaxed);
+    w.conns.erase(c.id);  // destroys c
+  }
+
+  // --- timers: eviction, chaos stalls, delayed slots, paused reads ---
+
+  void sweep() {
+    const Clock::time_point now = Clock::now();
+    if (now - w.last_sweep < std::chrono::milliseconds(10)) return;
+    w.last_sweep = now;
+
+    w.scratch_ids.clear();
+    for (const auto& [id, conn] : w.conns) w.scratch_ids.push_back(id);
+
+    for (const std::uint64_t id : w.scratch_ids) {
+      const auto it = w.conns.find(id);
+      if (it == w.conns.end()) continue;
+      Conn& c = *it->second;
+
+      // Write stall: responses queued, client not draining them.
+      if (c.out_pos < c.out.size() &&
+          now - c.stall_since > opts().write_stall_timeout) {
+        server.evicted_slow_.fetch_add(1, std::memory_order_relaxed);
+        metrics.evicted_slow.inc();
+        obs::flight_note("httpd.slow_evict", c.id);
+        close_conn(c, "slow");
+        continue;
+      }
+      // Idle: no request in flight, nothing buffered in either direction.
+      if (c.slots.empty() && c.out_pos == c.out.size() &&
+          now - c.last_activity > opts().idle_timeout) {
+        server.evicted_idle_.fetch_add(1, std::memory_order_relaxed);
+        metrics.evicted_idle.inc();
+        obs::flight_note("httpd.idle_evict", c.id);
+        close_conn(c, "idle");
+        continue;
+      }
+      // Chaos read stall expired: parse what accumulated.
+      if (c.parse_resume_at != Clock::time_point{} && now >= c.parse_resume_at) {
+        c.parse_resume_at = {};
+        if (!parse_and_dispatch(c)) continue;
+      }
+      // Delayed (chaos) response became flushable.
+      if (!c.slots.empty() && c.slots.front().ready && c.slots.front().ready_at <= now) {
+        if (!flush(c)) continue;
+      }
+      // Reads paused on a full parser buffer: resume once it drained.
+      if (c.read_paused &&
+          c.parser.buffered() <= opts().limits.max_head_bytes + opts().limits.max_body_bytes) {
+        c.read_paused = false;
+        if (!read_in(c)) continue;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerOptions options, Router router)
+    : options_(std::move(options)), router_(std::move(router)) {
+  if (options_.workers < 1) options_.workers = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  const auto fail = [this] {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    workers_.clear();
+    return false;
+  };
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) return fail();
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 1024) != 0 || !set_nonblocking(listen_fd_)) {
+    return fail();
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return fail();
+  }
+
+  workers_.clear();
+  for (int i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<WorkerState>();
+    worker->server = this;
+    worker->index = static_cast<std::size_t>(i);
+    worker->inbox = std::make_shared<Inbox>();
+    int wake_fds[2] = {-1, -1};
+    if (!worker->poller.init() || ::pipe(wake_fds) != 0) {
+      for (auto& prior : workers_) {
+        ::close(prior->wake_read_fd);
+        ::close(prior->inbox->wake_write_fd);
+      }
+      return fail();
+    }
+    set_nonblocking(wake_fds[0]);
+    set_nonblocking(wake_fds[1]);
+    worker->wake_read_fd = wake_fds[0];
+    worker->inbox->wake_write_fd = wake_fds[1];
+    worker->poller.add(worker->wake_read_fd, kWakeId, false);
+    if (i == 0) worker->poller.add(listen_fd_, kListenId, false);
+    workers_.push_back(std::move(worker));
+  }
+
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  threads_.clear();
+  for (auto& worker : workers_) {
+    threads_.emplace_back([this, state = worker.get()] {
+      WorkerLoop loop{*this, *state};
+      loop.run();
+    });
+  }
+  obs::log_info("httpd", "server started",
+                {{"port", static_cast<std::uint64_t>(port())},
+                 {"workers", static_cast<std::uint64_t>(options_.workers)}});
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->inbox->mu);
+    wake_inbox_locked(*worker->inbox);
+  }
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+  obs::log_info("httpd", "server stopped", {});
+}
+
+}  // namespace ctwatch::httpd

@@ -227,10 +227,23 @@ crypto::Digest LogService::leaf_hash_at(std::uint64_t index) const {
   return leaves_.at(index);
 }
 
+std::optional<std::uint64_t> LogService::leaf_index_of(const crypto::Digest& leaf_hash) const {
+  std::lock_guard<std::mutex> lock(leaf_index_mu_);
+  const auto it = leaf_index_.find(leaf_hash);
+  if (it == leaf_index_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::vector<EntryRecord> LogService::get_entries(std::uint64_t start, std::uint64_t count) const {
   const std::uint64_t published = entries_.size();
   std::vector<EntryRecord> out;
-  for (std::uint64_t i = start; i < start + count && i < published; ++i) {
+  if (start >= published || count == 0) return out;
+  // Clamp before any arithmetic: `start + count` on attacker-supplied
+  // values can wrap uint64 and turn the window into "everything".
+  std::uint64_t window = std::min(count, config_.max_get_entries);
+  window = std::min(window, published - start);
+  out.reserve(window);
+  for (std::uint64_t i = start; i < start + window; ++i) {
     out.push_back(entries_.at(i));
   }
   return out;
@@ -383,6 +396,10 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
     event.trace = entry_span.context();
 
     leaves_.append(leaf);
+    {
+      std::lock_guard<std::mutex> lock(leaf_index_mu_);
+      leaf_index_.emplace(leaf, index);  // first occurrence wins
+    }
     accumulator_.add(leaf);
     entries_.append(std::move(record));
     events.push_back(std::move(event));

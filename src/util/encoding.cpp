@@ -37,17 +37,23 @@ std::string hex_encode(BytesView data) {
   return out;
 }
 
-Bytes hex_decode(const std::string& hex) {
-  if (hex.size() % 2 != 0) throw std::invalid_argument("hex_decode: odd length");
+std::optional<Bytes> try_hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
   Bytes out;
   out.reserve(hex.size() / 2);
   for (std::size_t i = 0; i < hex.size(); i += 2) {
     const int hi = hex_value(hex[i]);
     const int lo = hex_value(hex[i + 1]);
-    if (hi < 0 || lo < 0) throw std::invalid_argument("hex_decode: non-hex character");
+    if (hi < 0 || lo < 0) return std::nullopt;
     out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
   }
   return out;
+}
+
+Bytes hex_decode(const std::string& hex) {
+  auto out = try_hex_decode(hex);
+  if (!out) throw std::invalid_argument("hex_decode: malformed hex");
+  return *std::move(out);
 }
 
 std::string base64_encode(BytesView data) {
@@ -79,8 +85,8 @@ std::string base64_encode(BytesView data) {
   return out;
 }
 
-Bytes base64_decode(const std::string& b64) {
-  if (b64.size() % 4 != 0) throw std::invalid_argument("base64_decode: length not multiple of 4");
+std::optional<Bytes> try_base64_decode(std::string_view b64) {
+  if (b64.size() % 4 != 0) return std::nullopt;  // padding is mandatory
   Bytes out;
   out.reserve(b64.size() / 4 * 3);
   for (std::size_t i = 0; i < b64.size(); i += 4) {
@@ -90,18 +96,21 @@ Bytes base64_decode(const std::string& b64) {
       const char c = b64[i + j];
       if (c == '=') {
         // Padding is only allowed in the final two positions of the input.
-        if (i + 4 != b64.size() || j < 2) {
-          throw std::invalid_argument("base64_decode: misplaced padding");
-        }
+        if (i + 4 != b64.size() || j < 2) return std::nullopt;
         ++pad;
         v[static_cast<std::size_t>(j)] = 0;
       } else {
-        if (pad > 0) throw std::invalid_argument("base64_decode: data after padding");
+        if (pad > 0) return std::nullopt;  // data after padding
         const int d = b64_value(c);
-        if (d < 0) throw std::invalid_argument("base64_decode: invalid character");
+        if (d < 0) return std::nullopt;
         v[static_cast<std::size_t>(j)] = d;
       }
     }
+    // Canonical form: the bits the padding discards must be zero
+    // ("QR==" decodes to the same byte as "QQ==" but is not a valid
+    // RFC 4648 encoding of it).
+    if (pad == 1 && (v[2] & 0x3) != 0) return std::nullopt;
+    if (pad == 2 && (v[1] & 0xf) != 0) return std::nullopt;
     const std::uint32_t n = static_cast<std::uint32_t>(v[0]) << 18 |
                             static_cast<std::uint32_t>(v[1]) << 12 |
                             static_cast<std::uint32_t>(v[2]) << 6 |
@@ -111,6 +120,12 @@ Bytes base64_decode(const std::string& b64) {
     if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
   }
   return out;
+}
+
+Bytes base64_decode(const std::string& b64) {
+  auto out = try_base64_decode(b64);
+  if (!out) throw std::invalid_argument("base64_decode: malformed base64");
+  return *std::move(out);
 }
 
 Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }

@@ -199,6 +199,43 @@ TEST(LogServiceTest, GetEntriesReturnsStoredRecordsAndClamps) {
   EXPECT_TRUE(service.get_entries(5, 2).empty());
 }
 
+TEST(LogServiceTest, GetEntriesRangeClampRegressions) {
+  // Pinned behaviours for the range arithmetic the HTTP get-entries
+  // endpoint leans on: every hostile (start, count) pair must come back
+  // empty or clamped, never wrapped or thrown.
+  Config config = fast_config("Svc Entries Clamp");
+  config.max_get_entries = 4;  // small window cap to exercise the clamp
+  LogService service(config);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(submit_wait(service, i, kNow).status, SubmitStatus::ok);
+  }
+  ASSERT_EQ(service.tree_size(), 6u);
+
+  // start at/past the tree is empty, not an error.
+  EXPECT_TRUE(service.get_entries(6, 1).empty());
+  EXPECT_TRUE(service.get_entries(UINT64_MAX, 1).empty());
+  // count == 0 is empty.
+  EXPECT_TRUE(service.get_entries(0, 0).empty());
+
+  // An oversized window is capped at max_get_entries...
+  const auto capped = service.get_entries(0, 1000);
+  ASSERT_EQ(capped.size(), 4u);
+  EXPECT_EQ(capped.front().index, 0u);
+  EXPECT_EQ(capped.back().index, 3u);
+  // ...and the published size still clamps below the cap.
+  const auto tail = service.get_entries(4, 1000);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.front().index, 4u);
+  EXPECT_EQ(tail.back().index, 5u);
+
+  // start + count overflowing u64 must not wrap into a bogus window.
+  const auto overflow = service.get_entries(5, UINT64_MAX);
+  ASSERT_EQ(overflow.size(), 1u);
+  EXPECT_EQ(overflow.front().index, 5u);
+  const auto overflow_full = service.get_entries(0, UINT64_MAX);
+  ASSERT_EQ(overflow_full.size(), 4u);  // window cap applies first
+}
+
 TEST(LogServiceTest, RejectsInvalidChainsInTheCallerThread) {
   Config config = fast_config("Svc Validate");
   LogService service(config);  // verify_submissions defaults to true

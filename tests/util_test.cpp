@@ -235,6 +235,52 @@ TEST(EncodingTest, Base64RejectsMalformed) {
   EXPECT_THROW(base64_decode("Zg=a"), std::invalid_argument);   // data after pad
 }
 
+TEST(EncodingTest, TryBase64DecodeMatchesThrowingVariantOnGoodInput) {
+  for (const char* text : {"", "f", "fo", "foo", "foob", "fooba", "foobar"}) {
+    const std::string encoded = base64_encode(to_bytes(text));
+    const auto decoded = try_base64_decode(encoded);
+    ASSERT_TRUE(decoded.has_value()) << encoded;
+    EXPECT_EQ(*decoded, to_bytes(text));
+  }
+}
+
+TEST(EncodingTest, TryBase64DecodeRejectsWithoutThrowing) {
+  // Structural errors.
+  EXPECT_FALSE(try_base64_decode("Zg=").has_value());    // length % 4 != 0
+  EXPECT_FALSE(try_base64_decode("Z").has_value());
+  EXPECT_FALSE(try_base64_decode("Z!==").has_value());   // outside alphabet
+  EXPECT_FALSE(try_base64_decode("Zm9\nv").has_value()); // whitespace is not ignored
+  EXPECT_FALSE(try_base64_decode("Zm9 v").has_value());
+  EXPECT_FALSE(try_base64_decode("=AAA").has_value());   // misplaced padding
+  EXPECT_FALSE(try_base64_decode("A=AA").has_value());
+  EXPECT_FALSE(try_base64_decode("Zg=a").has_value());   // data after padding
+  EXPECT_FALSE(try_base64_decode("Zg==Zg==").has_value());  // pad mid-stream
+  EXPECT_FALSE(try_base64_decode("====").has_value());
+  // URL-safe alphabet is a different encoding, not an alias.
+  EXPECT_FALSE(try_base64_decode("-A==").has_value());
+  EXPECT_FALSE(try_base64_decode("_A==").has_value());
+}
+
+TEST(EncodingTest, TryBase64DecodeRejectsNonCanonicalTrailingBits) {
+  // "QQ==" is the canonical encoding of {0x41}; "QR==" decodes to the
+  // same byte but leaves nonzero discarded bits — RFC 4648 strict
+  // decoders must reject it (CVE-class for signature malleability).
+  EXPECT_TRUE(try_base64_decode("QQ==").has_value());
+  EXPECT_FALSE(try_base64_decode("QR==").has_value());
+  EXPECT_TRUE(try_base64_decode("QUE=").has_value());
+  EXPECT_FALSE(try_base64_decode("QUF=").has_value());
+  // The throwing variant enforces the same strictness.
+  EXPECT_THROW(base64_decode("QR=="), std::invalid_argument);
+}
+
+TEST(EncodingTest, TryHexDecode) {
+  EXPECT_EQ(try_hex_decode("0001abff"), (Bytes{0x00, 0x01, 0xab, 0xff}));
+  EXPECT_EQ(try_hex_decode(""), Bytes{});
+  EXPECT_FALSE(try_hex_decode("abc").has_value());
+  EXPECT_FALSE(try_hex_decode("zz").has_value());
+  EXPECT_FALSE(try_hex_decode("0x41").has_value());
+}
+
 // ---------- strings ----------
 
 TEST(StringsTest, SplitPreservesEmptyFields) {
