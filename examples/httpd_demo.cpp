@@ -17,7 +17,9 @@
 //       serve for N seconds (0 = until stdin closes), for external
 //       clients such as the CI curl smoke.
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -207,6 +209,21 @@ int self_check(std::uint16_t port, logsvc::LogService& service, DemoCa& ca) {
   return sct_ok && proof_ok ? 0 : 1;
 }
 
+/// SIGINT/SIGTERM land here: the serve loop notices and shuts down
+/// gracefully (drain connections, flush, stop the service) instead of
+/// dying mid-response. Async-signal-safe: just a flag store.
+std::atomic<bool> g_stop_requested{false};
+
+void request_stop(int) { g_stop_requested.store(true, std::memory_order_relaxed); }
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = request_stop;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -271,20 +288,36 @@ int main(int argc, char** argv) {
   std::printf("serving RFC 6962 API on 127.0.0.1:%u (%d workers)\n",
               static_cast<unsigned>(server.port()), workers);
 
+  install_signal_handlers();
+
   int rc = 0;
   if (run_self_check) {
     rc = self_check(server.port(), service, ca);
   }
   if (serve_seconds > 0) {
-    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    // Poll so SIGINT/SIGTERM cut the wait short.
+    const auto until = std::chrono::steady_clock::now() + std::chrono::seconds(serve_seconds);
+    while (std::chrono::steady_clock::now() < until &&
+           !g_stop_requested.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
   } else if (serve_seconds == 0) {
-    // Serve until stdin closes (Ctrl-D / parent exits).
+    // Serve until stdin closes (Ctrl-D / parent exits) or a signal.
     char buf[64];
-    while (::read(0, buf, sizeof buf) > 0) {
+    while (!g_stop_requested.load(std::memory_order_relaxed)) {
+      const ssize_t n = ::read(0, buf, sizeof buf);
+      if (n > 0) continue;
+      if (n < 0 && errno == EINTR) continue;  // signal: loop re-checks the flag
+      break;
     }
   }
 
-  server.stop();
+  if (g_stop_requested.load(std::memory_order_relaxed)) {
+    std::printf("signal received; draining connections\n");
+  }
+  // Graceful: stop accepting, let in-flight responses flush, then stop
+  // the log service (which checkpoints and flushes its durable store).
+  server.shutdown(std::chrono::milliseconds(3000));
   service.stop();
   std::printf("served %llu requests over %llu connections\n",
               static_cast<unsigned long long>(server.requests_served()),

@@ -6,14 +6,21 @@
 // a client verifies the SCT, the STH, and an inclusion proof against the
 // published snapshot — all without ever touching the sequencer's write lock.
 //
+// A second act restarts the same log from its durable store: the service
+// flushes and closes on stop(), a fresh process-model open() replays the
+// WAL, and the republished STH is byte-identical to the one signed before
+// the restart — the log never forks its own history.
+//
 // Build & run:  ./build/examples/logsvc_demo
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 
 #include "ctwatch/logsvc/logsvc.hpp"
 #include "ctwatch/sim/ca.hpp"
+#include "ctwatch/storage/log_store.hpp"
 
 using namespace ctwatch;
 
@@ -78,5 +85,53 @@ int main() {
   std::printf("streamed events seen: %llu (dropped %llu)\n",
               static_cast<unsigned long long>(streamed.load()),
               static_cast<unsigned long long>(service.fanout().dropped()));
-  return sct_ok && sth_ok && proof_ok && streamed.load() == 1 ? 0 : 1;
+
+  // 6. The durable act: the same log, twice. A storage-backed service
+  //    commits every sealed batch (WAL + fsync) before releasing SCTs;
+  //    stop() flushes and closes; a fresh open() replays to the last
+  //    durable STH and the restarted service republishes the exact bytes.
+  const std::string store_dir = "logsvc_demo.store";
+  std::filesystem::remove_all(store_dir);
+  bool durable_ok = false;
+  {
+    auto opened = storage::LogStore::open({.dir = store_dir});
+    if (!opened.store) {
+      std::printf("storage open failed: %s\n", opened.detail.c_str());
+      return 1;
+    }
+    logsvc::Config durable_config = config;
+    durable_config.name = "Durable Demo Log";
+    durable_config.storage = opened.store.get();
+    ct::SignedTreeHead before_restart;
+    {
+      logsvc::LogService durable(durable_config);
+      std::promise<logsvc::SubmitOutcome> sealed;
+      auto sealed_future = sealed.get_future();
+      durable.submit_pre_chain(
+          precert, ca.public_key(), SimTime::parse("2018-04-01 10:05:00"),
+          [&sealed](const logsvc::SubmitOutcome& o) { sealed.set_value(o); });
+      sealed_future.get();
+      before_restart = durable.get_sth();
+      durable.stop();  // flush-and-close: seals are already on disk
+    }
+    opened.store->close();
+    opened.store.reset();
+
+    auto reopened = storage::LogStore::open({.dir = store_dir});
+    if (!reopened.store) {
+      std::printf("storage reopen failed: %s\n", reopened.detail.c_str());
+      return 1;
+    }
+    std::printf("recovered tree size %llu (replayed %llu batch(es) from the WAL)\n",
+                static_cast<unsigned long long>(reopened.store->tree_size()),
+                static_cast<unsigned long long>(reopened.store->recovery().replayed_batches));
+    durable_config.storage = reopened.store.get();
+    logsvc::LogService restarted(durable_config);
+    durable_ok = restarted.get_sth() == before_restart;
+    std::printf("STH after restart byte-identical: %s\n", durable_ok ? "yes" : "NO");
+    restarted.stop();
+  }
+  std::filesystem::remove_all(store_dir);
+
+  return sct_ok && sth_ok && proof_ok && streamed.load() == 1 && durable_ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -120,6 +121,20 @@ class RootAccumulator {
 
   [[nodiscard]] std::uint64_t size() const { return size_; }
   [[nodiscard]] Digest root() const;
+
+  /// The frontier: the perfect-subtree hashes, largest subtree first —
+  /// exactly one per set bit of size(). This is the whole mutable state
+  /// of the accumulator; ctwatch::storage serializes it into checkpoint
+  /// records so recovery restores the tree head in O(log n) instead of
+  /// rehashing every leaf.
+  [[nodiscard]] const std::vector<Digest>& frontier() const { return stack_; }
+
+  /// Rebuilds an accumulator from a serialized frontier. Returns nullopt
+  /// unless the hash count matches popcount(size) — the shape every
+  /// valid frontier must have (the caller still owes a root check
+  /// against a trusted STH before serving anything from it).
+  static std::optional<RootAccumulator> from_frontier(std::vector<Digest> frontier,
+                                                      std::uint64_t size);
 
  private:
   std::vector<Digest> stack_;  // perfect-subtree hashes, largest first

@@ -23,6 +23,13 @@ inline void put_u24(Bytes& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
 }
 
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
 inline void put_u64(Bytes& out, std::uint64_t v) {
   for (int shift = 56; shift >= 0; shift -= 8) {
     out.push_back(static_cast<std::uint8_t>(v >> shift));
@@ -62,6 +69,11 @@ class Reader {
   std::uint32_t u24() {
     const BytesView b = take(3);
     return static_cast<std::uint32_t>(b[0]) << 16 | static_cast<std::uint32_t>(b[1]) << 8 | b[2];
+  }
+  std::uint32_t u32() {
+    const BytesView b = take(4);
+    return static_cast<std::uint32_t>(b[0]) << 24 | static_cast<std::uint32_t>(b[1]) << 16 |
+           static_cast<std::uint32_t>(b[2]) << 8 | b[3];
   }
   std::uint64_t u64() {
     const BytesView b = take(8);

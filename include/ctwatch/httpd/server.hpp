@@ -87,7 +87,18 @@ class Server {
   /// call when not running; idempotent.
   void stop();
 
+  /// Graceful stop: stops accepting (new connections are closed on
+  /// arrival), lets in-flight requests finish and their responses flush,
+  /// closes each connection once it is quiescent, and waits up to
+  /// `drain_deadline` for every connection to drain before the hard
+  /// stop(). Returns true when the drain completed in time (open
+  /// connections hit zero), false when the deadline forced the remainder
+  /// closed. Safe to call when not running; idempotent.
+  bool shutdown(std::chrono::milliseconds drain_deadline = std::chrono::milliseconds(5000));
+
   [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True between shutdown() initiating a drain and stop() completing.
+  [[nodiscard]] bool draining() const { return draining_.load(std::memory_order_acquire); }
   /// Actual bound port (resolves ServerOptions::port == 0).
   [[nodiscard]] std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
@@ -129,6 +140,7 @@ class Server {
   Router router_;
 
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<std::uint16_t> port_{0};
   int listen_fd_ = -1;
 

@@ -47,6 +47,7 @@
 #include "ctwatch/logsvc/queue.hpp"
 #include "ctwatch/logsvc/store.hpp"
 #include "ctwatch/obs/trace.hpp"
+#include "ctwatch/storage/log_store.hpp"
 #include "ctwatch/util/time.hpp"
 
 namespace ctwatch::logsvc {
@@ -87,6 +88,19 @@ struct Config {
   ///                       SubmitStatus::internal_error.
   chaos::FaultInjector* chaos = nullptr;
   std::string chaos_prefix = "logsvc";
+  /// Optional durable backing store (not owned; nullptr keeps the
+  /// service memory-only, exactly as before). When set, the constructor
+  /// ADOPTS the store's recovered state — every recovered entry is
+  /// re-integrated and the recovered STH is republished verbatim (the
+  /// store must have been opened with the same log name: the recovered
+  /// STH's signature is verified against this service's key, and a
+  /// mismatch throws). Each sealed batch is then committed (WAL + fsync)
+  /// BEFORE its snapshot is published or its SCTs are released, so
+  /// get-sth never serves a root the disk cannot prove. The first
+  /// storage failure poisons the write path fail-stop: later batches
+  /// complete with SubmitStatus::storage_error while reads keep serving
+  /// the last durable snapshot.
+  storage::LogStore* storage = nullptr;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -96,6 +110,7 @@ enum class SubmitStatus : std::uint8_t {
   shutdown,          ///< service is stopping
   dropped,           ///< chaos: submission lost at ingress (injected fault)
   internal_error,    ///< chaos: signer failed at seal time (via CompletionFn)
+  storage_error,     ///< durable commit failed: entry NOT integrated (via CompletionFn)
 };
 
 struct SubmitOutcome {
@@ -227,6 +242,11 @@ class LogService {
   [[nodiscard]] std::uint64_t signer_failures() const {
     return signer_failures_.load(std::memory_order_relaxed);
   }
+  /// Batches refused because the durable commit failed (fail-stop: once
+  /// nonzero, every later batch fails too until the store is reopened).
+  [[nodiscard]] std::uint64_t storage_failures() const {
+    return storage_failures_.load(std::memory_order_relaxed);
+  }
 
   // --- test hooks ---
 
@@ -264,7 +284,16 @@ class LogService {
                                 SimTime now, ct::EntryType type, CompletionFn done);
   void sequencer_main();
   void seal_batch(std::vector<Pending>& batch);
-  void publish_snapshot(std::uint64_t timestamp_ms);
+  /// Re-integrates a durable store's recovered state before the
+  /// sequencer starts (constructor only; throws on key mismatch).
+  void adopt_storage();
+  /// Signs a fresh STH over an accumulator state (the live one, or the
+  /// probe a batch is about to commit).
+  [[nodiscard]] ct::SignedTreeHead sign_sth(const ct::RootAccumulator& accumulator,
+                                            std::uint64_t timestamp_ms) const;
+  /// Publishes an already-signed STH — the exact object that was
+  /// committed to storage (or recovered from it), never a re-signing.
+  void publish_snapshot(ct::SignedTreeHead sth);
   [[nodiscard]] ct::SignedCertificateTimestamp sign_sct(std::uint64_t timestamp_ms,
                                                         const ct::SignedEntry& entry) const;
 
@@ -298,6 +327,7 @@ class LogService {
   std::atomic<std::uint64_t> shutdown_rejections_{0};
   std::atomic<std::uint64_t> chaos_dropped_{0};
   std::atomic<std::uint64_t> signer_failures_{0};
+  std::atomic<std::uint64_t> storage_failures_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> sealed_batches_{0};
 };

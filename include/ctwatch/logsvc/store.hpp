@@ -13,7 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <stdexcept>
+
+#include "ctwatch/logsvc/queue.hpp"
 
 namespace ctwatch::logsvc {
 
@@ -41,12 +42,13 @@ class AppendOnlyStore {
   AppendOnlyStore& operator=(const AppendOnlyStore&) = delete;
 
   /// Writer only. Appends one element; not visible to readers until
-  /// publish().
-  void append(T value) {
+  /// publish(). Returns PushResult::full (the same typed refusal the
+  /// BoundedQueue gives) once every chunk slot is used — capacity is a
+  /// resource condition the sequencer must surface per-submission, not an
+  /// exception tearing through the seal loop.
+  [[nodiscard]] PushResult append(T value) {
     const std::size_t chunk_index = static_cast<std::size_t>(write_pos_ >> chunk_bits_);
-    if (chunk_index >= max_chunks_) {
-      throw std::length_error("AppendOnlyStore: capacity exhausted");
-    }
+    if (chunk_index >= max_chunks_) return PushResult::full;
     T* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
     if (chunk == nullptr) {
       chunk = new T[std::size_t(1) << chunk_bits_]();
@@ -56,6 +58,12 @@ class AppendOnlyStore {
     }
     chunk[write_pos_ & chunk_mask_] = std::move(value);
     ++write_pos_;
+    return PushResult::ok;
+  }
+
+  /// Total element capacity (chunks never grow past max_chunks).
+  [[nodiscard]] std::uint64_t capacity() const {
+    return static_cast<std::uint64_t>(max_chunks_) << chunk_bits_;
   }
 
   /// Writer only. Release-publishes everything appended so far; the

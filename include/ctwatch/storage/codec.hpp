@@ -1,0 +1,65 @@
+// Payload codecs for the storage layer's three record types.
+//
+// TLS-presentation-language style (big-endian, length-prefixed opaques)
+// via ct::wire, matching the rest of the RFC 6962 serialization in the
+// tree. Decoders are strict and non-throwing: any structural problem
+// returns nullopt, which recovery treats exactly like a CRC failure on
+// the enclosing frame (the record never happened).
+//
+//  entry      — one integrated leaf: index, timestamp, leaf hash,
+//               fingerprint, issuer CN, and optionally the SignedEntry
+//               body (omitted when Config::store_bodies is off; the leaf
+//               hash field keeps recovery possible without it).
+//  seal       — a batch commit: the freshly signed STH plus the sealed
+//               range. fsyncing this frame IS the durability commit
+//               point for the batch.
+//  checkpoint — manifest record: the STH, the accumulator frontier, and
+//               how many bytes of each segment file the checkpoint
+//               covers. The newest valid checkpoint anchors recovery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/sct.hpp"
+#include "ctwatch/util/encoding.hpp"
+
+namespace ctwatch::storage {
+
+struct DurableEntry {
+  std::uint64_t index = 0;
+  std::uint64_t timestamp_ms = 0;
+  crypto::Digest leaf_hash{};
+  crypto::Digest fingerprint{};
+  std::string issuer_cn;
+  bool has_body = false;
+  ct::SignedEntry entry;  ///< meaningful only when has_body
+};
+
+struct SealRecord {
+  std::uint64_t first_index = 0;  ///< first leaf this batch appended
+  std::uint64_t seal_seq = 0;
+  ct::SignedTreeHead sth;         ///< tree_size is the post-batch size
+};
+
+struct CheckpointRecord {
+  ct::SignedTreeHead sth;
+  std::vector<crypto::Digest> frontier;  ///< accumulator state at sth.tree_size
+  std::uint64_t seal_seq = 0;
+  std::uint64_t last_timestamp_ms = 0;
+  std::uint64_t tile_bytes = 0;    ///< valid prefix of the tile segment
+  std::uint64_t entry_bytes = 0;   ///< valid prefix of the entry segment
+};
+
+Bytes encode_entry(const DurableEntry& entry);
+std::optional<DurableEntry> decode_entry(BytesView payload);
+
+Bytes encode_seal(const SealRecord& seal);
+std::optional<SealRecord> decode_seal(BytesView payload);
+
+Bytes encode_checkpoint(const CheckpointRecord& checkpoint);
+std::optional<CheckpointRecord> decode_checkpoint(BytesView payload);
+
+}  // namespace ctwatch::storage

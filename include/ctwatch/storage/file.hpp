@@ -1,0 +1,175 @@
+// ctwatch::storage — error-typed, EINTR-safe file primitives with a
+// deterministic crash model.
+//
+// Everything durable goes through an `Env`: a directory of files plus a
+// *process model* of the page cache. `File::append` buffers bytes the way
+// a kernel would; `File::sync` is the only operation that makes them
+// durable (flush + fsync); a clean close flushes without the durability
+// guarantee (the OS would get around to it). This split is what makes
+// crashes testable: when the chaos engine fires the `storage.crash` fault
+// point, the Env "kills the process" — every file keeps its synced bytes
+// plus a *deterministic prefix* of its unsynced tail (in-order writeback,
+// possibly torn mid-record), and every subsequent operation on the Env
+// fails with `IoError::crashed`. Reopening the directory through a fresh
+// Env is exactly what recovery after a real SIGKILL sees.
+//
+// Chaos fault points, evaluated once per physical write/sync operation
+// with the Env-wide op ordinal as virtual time (so an OutageWindow
+// [k, 2^63) is "crash at write ordinal k" — deterministic crash-point
+// injection with no new chaos machinery):
+//   "storage.crash" — kill the process model at this op,
+//   "storage.write" — this append fails with IoError::io (fail-stop),
+//   "storage.fsync" — this sync fails with IoError::io.
+//
+// All real syscalls (open/write/fsync/ftruncate/read/close/unlink) retry
+// EINTR and short writes; errors surface as typed IoResults, never
+// errno-squinting at call sites and never exceptions on the IO path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctwatch/chaos/fault.hpp"
+#include "ctwatch/util/encoding.hpp"
+
+namespace ctwatch::storage {
+
+enum class IoError : std::uint8_t {
+  none,     ///< success
+  io,       ///< syscall failure or injected write/fsync fault (fail-stop)
+  crashed,  ///< the Env's process model has crashed; reopen to recover
+  corrupt,  ///< checksum/structure validation failed on read
+  exhausted,///< a fixed capacity (store chunks, tile span) ran out
+};
+
+const char* to_string(IoError error);
+
+struct IoResult {
+  IoError error = IoError::none;
+
+  [[nodiscard]] bool ok() const { return error == IoError::none; }
+  static IoResult success() { return IoResult{}; }
+  static IoResult fail(IoError error) { return IoResult{error}; }
+};
+
+class File;
+
+/// A directory of files plus the crash/fault model. One Env per open
+/// store; recovery constructs a fresh Env over the same directory.
+/// Single-threaded by contract (the sequencer owns the write path).
+class Env {
+ public:
+  struct Options {
+    std::string dir;
+    /// Optional fault seams (not owned; nullptr disables chaos).
+    chaos::FaultInjector* chaos = nullptr;
+    std::string chaos_prefix = "storage";
+    /// Seeds the deterministic torn-tail prefix draws at crash time.
+    std::uint64_t torn_seed = 0x7061676563616368ULL;  // "pagecach"
+  };
+
+  /// Creates the directory if needed. Returns nullptr (with `error` set
+  /// when non-null) if the directory cannot be created or opened.
+  static std::unique_ptr<Env> open(Options options, IoError* error = nullptr);
+  ~Env();
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  [[nodiscard]] const std::string& dir() const { return options_.dir; }
+
+  /// True once the process model has crashed; every operation on this Env
+  /// (and its Files) fails with IoError::crashed from then on.
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Physical write/sync operations so far — the crash-ordinal clock.
+  [[nodiscard]] std::uint64_t write_ops() const { return op_counter_; }
+
+  /// Harness hook (tests, bench/storage_churn): kill the process model
+  /// NOW, exactly as the "storage.crash" fault point would — every file
+  /// keeps its synced bytes plus a deterministic prefix of its unsynced
+  /// tail, and every later operation fails with IoError::crashed.
+  void crash_now();
+
+  /// Opens (creating if absent) a file for appending, truncating the
+  /// on-disk image to `logical_size` first — recovery uses this to cut a
+  /// torn tail before resuming appends. Pass the current on-disk size to
+  /// keep everything. Returns nullptr on failure.
+  std::unique_ptr<File> open_append(const std::string& name, std::uint64_t logical_size,
+                                    IoError* error = nullptr);
+
+  /// Reads the whole on-disk file. A missing file reads as empty bytes
+  /// with success (recovery treats absent and empty alike).
+  IoResult read_file(const std::string& name, Bytes& out) const;
+
+  [[nodiscard]] bool exists(const std::string& name) const;
+  [[nodiscard]] std::uint64_t file_size(const std::string& name) const;
+
+  /// Unlinks the file (fsyncs the directory so the removal is durable).
+  /// Removing a missing file succeeds.
+  IoResult remove(const std::string& name);
+
+ private:
+  friend class File;
+
+  explicit Env(Options options) : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string path_of(const std::string& name) const;
+
+  /// Evaluates the crash/fault points for one physical op. Returns the
+  /// fault to surface (none/io) after possibly crashing the Env.
+  IoError evaluate_op(const char* kind);
+
+  IoResult sync_dir();
+
+  Options options_;
+  bool crashed_ = false;
+  std::uint64_t op_counter_ = 0;
+  std::vector<File*> open_files_;  // registration for crash_now; not owned
+};
+
+/// An append-only file handle with page-cache semantics (see the file
+/// comment). Obtained from Env::open_append; at most one live handle per
+/// file name.
+class File {
+ public:
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Buffers `data` at the logical end of file. Fails fast with
+  /// IoError::crashed after a crash, IoError::io on an injected write
+  /// fault (nothing buffered in that case).
+  IoResult append(BytesView data);
+
+  /// Flushes buffered bytes to disk and fsyncs: on return (ok), every
+  /// byte appended so far survives any later crash.
+  IoResult sync();
+
+  /// Bytes guaranteed durable (through the last successful sync).
+  [[nodiscard]] std::uint64_t durable_size() const { return synced_size_; }
+  /// Logical size (durable + buffered).
+  [[nodiscard]] std::uint64_t size() const { return synced_size_ + pending_.size(); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Env;
+
+  File(Env& env, std::string name, int fd, std::uint64_t disk_size)
+      : env_(env), name_(std::move(name)), fd_(fd), synced_size_(disk_size) {}
+
+  /// Writes `pending_[0:n)` to the real file at the current end and
+  /// drops those bytes from the buffer. Does not fsync.
+  IoResult flush_prefix(std::size_t n);
+
+  Env& env_;
+  std::string name_;
+  int fd_ = -1;
+  std::uint64_t synced_size_ = 0;  ///< bytes in the on-disk image
+  Bytes pending_;                  ///< appended since last flush ("page cache")
+};
+
+}  // namespace ctwatch::storage

@@ -1,0 +1,176 @@
+// Durable, crash-recoverable log storage for a CT log service.
+//
+// On-disk layout (all inside one directory, all through storage::Env so
+// the deterministic crash model applies):
+//
+//   wal.log      — CRC-framed entry + seal records since the last
+//                  checkpoint. fsyncing a batch's seal frame IS the
+//                  durability commit point.
+//   tiles.seg    — fixed-size checksummed tile pages of leaf hashes
+//                  (append-only, last page wins per tile index).
+//   entries.seg  — CRC-framed entry records, the full integrated log
+//                  (appended at checkpoint time from the WAL's batches).
+//   manifest.log — CRC-framed checkpoint records; the newest valid one
+//                  anchors recovery. Written *after* the segment files
+//                  are fsync'd, and the WAL is reset only after the
+//                  manifest is fsync'd, so every crash window recovers.
+//
+// Recovery (LogStore::open on an existing directory):
+//   1. scan the manifest, take the newest valid checkpoint;
+//   2. load + CRC-validate tile pages up to the checkpointed size, and
+//      the entry segment's checkpointed prefix;
+//   3. fold every leaf hash into a fresh RootAccumulator and require the
+//      root to equal the checkpoint STH's root hash — the checkpoint is
+//      *cryptographically* verified, not trusted;
+//   4. replay the WAL: entries stage by index, each seal folds its batch
+//      and must reproduce the sealed root hash exactly;
+//   5. entry frames after the last durable seal are unsealed submissions
+//      the crash interrupted — counted in the report and discarded (the
+//      log never serves a root it cannot prove);
+//   6. truncate torn tails so the garbage can never be re-read.
+//
+// Failure semantics are fail-stop: the first IO error (real or injected)
+// poisons the store — every later commit refuses with the sticky error,
+// so a leaf index is never written twice into the WAL and the in-memory
+// tree can keep serving the last durable state read-only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/merkle.hpp"
+#include "ctwatch/ct/sct.hpp"
+#include "ctwatch/storage/codec.hpp"
+#include "ctwatch/storage/file.hpp"
+
+namespace ctwatch::storage {
+
+struct LogStoreOptions {
+  std::string dir;
+  /// Optional fault seams (not owned; nullptr disables chaos).
+  chaos::FaultInjector* chaos = nullptr;
+  std::string chaos_prefix = "storage";
+  /// Checkpoint (tile flush + manifest record + WAL reset) every N
+  /// committed batches. 0 means only on close()/explicit checkpoint().
+  std::uint32_t checkpoint_interval_batches = 32;
+  /// Seeds the crash model's deterministic torn-tail draws.
+  std::uint64_t torn_seed = 0x7061676563616368ULL;
+};
+
+/// What open() found and did. Every field is also exposed as obs metrics.
+struct RecoveryReport {
+  bool opened_fresh = false;          ///< no prior state on disk
+  std::uint64_t tree_size = 0;        ///< recovered tree size
+  std::uint64_t checkpoint_tree_size = 0;  ///< size at the manifest anchor
+  std::uint64_t replayed_batches = 0;      ///< WAL seals applied
+  std::uint64_t replayed_entries = 0;      ///< WAL entries applied
+  std::uint64_t discarded_unsealed = 0;    ///< entries with no durable seal
+  std::uint64_t wal_torn_bytes = 0;        ///< truncated from wal.log
+  std::uint64_t manifest_torn_bytes = 0;   ///< truncated from manifest.log
+  std::uint64_t stale_wal_records = 0;     ///< pre-checkpoint frames skipped
+  std::uint64_t recovery_us = 0;
+};
+
+/// One sealed batch, handed to commit_batch(). The STH must be signed
+/// already: storage persists it verbatim so recovery can serve the exact
+/// bytes that were committed (re-signing after a crash would fork the
+/// log's own history).
+struct BatchCommit {
+  std::vector<DurableEntry> entries;  ///< indices contiguous from tree_size()
+  ct::SignedTreeHead sth;             ///< tree_size == old size + entries
+  std::uint64_t seal_seq = 0;
+};
+
+class LogStore {
+ public:
+  struct Open {
+    std::unique_ptr<LogStore> store;  ///< null on failure
+    IoError error = IoError::none;
+    std::string detail;               ///< human-readable failure context
+  };
+
+  /// Opens (creating or recovering) the store. Never throws; a corrupt
+  /// or unreadable directory comes back as {nullptr, error, detail}.
+  static Open open(LogStoreOptions options);
+  ~LogStore();
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Makes one sealed batch durable: entry frames + seal frame into the
+  /// WAL, then fsync. On ok, the batch survives any crash. Validates
+  /// that the entries extend the tree contiguously and that folding them
+  /// reproduces sth.root_hash before writing anything (a mismatch is a
+  /// caller bug surfaced as IoError::corrupt, not a disk write).
+  /// May run a checkpoint afterwards per checkpoint_interval_batches; a
+  /// checkpoint failure after a successful commit still returns ok (the
+  /// batch IS durable) but poisons the store for later commits.
+  IoResult commit_batch(const BatchCommit& batch);
+
+  /// Flushes tiles + entry segment, appends a manifest checkpoint, and
+  /// resets the WAL. Safe at any batch boundary.
+  IoResult checkpoint();
+
+  /// Checkpoint + release file handles. The store refuses writes after.
+  IoResult close();
+
+  /// True once any IO error has latched; the sticky error explains why.
+  [[nodiscard]] bool failed() const { return last_error_ != IoError::none; }
+  [[nodiscard]] IoError last_error() const { return last_error_; }
+
+  [[nodiscard]] std::uint64_t tree_size() const { return accumulator_.size(); }
+  [[nodiscard]] std::uint64_t seal_seq() const { return seal_seq_; }
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+
+  /// The last durable STH (nullopt on a fresh, still-empty store).
+  [[nodiscard]] const std::optional<ct::SignedTreeHead>& durable_sth() const { return sth_; }
+  [[nodiscard]] const ct::RootAccumulator& accumulator() const { return accumulator_; }
+  [[nodiscard]] std::uint64_t last_timestamp_ms() const { return last_timestamp_ms_; }
+
+  /// The recovered entries [0, tree_size), in index order. Destructive:
+  /// the service adopts them into its own stores once, at startup.
+  std::vector<DurableEntry> take_recovered_entries() { return std::move(recovered_entries_); }
+
+  /// The underlying Env — harnesses use it for the crash hook
+  /// (Env::crash_now) and the write-op ordinal clock (Env::write_ops).
+  [[nodiscard]] Env& env() { return *env_; }
+
+ private:
+  LogStore(LogStoreOptions options, std::unique_ptr<Env> env)
+      : options_(std::move(options)), env_(std::move(env)) {}
+
+  /// Recovery pipeline (see file comment). Fills every member; returns
+  /// none on success, with `detail` explaining any failure.
+  IoError recover(std::string& detail);
+
+  IoResult fail_with(IoError error);
+  IoResult write_dirty_tiles();
+
+  LogStoreOptions options_;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<File> wal_;
+  std::unique_ptr<File> tiles_;
+  std::unique_ptr<File> entries_;
+  std::unique_ptr<File> manifest_;
+
+  IoError last_error_ = IoError::none;
+  bool closed_ = false;
+
+  ct::RootAccumulator accumulator_;
+  std::vector<crypto::Digest> leaves_;  ///< all leaf hashes (tile source)
+  std::optional<ct::SignedTreeHead> sth_;
+  std::uint64_t seal_seq_ = 0;
+  std::uint64_t last_timestamp_ms_ = 0;
+
+  std::uint64_t tiles_persisted_leaves_ = 0;  ///< leaves covered by tiles.seg
+  Bytes entry_frames_pending_;  ///< framed entry records awaiting entries.seg
+  std::uint32_t batches_since_checkpoint_ = 0;
+
+  RecoveryReport recovery_;
+  std::vector<DurableEntry> recovered_entries_;
+};
+
+}  // namespace ctwatch::storage

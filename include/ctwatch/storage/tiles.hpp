@@ -1,0 +1,65 @@
+// Checksummed fixed-size Merkle tiles (subtree pages).
+//
+// The leaf-hash store is paged: tile t holds leaf hashes
+// [t*256, t*256+256) — a perfect depth-8 subtree's worth, the same page
+// geometry the C2SP tlog-tiles layout and certificate-transparency-go
+// use. Pages are a fixed 8212 bytes on disk:
+//
+//   [u32 magic][u32 masked crc][u64 tile_index][u16 count][u16 zero]
+//   [256 x 32-byte leaf hashes, unused slots zero]
+//
+// The tile segment file is append-only: a *partial* tail tile is written
+// again (fuller) at each checkpoint, and recovery keeps the LAST valid
+// page for each tile index — "last wins" turns in-place update, the
+// classic crash hazard, into append-plus-supersede. Every page is
+// validated by CRC on load; a missing or short tile below the manifest's
+// tree size is a hard corruption (checkpointed pages were fsync'd before
+// the manifest record that references them, so a crash cannot produce
+// it — only disk damage can).
+//
+// This page format is deliberately proof-shaped: one tile is the leaf
+// level of a 256-wide subtree, so a future out-of-core read path can mmap
+// the segment and serve inclusion proofs touching O(log n / 8) pages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ctwatch/crypto/sha256.hpp"
+#include "ctwatch/storage/file.hpp"
+
+namespace ctwatch::storage {
+
+inline constexpr std::uint64_t kTileLeaves = 256;           ///< leaves per tile (depth-8 subtree)
+inline constexpr std::uint32_t kTileMagic = 0x43545431;     ///< "CTT1"
+inline constexpr std::size_t kTilePageBytes = 20 + kTileLeaves * 32;
+
+/// Serializes one tile page. `count` in [1, kTileLeaves]; `leaves` holds
+/// `count` digests for tile `tile_index`.
+void encode_tile_page(Bytes& out, std::uint64_t tile_index,
+                      const crypto::Digest* leaves, std::uint64_t count);
+
+struct TilePage {
+  std::uint64_t tile_index = 0;
+  std::uint64_t count = 0;
+  std::vector<crypto::Digest> leaves;
+};
+
+/// Decodes + CRC-validates one page; nullopt if invalid.
+std::optional<TilePage> decode_tile_page(BytesView page);
+
+struct TileLoad {
+  std::vector<crypto::Digest> leaves;  ///< [0, tree_size) on success
+  std::uint64_t pages_read = 0;
+  std::uint64_t pages_invalid = 0;     ///< CRC/structure failures skipped
+  IoError error = IoError::none;       ///< corrupt when coverage is incomplete
+};
+
+/// Reassembles the first `tree_size` leaves from a tile segment image
+/// (reading at most `limit_bytes` of it — the manifest's recorded segment
+/// size, so garbage past the checkpoint is never parsed). Later pages for
+/// the same tile index supersede earlier ones.
+TileLoad load_tiles(BytesView segment, std::uint64_t limit_bytes, std::uint64_t tree_size);
+
+}  // namespace ctwatch::storage

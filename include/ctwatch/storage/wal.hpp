@@ -1,0 +1,66 @@
+// Write-ahead-log record framing with torn-tail detection.
+//
+// Every frame is length-prefixed and checksummed:
+//
+//   [u32 length][u32 masked crc32c(type||payload)][u8 type][payload]
+//
+// `length` counts the type byte plus payload (so a frame occupies
+// 8 + length bytes). Big-endian, like the rest of the RFC 6962 wire
+// code. The scan rules make recovery unambiguous:
+//
+//  * a frame whose header runs past the buffer, whose length is zero or
+//    absurd, or whose CRC does not match is a *torn tail* — everything
+//    from its first byte on is discarded (and the caller truncates the
+//    file there so the garbage can never be re-read as data);
+//  * frames before the torn point are exactly the committed prefix.
+//
+// A mid-file corruption is indistinguishable from a torn tail by design:
+// the WAL is a single writer's append stream, so the first bad frame ends
+// the trustworthy prefix either way. (Checkpointed data is different —
+// tile pages carry their own CRCs and are validated page by page.)
+//
+// The same framing is used for the manifest (a WAL of checkpoint
+// records), which is how a crash mid-checkpoint falls back to the
+// previous checkpoint for free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctwatch/storage/file.hpp"
+
+namespace ctwatch::storage {
+
+enum class RecordType : std::uint8_t {
+  entry = 1,       ///< one integrated log entry (WAL)
+  seal = 2,        ///< batch commit: the STH this batch sealed (WAL)
+  checkpoint = 3,  ///< durable-state snapshot pointer (manifest)
+};
+
+/// A sanity ceiling on frame length: no record the storage layer writes
+/// comes near this, so anything larger is framing garbage, not data.
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;  // 64 MiB
+
+/// Appends one framed record to `file` (buffered until File::sync).
+IoResult wal_append(File& file, RecordType type, BytesView payload);
+
+/// Serializes a frame into `out` (the entry-segment writer reuses WAL
+/// framing without owning a File).
+void wal_frame(Bytes& out, RecordType type, BytesView payload);
+
+struct WalRecord {
+  RecordType type = RecordType::entry;
+  BytesView payload;  ///< view into the scanned buffer
+};
+
+struct WalScan {
+  std::vector<WalRecord> records;  ///< valid committed prefix, in order
+  std::uint64_t valid_bytes = 0;   ///< offset of the first torn/corrupt byte
+  std::uint64_t torn_bytes = 0;    ///< bytes discarded after valid_bytes
+};
+
+/// Scans a WAL image, stopping at the first frame that fails validation.
+/// Never throws; the records reference `data`, which must outlive them.
+WalScan wal_scan(BytesView data);
+
+}  // namespace ctwatch::storage

@@ -38,6 +38,15 @@ void RootAccumulator::add(const Digest& leaf) {
   ++size_;
 }
 
+std::optional<RootAccumulator> RootAccumulator::from_frontier(std::vector<Digest> frontier,
+                                                              std::uint64_t size) {
+  if (frontier.size() != static_cast<std::size_t>(std::popcount(size))) return std::nullopt;
+  RootAccumulator out;
+  out.stack_ = std::move(frontier);
+  out.size_ = size;
+  return out;
+}
+
 Digest RootAccumulator::root() const {
   if (stack_.empty()) return empty_tree_root();
   Digest acc = stack_.back();

@@ -116,6 +116,8 @@ Response submit_status_response(logsvc::SubmitStatus status) {
       return error_response(503, "dropped", "submission lost at ingress (injected fault)");
     case logsvc::SubmitStatus::internal_error:
       return error_response(500, "internal_error", "signer failure");
+    case logsvc::SubmitStatus::storage_error:
+      return error_response(503, "storage_error", "durable commit failed; entry not integrated");
     case logsvc::SubmitStatus::ok:
       break;
   }

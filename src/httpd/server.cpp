@@ -358,6 +358,14 @@ struct WorkerLoop {
         if (errno == EINTR) continue;
         break;  // EAGAIN, or transient (EMFILE): the next event retries
       }
+      if (server.draining_.load(std::memory_order_acquire)) {
+        // Graceful shutdown: the listener stays open (so clients get a
+        // clean close, not a RST from a vanished socket), but no new
+        // connection is admitted past the door.
+        ::close(fd);
+        metrics.refused.inc();
+        continue;
+      }
       server.accepted_.fetch_add(1, std::memory_order_relaxed);
       metrics.accepted.inc();
       if (opts().chaos != nullptr &&
@@ -810,7 +818,8 @@ struct WorkerLoop {
 
   void sweep() {
     const Clock::time_point now = Clock::now();
-    if (now - w.last_sweep < std::chrono::milliseconds(10)) return;
+    const bool draining = server.draining_.load(std::memory_order_acquire);
+    if (!draining && now - w.last_sweep < std::chrono::milliseconds(10)) return;
     w.last_sweep = now;
 
     w.scratch_ids.clear();
@@ -820,6 +829,17 @@ struct WorkerLoop {
       const auto it = w.conns.find(id);
       if (it == w.conns.end()) continue;
       Conn& c = *it->second;
+
+      // Draining: nothing further parses; in-flight responses still
+      // flush, and the connection closes the moment it is quiescent.
+      if (draining) {
+        c.no_more_requests = true;
+        if (c.slots.empty() && c.out_pos == c.out.size()) {
+          close_conn(c, "draining");
+          continue;
+        }
+        c.close_after_flush = true;
+      }
 
       // Write stall: responses queued, client not draining them.
       if (c.out_pos < c.out.size() &&
@@ -935,6 +955,29 @@ bool Server::start() {
   return true;
 }
 
+bool Server::shutdown(std::chrono::milliseconds drain_deadline) {
+  if (!running_.load(std::memory_order_acquire)) return true;
+  draining_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->inbox->mu);
+    wake_inbox_locked(*worker->inbox);
+  }
+  obs::log_info("httpd", "draining",
+                {{"open", connections_open()},
+                 {"deadline_ms", static_cast<std::uint64_t>(drain_deadline.count())}});
+  const Clock::time_point deadline = Clock::now() + drain_deadline;
+  while (open_.load(std::memory_order_relaxed) > 0 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const bool drained = open_.load(std::memory_order_relaxed) == 0;
+  if (!drained) {
+    obs::log_warn("httpd", "drain deadline expired; forcing close",
+                  {{"open", connections_open()}});
+  }
+  stop();
+  return drained;
+}
+
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   for (auto& worker : workers_) {
@@ -951,6 +994,7 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   port_.store(0, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);  // restartable
   obs::log_info("httpd", "server stopped", {});
 }
 

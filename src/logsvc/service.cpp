@@ -19,6 +19,8 @@ struct SvcMetrics {
   obs::Counter& shutdown_rejected = obs::Registry::global().counter("logsvc.shutdown_rejections");
   obs::Counter& chaos_dropped = obs::Registry::global().counter("logsvc.chaos_dropped");
   obs::Counter& signer_failures = obs::Registry::global().counter("logsvc.signer_failures");
+  obs::Counter& storage_failures = obs::Registry::global().counter("logsvc.storage_failures");
+  obs::Counter& adopted_entries = obs::Registry::global().counter("logsvc.adopted_entries");
   obs::Counter& dedup_hits = obs::Registry::global().counter("logsvc.dedup_hits");
   obs::Counter& sealed_batches = obs::Registry::global().counter("logsvc.sealed_batches");
   obs::Gauge& queue_depth = obs::Registry::global().gauge("logsvc.queue_depth");
@@ -55,7 +57,10 @@ LogService::LogService(Config config)
       signer_(crypto::make_signer("ct-log/" + config_.name, config_.scheme)),
       queue_(config_.queue_capacity),
       fanout_(config_.fanout_buffer) {
-  publish_snapshot(0);  // the signed empty tree: get-sth works from birth
+  if (config_.storage != nullptr) adopt_storage();
+  if (snapshot_ == nullptr) {
+    publish_snapshot(sign_sth(accumulator_, 0));  // the signed empty tree
+  }
   running_.store(true, std::memory_order_release);
   sequencer_ = std::thread([this] { sequencer_main(); });
   obs::log_info("logsvc", "service started",
@@ -72,6 +77,64 @@ void LogService::stop() {
   queue_.close();
   if (was_running && sequencer_.joinable()) sequencer_.join();
   fanout_.stop();
+  if (was_running && config_.storage != nullptr && !config_.storage->failed()) {
+    // Orderly stop: every sealed batch is already WAL-durable; the
+    // checkpoint just compacts (tiles + entry segment + manifest) so the
+    // next open replays nothing.
+    (void)config_.storage->checkpoint();
+  }
+}
+
+void LogService::adopt_storage() {
+  storage::LogStore& store = *config_.storage;
+  std::vector<storage::DurableEntry> recovered = store.take_recovered_entries();
+  if (!store.durable_sth().has_value()) return;  // fresh directory: nothing to adopt
+  const ct::SignedTreeHead sth = *store.durable_sth();
+  // The recovered head must be THIS log's head: its signature has to
+  // verify under the service key (which derives from Config::name, so a
+  // reopened directory demands the same name). Serving a tree under a
+  // head someone else signed would be unprovable — refuse to start.
+  if (!ct::verify_sth(sth, signer_->public_key())) {
+    throw std::runtime_error(
+        "logsvc: recovered STH does not verify under this log's key "
+        "(storage directory opened under a different Config::name?)");
+  }
+  if (recovered.size() != sth.tree_size) {
+    throw std::runtime_error("logsvc: recovered entries do not match the recovered STH");
+  }
+  if (recovered.size() > leaves_.capacity() || recovered.size() > entries_.capacity()) {
+    throw std::runtime_error("logsvc: recovered tree exceeds the in-memory store capacity");
+  }
+  for (storage::DurableEntry& durable : recovered) {
+    if (leaves_.append(durable.leaf_hash) != PushResult::ok) {
+      throw std::runtime_error("logsvc: leaf store refused a recovered entry");
+    }
+    leaf_index_.emplace(durable.leaf_hash, durable.index);
+    if (config_.dedup) {
+      dedup_.emplace(durable.fingerprint, DedupValue{durable.index, durable.timestamp_ms});
+    }
+    EntryRecord record;
+    record.index = durable.index;
+    record.timestamp_ms = durable.timestamp_ms;
+    record.fingerprint = durable.fingerprint;
+    record.issuer_cn = std::move(durable.issuer_cn);
+    if (durable.has_body && config_.store_bodies) record.signed_entry = std::move(durable.entry);
+    if (entries_.append(std::move(record)) != PushResult::ok) {
+      throw std::runtime_error("logsvc: entry store refused a recovered entry");
+    }
+  }
+  leaves_.publish();
+  entries_.publish();
+  accumulator_ = store.accumulator();
+  last_timestamp_ms_ = store.last_timestamp_ms();
+  seal_seq_ = store.seal_seq();
+  publish_snapshot(sth);  // the recovered head, verbatim — never re-signed
+  svc_metrics().adopted_entries.inc(recovered.size());
+  obs::log_info("logsvc", "adopted recovered storage",
+                {{"log", config_.name},
+                 {"tree_size", sth.tree_size},
+                 {"replayed_batches", store.recovery().replayed_batches},
+                 {"discarded_unsealed", store.recovery().discarded_unsealed}});
 }
 
 ct::LogId LogService::log_id() const {
@@ -258,12 +321,23 @@ ct::SignedCertificateTimestamp LogService::sign_sct(std::uint64_t timestamp_ms,
   return sct;
 }
 
-void LogService::publish_snapshot(std::uint64_t timestamp_ms) {
+ct::SignedTreeHead LogService::sign_sth(const ct::RootAccumulator& accumulator,
+                                        std::uint64_t timestamp_ms) const {
+  ct::SignedTreeHead sth;
+  sth.tree_size = accumulator.size();
+  sth.timestamp_ms = timestamp_ms;
+  sth.root_hash = accumulator.root();
+  sth.signature = signer_->sign(ct::sth_signing_input(sth));
+  return sth;
+}
+
+void LogService::publish_snapshot(ct::SignedTreeHead sth) {
+  // The STH is signed exactly once, before the durable commit, and the
+  // committed object is the published object: after a crash, recovery
+  // republishes these same bytes instead of re-signing (which would fork
+  // the log's own history for anyone who kept the pre-crash head).
   auto snapshot = std::make_shared<TreeSnapshot>();
-  snapshot->sth.tree_size = accumulator_.size();
-  snapshot->sth.timestamp_ms = timestamp_ms;
-  snapshot->sth.root_hash = accumulator_.root();
-  snapshot->sth.signature = signer_->sign(ct::sth_signing_input(snapshot->sth));
+  snapshot->sth = std::move(sth);
   snapshot->seal_seq = seal_seq_;
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(snapshot);
@@ -317,6 +391,13 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
     }
   }
 
+  // The seal is staged, committed, then applied. The stage phase computes
+  // everything (leaf hashes, SCTs, records) WITHOUT mutating any shared
+  // state; the commit phase makes the batch durable (when a storage
+  // backend is configured); only then does the apply phase publish to the
+  // in-memory stores and release completions. A failed commit therefore
+  // leaves memory exactly at the last durable state — the service never
+  // serves a root the disk cannot prove.
   struct Completion {
     CompletionFn done;
     SubmitOutcome outcome;
@@ -326,7 +407,15 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
   completions.reserve(batch.size());
   std::vector<StreamEvent> events;
   events.reserve(batch.size());
-  std::uint64_t appended = 0;
+  std::vector<crypto::Digest> new_leaves;
+  std::vector<EntryRecord> new_records;
+  std::vector<storage::DurableEntry> durables;
+  // Completions whose outcome presumes this batch integrates (fresh
+  // appends AND intra-batch dedup hits): flipped to storage_error if the
+  // durable commit refuses.
+  std::vector<std::size_t> contingent;
+  std::unordered_map<crypto::Digest, DedupValue, DigestHash> staged_dedup;
+  ct::RootAccumulator probe = accumulator_;
 
   const auto seal_started = std::chrono::steady_clock::now();
   Bytes leaf_bytes;
@@ -355,19 +444,30 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
     }
 
     if (config_.dedup) {
+      // RFC 6962 resubmission semantics: re-issue the SCT over the
+      // original timestamp instead of growing the tree. Hits against
+      // entries staged in THIS batch are contingent on the commit.
+      const DedupValue* prior = nullptr;
+      bool prior_in_batch = false;
       if (const auto it = dedup_.find(pending.fingerprint); it != dedup_.end()) {
-        // RFC 6962 resubmission semantics: re-issue the SCT over the
-        // original timestamp instead of growing the tree.
+        prior = &it->second;
+      } else if (const auto it2 = staged_dedup.find(pending.fingerprint);
+                 it2 != staged_dedup.end()) {
+        prior = &it2->second;
+        prior_in_batch = true;
+      }
+      if (prior != nullptr) {
         metrics.dedup_hits.inc();
+        if (prior_in_batch) contingent.push_back(completions.size());
         completions.push_back({std::move(pending.done),
-                               SubmitOutcome{SubmitStatus::ok, it->second.index,
-                                             sign_sct(it->second.timestamp_ms, pending.entry)},
+                               SubmitOutcome{SubmitStatus::ok, prior->index,
+                                             sign_sct(prior->timestamp_ms, pending.entry)},
                                pending.enqueued_at});
         continue;
       }
     }
 
-    const std::uint64_t index = accumulator_.size();
+    const std::uint64_t index = probe.size();
     leaf_bytes = ct::merkle_leaf_bytes(pending.timestamp_ms, pending.entry);
     const crypto::Digest leaf = ct::leaf_hash(leaf_bytes);
     ct::SignedCertificateTimestamp sct;
@@ -377,7 +477,19 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
     }
 
     if (config_.dedup) {
-      dedup_.emplace(pending.fingerprint, DedupValue{index, pending.timestamp_ms});
+      staged_dedup.emplace(pending.fingerprint, DedupValue{index, pending.timestamp_ms});
+    }
+
+    if (config_.storage != nullptr) {
+      storage::DurableEntry durable;
+      durable.index = index;
+      durable.timestamp_ms = pending.timestamp_ms;
+      durable.leaf_hash = leaf;
+      durable.fingerprint = pending.fingerprint;
+      durable.issuer_cn = pending.issuer_cn;
+      durable.has_body = config_.store_bodies;
+      if (config_.store_bodies) durable.entry = pending.entry;
+      durables.push_back(std::move(durable));
     }
 
     EntryRecord record;
@@ -395,31 +507,79 @@ void LogService::seal_batch(std::vector<Pending>& batch) {
     event.issuer_cn = std::move(pending.issuer_cn);
     event.trace = entry_span.context();
 
-    leaves_.append(leaf);
-    {
-      std::lock_guard<std::mutex> lock(leaf_index_mu_);
-      leaf_index_.emplace(leaf, index);  // first occurrence wins
-    }
-    accumulator_.add(leaf);
-    entries_.append(std::move(record));
+    probe.add(leaf);
+    new_leaves.push_back(leaf);
+    new_records.push_back(std::move(record));
     events.push_back(std::move(event));
+    contingent.push_back(completions.size());
     completions.push_back({std::move(pending.done),
                            SubmitOutcome{SubmitStatus::ok, index, std::move(sct)},
                            pending.enqueued_at});
-    ++appended;
+  }
+  const std::uint64_t appended = new_leaves.size();
+
+  // Commit: sign the head once, make it durable, and only then let
+  // anything observe it. Capacity exhaustion in the memory stores is
+  // checked BEFORE the disk commit — committing a batch the memory image
+  // cannot hold would fork disk from memory.
+  bool committed = appended > 0;
+  ct::SignedTreeHead sth;
+  if (appended > 0) {
+    sth = sign_sth(probe, last_timestamp_ms_);
+    if (leaves_.write_pos() + appended > leaves_.capacity() ||
+        entries_.write_pos() + appended > entries_.capacity()) {
+      committed = false;
+      obs::log_warn("logsvc", "batch refused: in-memory store capacity exhausted",
+                    {{"log", config_.name}, {"tree_size", accumulator_.size()}});
+    } else if (config_.storage != nullptr) {
+      storage::BatchCommit commit;
+      commit.entries = std::move(durables);
+      commit.sth = sth;
+      commit.seal_seq = seal_seq_ + 1;
+      const storage::IoResult io = config_.storage->commit_batch(commit);
+      committed = io.ok();
+      if (!committed) {
+        obs::log_warn("logsvc", "durable commit failed; batch not integrated",
+                      {{"log", config_.name},
+                       {"error", std::string(storage::to_string(io.error))},
+                       {"tree_size", accumulator_.size()}});
+      }
+    }
   }
 
-  if (appended > 0) {
-    // Publish order matters: stores first (release), then the snapshot
-    // that readers bound their accesses by, then the completions that
-    // tell submitters their entry is provable.
+  if (committed) {
+    // Apply + publish order matters: stores first (release), then the
+    // snapshot that readers bound their accesses by, then the completions
+    // that tell submitters their entry is provable.
+    for (std::uint64_t i = 0; i < appended; ++i) {
+      (void)leaves_.append(new_leaves[static_cast<std::size_t>(i)]);
+      {
+        std::lock_guard<std::mutex> lock(leaf_index_mu_);
+        leaf_index_.emplace(new_leaves[static_cast<std::size_t>(i)],
+                            accumulator_.size() + i);  // first occurrence wins
+      }
+      (void)entries_.append(std::move(new_records[static_cast<std::size_t>(i)]));
+    }
+    for (auto& staged : staged_dedup) dedup_.insert(std::move(staged));
+    accumulator_ = std::move(probe);
     leaves_.publish();
     entries_.publish();
     ++seal_seq_;
-    publish_snapshot(last_timestamp_ms_);
+    publish_snapshot(std::move(sth));
     sealed_batches_.fetch_add(1, std::memory_order_relaxed);
     metrics.sealed_batches.inc();
     metrics.tree_size.set(static_cast<std::int64_t>(accumulator_.size()));
+  } else if (appended > 0) {
+    // The batch is NOT part of the tree (fail-stop): every contingent
+    // completion reports storage_error, nothing streams, and the last
+    // durable snapshot keeps serving reads.
+    storage_failures_.fetch_add(1, std::memory_order_relaxed);
+    metrics.storage_failures.inc();
+    obs::flight_note("logsvc.storage_failure", accumulator_.size());
+    for (const std::size_t index : contingent) {
+      completions[index].outcome = SubmitOutcome{SubmitStatus::storage_error, 0, std::nullopt};
+    }
+    events.clear();
   }
   metrics.batch_size.observe(static_cast<double>(batch.size()));
   accepted_.fetch_add(batch.size(), std::memory_order_relaxed);

@@ -1,0 +1,159 @@
+#include "ctwatch/storage/codec.hpp"
+
+#include <stdexcept>
+
+#include "ctwatch/ct/wire.hpp"
+
+namespace ctwatch::storage {
+
+namespace {
+
+using ct::wire::Reader;
+
+void put_digest(Bytes& out, const crypto::Digest& d) {
+  out.insert(out.end(), d.begin(), d.end());
+}
+
+crypto::Digest read_digest(Reader& r) {
+  const BytesView b = r.bytes(32);
+  crypto::Digest d;
+  std::copy(b.begin(), b.end(), d.begin());
+  return d;
+}
+
+void put_signature(Bytes& out, const crypto::SignatureBlob& sig) {
+  ct::wire::put_u8(out, static_cast<std::uint8_t>(sig.scheme));
+  ct::wire::put_opaque16(out, sig.data);
+}
+
+crypto::SignatureBlob read_signature(Reader& r) {
+  crypto::SignatureBlob sig;
+  sig.scheme = static_cast<crypto::SignatureScheme>(r.u8());
+  const BytesView data = r.opaque16();
+  sig.data.assign(data.begin(), data.end());
+  return sig;
+}
+
+void put_sth(Bytes& out, const ct::SignedTreeHead& sth) {
+  ct::wire::put_u64(out, sth.tree_size);
+  ct::wire::put_u64(out, sth.timestamp_ms);
+  put_digest(out, sth.root_hash);
+  put_signature(out, sth.signature);
+}
+
+ct::SignedTreeHead read_sth(Reader& r) {
+  ct::SignedTreeHead sth;
+  sth.tree_size = r.u64();
+  sth.timestamp_ms = r.u64();
+  sth.root_hash = read_digest(r);
+  sth.signature = read_signature(r);
+  return sth;
+}
+
+}  // namespace
+
+Bytes encode_entry(const DurableEntry& entry) {
+  Bytes out;
+  out.reserve(96 + entry.issuer_cn.size() + (entry.has_body ? entry.entry.data.size() + 40 : 0));
+  ct::wire::put_u64(out, entry.index);
+  ct::wire::put_u64(out, entry.timestamp_ms);
+  put_digest(out, entry.leaf_hash);
+  put_digest(out, entry.fingerprint);
+  ct::wire::put_opaque16(out, to_bytes(entry.issuer_cn));
+  ct::wire::put_u8(out, entry.has_body ? 1 : 0);
+  if (entry.has_body) {
+    ct::wire::put_u16(out, static_cast<std::uint16_t>(entry.entry.type));
+    ct::wire::put_opaque24(out, entry.entry.data);
+    put_digest(out, entry.entry.issuer_key_hash);
+  }
+  return out;
+}
+
+std::optional<DurableEntry> decode_entry(BytesView payload) {
+  try {
+    Reader r(payload);
+    DurableEntry entry;
+    entry.index = r.u64();
+    entry.timestamp_ms = r.u64();
+    entry.leaf_hash = read_digest(r);
+    entry.fingerprint = read_digest(r);
+    const BytesView cn = r.opaque16();
+    entry.issuer_cn.assign(cn.begin(), cn.end());
+    const std::uint8_t has_body = r.u8();
+    if (has_body > 1) return std::nullopt;
+    entry.has_body = has_body == 1;
+    if (entry.has_body) {
+      const std::uint16_t type = r.u16();
+      if (type > 1) return std::nullopt;
+      entry.entry.type = static_cast<ct::EntryType>(type);
+      const BytesView data = r.opaque24();
+      entry.entry.data.assign(data.begin(), data.end());
+      entry.entry.issuer_key_hash = read_digest(r);
+    }
+    if (!r.done()) return std::nullopt;
+    return entry;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_seal(const SealRecord& seal) {
+  Bytes out;
+  out.reserve(140);
+  ct::wire::put_u64(out, seal.first_index);
+  ct::wire::put_u64(out, seal.seal_seq);
+  put_sth(out, seal.sth);
+  return out;
+}
+
+std::optional<SealRecord> decode_seal(BytesView payload) {
+  try {
+    Reader r(payload);
+    SealRecord seal;
+    seal.first_index = r.u64();
+    seal.seal_seq = r.u64();
+    seal.sth = read_sth(r);
+    if (!r.done()) return std::nullopt;
+    if (seal.first_index > seal.sth.tree_size) return std::nullopt;
+    return seal;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_checkpoint(const CheckpointRecord& checkpoint) {
+  Bytes out;
+  out.reserve(180 + checkpoint.frontier.size() * 32);
+  put_sth(out, checkpoint.sth);
+  ct::wire::put_u8(out, static_cast<std::uint8_t>(checkpoint.frontier.size()));
+  for (const crypto::Digest& d : checkpoint.frontier) put_digest(out, d);
+  ct::wire::put_u64(out, checkpoint.seal_seq);
+  ct::wire::put_u64(out, checkpoint.last_timestamp_ms);
+  ct::wire::put_u64(out, checkpoint.tile_bytes);
+  ct::wire::put_u64(out, checkpoint.entry_bytes);
+  return out;
+}
+
+std::optional<CheckpointRecord> decode_checkpoint(BytesView payload) {
+  try {
+    Reader r(payload);
+    CheckpointRecord checkpoint;
+    checkpoint.sth = read_sth(r);
+    const std::uint8_t frontier_count = r.u8();
+    if (frontier_count > 64) return std::nullopt;
+    checkpoint.frontier.reserve(frontier_count);
+    for (std::uint8_t i = 0; i < frontier_count; ++i) {
+      checkpoint.frontier.push_back(read_digest(r));
+    }
+    checkpoint.seal_seq = r.u64();
+    checkpoint.last_timestamp_ms = r.u64();
+    checkpoint.tile_bytes = r.u64();
+    checkpoint.entry_bytes = r.u64();
+    if (!r.done()) return std::nullopt;
+    return checkpoint;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ctwatch::storage

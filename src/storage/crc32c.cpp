@@ -1,0 +1,61 @@
+#include "ctwatch/storage/crc32c.hpp"
+
+#include <array>
+
+namespace ctwatch::storage {
+
+namespace {
+
+// Slice-by-8 tables for the reflected Castagnoli polynomial 0x82f63b78.
+// Built once at first use; ~8KB, cache-friendly for the record sizes the
+// storage layer checksums (tens of bytes to 8KB tile pages).
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(BytesView data, std::uint32_t seed) {
+  const Tables& tb = tables();
+  std::uint32_t crc = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t low = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                     static_cast<std::uint32_t>(p[1]) << 8 |
+                                     static_cast<std::uint32_t>(p[2]) << 16 |
+                                     static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tb.t[7][low & 0xff] ^ tb.t[6][(low >> 8) & 0xff] ^ tb.t[5][(low >> 16) & 0xff] ^
+          tb.t[4][low >> 24] ^ tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ctwatch::storage

@@ -1,0 +1,295 @@
+#include "ctwatch/storage/file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "ctwatch/obs/obs.hpp"
+
+namespace ctwatch::storage {
+
+namespace {
+
+struct FileMetrics {
+  obs::Counter& appends = obs::Registry::global().counter("storage.appends");
+  obs::Counter& append_bytes = obs::Registry::global().counter("storage.append_bytes");
+  obs::Counter& fsyncs = obs::Registry::global().counter("storage.fsyncs");
+  obs::Counter& io_faults = obs::Registry::global().counter("storage.io_faults");
+  obs::Counter& crashes = obs::Registry::global().counter("storage.crashes");
+  obs::LogLinearHistogram& fsync_us = obs::Registry::global().latency("storage.fsync_us");
+};
+
+FileMetrics& file_metrics() {
+  static FileMetrics metrics;
+  return metrics;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  return h;
+}
+
+/// EINTR-safe full write at the file's current offset (fd opened without
+/// O_APPEND; the caller is the only writer, so lseek-to-end then write).
+bool write_fully(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool fsync_retry(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(IoError error) {
+  switch (error) {
+    case IoError::none: return "none";
+    case IoError::io: return "io";
+    case IoError::crashed: return "crashed";
+    case IoError::corrupt: return "corrupt";
+    case IoError::exhausted: return "exhausted";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Env> Env::open(Options options, IoError* error) {
+  if (error != nullptr) *error = IoError::none;
+  struct stat st{};
+  if (::stat(options.dir.c_str(), &st) != 0) {
+    if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      if (error != nullptr) *error = IoError::io;
+      return nullptr;
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    if (error != nullptr) *error = IoError::io;
+    return nullptr;
+  }
+  return std::unique_ptr<Env>(new Env(std::move(options)));
+}
+
+Env::~Env() {
+  // Files deregister themselves; any still open at Env teardown is a
+  // caller bug, but never dangle into freed memory.
+  for (File* file : open_files_) {
+    // Orphan the handle: it keeps its fd, loses the crash model.
+    (void)file;
+  }
+}
+
+std::string Env::path_of(const std::string& name) const { return options_.dir + "/" + name; }
+
+IoError Env::evaluate_op(const char* kind) {
+  if (crashed_) return IoError::crashed;
+  const std::uint64_t ordinal = op_counter_++;
+  if (options_.chaos == nullptr) return IoError::none;
+  // The op ordinal is the virtual clock: an OutageWindow starting at k on
+  // "storage.crash" kills the process model at exactly the k-th physical
+  // write — deterministic crash-point injection.
+  if (options_.chaos->evaluate(options_.chaos_prefix + ".crash", ordinal).faulted()) {
+    file_metrics().crashes.inc();
+    obs::flight_note("storage.crash", ordinal);
+    crash_now();
+    return IoError::crashed;
+  }
+  if (options_.chaos->evaluate(options_.chaos_prefix + "." + kind, ordinal).faulted()) {
+    file_metrics().io_faults.inc();
+    obs::flight_note("storage.io_fault", ordinal);
+    return IoError::io;
+  }
+  return IoError::none;
+}
+
+void Env::crash_now() {
+  // The kill. Writeback is in-order within a file: each file's on-disk
+  // image becomes synced bytes + a deterministic prefix of its unsynced
+  // tail (possibly torn mid-record). Prefix lengths are a pure function
+  // of (torn_seed, file name, op ordinal), so a crash point replays
+  // byte-identically.
+  for (File* file : open_files_) {
+    if (file->pending_.empty()) continue;
+    const std::uint64_t draw =
+        splitmix64(options_.torn_seed ^ fnv1a(file->name_) ^ (op_counter_ * 0x9e37ULL));
+    const std::size_t keep = static_cast<std::size_t>(draw % (file->pending_.size() + 1));
+    (void)file->flush_prefix(keep);
+    file->pending_.clear();  // the rest never reached disk
+  }
+  crashed_ = true;
+}
+
+std::unique_ptr<File> Env::open_append(const std::string& name, std::uint64_t logical_size,
+                                       IoError* error) {
+  if (error != nullptr) *error = IoError::none;
+  if (crashed_) {
+    if (error != nullptr) *error = IoError::crashed;
+    return nullptr;
+  }
+  int fd;
+  do {
+    fd = ::open(path_of(name).c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (error != nullptr) *error = IoError::io;
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    if (error != nullptr) *error = IoError::io;
+    return nullptr;
+  }
+  std::uint64_t disk_size = static_cast<std::uint64_t>(st.st_size);
+  if (logical_size < disk_size) {
+    // Cut the torn tail (recovery) before any new append lands.
+    int rc;
+    do {
+      rc = ::ftruncate(fd, static_cast<off_t>(logical_size));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd);
+      if (error != nullptr) *error = IoError::io;
+      return nullptr;
+    }
+    disk_size = logical_size;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    if (error != nullptr) *error = IoError::io;
+    return nullptr;
+  }
+  auto file = std::unique_ptr<File>(new File(*this, name, fd, disk_size));
+  open_files_.push_back(file.get());
+  return file;
+}
+
+IoResult Env::read_file(const std::string& name, Bytes& out) const {
+  out.clear();
+  if (crashed_) return IoResult::fail(IoError::crashed);
+  int fd;
+  do {
+    fd = ::open(path_of(name).c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == ENOENT) return IoResult::success();  // absent reads as empty
+    return IoResult::fail(IoError::io);
+  }
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof buf);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoResult::fail(IoError::io);
+    }
+    if (got == 0) break;
+    out.insert(out.end(), buf, buf + got);
+  }
+  ::close(fd);
+  return IoResult::success();
+}
+
+bool Env::exists(const std::string& name) const {
+  struct stat st{};
+  return ::stat(path_of(name).c_str(), &st) == 0;
+}
+
+std::uint64_t Env::file_size(const std::string& name) const {
+  struct stat st{};
+  if (::stat(path_of(name).c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+IoResult Env::remove(const std::string& name) {
+  if (crashed_) return IoResult::fail(IoError::crashed);
+  if (::unlink(path_of(name).c_str()) != 0 && errno != ENOENT) {
+    return IoResult::fail(IoError::io);
+  }
+  return sync_dir();
+}
+
+IoResult Env::sync_dir() {
+  int fd;
+  do {
+    fd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return IoResult::fail(IoError::io);
+  const bool ok = fsync_retry(fd);
+  ::close(fd);
+  return ok ? IoResult::success() : IoResult::fail(IoError::io);
+}
+
+// ---------------------------------------------------------------------------
+// File
+// ---------------------------------------------------------------------------
+
+File::~File() {
+  if (!env_.crashed_ && !pending_.empty()) {
+    // Clean close: the OS would write these back eventually. No fsync —
+    // durability still requires sync() before the handle goes away.
+    (void)flush_prefix(pending_.size());
+  }
+  auto& files = env_.open_files_;
+  files.erase(std::remove(files.begin(), files.end(), this), files.end());
+  if (fd_ >= 0) ::close(fd_);
+}
+
+IoResult File::append(BytesView data) {
+  const IoError fault = env_.evaluate_op("write");
+  if (fault != IoError::none) return IoResult::fail(fault);
+  pending_.insert(pending_.end(), data.begin(), data.end());
+  FileMetrics& metrics = file_metrics();
+  metrics.appends.inc();
+  metrics.append_bytes.inc(data.size());
+  return IoResult::success();
+}
+
+IoResult File::sync() {
+  const IoError fault = env_.evaluate_op("fsync");
+  if (fault != IoError::none) return IoResult::fail(fault);
+  obs::ScopedTimer timer(file_metrics().fsync_us);
+  const IoResult flushed = flush_prefix(pending_.size());
+  if (!flushed.ok()) return flushed;
+  pending_.clear();
+  if (!fsync_retry(fd_)) return IoResult::fail(IoError::io);
+  file_metrics().fsyncs.inc();
+  return IoResult::success();
+}
+
+IoResult File::flush_prefix(std::size_t n) {
+  n = std::min(n, pending_.size());
+  if (n == 0) return IoResult::success();
+  if (!write_fully(fd_, pending_.data(), n)) return IoResult::fail(IoError::io);
+  synced_size_ += n;
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  return IoResult::success();
+}
+
+}  // namespace ctwatch::storage

@@ -1,0 +1,429 @@
+#include "ctwatch/storage/log_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "ctwatch/obs/obs.hpp"
+#include "ctwatch/storage/tiles.hpp"
+#include "ctwatch/storage/wal.hpp"
+
+namespace ctwatch::storage {
+
+namespace {
+
+constexpr const char* kWalFile = "wal.log";
+constexpr const char* kTileFile = "tiles.seg";
+constexpr const char* kEntryFile = "entries.seg";
+constexpr const char* kManifestFile = "manifest.log";
+
+struct StoreMetrics {
+  obs::Counter& commits = obs::Registry::global().counter("storage.commits");
+  obs::Counter& committed_entries = obs::Registry::global().counter("storage.committed_entries");
+  obs::Counter& checkpoints = obs::Registry::global().counter("storage.checkpoints");
+  obs::Counter& recoveries = obs::Registry::global().counter("storage.recoveries");
+  obs::Counter& replayed_entries = obs::Registry::global().counter("storage.replayed_entries");
+  obs::Counter& discarded_unsealed = obs::Registry::global().counter("storage.discarded_unsealed");
+  obs::Counter& failures = obs::Registry::global().counter("storage.failures");
+  obs::LogLinearHistogram& commit_us = obs::Registry::global().latency("storage.commit_us");
+  obs::LogLinearHistogram& recovery_us = obs::Registry::global().latency("storage.recovery_us");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics metrics;
+  return metrics;
+}
+
+std::uint64_t frame_size(const WalRecord& record) { return 9 + record.payload.size(); }
+
+}  // namespace
+
+LogStore::Open LogStore::open(LogStoreOptions options) {
+  Open out;
+  Env::Options env_options;
+  env_options.dir = options.dir;
+  env_options.chaos = options.chaos;
+  env_options.chaos_prefix = options.chaos_prefix;
+  env_options.torn_seed = options.torn_seed;
+  IoError env_error = IoError::none;
+  std::unique_ptr<Env> env = Env::open(std::move(env_options), &env_error);
+  if (env == nullptr) {
+    out.error = env_error;
+    out.detail = "cannot open storage directory " + options.dir;
+    return out;
+  }
+  auto store = std::unique_ptr<LogStore>(new LogStore(std::move(options), std::move(env)));
+  std::string detail;
+  const IoError error = store->recover(detail);
+  if (error != IoError::none) {
+    out.error = error;
+    out.detail = std::move(detail);
+    return out;
+  }
+  store_metrics().recoveries.inc();
+  out.store = std::move(store);
+  return out;
+}
+
+LogStore::~LogStore() {
+  if (!closed_) (void)close();
+}
+
+IoError LogStore::recover(std::string& detail) {
+  const auto started = std::chrono::steady_clock::now();
+
+  // 1. Manifest: newest valid checkpoint record anchors everything else.
+  Bytes manifest_img;
+  if (!env_->read_file(kManifestFile, manifest_img).ok()) {
+    detail = "cannot read manifest";
+    return IoError::io;
+  }
+  const WalScan manifest_scan = wal_scan(manifest_img);
+  std::optional<CheckpointRecord> cp;
+  std::uint64_t manifest_valid_bytes = 0;
+  for (const WalRecord& record : manifest_scan.records) {
+    if (record.type != RecordType::checkpoint) break;  // foreign frame: stop trusting
+    std::optional<CheckpointRecord> decoded = decode_checkpoint(record.payload);
+    if (!decoded.has_value()) break;  // framed but malformed: treat as torn
+    cp = std::move(decoded);
+    manifest_valid_bytes += frame_size(record);
+  }
+  recovery_.manifest_torn_bytes = manifest_img.size() - manifest_valid_bytes;
+
+  const std::uint64_t cp_tree_size = cp.has_value() ? cp->sth.tree_size : 0;
+  const std::uint64_t cp_tile_bytes = cp.has_value() ? cp->tile_bytes : 0;
+  const std::uint64_t cp_entry_bytes = cp.has_value() ? cp->entry_bytes : 0;
+  recovery_.checkpoint_tree_size = cp_tree_size;
+
+  // 2a. Tiles: reassemble the checkpointed leaf hashes, CRC-checked.
+  Bytes tiles_img;
+  if (!env_->read_file(kTileFile, tiles_img).ok()) {
+    detail = "cannot read tile segment";
+    return IoError::io;
+  }
+  if (tiles_img.size() < cp_tile_bytes) {
+    detail = "tile segment shorter than the checkpoint's coverage";
+    return IoError::corrupt;
+  }
+  const TileLoad tiles = load_tiles(tiles_img, cp_tile_bytes, cp_tree_size);
+  if (tiles.error != IoError::none) {
+    detail = "tile segment does not cover the checkpointed tree";
+    return tiles.error;
+  }
+  leaves_ = tiles.leaves;
+  for (const crypto::Digest& leaf : leaves_) accumulator_.add(leaf);
+
+  // 3. The checkpoint must be cryptographically reproducible from the
+  // tiles: fold every leaf, compare roots, compare frontiers.
+  if (cp.has_value()) {
+    if (accumulator_.root() != cp->sth.root_hash) {
+      detail = "checkpointed root hash does not match the tile leaves";
+      return IoError::corrupt;
+    }
+    if (accumulator_.frontier() != cp->frontier) {
+      detail = "checkpointed frontier does not match the tile leaves";
+      return IoError::corrupt;
+    }
+    sth_ = cp->sth;
+    seal_seq_ = cp->seal_seq;
+    last_timestamp_ms_ = cp->last_timestamp_ms;
+  }
+
+  // 2b. Entry segment: the integrated entries behind the checkpoint.
+  Bytes entries_img;
+  if (!env_->read_file(kEntryFile, entries_img).ok()) {
+    detail = "cannot read entry segment";
+    return IoError::io;
+  }
+  if (entries_img.size() < cp_entry_bytes) {
+    detail = "entry segment shorter than the checkpoint's coverage";
+    return IoError::corrupt;
+  }
+  const WalScan entry_scan =
+      wal_scan(BytesView{entries_img.data(), static_cast<std::size_t>(cp_entry_bytes)});
+  if (entry_scan.valid_bytes != cp_entry_bytes) {
+    detail = "entry segment corrupt inside the checkpointed prefix";
+    return IoError::corrupt;
+  }
+  recovered_entries_.reserve(cp_tree_size);
+  for (const WalRecord& record : entry_scan.records) {
+    if (record.type != RecordType::entry) {
+      detail = "entry segment holds a non-entry frame";
+      return IoError::corrupt;
+    }
+    std::optional<DurableEntry> entry = decode_entry(record.payload);
+    if (!entry.has_value()) {
+      detail = "entry segment frame does not decode";
+      return IoError::corrupt;
+    }
+    const std::uint64_t index = recovered_entries_.size();
+    if (entry->index != index || index >= cp_tree_size || entry->leaf_hash != leaves_[index]) {
+      detail = "entry segment disagrees with the tile leaves";
+      return IoError::corrupt;
+    }
+    recovered_entries_.push_back(std::move(*entry));
+  }
+  if (recovered_entries_.size() != cp_tree_size) {
+    detail = "entry segment does not cover the checkpointed tree";
+    return IoError::corrupt;
+  }
+
+  // 4. WAL replay: every durable seal re-folds its batch and must
+  // reproduce the sealed root. Entries after the last durable seal are
+  // unsealed submissions — discarded, visibly.
+  Bytes wal_img;
+  if (!env_->read_file(kWalFile, wal_img).ok()) {
+    detail = "cannot read wal";
+    return IoError::io;
+  }
+  const WalScan wal = wal_scan(wal_img);
+  std::map<std::uint64_t, DurableEntry> staged;
+  std::uint64_t committed_wal_bytes = 0;  // offset after the last applied/stale seal
+  std::uint64_t offset = 0;
+  for (const WalRecord& record : wal.records) {
+    const std::uint64_t offset_after = offset + frame_size(record);
+    if (record.type == RecordType::entry) {
+      std::optional<DurableEntry> entry = decode_entry(record.payload);
+      if (!entry.has_value()) break;  // framed but malformed: stop trusting here
+      if (entry->index < accumulator_.size()) {
+        ++recovery_.stale_wal_records;  // re-covered by the checkpoint
+      } else {
+        staged[entry->index] = std::move(*entry);
+      }
+    } else if (record.type == RecordType::seal) {
+      std::optional<SealRecord> seal = decode_seal(record.payload);
+      if (!seal.has_value()) break;
+      if (seal->sth.tree_size <= accumulator_.size()) {
+        ++recovery_.stale_wal_records;  // the checkpoint already covers it
+        committed_wal_bytes = offset_after;
+      } else {
+        Bytes batch_frames;
+        std::vector<DurableEntry> batch;
+        bool complete = true;
+        for (std::uint64_t i = accumulator_.size(); i < seal->sth.tree_size; ++i) {
+          auto it = staged.find(i);
+          if (it == staged.end()) {
+            complete = false;
+            break;
+          }
+          batch.push_back(std::move(it->second));
+          staged.erase(it);
+        }
+        if (!complete) {
+          detail = "durable seal references entries the wal does not hold";
+          return IoError::corrupt;
+        }
+        ct::RootAccumulator probe = accumulator_;
+        for (const DurableEntry& entry : batch) probe.add(entry.leaf_hash);
+        if (probe.root() != seal->sth.root_hash) {
+          detail = "durable seal's root hash does not match its entries";
+          return IoError::corrupt;
+        }
+        accumulator_ = std::move(probe);
+        for (DurableEntry& entry : batch) {
+          leaves_.push_back(entry.leaf_hash);
+          last_timestamp_ms_ = std::max(last_timestamp_ms_, entry.timestamp_ms);
+          wal_frame(entry_frames_pending_, RecordType::entry, encode_entry(entry));
+          recovered_entries_.push_back(std::move(entry));
+        }
+        last_timestamp_ms_ = std::max(last_timestamp_ms_, seal->sth.timestamp_ms);
+        sth_ = seal->sth;
+        seal_seq_ = seal->seal_seq;
+        ++recovery_.replayed_batches;
+        recovery_.replayed_entries += batch.size();
+        committed_wal_bytes = offset_after;
+      }
+    } else {
+      break;  // a checkpoint frame inside the wal: foreign, stop trusting
+    }
+    offset = offset_after;
+  }
+  recovery_.discarded_unsealed = staged.size();
+  recovery_.wal_torn_bytes = wal_img.size() - committed_wal_bytes;
+
+  // 5. Reopen for appending, truncating every torn/unsealed tail so the
+  // garbage can never be re-read as data.
+  IoError file_error = IoError::none;
+  wal_ = env_->open_append(kWalFile, committed_wal_bytes, &file_error);
+  if (wal_ == nullptr) {
+    detail = "cannot reopen wal";
+    return file_error;
+  }
+  tiles_ = env_->open_append(kTileFile, cp_tile_bytes, &file_error);
+  if (tiles_ == nullptr) {
+    detail = "cannot reopen tile segment";
+    return file_error;
+  }
+  entries_ = env_->open_append(kEntryFile, cp_entry_bytes, &file_error);
+  if (entries_ == nullptr) {
+    detail = "cannot reopen entry segment";
+    return file_error;
+  }
+  manifest_ = env_->open_append(kManifestFile, manifest_valid_bytes, &file_error);
+  if (manifest_ == nullptr) {
+    detail = "cannot reopen manifest";
+    return file_error;
+  }
+  tiles_persisted_leaves_ = cp_tree_size;
+
+  recovery_.opened_fresh =
+      manifest_img.empty() && wal_img.empty() && tiles_img.empty() && entries_img.empty();
+  recovery_.tree_size = accumulator_.size();
+  recovery_.recovery_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            started)
+          .count());
+  StoreMetrics& metrics = store_metrics();
+  metrics.replayed_entries.inc(recovery_.replayed_entries);
+  metrics.discarded_unsealed.inc(recovery_.discarded_unsealed);
+  metrics.recovery_us.observe(static_cast<double>(recovery_.recovery_us));
+  obs::flight_note("storage.recovered", recovery_.tree_size);
+  return IoError::none;
+}
+
+IoResult LogStore::fail_with(IoError error) {
+  if (last_error_ == IoError::none) {
+    last_error_ = error;
+    store_metrics().failures.inc();
+    obs::flight_note("storage.failed", static_cast<std::uint64_t>(error));
+  }
+  return IoResult::fail(error);
+}
+
+IoResult LogStore::commit_batch(const BatchCommit& batch) {
+  if (failed()) return IoResult::fail(last_error_);
+  if (closed_) return IoResult::fail(IoError::io);
+  if (batch.entries.empty()) return IoResult::fail(IoError::corrupt);
+
+  // Validate before writing a byte: the batch must extend the tree
+  // contiguously and reproduce the signed root. A mismatch is a caller
+  // bug — surfacing it here keeps garbage out of the WAL.
+  const std::uint64_t first = accumulator_.size();
+  ct::RootAccumulator probe = accumulator_;
+  for (std::size_t i = 0; i < batch.entries.size(); ++i) {
+    if (batch.entries[i].index != first + i) return IoResult::fail(IoError::corrupt);
+    probe.add(batch.entries[i].leaf_hash);
+  }
+  if (batch.sth.tree_size != probe.size() || batch.sth.root_hash != probe.root()) {
+    return IoResult::fail(IoError::corrupt);
+  }
+
+  obs::ScopedTimer timer(store_metrics().commit_us);
+  Bytes frames;
+  for (const DurableEntry& entry : batch.entries) {
+    wal_frame(frames, RecordType::entry, encode_entry(entry));
+  }
+  const std::size_t entry_frame_bytes = frames.size();
+  wal_frame(frames, RecordType::seal,
+            encode_seal(SealRecord{first, batch.seal_seq, batch.sth}));
+  IoResult io = wal_->append(frames);
+  if (!io.ok()) return fail_with(io.error);
+  io = wal_->sync();
+  if (!io.ok()) return fail_with(io.error);
+
+  // The batch is durable; apply it to the in-memory image. The entry
+  // frames (not the seal) also queue for the entry segment, which the
+  // next checkpoint appends and fsyncs.
+  entry_frames_pending_.insert(entry_frames_pending_.end(), frames.begin(),
+                               frames.begin() + static_cast<std::ptrdiff_t>(entry_frame_bytes));
+  for (const DurableEntry& entry : batch.entries) {
+    leaves_.push_back(entry.leaf_hash);
+    last_timestamp_ms_ = std::max(last_timestamp_ms_, entry.timestamp_ms);
+  }
+  accumulator_ = std::move(probe);
+  sth_ = batch.sth;
+  seal_seq_ = batch.seal_seq;
+  last_timestamp_ms_ = std::max(last_timestamp_ms_, batch.sth.timestamp_ms);
+  StoreMetrics& metrics = store_metrics();
+  metrics.commits.inc();
+  metrics.committed_entries.inc(batch.entries.size());
+
+  ++batches_since_checkpoint_;
+  if (options_.checkpoint_interval_batches != 0 &&
+      batches_since_checkpoint_ >= options_.checkpoint_interval_batches) {
+    // A checkpoint failure cannot un-commit the batch: report ok, but the
+    // store is poisoned for every later write.
+    (void)checkpoint();
+  }
+  return IoResult::success();
+}
+
+IoResult LogStore::write_dirty_tiles() {
+  const std::uint64_t tree = accumulator_.size();
+  if (tree <= tiles_persisted_leaves_) return IoResult::success();
+  Bytes page;
+  for (std::uint64_t t = tiles_persisted_leaves_ / kTileLeaves; t * kTileLeaves < tree; ++t) {
+    const std::uint64_t begin = t * kTileLeaves;
+    const std::uint64_t count = std::min<std::uint64_t>(kTileLeaves, tree - begin);
+    page.clear();
+    encode_tile_page(page, t, leaves_.data() + begin, count);
+    const IoResult io = tiles_->append(page);
+    if (!io.ok()) return io;
+  }
+  return IoResult::success();
+}
+
+IoResult LogStore::checkpoint() {
+  if (failed()) return IoResult::fail(last_error_);
+  if (closed_) return IoResult::fail(IoError::io);
+  if (!sth_.has_value()) return IoResult::success();  // nothing to anchor yet
+  if (batches_since_checkpoint_ == 0 && entry_frames_pending_.empty() &&
+      accumulator_.size() == tiles_persisted_leaves_) {
+    return IoResult::success();  // the manifest already covers this state
+  }
+
+  // Segments first, fsync'd before the manifest frame that references
+  // them; the WAL is reset only after the manifest frame is durable.
+  // Every crash window between these steps recovers: an older manifest
+  // anchor plus the still-present WAL reproduce the same tree.
+  IoResult io = write_dirty_tiles();
+  if (!io.ok()) return fail_with(io.error);
+  if (!entry_frames_pending_.empty()) {
+    io = entries_->append(entry_frames_pending_);
+    if (!io.ok()) return fail_with(io.error);
+  }
+  io = tiles_->sync();
+  if (!io.ok()) return fail_with(io.error);
+  io = entries_->sync();
+  if (!io.ok()) return fail_with(io.error);
+
+  CheckpointRecord record;
+  record.sth = *sth_;
+  record.frontier = accumulator_.frontier();
+  record.seal_seq = seal_seq_;
+  record.last_timestamp_ms = last_timestamp_ms_;
+  record.tile_bytes = tiles_->size();
+  record.entry_bytes = entries_->size();
+  io = wal_append(*manifest_, RecordType::checkpoint, encode_checkpoint(record));
+  if (!io.ok()) return fail_with(io.error);
+  io = manifest_->sync();
+  if (!io.ok()) return fail_with(io.error);
+
+  // The wal's batches are all behind the manifest now: reset it.
+  wal_.reset();
+  io = env_->remove(kWalFile);
+  if (!io.ok()) return fail_with(io.error);
+  IoError file_error = IoError::none;
+  wal_ = env_->open_append(kWalFile, 0, &file_error);
+  if (wal_ == nullptr) return fail_with(file_error);
+
+  tiles_persisted_leaves_ = accumulator_.size();
+  entry_frames_pending_.clear();
+  batches_since_checkpoint_ = 0;
+  store_metrics().checkpoints.inc();
+  return IoResult::success();
+}
+
+IoResult LogStore::close() {
+  if (closed_) return IoResult::success();
+  IoResult io = IoResult::success();
+  if (!failed()) io = checkpoint();
+  closed_ = true;
+  wal_.reset();
+  tiles_.reset();
+  entries_.reset();
+  manifest_.reset();
+  return io;
+}
+
+}  // namespace ctwatch::storage

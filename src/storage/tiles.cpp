@@ -1,0 +1,110 @@
+#include "ctwatch/storage/tiles.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ctwatch/storage/crc32c.hpp"
+
+namespace ctwatch::storage {
+
+namespace {
+
+void put_u32be(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64be(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint32_t read_u32be(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t read_u64be(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | p[i];
+  return v;
+}
+
+}  // namespace
+
+void encode_tile_page(Bytes& out, std::uint64_t tile_index, const crypto::Digest* leaves,
+                      std::uint64_t count) {
+  const std::size_t start = out.size();
+  put_u32be(out, kTileMagic);
+  put_u32be(out, 0);  // crc placeholder
+  put_u64be(out, tile_index);
+  out.push_back(static_cast<std::uint8_t>(count >> 8));
+  out.push_back(static_cast<std::uint8_t>(count));
+  out.push_back(0);
+  out.push_back(0);
+  for (std::uint64_t i = 0; i < kTileLeaves; ++i) {
+    if (i < count) {
+      out.insert(out.end(), leaves[i].begin(), leaves[i].end());
+    } else {
+      out.insert(out.end(), 32, std::uint8_t{0});
+    }
+  }
+  const std::uint32_t crc =
+      crc32c(BytesView{out.data() + start + 8, kTilePageBytes - 8});
+  const std::uint32_t masked = crc32c_mask(crc);
+  out[start + 4] = static_cast<std::uint8_t>(masked >> 24);
+  out[start + 5] = static_cast<std::uint8_t>(masked >> 16);
+  out[start + 6] = static_cast<std::uint8_t>(masked >> 8);
+  out[start + 7] = static_cast<std::uint8_t>(masked);
+}
+
+std::optional<TilePage> decode_tile_page(BytesView page) {
+  if (page.size() < kTilePageBytes) return std::nullopt;
+  if (read_u32be(page.data()) != kTileMagic) return std::nullopt;
+  const std::uint32_t stored = crc32c_unmask(read_u32be(page.data() + 4));
+  if (crc32c(page.subspan(8, kTilePageBytes - 8)) != stored) return std::nullopt;
+  TilePage out;
+  out.tile_index = read_u64be(page.data() + 8);
+  out.count = static_cast<std::uint64_t>(page[16]) << 8 | page[17];
+  if (out.count == 0 || out.count > kTileLeaves) return std::nullopt;
+  out.leaves.resize(out.count);
+  for (std::uint64_t i = 0; i < out.count; ++i) {
+    std::memcpy(out.leaves[i].data(), page.data() + 20 + i * 32, 32);
+  }
+  return out;
+}
+
+TileLoad load_tiles(BytesView segment, std::uint64_t limit_bytes, std::uint64_t tree_size) {
+  TileLoad load;
+  const std::uint64_t usable = std::min<std::uint64_t>(segment.size(), limit_bytes);
+  const std::uint64_t tiles_needed = (tree_size + kTileLeaves - 1) / kTileLeaves;
+  // Last-wins page table: page offsets per tile index, later supersedes.
+  std::vector<std::optional<TilePage>> tiles(static_cast<std::size_t>(tiles_needed));
+  for (std::uint64_t pos = 0; pos + kTilePageBytes <= usable; pos += kTilePageBytes) {
+    ++load.pages_read;
+    auto page = decode_tile_page(segment.subspan(pos, kTilePageBytes));
+    if (!page.has_value()) {
+      ++load.pages_invalid;
+      continue;  // fixed stride: one bad page never desynchronizes the rest
+    }
+    if (page->tile_index >= tiles_needed) continue;  // beyond this checkpoint's tree
+    tiles[static_cast<std::size_t>(page->tile_index)] = std::move(page);
+  }
+  load.leaves.reserve(static_cast<std::size_t>(tree_size));
+  for (std::uint64_t t = 0; t < tiles_needed; ++t) {
+    const auto& page = tiles[static_cast<std::size_t>(t)];
+    const std::uint64_t want =
+        std::min<std::uint64_t>(kTileLeaves, tree_size - t * kTileLeaves);
+    if (!page.has_value() || page->count < want) {
+      load.error = IoError::corrupt;  // gap below the manifest's tree size
+      return load;
+    }
+    for (std::uint64_t i = 0; i < want; ++i) load.leaves.push_back(page->leaves[i]);
+  }
+  return load;
+}
+
+}  // namespace ctwatch::storage

@@ -1,0 +1,66 @@
+#include "ctwatch/storage/wal.hpp"
+
+#include "ctwatch/storage/crc32c.hpp"
+
+namespace ctwatch::storage {
+
+namespace {
+
+void put_u32be(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t read_u32be(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+void wal_frame(Bytes& out, RecordType type, BytesView payload) {
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
+  put_u32be(out, length);
+  const std::uint8_t type_byte = static_cast<std::uint8_t>(type);
+  std::uint32_t crc = crc32c(BytesView{&type_byte, 1});
+  crc = crc32c(payload, crc);
+  put_u32be(out, crc32c_mask(crc));
+  out.push_back(type_byte);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+IoResult wal_append(File& file, RecordType type, BytesView payload) {
+  Bytes frame;
+  frame.reserve(9 + payload.size());
+  wal_frame(frame, type, payload);
+  return file.append(frame);
+}
+
+WalScan wal_scan(BytesView data) {
+  WalScan scan;
+  std::uint64_t pos = 0;
+  while (pos + 9 <= data.size()) {
+    const std::uint32_t length = read_u32be(data.data() + pos);
+    if (length == 0 || length > kMaxRecordBytes) break;              // garbage length
+    if (pos + 8 + length > data.size()) break;                       // frame runs past EOF
+    const std::uint32_t stored_crc = crc32c_unmask(read_u32be(data.data() + pos + 4));
+    const BytesView body = data.subspan(pos + 8, length);
+    if (crc32c(body) != stored_crc) break;                           // torn or corrupt
+    const std::uint8_t type_byte = body[0];
+    if (type_byte != static_cast<std::uint8_t>(RecordType::entry) &&
+        type_byte != static_cast<std::uint8_t>(RecordType::seal) &&
+        type_byte != static_cast<std::uint8_t>(RecordType::checkpoint)) {
+      break;  // unknown type: written by a future format, stop trusting
+    }
+    scan.records.push_back(
+        WalRecord{static_cast<RecordType>(type_byte), body.subspan(1)});
+    pos += 8 + length;
+  }
+  scan.valid_bytes = pos;
+  scan.torn_bytes = data.size() - pos;
+  return scan;
+}
+
+}  // namespace ctwatch::storage

@@ -21,6 +21,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +40,7 @@
 #include "ctwatch/httpd/router.hpp"
 #include "ctwatch/httpd/server.hpp"
 #include "ctwatch/logsvc/logsvc.hpp"
+#include "ctwatch/storage/log_store.hpp"
 #include "ctwatch/util/encoding.hpp"
 #include "ctwatch/x509/certificate.hpp"
 
@@ -753,6 +758,119 @@ TEST(HttpdCtApiTest, ConsistencyAcrossGrowth) {
 
   service.stop();
   server.stop();
+}
+
+// ===========================================================================
+// 5. Graceful shutdown
+// ===========================================================================
+
+TEST(HttpdServerTest, ShutdownDrainsInFlightAndRefusesNew) {
+  // A handler that parks its completion so one request stays in flight
+  // until the test decides to answer it.
+  struct Held {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Completion> done;
+  };
+  auto held = std::make_shared<Held>();
+  Router router;
+  router.get("/held", [held](const Request&, Completion done) {
+    std::lock_guard<std::mutex> lock(held->mu);
+    held->done = std::move(done);
+    held->cv.notify_all();
+  });
+  Server server(ServerOptions{}, std::move(router));
+  ASSERT_TRUE(server.start());
+
+  WireClient in_flight(server.port());
+  ASSERT_TRUE(in_flight.connected());
+  ASSERT_TRUE(in_flight.send_all("GET /held HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"));
+  {
+    std::unique_lock<std::mutex> lock(held->mu);
+    ASSERT_TRUE(held->cv.wait_for(lock, 5s, [&] { return held->done.has_value(); }));
+  }
+
+  // Drain in the background: it must wait out the parked response.
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] { drained.store(server.shutdown(std::chrono::seconds(5))); });
+  while (!server.draining()) std::this_thread::sleep_for(1ms);
+
+  // New connections are refused while draining...
+  WireClient late(server.port());
+  EXPECT_TRUE(!late.connected() || late.peer_closed());
+
+  // ...but the in-flight request still completes and its response flushes.
+  {
+    std::lock_guard<std::mutex> lock(held->mu);
+    (*held->done)(text_response(200, "drained"));
+  }
+  const auto response = in_flight.read_response();
+  drainer.join();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "drained");
+  EXPECT_TRUE(drained.load());
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(server.draining());
+  EXPECT_TRUE(server.shutdown(std::chrono::milliseconds(10)));  // safe when stopped
+}
+
+TEST(HttpdCtApiTest, GracefulShutdownLosesNoSealedEntry) {
+  // A throwaway store directory under the build tree.
+  struct TempDir {
+    std::string path;
+    TempDir() {
+      std::string tmpl = "ctwatch_httpd_shutdown.XXXXXX";
+      path = ::mkdtemp(tmpl.data());
+      EXPECT_FALSE(path.empty());
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+  } dir;
+
+  auto opened = storage::LogStore::open({.dir = dir.path});
+  ASSERT_NE(opened.store, nullptr) << opened.detail;
+  logsvc::Config config = fast_log("Httpd Durable Log");
+  config.storage = opened.store.get();
+
+  ct::SignedTreeHead before;
+  {
+    logsvc::LogService service(config);
+    Router router;
+    register_ct_api(router, service);
+    Server server(ServerOptions{}, std::move(router));
+    ASSERT_TRUE(server.start());
+    TestCa ca;
+    for (int i = 0; i < 5; ++i) {
+      const auto added = wire_post(
+          server.port(), "/ct/v1/add-chain",
+          ca.chain_body(ca.leaf("d" + std::to_string(i) + ".example", 300 + i)));
+      ASSERT_TRUE(added.has_value());
+      // A 200 means the SCT was released, which means the sealed batch
+      // is already on disk (commit-before-publish).
+      ASSERT_EQ(added->status, 200) << added->body;
+    }
+    before = service.get_sth();
+    ASSERT_EQ(before.tree_size, 5u);
+    EXPECT_TRUE(server.shutdown(std::chrono::seconds(5)));
+    EXPECT_FALSE(server.running());
+    service.stop();
+  }
+  opened.store->close();
+  opened.store.reset();
+
+  // The process model restarts: recovery replays the WAL and the adopted
+  // service republishes the exact pre-shutdown STH — no sealed entry lost.
+  auto reopened = storage::LogStore::open({.dir = dir.path});
+  ASSERT_NE(reopened.store, nullptr) << reopened.detail;
+  EXPECT_EQ(reopened.store->tree_size(), 5u);
+  config.storage = reopened.store.get();
+  logsvc::LogService restarted(config);
+  EXPECT_TRUE(restarted.get_sth() == before);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto proof = restarted.inclusion_proof(i, 5);
+    EXPECT_TRUE(ct::verify_inclusion(restarted.leaf_hash_at(i), i, 5, proof, before.root_hash));
+  }
+  restarted.stop();
 }
 
 TEST(HttpdCtApiTest, ErrorShapes) {

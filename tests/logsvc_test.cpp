@@ -461,15 +461,31 @@ TEST(BoundedQueueTest, DrainAfterCloseIsComplete) {
 TEST(AppendOnlyStoreTest, PublishGatesVisibility) {
   AppendOnlyStore<std::uint64_t> store(/*chunk_bits=*/2, /*max_chunks=*/4);
   EXPECT_EQ(store.size(), 0u);
-  for (std::uint64_t i = 0; i < 6; ++i) store.append(i * 10);  // spans chunks
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(store.append(i * 10), PushResult::ok);  // spans chunks
+  }
   EXPECT_EQ(store.size(), 0u);  // appended but not yet published
   EXPECT_EQ(store.write_pos(), 6u);
   store.publish();
   ASSERT_EQ(store.size(), 6u);
   for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(store.at(i), i * 10);
-  // Capacity is bounded: chunk_bits=2, max_chunks=4 -> 16 elements.
-  for (std::uint64_t i = 6; i < 16; ++i) store.append(i);
-  EXPECT_THROW(store.append(99), std::length_error);
+}
+
+// Capacity exhaustion is a typed refusal (the same vocabulary as the
+// queue's backpressure), not an exception, and it leaves the store fully
+// usable: published elements keep serving reads, later appends keep
+// failing the same way.
+TEST(AppendOnlyStoreTest, CapacityExhaustionIsTypedAndNonDestructive) {
+  AppendOnlyStore<std::uint64_t> store(/*chunk_bits=*/2, /*max_chunks=*/4);
+  EXPECT_EQ(store.capacity(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(store.append(i), PushResult::ok);
+  // The exact boundary: element 16 is one past the last chunk slot.
+  EXPECT_EQ(store.append(99), PushResult::full);
+  EXPECT_EQ(store.append(99), PushResult::full);  // stays full, no throw
+  EXPECT_EQ(store.write_pos(), 16u);              // refused appends left no trace
+  store.publish();
+  ASSERT_EQ(store.size(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(store.at(i), i);
 }
 
 
