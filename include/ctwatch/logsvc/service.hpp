@@ -101,6 +101,17 @@ struct Config {
   /// complete with SubmitStatus::storage_error while reads keep serving
   /// the last durable snapshot.
   storage::LogStore* storage = nullptr;
+  /// Storage-backed reads (requires `storage`). When set, adoption keeps
+  /// only the recovered WAL tail resident: reads below the recovered
+  /// checkpoint fall through to the store's tile cache (proofs, leaf
+  /// hashes) and entry segment (get-entries), so reopening a huge log
+  /// costs O(WAL tail) memory instead of O(tree). Tradeoffs, which is why
+  /// the memory-resident adoption stays the default: the dedup table
+  /// covers only the resident tail (a resubmission of a checkpointed
+  /// certificate grows the tree instead of re-issuing its SCT), and the
+  /// first get-proof-by-hash for a checkpointed leaf pays a one-time
+  /// streaming rebuild of the hash -> index map.
+  bool paged_reads = false;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -206,8 +217,13 @@ class LogService {
   /// Config::max_get_entries, and start+count overflow is harmless.
   [[nodiscard]] std::vector<EntryRecord> get_entries(std::uint64_t start,
                                                      std::uint64_t count) const;
-  /// Published tree size (== get_sth().tree_size).
-  [[nodiscard]] std::uint64_t tree_size() const { return leaves_.size(); }
+  /// Published tree size (== get_sth().tree_size). With paged reads the
+  /// resident stores hold only [resident_base_, tree_size).
+  [[nodiscard]] std::uint64_t tree_size() const { return resident_base_ + leaves_.size(); }
+  /// First leaf index the resident stores hold; everything below is
+  /// served from storage. Zero unless Config::paged_reads adopted a
+  /// checkpointed store.
+  [[nodiscard]] std::uint64_t resident_base() const { return resident_base_; }
 
   // --- streaming ---
 
@@ -296,6 +312,9 @@ class LogService {
   void publish_snapshot(ct::SignedTreeHead sth);
   [[nodiscard]] ct::SignedCertificateTimestamp sign_sct(std::uint64_t timestamp_ms,
                                                         const ct::SignedEntry& entry) const;
+  /// A per-query tile source: pages below the store's durable watermark,
+  /// the resident stores above resident_base_. Paged mode only.
+  [[nodiscard]] storage::PagedLeafSource paged_source() const;
 
   Config config_;
   std::unique_ptr<crypto::Signer> signer_;
@@ -315,9 +334,20 @@ class LogService {
 
   // leaf hash -> index, written by the sequencer at seal time, read by
   // get-proof-by-hash. Its own narrow lock: readers never touch the
-  // snapshot or queue locks.
+  // snapshot or queue locks. Covers [resident_base_, tree_size).
   mutable std::mutex leaf_index_mu_;
   std::unordered_map<crypto::Digest, std::uint64_t, DigestHash> leaf_index_;
+
+  /// Paged mode: where the resident stores begin. Set once during
+  /// construction (before the sequencer or any reader exists), then
+  /// immutable.
+  std::uint64_t resident_base_ = 0;
+  /// hash -> index for the checkpointed prefix [0, resident_base_),
+  /// rebuilt lazily (one streaming pass over the tile pages) on the
+  /// first get-proof-by-hash miss against the resident map.
+  mutable std::mutex paged_index_mu_;
+  mutable bool paged_index_built_ = false;
+  mutable std::unordered_map<crypto::Digest, std::uint64_t, DigestHash> paged_index_;
 
   StreamFanout fanout_;
   std::thread sequencer_;

@@ -55,6 +55,7 @@ struct IoResult {
 };
 
 class File;
+class RandomReadFile;
 
 /// A directory of files plus the crash/fault model. One Env per open
 /// store; recovery constructs a fresh Env over the same directory.
@@ -103,6 +104,16 @@ class Env {
   /// Reads the whole on-disk file. A missing file reads as empty bytes
   /// with success (recovery treats absent and empty alike).
   IoResult read_file(const std::string& name, Bytes& out) const;
+
+  /// Opens a shared random-read handle (pread). Reads are NOT physical
+  /// write ops: they never advance the crash-ordinal clock, and they keep
+  /// working after the process model crashes — the read path serves the
+  /// last durable state while the write path fail-stops. Thread-safe:
+  /// any number of readers may read_at concurrently. Returns nullptr if
+  /// the file cannot be opened (a missing file is an error here — callers
+  /// only read segments that open_append already created).
+  std::shared_ptr<RandomReadFile> open_read(const std::string& name,
+                                            IoError* error = nullptr) const;
 
   [[nodiscard]] bool exists(const std::string& name) const;
   [[nodiscard]] std::uint64_t file_size(const std::string& name) const;
@@ -170,6 +181,37 @@ class File {
   int fd_ = -1;
   std::uint64_t synced_size_ = 0;  ///< bytes in the on-disk image
   Bytes pending_;                  ///< appended since last flush ("page cache")
+};
+
+/// A read-only random-access handle over one file's on-disk image.
+/// pread-based: no shared file offset, so concurrent readers need no
+/// locking. Only bytes a checkpoint has fsync'd are meaningful to read
+/// through this handle (the writer's unsynced tail lives in File's
+/// buffer, not on disk — the page-cache model makes that visible).
+class RandomReadFile {
+ public:
+  ~RandomReadFile();
+  RandomReadFile(const RandomReadFile&) = delete;
+  RandomReadFile& operator=(const RandomReadFile&) = delete;
+
+  /// Reads exactly [offset, offset + out.size()) from the on-disk image.
+  /// A short read (EOF inside the range) surfaces as IoError::corrupt —
+  /// callers only ask for byte ranges a durable manifest vouches for.
+  IoResult read_at(std::uint64_t offset, std::uint8_t* out, std::size_t n) const;
+
+  /// On-disk size at open time (the durable image recovery scanned).
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Env;
+  RandomReadFile(std::string name, int fd, std::uint64_t size)
+      : name_(std::move(name)), fd_(fd), size_(size) {}
+
+  std::string name_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
 };
 
 }  // namespace ctwatch::storage

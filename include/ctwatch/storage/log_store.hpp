@@ -6,8 +6,9 @@
 //   wal.log      — CRC-framed entry + seal records since the last
 //                  checkpoint. fsyncing a batch's seal frame IS the
 //                  durability commit point.
-//   tiles.seg    — fixed-size checksummed tile pages of leaf hashes
-//                  (append-only, last page wins per tile index).
+//   tiles.seg    — fixed-size checksummed tile pages of leaf hashes and
+//                  interior hashes (append-only, last page wins per
+//                  (level, tile index); upper levels only written full).
 //   entries.seg  — CRC-framed entry records, the full integrated log
 //                  (appended at checkpoint time from the WAL's batches).
 //   manifest.log — CRC-framed checkpoint records; the newest valid one
@@ -15,18 +16,32 @@
 //                  are fsync'd, and the WAL is reset only after the
 //                  manifest is fsync'd, so every crash window recovers.
 //
+// Memory model: the store is OUT OF CORE. Only the unsealed tail is
+// resident — the leaves past the last checkpoint's tile floor plus the
+// WAL's replayed entries; everything checkpointed is served by pread
+// through a sharded tile cache (leaf hashes, proof subtree roots) and a
+// sparse-indexed segment reader (entry records). Recovery streams the
+// segments in O(page) memory, so reopening a store costs O(WAL tail)
+// residency regardless of tree size.
+//
 // Recovery (LogStore::open on an existing directory):
 //   1. scan the manifest, take the newest valid checkpoint;
-//   2. load + CRC-validate tile pages up to the checkpointed size, and
-//      the entry segment's checkpointed prefix;
-//   3. fold every leaf hash into a fresh RootAccumulator and require the
-//      root to equal the checkpoint STH's root hash — the checkpoint is
-//      *cryptographically* verified, not trusted;
-//   4. replay the WAL: entries stage by index, each seal folds its batch
-//      and must reproduce the sealed root hash exactly;
-//   5. entry frames after the last durable seal are unsealed submissions
-//      the crash interrupted — counted in the report and discarded (the
-//      log never serves a root it cannot prove);
+//   2. stream tiles.seg, CRC-validating every page into a (level, tile)
+//      -> offset directory; require complete level-0 coverage of the
+//      checkpointed tree and complete full upper pages;
+//   3. verify the checkpoint *cryptographically*: in `full` mode every
+//      leaf hash is re-folded (streaming, O(page) memory) and every
+//      upper tile entry recomputed, and the root + frontier must equal
+//      the checkpoint's; in `structural` mode the frontier is restored
+//      directly (O(log n)) after its shape and root are checked — for
+//      reopening huge stores where a full refold is a deliberate,
+//      flagged tradeoff;
+//   4. stream entries.seg, CRC-checking frames and seeding the sparse
+//      entry index (full mode also cross-checks each record against the
+//      tile leaves);
+//   5. replay the WAL: entries stage by index, each seal folds its batch
+//      and must reproduce the sealed root hash exactly; entries after
+//      the last durable seal are discarded, visibly;
 //   6. truncate torn tails so the garbage can never be re-read.
 //
 // Failure semantics are fail-stop: the first IO error (real or injected)
@@ -36,15 +51,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ctwatch/ct/merkle.hpp"
 #include "ctwatch/ct/sct.hpp"
 #include "ctwatch/storage/codec.hpp"
 #include "ctwatch/storage/file.hpp"
+#include "ctwatch/storage/segment_reader.hpp"
+#include "ctwatch/storage/tile_cache.hpp"
 
 namespace ctwatch::storage {
 
@@ -58,6 +77,20 @@ struct LogStoreOptions {
   std::uint32_t checkpoint_interval_batches = 32;
   /// Seeds the crash model's deterministic torn-tail draws.
   std::uint64_t torn_seed = 0x7061676563616368ULL;
+
+  /// How hard recovery re-verifies the checkpoint. `full` re-folds every
+  /// leaf (O(n) time, O(page) memory). `structural` restores the frontier
+  /// and trusts page CRCs (O(tail) time) — for reopening stores whose
+  /// full refold was already done by the writer that checkpointed them.
+  enum class Verify { full, structural };
+  Verify recovery_verify = Verify::full;
+
+  /// Byte budget / sharding for the tile page cache (the read path's
+  /// only O(size)-free memory knob).
+  std::size_t tile_cache_bytes = std::size_t{64} << 20;
+  unsigned tile_cache_shards = 8;
+  /// One entry-segment index mark per this many records.
+  std::uint64_t entry_index_stride = 64;
 };
 
 /// What open() found and did. Every field is also exposed as obs metrics.
@@ -71,6 +104,8 @@ struct RecoveryReport {
   std::uint64_t wal_torn_bytes = 0;        ///< truncated from wal.log
   std::uint64_t manifest_torn_bytes = 0;   ///< truncated from manifest.log
   std::uint64_t stale_wal_records = 0;     ///< pre-checkpoint frames skipped
+  std::uint64_t tile_pages_scanned = 0;    ///< pages CRC-checked in tiles.seg
+  std::uint64_t tile_pages_invalid = 0;    ///< superseded/garbage pages skipped
   std::uint64_t recovery_us = 0;
 };
 
@@ -111,10 +146,12 @@ class LogStore {
   IoResult commit_batch(const BatchCommit& batch);
 
   /// Flushes tiles + entry segment, appends a manifest checkpoint, and
-  /// resets the WAL. Safe at any batch boundary.
+  /// resets the WAL. Safe at any batch boundary. On success the resident
+  /// tail shrinks to the last partial tile — everything else is paged.
   IoResult checkpoint();
 
-  /// Checkpoint + release file handles. The store refuses writes after.
+  /// Checkpoint + release write handles. The store refuses writes after;
+  /// the read path (tile cache, entry reader) keeps serving.
   IoResult close();
 
   /// True once any IO error has latched; the sticky error explains why.
@@ -130,9 +167,51 @@ class LogStore {
   [[nodiscard]] const ct::RootAccumulator& accumulator() const { return accumulator_; }
   [[nodiscard]] std::uint64_t last_timestamp_ms() const { return last_timestamp_ms_; }
 
-  /// The recovered entries [0, tree_size), in index order. Destructive:
-  /// the service adopts them into its own stores once, at startup.
-  std::vector<DurableEntry> take_recovered_entries() { return std::move(recovered_entries_); }
+  // --- the paged read path ---
+
+  /// Leaves covered by durable, directory-published tile pages. Proofs
+  /// resolve subtrees below this watermark from the cache; [tail_base,
+  /// tree_size) is resident.
+  [[nodiscard]] std::uint64_t paged_leaves() const { return directory_->paged_leaves(); }
+  /// Entry records servable from entries.seg: [0, paged_entries).
+  [[nodiscard]] std::uint64_t paged_entries() const { return reader_->entries(); }
+  /// First resident leaf index (tile floor of the persistence watermark).
+  [[nodiscard]] std::uint64_t tail_base() const { return tail_base_; }
+  /// Resident leaf hashes — the O(tail) bound tests assert on.
+  [[nodiscard]] std::uint64_t resident_leaves() const { return tail_leaves_.size(); }
+  /// Leaf hash at `index` (must be >= tail_base()). Paged indices go
+  /// through the cache or stream_paged_leaves instead.
+  [[nodiscard]] crypto::Digest tail_leaf(std::uint64_t index) const {
+    return tail_leaves_.at(static_cast<std::size_t>(index - tail_base_));
+  }
+
+  [[nodiscard]] TileCache& tile_cache() { return *cache_; }
+  [[nodiscard]] SegmentReader& entry_reader() { return *reader_; }
+
+  /// Decodes entries [start, start+count) of entries.seg into `out`
+  /// (appended). Only the paged prefix: start+count <= paged_entries().
+  IoError read_entries(std::uint64_t start, std::uint64_t count,
+                       std::vector<DurableEntry>& out) const {
+    return reader_->read(start, count, out);
+  }
+
+  /// The WAL-tail entries recovery replayed — [checkpoint_tree_size,
+  /// tree_size at open), the only entries not yet in entries.seg.
+  /// O(WAL tail), never O(tree).
+  [[nodiscard]] const std::vector<DurableEntry>& wal_tail() const { return wal_tail_entries_; }
+  /// Destructive variant: the service adopts them once, at startup.
+  std::vector<DurableEntry> take_wal_tail() { return std::move(wal_tail_entries_); }
+
+  /// Streams leaf hashes [begin, end) (end <= paged_leaves()) through
+  /// `fn` in tile-page chunks: fn(first_index, hashes, count). `fn`
+  /// returning false stops the stream early (still IoError::none).
+  IoError stream_paged_leaves(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<bool(std::uint64_t, const crypto::Digest*, std::uint64_t)>& fn);
+
+  /// A proof source over this store's pages + resident tail. Valid while
+  /// the store lives; construct one per query.
+  [[nodiscard]] PagedLeafSource leaf_source();
 
   /// The underlying Env — harnesses use it for the crash hook
   /// (Env::crash_now) and the write-op ordinal clock (Env::write_ops).
@@ -147,7 +226,19 @@ class LogStore {
   IoError recover(std::string& detail);
 
   IoResult fail_with(IoError error);
-  IoResult write_dirty_tiles();
+
+  /// One tile page appended this checkpoint, to publish post-sync.
+  struct PendingTile {
+    unsigned level;
+    std::uint64_t tile;
+    std::uint64_t offset;
+    std::uint32_t count;
+  };
+  IoResult write_dirty_tiles(std::vector<PendingTile>& written);
+  /// Feeds one completed perfect-subtree root into the upper-tile
+  /// cascade, appending any level that fills to 256.
+  IoResult cascade_entry(unsigned level, const crypto::Digest& digest,
+                         std::vector<PendingTile>& written, Bytes& page);
 
   LogStoreOptions options_;
   std::unique_ptr<Env> env_;
@@ -160,17 +251,33 @@ class LogStore {
   bool closed_ = false;
 
   ct::RootAccumulator accumulator_;
-  std::vector<crypto::Digest> leaves_;  ///< all leaf hashes (tile source)
+  std::vector<crypto::Digest> tail_leaves_;  ///< [tail_base_, tree_size)
+  std::uint64_t tail_base_ = 0;              ///< tile floor of the watermark
   std::optional<ct::SignedTreeHead> sth_;
   std::uint64_t seal_seq_ = 0;
   std::uint64_t last_timestamp_ms_ = 0;
 
   std::uint64_t tiles_persisted_leaves_ = 0;  ///< leaves covered by tiles.seg
+  /// Partial upper-tile entries per level (index 0 unused) and full
+  /// pages already written per level — the cascade's cursor.
+  std::vector<std::vector<crypto::Digest>> upper_pending_;
+  std::vector<std::uint64_t> upper_written_;
   Bytes entry_frames_pending_;  ///< framed entry records awaiting entries.seg
+  /// (index, offset within entry_frames_pending_) for every future index
+  /// mark — only indices at the stride, so O(pending / stride).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending_entry_marks_;
   std::uint32_t batches_since_checkpoint_ = 0;
 
+  /// Read-path state. The directory and cache are shared with any
+  /// outstanding PagedLeafSource pins.
+  std::shared_ptr<TileDirectory> directory_;
+  std::shared_ptr<const RandomReadFile> tile_read_;
+  std::shared_ptr<const RandomReadFile> entry_read_;
+  std::unique_ptr<TileCache> cache_;
+  std::unique_ptr<SegmentReader> reader_;
+
   RecoveryReport recovery_;
-  std::vector<DurableEntry> recovered_entries_;
+  std::vector<DurableEntry> wal_tail_entries_;  ///< replayed, not yet in entries.seg
 };
 
 }  // namespace ctwatch::storage

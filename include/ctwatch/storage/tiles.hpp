@@ -1,25 +1,31 @@
 // Checksummed fixed-size Merkle tiles (subtree pages).
 //
-// The leaf-hash store is paged: tile t holds leaf hashes
+// The hash store is paged: a level-0 tile t holds leaf hashes
 // [t*256, t*256+256) — a perfect depth-8 subtree's worth, the same page
 // geometry the C2SP tlog-tiles layout and certificate-transparency-go
 // use. Pages are a fixed 8212 bytes on disk:
 //
-//   [u32 magic][u32 masked crc][u64 tile_index][u16 count][u16 zero]
-//   [256 x 32-byte leaf hashes, unused slots zero]
+//   [u32 magic][u32 masked crc][u64 tile_index][u16 count][u8 level][u8 zero]
+//   [256 x 32-byte hashes, unused slots zero]
 //
-// The tile segment file is append-only: a *partial* tail tile is written
-// again (fuller) at each checkpoint, and recovery keeps the LAST valid
-// page for each tile index — "last wins" turns in-place update, the
-// classic crash hazard, into append-plus-supersede. Every page is
-// validated by CRC on load; a missing or short tile below the manifest's
-// tree size is a hard corruption (checkpointed pages were fsync'd before
-// the manifest record that references them, so a crash cannot produce
-// it — only disk damage can).
+// Levels above 0 hold interior hashes: entry i of a level-L tile t is
+// the root of the perfect subtree over leaves
+// [(t*256+i) * 256^L, (t*256+i+1) * 256^L) — so an inclusion proof walks
+// O(log n / 8) pages instead of a resident tree. Upper-level pages are
+// only ever written FULL (partial upper entries are derived data the
+// writer keeps in memory and recovery recomputes from the level below),
+// which keeps the last-wins rule confined to level 0. The level byte
+// occupies a header slot that was always written as zero before — old
+// segments decode as all-level-0, byte-identically.
 //
-// This page format is deliberately proof-shaped: one tile is the leaf
-// level of a 256-wide subtree, so a future out-of-core read path can mmap
-// the segment and serve inclusion proofs touching O(log n / 8) pages.
+// The tile segment file is append-only: a *partial* tail tile (level 0)
+// is written again (fuller) at each checkpoint, and recovery keeps the
+// LAST valid page for each (level, tile index) — "last wins" turns
+// in-place update, the classic crash hazard, into append-plus-supersede.
+// Every page is validated by CRC on load; a missing or short tile below
+// the manifest's tree size is a hard corruption (checkpointed pages were
+// fsync'd before the manifest record that references them, so a crash
+// cannot produce it — only disk damage can).
 #pragma once
 
 #include <cstdint>
@@ -36,14 +42,16 @@ inline constexpr std::uint32_t kTileMagic = 0x43545431;     ///< "CTT1"
 inline constexpr std::size_t kTilePageBytes = 20 + kTileLeaves * 32;
 
 /// Serializes one tile page. `count` in [1, kTileLeaves]; `leaves` holds
-/// `count` digests for tile `tile_index`.
+/// `count` digests for tile `tile_index` at `level` (0 = leaf hashes).
 void encode_tile_page(Bytes& out, std::uint64_t tile_index,
-                      const crypto::Digest* leaves, std::uint64_t count);
+                      const crypto::Digest* leaves, std::uint64_t count,
+                      unsigned level = 0);
 
 struct TilePage {
   std::uint64_t tile_index = 0;
   std::uint64_t count = 0;
-  std::vector<crypto::Digest> leaves;
+  unsigned level = 0;
+  std::vector<crypto::Digest> leaves;  ///< hashes (interior when level > 0)
 };
 
 /// Decodes + CRC-validates one page; nullopt if invalid.
@@ -59,7 +67,8 @@ struct TileLoad {
 /// Reassembles the first `tree_size` leaves from a tile segment image
 /// (reading at most `limit_bytes` of it — the manifest's recorded segment
 /// size, so garbage past the checkpoint is never parsed). Later pages for
-/// the same tile index supersede earlier ones.
+/// the same tile index supersede earlier ones; upper-level pages are
+/// skipped (they are derived data, not leaves).
 TileLoad load_tiles(BytesView segment, std::uint64_t limit_bytes, std::uint64_t tree_size);
 
 }  // namespace ctwatch::storage

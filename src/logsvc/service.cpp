@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <stdexcept>
 
+#include "ctwatch/ct/tiled.hpp"
 #include "ctwatch/obs/obs.hpp"
 
 namespace ctwatch::logsvc {
@@ -39,6 +40,10 @@ struct SvcMetrics {
   obs::LogLinearHistogram& merge_delay_us =
       obs::Registry::global().latency("logsvc.merge_delay_us");
   obs::LogLinearHistogram& sign_us = obs::Registry::global().latency("logsvc.sign_us");
+  // Paged reads: distinct tile pages one proof touched — the out-of-core
+  // path's cost model (log-linear so 2-page and 200-page proofs separate).
+  obs::LogLinearHistogram& proof_page_fetches =
+      obs::Registry::global().latency("storage.proof_page_fetches");
 };
 
 SvcMetrics& svc_metrics() {
@@ -49,6 +54,21 @@ SvcMetrics& svc_metrics() {
 std::uint64_t to_millis(SimTime now) {
   return static_cast<std::uint64_t>(now.unix_seconds()) * 1000;
 }
+
+/// What get-entries (and adoption) serve for a durable record.
+EntryRecord to_record(storage::DurableEntry durable, bool keep_body) {
+  EntryRecord record;
+  record.index = durable.index;
+  record.timestamp_ms = durable.timestamp_ms;
+  record.fingerprint = durable.fingerprint;
+  record.issuer_cn = std::move(durable.issuer_cn);
+  if (durable.has_body && keep_body) record.signed_entry = std::move(durable.entry);
+  return record;
+}
+
+/// Adoption window: how many durable entries are decoded at once when
+/// re-streaming the checkpointed prefix into memory (legacy mode).
+constexpr std::uint64_t kAdoptWindow = 4096;
 
 }  // namespace
 
@@ -87,7 +107,6 @@ void LogService::stop() {
 
 void LogService::adopt_storage() {
   storage::LogStore& store = *config_.storage;
-  std::vector<storage::DurableEntry> recovered = store.take_recovered_entries();
   if (!store.durable_sth().has_value()) return;  // fresh directory: nothing to adopt
   const ct::SignedTreeHead sth = *store.durable_sth();
   // The recovered head must be THIS log's head: its signature has to
@@ -99,13 +118,20 @@ void LogService::adopt_storage() {
         "logsvc: recovered STH does not verify under this log's key "
         "(storage directory opened under a different Config::name?)");
   }
-  if (recovered.size() != sth.tree_size) {
+  const std::uint64_t paged = store.paged_entries();
+  std::vector<storage::DurableEntry> tail = store.take_wal_tail();
+  if (paged + tail.size() != sth.tree_size) {
     throw std::runtime_error("logsvc: recovered entries do not match the recovered STH");
   }
-  if (recovered.size() > leaves_.capacity() || recovered.size() > entries_.capacity()) {
+  // Paged mode adopts only the WAL tail; everything checkpointed stays on
+  // disk and the read path pages it in. Legacy mode re-streams the whole
+  // tree into memory, windowed so adoption itself is O(window) not O(n).
+  if (config_.paged_reads) resident_base_ = paged;
+  const std::uint64_t resident = sth.tree_size - resident_base_;
+  if (resident > leaves_.capacity() || resident > entries_.capacity()) {
     throw std::runtime_error("logsvc: recovered tree exceeds the in-memory store capacity");
   }
-  for (storage::DurableEntry& durable : recovered) {
+  const auto adopt_one = [this](storage::DurableEntry& durable) {
     if (leaves_.append(durable.leaf_hash) != PushResult::ok) {
       throw std::runtime_error("logsvc: leaf store refused a recovered entry");
     }
@@ -113,26 +139,34 @@ void LogService::adopt_storage() {
     if (config_.dedup) {
       dedup_.emplace(durable.fingerprint, DedupValue{durable.index, durable.timestamp_ms});
     }
-    EntryRecord record;
-    record.index = durable.index;
-    record.timestamp_ms = durable.timestamp_ms;
-    record.fingerprint = durable.fingerprint;
-    record.issuer_cn = std::move(durable.issuer_cn);
-    if (durable.has_body && config_.store_bodies) record.signed_entry = std::move(durable.entry);
-    if (entries_.append(std::move(record)) != PushResult::ok) {
+    if (entries_.append(to_record(std::move(durable), config_.store_bodies)) != PushResult::ok) {
       throw std::runtime_error("logsvc: entry store refused a recovered entry");
     }
+  };
+  if (resident_base_ == 0) {
+    std::vector<storage::DurableEntry> window;
+    for (std::uint64_t start = 0; start < paged;) {
+      const std::uint64_t n = std::min(kAdoptWindow, paged - start);
+      window.clear();
+      if (store.read_entries(start, n, window) != storage::IoError::none) {
+        throw std::runtime_error("logsvc: failed to read checkpointed entries during adoption");
+      }
+      for (storage::DurableEntry& durable : window) adopt_one(durable);
+      start += n;
+    }
   }
+  for (storage::DurableEntry& durable : tail) adopt_one(durable);
   leaves_.publish();
   entries_.publish();
   accumulator_ = store.accumulator();
   last_timestamp_ms_ = store.last_timestamp_ms();
   seal_seq_ = store.seal_seq();
   publish_snapshot(sth);  // the recovered head, verbatim — never re-signed
-  svc_metrics().adopted_entries.inc(recovered.size());
+  svc_metrics().adopted_entries.inc(resident);
   obs::log_info("logsvc", "adopted recovered storage",
                 {{"log", config_.name},
                  {"tree_size", sth.tree_size},
+                 {"resident_base", resident_base_},
                  {"replayed_batches", store.recovery().replayed_batches},
                  {"discarded_unsealed", store.recovery().discarded_unsealed}});
 }
@@ -263,42 +297,102 @@ std::shared_ptr<const TreeSnapshot> LogService::snapshot() const {
   return snapshot_;
 }
 
+storage::PagedLeafSource LogService::paged_source() const {
+  storage::LogStore& store = *config_.storage;
+  // The watermark is snapshotted here; a checkpoint racing the query only
+  // advances it (append-only Merkle: perfect subtrees never change, so a
+  // newer watermark still resolves every page an older tree needs). The
+  // resident stores cover everything the pages cannot — an index below
+  // resident_base_ reaching the tail fn means a page below the durable
+  // watermark failed to load, which is corruption, not a fallthrough.
+  return storage::PagedLeafSource(
+      store.tile_cache(), store.paged_leaves(), [this](std::uint64_t i) -> crypto::Digest {
+        if (i < resident_base_) {
+          throw std::runtime_error("logsvc: tile page unavailable for checkpointed leaf");
+        }
+        return leaves_.at(i - resident_base_);
+      });
+}
+
 std::vector<crypto::Digest> LogService::inclusion_proof(std::uint64_t index,
                                                         std::uint64_t tree_size) const {
-  if (tree_size > leaves_.size() || index >= tree_size) {
+  if (tree_size > this->tree_size() || index >= tree_size) {
     throw std::out_of_range("LogService::inclusion_proof: bad index/size");
   }
-  return ct::merkle_inclusion_path(
-      [this](std::uint64_t i) -> const crypto::Digest& { return leaves_.at(i); }, index,
-      tree_size);
+  if (resident_base_ == 0) {
+    return ct::merkle_inclusion_path(
+        [this](std::uint64_t i) -> const crypto::Digest& { return leaves_.at(i); }, index,
+        tree_size);
+  }
+  storage::PagedLeafSource source = paged_source();
+  std::vector<crypto::Digest> path = ct::tiled_inclusion_path(source, index, tree_size);
+  svc_metrics().proof_page_fetches.observe(static_cast<double>(source.page_fetches()));
+  return path;
 }
 
 std::vector<crypto::Digest> LogService::consistency_proof(std::uint64_t old_size,
                                                           std::uint64_t new_size) const {
-  if (new_size > leaves_.size() || old_size > new_size) {
+  if (new_size > tree_size() || old_size > new_size) {
     throw std::out_of_range("LogService::consistency_proof: bad sizes");
   }
-  return ct::merkle_consistency_path(
-      [this](std::uint64_t i) -> const crypto::Digest& { return leaves_.at(i); }, old_size,
-      new_size);
+  if (resident_base_ == 0) {
+    return ct::merkle_consistency_path(
+        [this](std::uint64_t i) -> const crypto::Digest& { return leaves_.at(i); }, old_size,
+        new_size);
+  }
+  storage::PagedLeafSource source = paged_source();
+  std::vector<crypto::Digest> path = ct::tiled_consistency_path(source, old_size, new_size);
+  svc_metrics().proof_page_fetches.observe(static_cast<double>(source.page_fetches()));
+  return path;
 }
 
 crypto::Digest LogService::leaf_hash_at(std::uint64_t index) const {
-  if (index >= leaves_.size()) {
+  if (index >= tree_size()) {
     throw std::out_of_range("LogService::leaf_hash_at: beyond published size");
   }
-  return leaves_.at(index);
+  if (index >= resident_base_) return leaves_.at(index - resident_base_);
+  storage::TileCache::PagePtr page =
+      config_.storage->tile_cache().get(0, index >> 8, (index & 255) + 1);
+  if (page == nullptr) {
+    throw std::runtime_error("logsvc: tile page unavailable for checkpointed leaf");
+  }
+  return page->leaves[static_cast<std::size_t>(index & 255)];
 }
 
 std::optional<std::uint64_t> LogService::leaf_index_of(const crypto::Digest& leaf_hash) const {
-  std::lock_guard<std::mutex> lock(leaf_index_mu_);
-  const auto it = leaf_index_.find(leaf_hash);
-  if (it == leaf_index_.end()) return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(leaf_index_mu_);
+    const auto it = leaf_index_.find(leaf_hash);
+    if (it != leaf_index_.end()) return it->second;
+  }
+  if (resident_base_ == 0) return std::nullopt;
+  // Paged mode: the resident map only covers [resident_base_, size). The
+  // checkpointed prefix's map is rebuilt lazily — one streaming pass over
+  // the level-0 tile pages, paid by the first miss, never by startup.
+  // (A hash duplicated across the boundary resolves to its resident
+  // occurrence; any provable index satisfies get-proof-by-hash.)
+  std::lock_guard<std::mutex> lock(paged_index_mu_);
+  if (!paged_index_built_) {
+    const storage::IoError io = config_.storage->stream_paged_leaves(
+        0, resident_base_,
+        [this](std::uint64_t first, const crypto::Digest* hashes, std::uint64_t count) {
+          for (std::uint64_t i = 0; i < count; ++i) {
+            paged_index_.emplace(hashes[i], first + i);  // first occurrence wins
+          }
+          return true;
+        });
+    if (io != storage::IoError::none) {
+      throw std::runtime_error("logsvc: failed to stream tile pages for get-proof-by-hash");
+    }
+    paged_index_built_ = true;
+  }
+  const auto it = paged_index_.find(leaf_hash);
+  if (it == paged_index_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<EntryRecord> LogService::get_entries(std::uint64_t start, std::uint64_t count) const {
-  const std::uint64_t published = entries_.size();
+  const std::uint64_t published = resident_base_ + entries_.size();
   std::vector<EntryRecord> out;
   if (start >= published || count == 0) return out;
   // Clamp before any arithmetic: `start + count` on attacker-supplied
@@ -306,8 +400,21 @@ std::vector<EntryRecord> LogService::get_entries(std::uint64_t start, std::uint6
   std::uint64_t window = std::min(count, config_.max_get_entries);
   window = std::min(window, published - start);
   out.reserve(window);
-  for (std::uint64_t i = start; i < start + window; ++i) {
-    out.push_back(entries_.at(i));
+  if (start < resident_base_) {
+    // The checkpointed prefix comes from entries.seg via the sparse
+    // index; a window straddling the boundary finishes from memory.
+    const std::uint64_t paged = std::min(window, resident_base_ - start);
+    std::vector<storage::DurableEntry> durables;
+    durables.reserve(paged);
+    if (config_.storage->read_entries(start, paged, durables) != storage::IoError::none) {
+      throw std::runtime_error("logsvc: get-entries failed to read the entry segment");
+    }
+    for (storage::DurableEntry& durable : durables) {
+      out.push_back(to_record(std::move(durable), config_.store_bodies));
+    }
+  }
+  for (std::uint64_t i = std::max(start, resident_base_); i < start + window; ++i) {
+    out.push_back(entries_.at(i - resident_base_));
   }
   return out;
 }

@@ -216,6 +216,26 @@ IoResult Env::read_file(const std::string& name, Bytes& out) const {
   return IoResult::success();
 }
 
+std::shared_ptr<RandomReadFile> Env::open_read(const std::string& name, IoError* error) const {
+  if (error != nullptr) *error = IoError::none;
+  int fd;
+  do {
+    fd = ::open(path_of(name).c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (error != nullptr) *error = IoError::io;
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    if (error != nullptr) *error = IoError::io;
+    return nullptr;
+  }
+  return std::shared_ptr<RandomReadFile>(
+      new RandomReadFile(name, fd, static_cast<std::uint64_t>(st.st_size)));
+}
+
 bool Env::exists(const std::string& name) const {
   struct stat st{};
   return ::stat(path_of(name).c_str(), &st) == 0;
@@ -280,6 +300,29 @@ IoResult File::sync() {
   pending_.clear();
   if (!fsync_retry(fd_)) return IoResult::fail(IoError::io);
   file_metrics().fsyncs.inc();
+  return IoResult::success();
+}
+
+// ---------------------------------------------------------------------------
+// RandomReadFile
+// ---------------------------------------------------------------------------
+
+RandomReadFile::~RandomReadFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+IoResult RandomReadFile::read_at(std::uint64_t offset, std::uint8_t* out, std::size_t n) const {
+  while (n > 0) {
+    const ssize_t got = ::pread(fd_, out, n, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return IoResult::fail(IoError::io);
+    }
+    if (got == 0) return IoResult::fail(IoError::corrupt);  // EOF inside the range
+    out += got;
+    offset += static_cast<std::uint64_t>(got);
+    n -= static_cast<std::size_t>(got);
+  }
   return IoResult::success();
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 
+#include "ctwatch/ct/tiled.hpp"
 #include "ctwatch/obs/obs.hpp"
 #include "ctwatch/storage/tiles.hpp"
 #include "ctwatch/storage/wal.hpp"
@@ -16,6 +17,10 @@ constexpr const char* kWalFile = "wal.log";
 constexpr const char* kTileFile = "tiles.seg";
 constexpr const char* kEntryFile = "entries.seg";
 constexpr const char* kManifestFile = "manifest.log";
+
+/// Highest tile level that can hold a full page: full pages exist at
+/// level L only once the tree reaches 256^(L+1) leaves, and 256^8 > 2^64.
+constexpr unsigned kMaxTileLevel = 6;
 
 struct StoreMetrics {
   obs::Counter& commits = obs::Registry::global().counter("storage.commits");
@@ -35,6 +40,12 @@ StoreMetrics& store_metrics() {
 }
 
 std::uint64_t frame_size(const WalRecord& record) { return 9 + record.payload.size(); }
+
+/// Full (256-entry) pages that must exist at `level` for a tree of
+/// `tree_size` leaves: floor(tree_size / 256^(level+1)).
+std::uint64_t full_pages_at(unsigned level, std::uint64_t tree_size) {
+  return tree_size >> (8 * (level + 1));
+}
 
 }  // namespace
 
@@ -95,82 +106,269 @@ IoError LogStore::recover(std::string& detail) {
   const std::uint64_t cp_entry_bytes = cp.has_value() ? cp->entry_bytes : 0;
   recovery_.checkpoint_tree_size = cp_tree_size;
 
-  // 2a. Tiles: reassemble the checkpointed leaf hashes, CRC-checked.
-  Bytes tiles_img;
-  if (!env_->read_file(kTileFile, tiles_img).ok()) {
-    detail = "cannot read tile segment";
-    return IoError::io;
-  }
-  if (tiles_img.size() < cp_tile_bytes) {
+  const std::uint64_t tile_disk_bytes = env_->file_size(kTileFile);
+  const std::uint64_t entry_disk_bytes = env_->file_size(kEntryFile);
+  if (tile_disk_bytes < cp_tile_bytes) {
     detail = "tile segment shorter than the checkpoint's coverage";
     return IoError::corrupt;
   }
-  const TileLoad tiles = load_tiles(tiles_img, cp_tile_bytes, cp_tree_size);
-  if (tiles.error != IoError::none) {
-    detail = "tile segment does not cover the checkpointed tree";
-    return tiles.error;
+  if (entry_disk_bytes < cp_entry_bytes) {
+    detail = "entry segment shorter than the checkpoint's coverage";
+    return IoError::corrupt;
   }
-  leaves_ = tiles.leaves;
-  for (const crypto::Digest& leaf : leaves_) accumulator_.add(leaf);
 
-  // 3. The checkpoint must be cryptographically reproducible from the
-  // tiles: fold every leaf, compare roots, compare frontiers.
-  if (cp.has_value()) {
+  // 2. Tile directory: one streaming CRC scan of the checkpointed prefix
+  // (garbage past cp_tile_bytes is never parsed). Later pages supersede
+  // earlier ones for the same (level, tile).
+  directory_ = std::make_shared<TileDirectory>();
+  const std::uint64_t tiles_needed = (cp_tree_size + kTileLeaves - 1) / kTileLeaves;
+  std::shared_ptr<RandomReadFile> tile_scan;
+  if (cp_tile_bytes > 0) {
+    tile_scan = env_->open_read(kTileFile);
+    if (tile_scan == nullptr) {
+      detail = "cannot read tile segment";
+      return IoError::io;
+    }
+    constexpr std::uint64_t kScanPages = 128;
+    Bytes chunk;
+    for (std::uint64_t pos = 0; pos + kTilePageBytes <= cp_tile_bytes;) {
+      const std::uint64_t pages =
+          std::min<std::uint64_t>(kScanPages, (cp_tile_bytes - pos) / kTilePageBytes);
+      chunk.resize(static_cast<std::size_t>(pages * kTilePageBytes));
+      if (!tile_scan->read_at(pos, chunk.data(), chunk.size()).ok()) {
+        detail = "cannot read tile segment";
+        return IoError::io;
+      }
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        ++recovery_.tile_pages_scanned;
+        const std::optional<TilePage> page =
+            decode_tile_page(BytesView{chunk.data() + p * kTilePageBytes, kTilePageBytes});
+        if (!page.has_value()) {
+          ++recovery_.tile_pages_invalid;
+          continue;  // fixed stride: one bad page never desynchronizes the rest
+        }
+        const std::uint64_t offset = pos + p * kTilePageBytes;
+        if (page->level == 0) {
+          if (page->tile_index >= tiles_needed) continue;  // beyond this checkpoint's tree
+        } else {
+          // Upper pages are only ever written full; anything else here is
+          // stale garbage the last-wins rule will never need.
+          if (page->level > kMaxTileLevel || page->count != kTileLeaves) continue;
+          if (page->tile_index >= full_pages_at(page->level, cp_tree_size)) continue;
+        }
+        directory_->record(page->level, page->tile_index, offset,
+                           static_cast<std::uint32_t>(page->count));
+      }
+      pos += pages * kTilePageBytes;
+    }
+  }
+
+  // Strict coverage: every level-0 tile below the checkpointed size, and
+  // every full upper page the writer's cascade must have produced.
+  // Checkpointed pages were fsync'd before the manifest record that
+  // references them, so a crash cannot produce a gap — only disk damage.
+  for (std::uint64_t t = 0; t < tiles_needed; ++t) {
+    const std::uint64_t want = std::min<std::uint64_t>(kTileLeaves, cp_tree_size - t * kTileLeaves);
+    const std::optional<TileDirectory::Location> loc = directory_->lookup(0, t);
+    if (!loc.has_value() || loc->count < want) {
+      detail = "tile segment does not cover the checkpointed tree";
+      return IoError::corrupt;
+    }
+  }
+  for (unsigned level = 1; level <= kMaxTileLevel; ++level) {
+    const std::uint64_t full = full_pages_at(level, cp_tree_size);
+    if (full == 0) break;
+    for (std::uint64_t t = 0; t < full; ++t) {
+      const std::optional<TileDirectory::Location> loc = directory_->lookup(level, t);
+      if (!loc.has_value() || loc->count != kTileLeaves) {
+        detail = "tile segment is missing upper-level pages";
+        return IoError::corrupt;
+      }
+    }
+  }
+
+  // One-page loader for the verification passes below.
+  Bytes page_buf(kTilePageBytes);
+  const auto load_page = [&](unsigned level, std::uint64_t tile) -> std::optional<TilePage> {
+    const std::optional<TileDirectory::Location> loc = directory_->lookup(level, tile);
+    if (!loc.has_value()) return std::nullopt;
+    if (!tile_scan->read_at(loc->offset, page_buf.data(), page_buf.size()).ok()) {
+      return std::nullopt;
+    }
+    std::optional<TilePage> page = decode_tile_page(page_buf);
+    if (page.has_value() && (page->level != level || page->tile_index != tile)) return std::nullopt;
+    return page;
+  };
+
+  // 3. Cryptographic verification + cascade-state rebuild.
+  upper_pending_.assign(kMaxTileLevel + 2, {});
+  upper_written_.assign(kMaxTileLevel + 2, 0);
+  if (options_.recovery_verify == LogStoreOptions::Verify::full) {
+    // Stream every level-0 page once: fold all leaves into the
+    // accumulator, and push each full tile's root through the same
+    // cascade the writer runs, comparing against the persisted upper
+    // pages as they complete. O(page) memory, O(n) time.
+    for (std::uint64_t t = 0; t < tiles_needed; ++t) {
+      const std::optional<TilePage> page = load_page(0, t);
+      const std::uint64_t want =
+          std::min<std::uint64_t>(kTileLeaves, cp_tree_size - t * kTileLeaves);
+      if (!page.has_value() || page->count < want) {
+        detail = "tile segment does not cover the checkpointed tree";
+        return IoError::corrupt;
+      }
+      for (std::uint64_t i = 0; i < want; ++i) accumulator_.add(page->leaves[i]);
+      if (want < kTileLeaves) continue;
+      crypto::Digest carry = ct::fold_perfect(page->leaves.data(), kTileLeaves);
+      for (unsigned level = 1;; ++level) {
+        upper_pending_[level].push_back(carry);
+        if (upper_pending_[level].size() < kTileLeaves) break;
+        const std::optional<TilePage> upper = load_page(level, upper_written_[level]);
+        if (!upper.has_value() || upper->leaves != upper_pending_[level]) {
+          detail = "upper tile page disagrees with the leaves below it";
+          return IoError::corrupt;
+        }
+        carry = ct::fold_perfect(upper_pending_[level].data(), kTileLeaves);
+        upper_pending_[level].clear();
+        ++upper_written_[level];
+      }
+    }
+    if (cp.has_value()) {
+      if (accumulator_.root() != cp->sth.root_hash) {
+        detail = "checkpointed root hash does not match the tile leaves";
+        return IoError::corrupt;
+      }
+      if (accumulator_.frontier() != cp->frontier) {
+        detail = "checkpointed frontier does not match the tile leaves";
+        return IoError::corrupt;
+      }
+    }
+  } else if (cp.has_value()) {
+    // Structural: restore the frontier in O(log n) after checking its
+    // shape reproduces the checkpointed root. Page CRCs still vouch for
+    // the tiles; the full refold was this checkpoint writer's job.
+    std::optional<ct::RootAccumulator> restored =
+        ct::RootAccumulator::from_frontier(cp->frontier, cp_tree_size);
+    if (!restored.has_value()) {
+      detail = "checkpointed frontier has the wrong shape";
+      return IoError::corrupt;
+    }
+    accumulator_ = std::move(*restored);
     if (accumulator_.root() != cp->sth.root_hash) {
-      detail = "checkpointed root hash does not match the tile leaves";
+      detail = "checkpointed root hash does not match its frontier";
       return IoError::corrupt;
     }
-    if (accumulator_.frontier() != cp->frontier) {
-      detail = "checkpointed frontier does not match the tile leaves";
-      return IoError::corrupt;
+    // Rebuild the cascade's partial upper entries from the level below —
+    // at most 255 page folds per level.
+    for (unsigned level = 1; level <= kMaxTileLevel + 1; ++level) {
+      const std::uint64_t entries_here = cp_tree_size >> (8 * level);
+      if (entries_here == 0) break;
+      const std::uint64_t full = entries_here >> 8;
+      upper_written_[level] = full;
+      for (std::uint64_t i = full * kTileLeaves; i < entries_here; ++i) {
+        const std::optional<TilePage> below = load_page(level - 1, i);
+        if (!below.has_value() || below->count != kTileLeaves) {
+          detail = "tile segment does not cover the checkpointed tree";
+          return IoError::corrupt;
+        }
+        upper_pending_[level].push_back(ct::fold_perfect(below->leaves.data(), kTileLeaves));
+      }
     }
+  }
+  if (cp.has_value()) {
     sth_ = cp->sth;
     seal_seq_ = cp->seal_seq;
     last_timestamp_ms_ = cp->last_timestamp_ms;
   }
 
-  // 2b. Entry segment: the integrated entries behind the checkpoint.
-  Bytes entries_img;
-  if (!env_->read_file(kEntryFile, entries_img).ok()) {
-    detail = "cannot read entry segment";
-    return IoError::io;
-  }
-  if (entries_img.size() < cp_entry_bytes) {
-    detail = "entry segment shorter than the checkpoint's coverage";
-    return IoError::corrupt;
-  }
-  const WalScan entry_scan =
-      wal_scan(BytesView{entries_img.data(), static_cast<std::size_t>(cp_entry_bytes)});
-  if (entry_scan.valid_bytes != cp_entry_bytes) {
-    detail = "entry segment corrupt inside the checkpointed prefix";
-    return IoError::corrupt;
-  }
-  recovered_entries_.reserve(cp_tree_size);
-  for (const WalRecord& record : entry_scan.records) {
-    if (record.type != RecordType::entry) {
-      detail = "entry segment holds a non-entry frame";
+  // Resident tail seed: the leaves of the last, possibly partial tile.
+  tail_base_ = cp_tree_size / kTileLeaves * kTileLeaves;
+  if (cp_tree_size > tail_base_) {
+    const std::optional<TilePage> tail_page = load_page(0, cp_tree_size / kTileLeaves);
+    if (!tail_page.has_value() || tail_page->count < cp_tree_size - tail_base_) {
+      detail = "tile segment does not cover the checkpointed tree";
       return IoError::corrupt;
     }
-    std::optional<DurableEntry> entry = decode_entry(record.payload);
-    if (!entry.has_value()) {
-      detail = "entry segment frame does not decode";
-      return IoError::corrupt;
-    }
-    const std::uint64_t index = recovered_entries_.size();
-    if (entry->index != index || index >= cp_tree_size || entry->leaf_hash != leaves_[index]) {
-      detail = "entry segment disagrees with the tile leaves";
-      return IoError::corrupt;
-    }
-    recovered_entries_.push_back(std::move(*entry));
+    tail_leaves_.assign(tail_page->leaves.begin(),
+                        tail_page->leaves.begin() +
+                            static_cast<std::ptrdiff_t>(cp_tree_size - tail_base_));
   }
-  if (recovered_entries_.size() != cp_tree_size) {
+
+  // 4. Entry segment: stream the checkpointed prefix, CRC-checking every
+  // frame and seeding one index mark per stride. Full mode also decodes
+  // each record and cross-checks it against the tile leaves.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entry_marks;
+  std::uint64_t entry_frames = 0;
+  if (cp_entry_bytes > 0) {
+    const std::shared_ptr<RandomReadFile> entry_scan = env_->open_read(kEntryFile);
+    if (entry_scan == nullptr) {
+      detail = "cannot read entry segment";
+      return IoError::io;
+    }
+    FrameCursor cursor(*entry_scan, 0, cp_entry_bytes);
+    RecordType type{};
+    Bytes payload;
+    std::optional<TilePage> cross_page;  // current level-0 page, full mode
+    for (;;) {
+      const std::uint64_t at = cursor.offset();
+      const FrameCursor::Status status = cursor.next(type, payload);
+      if (status == FrameCursor::Status::end) break;
+      if (status == FrameCursor::Status::io) {
+        detail = "cannot read entry segment";
+        return IoError::io;
+      }
+      if (status == FrameCursor::Status::corrupt) {
+        detail = "entry segment corrupt inside the checkpointed prefix";
+        return IoError::corrupt;
+      }
+      if (type != RecordType::entry) {
+        detail = "entry segment holds a non-entry frame";
+        return IoError::corrupt;
+      }
+      if (entry_frames >= cp_tree_size) {
+        detail = "entry segment disagrees with the tile leaves";
+        return IoError::corrupt;
+      }
+      if (entry_frames % options_.entry_index_stride == 0) {
+        entry_marks.emplace_back(entry_frames, at);
+      }
+      if (options_.recovery_verify == LogStoreOptions::Verify::full) {
+        const std::optional<DurableEntry> entry =
+            decode_entry(BytesView{payload.data(), payload.size()});
+        if (!entry.has_value()) {
+          detail = "entry segment frame does not decode";
+          return IoError::corrupt;
+        }
+        crypto::Digest leaf;
+        if (entry_frames >= tail_base_) {
+          leaf = tail_leaves_[static_cast<std::size_t>(entry_frames - tail_base_)];
+        } else {
+          const std::uint64_t tile = entry_frames / kTileLeaves;
+          if (!cross_page.has_value() || cross_page->tile_index != tile) {
+            cross_page = load_page(0, tile);
+            if (!cross_page.has_value()) {
+              detail = "tile segment does not cover the checkpointed tree";
+              return IoError::corrupt;
+            }
+          }
+          leaf = cross_page->leaves[static_cast<std::size_t>(entry_frames % kTileLeaves)];
+        }
+        if (entry->index != entry_frames || entry->leaf_hash != leaf) {
+          detail = "entry segment disagrees with the tile leaves";
+          return IoError::corrupt;
+        }
+      }
+      ++entry_frames;
+    }
+  }
+  if (entry_frames != cp_tree_size) {
     detail = "entry segment does not cover the checkpointed tree";
     return IoError::corrupt;
   }
 
-  // 4. WAL replay: every durable seal re-folds its batch and must
+  // 5. WAL replay: every durable seal re-folds its batch and must
   // reproduce the sealed root. Entries after the last durable seal are
-  // unsealed submissions — discarded, visibly.
+  // unsealed submissions — discarded, visibly. O(WAL tail) memory: this
+  // is the only part of recovery that retains per-entry state.
   Bytes wal_img;
   if (!env_->read_file(kWalFile, wal_img).ok()) {
     detail = "cannot read wal";
@@ -197,7 +395,6 @@ IoError LogStore::recover(std::string& detail) {
         ++recovery_.stale_wal_records;  // the checkpoint already covers it
         committed_wal_bytes = offset_after;
       } else {
-        Bytes batch_frames;
         std::vector<DurableEntry> batch;
         bool complete = true;
         for (std::uint64_t i = accumulator_.size(); i < seal->sth.tree_size; ++i) {
@@ -221,10 +418,13 @@ IoError LogStore::recover(std::string& detail) {
         }
         accumulator_ = std::move(probe);
         for (DurableEntry& entry : batch) {
-          leaves_.push_back(entry.leaf_hash);
+          tail_leaves_.push_back(entry.leaf_hash);
           last_timestamp_ms_ = std::max(last_timestamp_ms_, entry.timestamp_ms);
+          if (entry.index % options_.entry_index_stride == 0) {
+            pending_entry_marks_.emplace_back(entry.index, entry_frames_pending_.size());
+          }
           wal_frame(entry_frames_pending_, RecordType::entry, encode_entry(entry));
-          recovered_entries_.push_back(std::move(entry));
+          wal_tail_entries_.push_back(std::move(entry));
         }
         last_timestamp_ms_ = std::max(last_timestamp_ms_, seal->sth.timestamp_ms);
         sth_ = seal->sth;
@@ -241,7 +441,7 @@ IoError LogStore::recover(std::string& detail) {
   recovery_.discarded_unsealed = staged.size();
   recovery_.wal_torn_bytes = wal_img.size() - committed_wal_bytes;
 
-  // 5. Reopen for appending, truncating every torn/unsealed tail so the
+  // 6. Reopen for appending, truncating every torn/unsealed tail so the
   // garbage can never be re-read as data.
   IoError file_error = IoError::none;
   wal_ = env_->open_append(kWalFile, committed_wal_bytes, &file_error);
@@ -266,8 +466,28 @@ IoError LogStore::recover(std::string& detail) {
   }
   tiles_persisted_leaves_ = cp_tree_size;
 
-  recovery_.opened_fresh =
-      manifest_img.empty() && wal_img.empty() && tiles_img.empty() && entries_img.empty();
+  // 7. Stand up the read path (the append opens above created any
+  // missing files, so these handles always resolve).
+  tile_read_ = env_->open_read(kTileFile, &file_error);
+  if (tile_read_ == nullptr) {
+    detail = "cannot open tile segment for reading";
+    return file_error;
+  }
+  entry_read_ = env_->open_read(kEntryFile, &file_error);
+  if (entry_read_ == nullptr) {
+    detail = "cannot open entry segment for reading";
+    return file_error;
+  }
+  cache_ = std::make_unique<TileCache>(
+      tile_read_, directory_,
+      TileCacheOptions{options_.tile_cache_bytes, options_.tile_cache_shards});
+  reader_ = std::make_unique<SegmentReader>(entry_read_, options_.entry_index_stride);
+  for (const auto& [index, mark_offset] : entry_marks) reader_->add_mark(index, mark_offset);
+  reader_->set_coverage(cp_tree_size, cp_entry_bytes);
+  directory_->set_paged_leaves(cp_tree_size);
+
+  recovery_.opened_fresh = manifest_img.empty() && wal_img.empty() && tile_disk_bytes == 0 &&
+                           entry_disk_bytes == 0;
   recovery_.tree_size = accumulator_.size();
   recovery_.recovery_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
@@ -310,7 +530,11 @@ IoResult LogStore::commit_batch(const BatchCommit& batch) {
 
   obs::ScopedTimer timer(store_metrics().commit_us);
   Bytes frames;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> marks;  // (index, rel offset)
   for (const DurableEntry& entry : batch.entries) {
+    if (entry.index % options_.entry_index_stride == 0) {
+      marks.emplace_back(entry.index, frames.size());
+    }
     wal_frame(frames, RecordType::entry, encode_entry(entry));
   }
   const std::size_t entry_frame_bytes = frames.size();
@@ -324,10 +548,12 @@ IoResult LogStore::commit_batch(const BatchCommit& batch) {
   // The batch is durable; apply it to the in-memory image. The entry
   // frames (not the seal) also queue for the entry segment, which the
   // next checkpoint appends and fsyncs.
+  const std::size_t rel_base = entry_frames_pending_.size();
   entry_frames_pending_.insert(entry_frames_pending_.end(), frames.begin(),
                                frames.begin() + static_cast<std::ptrdiff_t>(entry_frame_bytes));
+  for (const auto& [index, rel] : marks) pending_entry_marks_.emplace_back(index, rel_base + rel);
   for (const DurableEntry& entry : batch.entries) {
-    leaves_.push_back(entry.leaf_hash);
+    tail_leaves_.push_back(entry.leaf_hash);
     last_timestamp_ms_ = std::max(last_timestamp_ms_, entry.timestamp_ms);
   }
   accumulator_ = std::move(probe);
@@ -348,17 +574,48 @@ IoResult LogStore::commit_batch(const BatchCommit& batch) {
   return IoResult::success();
 }
 
-IoResult LogStore::write_dirty_tiles() {
+IoResult LogStore::cascade_entry(unsigned level, const crypto::Digest& digest,
+                                 std::vector<PendingTile>& written, Bytes& page) {
+  crypto::Digest carry = digest;
+  for (unsigned current = level;; ++current) {
+    if (upper_pending_.size() <= current) upper_pending_.resize(current + 1);
+    if (upper_written_.size() <= current) upper_written_.resize(current + 1, 0);
+    upper_pending_[current].push_back(carry);
+    if (upper_pending_[current].size() < kTileLeaves) return IoResult::success();
+    const std::uint64_t tile = upper_written_[current];
+    page.clear();
+    encode_tile_page(page, tile, upper_pending_[current].data(), kTileLeaves, current);
+    const std::uint64_t at = tiles_->size();
+    const IoResult io = tiles_->append(page);
+    if (!io.ok()) return io;
+    written.push_back(PendingTile{current, tile, at, static_cast<std::uint32_t>(kTileLeaves)});
+    carry = ct::fold_perfect(upper_pending_[current].data(), kTileLeaves);
+    upper_pending_[current].clear();
+    ++upper_written_[current];
+  }
+}
+
+IoResult LogStore::write_dirty_tiles(std::vector<PendingTile>& written) {
   const std::uint64_t tree = accumulator_.size();
   if (tree <= tiles_persisted_leaves_) return IoResult::success();
   Bytes page;
   for (std::uint64_t t = tiles_persisted_leaves_ / kTileLeaves; t * kTileLeaves < tree; ++t) {
     const std::uint64_t begin = t * kTileLeaves;
     const std::uint64_t count = std::min<std::uint64_t>(kTileLeaves, tree - begin);
+    const crypto::Digest* src =
+        tail_leaves_.data() + static_cast<std::ptrdiff_t>(begin - tail_base_);
     page.clear();
-    encode_tile_page(page, t, leaves_.data() + begin, count);
+    encode_tile_page(page, t, src, count);
+    const std::uint64_t at = tiles_->size();
     const IoResult io = tiles_->append(page);
     if (!io.ok()) return io;
+    written.push_back(PendingTile{0, t, at, static_cast<std::uint32_t>(count)});
+    if (count == kTileLeaves) {
+      // The tile just became full: its root enters the upper cascade
+      // (each full tile cascades exactly once across the store's life).
+      const IoResult cascaded = cascade_entry(1, ct::fold_perfect(src, kTileLeaves), written, page);
+      if (!cascaded.ok()) return cascaded;
+    }
   }
   return IoResult::success();
 }
@@ -376,8 +633,10 @@ IoResult LogStore::checkpoint() {
   // them; the WAL is reset only after the manifest frame is durable.
   // Every crash window between these steps recovers: an older manifest
   // anchor plus the still-present WAL reproduce the same tree.
-  IoResult io = write_dirty_tiles();
+  std::vector<PendingTile> tiles_written;
+  IoResult io = write_dirty_tiles(tiles_written);
   if (!io.ok()) return fail_with(io.error);
+  const std::uint64_t entry_seg_base = entries_->size();
   if (!entry_frames_pending_.empty()) {
     io = entries_->append(entry_frames_pending_);
     if (!io.ok()) return fail_with(io.error);
@@ -407,11 +666,57 @@ IoResult LogStore::checkpoint() {
   wal_ = env_->open_append(kWalFile, 0, &file_error);
   if (wal_ == nullptr) return fail_with(file_error);
 
+  // Publish the read-path state only now, when every byte it names is
+  // durable: the directory serves preads, so it must never point at
+  // bytes still in the writer's buffer.
+  for (const PendingTile& tile : tiles_written) {
+    directory_->record(tile.level, tile.tile, tile.offset, tile.count);
+  }
+  for (const auto& [index, rel] : pending_entry_marks_) {
+    reader_->add_mark(index, entry_seg_base + rel);
+  }
+  reader_->set_coverage(accumulator_.size(), entries_->size());
+  directory_->set_paged_leaves(accumulator_.size());
   tiles_persisted_leaves_ = accumulator_.size();
+
+  // Trim the resident tail to the last (possibly partial) tile: leaves
+  // covered by fsync'd pages never also live resident.
+  const std::uint64_t new_base = tiles_persisted_leaves_ / kTileLeaves * kTileLeaves;
+  if (new_base > tail_base_) {
+    tail_leaves_.erase(tail_leaves_.begin(),
+                       tail_leaves_.begin() + static_cast<std::ptrdiff_t>(new_base - tail_base_));
+    tail_base_ = new_base;
+  }
+  wal_tail_entries_.clear();
+  wal_tail_entries_.shrink_to_fit();
   entry_frames_pending_.clear();
+  pending_entry_marks_.clear();
   batches_since_checkpoint_ = 0;
   store_metrics().checkpoints.inc();
   return IoResult::success();
+}
+
+IoError LogStore::stream_paged_leaves(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<bool(std::uint64_t, const crypto::Digest*, std::uint64_t)>& fn) {
+  end = std::min(end, paged_leaves());
+  for (std::uint64_t at = begin; at < end;) {
+    const std::uint64_t tile = at / kTileLeaves;
+    const std::uint64_t stop = std::min(end, (tile + 1) * kTileLeaves);
+    const TileCache::PagePtr page = cache_->get(0, tile, stop - tile * kTileLeaves);
+    if (!page) return IoError::corrupt;
+    if (!fn(at, page->leaves.data() + (at - tile * kTileLeaves), stop - at)) {
+      return IoError::none;
+    }
+    at = stop;
+  }
+  return IoError::none;
+}
+
+PagedLeafSource LogStore::leaf_source() {
+  return PagedLeafSource(*cache_, paged_leaves(), [this](std::uint64_t index) {
+    return tail_leaf(index);  // throws std::out_of_range below tail_base
+  });
 }
 
 IoResult LogStore::close() {

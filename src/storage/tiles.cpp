@@ -36,14 +36,14 @@ std::uint64_t read_u64be(const std::uint8_t* p) {
 }  // namespace
 
 void encode_tile_page(Bytes& out, std::uint64_t tile_index, const crypto::Digest* leaves,
-                      std::uint64_t count) {
+                      std::uint64_t count, unsigned level) {
   const std::size_t start = out.size();
   put_u32be(out, kTileMagic);
   put_u32be(out, 0);  // crc placeholder
   put_u64be(out, tile_index);
   out.push_back(static_cast<std::uint8_t>(count >> 8));
   out.push_back(static_cast<std::uint8_t>(count));
-  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(level));
   out.push_back(0);
   for (std::uint64_t i = 0; i < kTileLeaves; ++i) {
     if (i < count) {
@@ -69,6 +69,7 @@ std::optional<TilePage> decode_tile_page(BytesView page) {
   TilePage out;
   out.tile_index = read_u64be(page.data() + 8);
   out.count = static_cast<std::uint64_t>(page[16]) << 8 | page[17];
+  out.level = page[18];
   if (out.count == 0 || out.count > kTileLeaves) return std::nullopt;
   out.leaves.resize(out.count);
   for (std::uint64_t i = 0; i < out.count; ++i) {
@@ -90,6 +91,7 @@ TileLoad load_tiles(BytesView segment, std::uint64_t limit_bytes, std::uint64_t 
       ++load.pages_invalid;
       continue;  // fixed stride: one bad page never desynchronizes the rest
     }
+    if (page->level != 0) continue;  // interior-hash tiles are not leaves
     if (page->tile_index >= tiles_needed) continue;  // beyond this checkpoint's tree
     tiles[static_cast<std::size_t>(page->tile_index)] = std::move(page);
   }

@@ -182,9 +182,19 @@ void run_crash_point(const DryRun& dry, crypto::SignatureScheme scheme,
     EXPECT_EQ(*recovered.store->durable_sth(), dry.chain[recovered_size]);
   }
 
-  // (4) the recovered tree proves itself and its place in history.
-  const std::vector<DurableEntry> entries = recovered.store->take_recovered_entries();
+  // (4) the recovered tree proves itself and its place in history — read
+  // through the out-of-core path: the checkpointed prefix streams from
+  // entries.seg, only the WAL tail is resident.
+  std::vector<DurableEntry> entries;
+  ASSERT_EQ(recovered.store->read_entries(0, recovered.store->paged_entries(), entries),
+            IoError::none);
+  for (const DurableEntry& tail : recovered.store->wal_tail()) entries.push_back(tail);
   ASSERT_EQ(entries.size(), recovered_size);
+  // O(WAL tail) residency: the store holds only the leaves past the
+  // checkpoint's tile floor, never the checkpointed prefix.
+  EXPECT_EQ(recovered.store->tail_base(),
+            recovered.store->recovery().checkpoint_tree_size / 256 * 256);
+  EXPECT_EQ(recovered.store->resident_leaves(), recovered_size - recovered.store->tail_base());
   ct::MerkleTree tree;
   for (std::uint64_t i = 0; i < recovered_size; ++i) {
     EXPECT_EQ(entries[i].index, i);
@@ -210,10 +220,35 @@ void run_crash_point(const DryRun& dry, crypto::SignatureScheme scheme,
                                        full.consistency_proof(recovered_size, kEntries)));
   }
 
-  // (5) double-reopen idempotence (kill this instance without letting it
-  // write, then recover again).
   const RecoveryReport first_report = recovered.store->recovery();
-  recovered.store->env().crash_now();
+
+  // (4b) out-of-core parity: a paged-reads service over the recovered
+  // store must produce proofs byte-identical to the resident tree, with
+  // queries crossing the paged/resident boundary.
+  if (recovered_size > 0) {
+    logsvc::Config paged_cfg = workload_config(recovered.store.get(), scheme);
+    paged_cfg.paged_reads = true;
+    logsvc::LogService service(paged_cfg);
+    EXPECT_EQ(service.resident_base(), first_report.checkpoint_tree_size);
+    EXPECT_EQ(service.tree_size(), recovered_size);
+    for (const std::uint64_t i : {std::uint64_t{0}, recovered_size / 2, recovered_size - 1}) {
+      EXPECT_EQ(service.leaf_hash_at(i), dry.leaves[i]);
+      EXPECT_EQ(service.inclusion_proof(i, recovered_size),
+                tree.inclusion_proof(i, recovered_size));
+    }
+    for (const std::uint64_t old : {recovered_size / 2, recovered_size}) {
+      EXPECT_EQ(service.consistency_proof(old, recovered_size),
+                tree.consistency_proof(old, recovered_size));
+    }
+    // Kill before the service stops so its shutdown checkpoint cannot
+    // advance the on-disk state invariant (5) compares against.
+    recovered.store->env().crash_now();
+  } else {
+    recovered.store->env().crash_now();
+  }
+
+  // (5) double-reopen idempotence (the kill above let nothing write;
+  // recover again and nothing may change).
   recovered.store.reset();
   LogStore::Open again = LogStore::open(clean);
   ASSERT_NE(again.store, nullptr) << again.detail;

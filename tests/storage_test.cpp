@@ -404,7 +404,8 @@ TEST(StorageLogStoreTest, FreshOpenIsEmpty) {
   EXPECT_TRUE(open.store->recovery().opened_fresh);
   EXPECT_EQ(open.store->tree_size(), 0u);
   EXPECT_FALSE(open.store->durable_sth().has_value());
-  EXPECT_TRUE(open.store->take_recovered_entries().empty());
+  EXPECT_EQ(open.store->paged_entries(), 0u);
+  EXPECT_TRUE(open.store->wal_tail().empty());
 
   // Close with nothing committed, reopen: still fresh-equivalent (an
   // empty WAL is not an error, and no checkpoint was manufactured).
@@ -440,7 +441,10 @@ TEST(StorageLogStoreTest, CrashRecoveryReplaysWalToLastSeal) {
   ASSERT_TRUE(reopened.store->durable_sth().has_value());
   // The committed head comes back verbatim — signature bytes included.
   EXPECT_EQ(*reopened.store->durable_sth(), committed);
-  const std::vector<DurableEntry> entries = reopened.store->take_recovered_entries();
+  // No checkpoint ever ran, so nothing is paged: every recovered entry
+  // is WAL tail.
+  EXPECT_EQ(reopened.store->paged_entries(), 0u);
+  const std::vector<DurableEntry>& entries = reopened.store->wal_tail();
   ASSERT_EQ(entries.size(), 5u);
   for (std::uint64_t i = 0; i < 5; ++i) {
     EXPECT_EQ(entries[i].index, i);
@@ -466,7 +470,18 @@ TEST(StorageLogStoreTest, CheckpointBoundsReplayAndSurvivesCrash) {
   EXPECT_EQ(reopened.store->recovery().checkpoint_tree_size, 4u);
   EXPECT_EQ(reopened.store->recovery().replayed_batches, 1u);
   EXPECT_EQ(*reopened.store->durable_sth(), committed);
-  EXPECT_EQ(reopened.store->take_recovered_entries().size(), 5u);
+  // The checkpointed prefix is paged (entries.seg), only the post-
+  // checkpoint batch is resident as WAL tail.
+  EXPECT_EQ(reopened.store->paged_entries(), 4u);
+  ASSERT_EQ(reopened.store->wal_tail().size(), 1u);
+  EXPECT_EQ(reopened.store->wal_tail()[0].index, 4u);
+  std::vector<DurableEntry> paged;
+  ASSERT_EQ(reopened.store->read_entries(0, 4, paged), IoError::none);
+  ASSERT_EQ(paged.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(paged[i].index, i);
+    EXPECT_EQ(paged[i].leaf_hash, test_entry(i).leaf_hash);
+  }
 }
 
 TEST(StorageLogStoreTest, UnsealedEntriesAreDiscardedAndCounted) {
@@ -619,7 +634,14 @@ TEST(StorageLogStoreTest, EveryCheckpointCrashWindowRecovers) {
     EXPECT_EQ(reopened.store->tree_size(), 3u) << "crash_at=" << crash_at;
     ASSERT_TRUE(reopened.store->durable_sth().has_value());
     EXPECT_EQ(*reopened.store->durable_sth(), committed) << "crash_at=" << crash_at;
-    EXPECT_EQ(reopened.store->take_recovered_entries().size(), 3u);
+    std::vector<DurableEntry> entries;
+    ASSERT_EQ(reopened.store->read_entries(0, reopened.store->paged_entries(), entries),
+              IoError::none);
+    for (const DurableEntry& tail : reopened.store->wal_tail()) entries.push_back(tail);
+    ASSERT_EQ(entries.size(), 3u) << "crash_at=" << crash_at;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(entries[i].leaf_hash, test_entry(i).leaf_hash) << "crash_at=" << crash_at;
+    }
   }
 }
 
