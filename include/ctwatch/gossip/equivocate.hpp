@@ -1,0 +1,104 @@
+// The adversary: an equivocating CT log.
+//
+// Built from two real `logsvc::LogService` instances configured with the
+// SAME log name — the signing key derives from the name, so both faces
+// sign with one identity (one log_id, one public key). Entries below the
+// fork index are byte-identical on both faces; from the fork on, each
+// face integrates its own history. Every face is a full, honest-looking
+// log: its STHs verify, its inclusion and consistency proofs verify, its
+// get-entries match its tree. A client pinned to one face can audit
+// forever and see nothing wrong — which is the attack, and exactly what
+// the differential parity test locks in (a single face is
+// byte-indistinguishable from an honest log with that history).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ctwatch/crypto/signature.hpp"
+#include "ctwatch/gossip/view.hpp"
+#include "ctwatch/logsvc/service.hpp"
+
+namespace ctwatch::gossip {
+
+enum class Side : std::uint8_t { left, right };
+
+[[nodiscard]] constexpr const char* side_name(Side side) {
+  return side == Side::left ? "left" : "right";
+}
+
+struct EquivocationPlan {
+  /// Shared by both faces; `name` fixes the (single) signing identity.
+  logsvc::Config base;
+  /// First leaf index where the two histories diverge. 0 forks from the
+  /// very first entry; anything at or beyond the final size degenerates
+  /// to an honest log (both faces identical).
+  std::uint64_t fork_index = 0;
+  /// Optional durable backing, one store per face (an equivocating
+  /// operator runs two databases). Not owned.
+  storage::LogStore* storage_left = nullptr;
+  storage::LogStore* storage_right = nullptr;
+};
+
+class EquivocatingLog {
+ public:
+  explicit EquivocatingLog(EquivocationPlan plan);
+
+  EquivocatingLog(const EquivocatingLog&) = delete;
+  EquivocatingLog& operator=(const EquivocatingLog&) = delete;
+
+  /// The deterministic payload each face integrates at `index` — shared
+  /// below the fork, suffixed "/left" or "/right" from it. Exposed so
+  /// the parity harness can replay one face's exact history into an
+  /// honest log.
+  [[nodiscard]] static ct::SignedEntry entry_at(std::uint64_t index, std::uint64_t fork_index,
+                                                Side side);
+  [[nodiscard]] static crypto::Digest fingerprint_at(std::uint64_t index,
+                                                     std::uint64_t fork_index, Side side);
+
+  /// Appends the next entry to BOTH faces (lockstep growth: sizes stay
+  /// equal, roots diverge from the fork). Blocks until both batches
+  /// seal, so each call publishes exactly one new STH per face.
+  void grow(SimTime now);
+  void grow(std::uint64_t n, SimTime now);
+
+  /// Appends the next entry to one face only (asymmetric histories —
+  /// the proof-challenge detection path, as opposed to the same-size
+  /// conflict the lockstep growth produces).
+  void grow_side(Side side, SimTime now);
+
+  /// Signing oracle: the adversary signs any head it likes (it owns the
+  /// key). Lets tests feed degenerate signed heads — e.g. size 0 with a
+  /// junk root — through the real challenge path.
+  [[nodiscard]] ct::SignedTreeHead sign_arbitrary_sth(std::uint64_t tree_size,
+                                                      std::uint64_t timestamp_ms,
+                                                      const crypto::Digest& root) const;
+
+  [[nodiscard]] logsvc::LogService& service(Side side) {
+    return side == Side::left ? *left_ : *right_;
+  }
+  [[nodiscard]] LogView& view(Side side) {
+    return side == Side::left ? left_view_ : right_view_;
+  }
+  [[nodiscard]] std::uint64_t fork_index() const { return fork_index_; }
+  [[nodiscard]] std::uint64_t size(Side side) const {
+    return side == Side::left ? left_->tree_size() : right_->tree_size();
+  }
+  [[nodiscard]] Bytes public_key() const { return left_->public_key(); }
+  [[nodiscard]] ct::LogId log_id() const { return left_->log_id(); }
+
+ private:
+  void append(logsvc::LogService& svc, std::uint64_t index, Side side, SimTime now);
+
+  std::uint64_t fork_index_;
+  std::unique_ptr<crypto::Signer> oracle_;  ///< same key as both faces
+  std::unique_ptr<logsvc::LogService> left_;
+  std::unique_ptr<logsvc::LogService> right_;
+  ServiceView left_view_;
+  ServiceView right_view_;
+  std::uint64_t next_left_ = 0;
+  std::uint64_t next_right_ = 0;
+};
+
+}  // namespace ctwatch::gossip

@@ -1,0 +1,8 @@
+// Umbrella header for ctwatch::gossip — the split-view attack scenario
+// (equivocating log) and its countermeasure (STH gossip with aggregation
+// points and consistency-proof challenges).
+#pragma once
+
+#include "ctwatch/gossip/equivocate.hpp"
+#include "ctwatch/gossip/net.hpp"
+#include "ctwatch/gossip/view.hpp"

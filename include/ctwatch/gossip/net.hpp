@@ -1,0 +1,153 @@
+// STH gossip with aggregation points (Dahlberg et al.).
+//
+// Actors are monitors/clients (peers: they poll the log each round) and
+// aggregation points (they do not poll; they passively observe the STHs
+// fetched by the peers they cover — the in-network vantage of
+// aggregation-based gossip). Gossip edges are undirected: each round an
+// actor pollinates up to `fanout` neighbours with every signed STH it
+// knows. Any actor holding two heads it cannot reconcile challenges the
+// log face *it* talks to for a consistency proof; a proof that fails to
+// verify — or a same-size root conflict, which needs no proof at all —
+// yields a fail-closed `SplitViewDetected` verdict carrying both signed
+// heads as evidence.
+//
+// Everything is deterministic: one seed drives the fanout choices, the
+// chaos injector (when present) drives link outages / fetch faults /
+// challenge faults from its own seed, and rounds advance on simulated
+// time. Chaos can only *delay* detection (pairs stay pending), never
+// manufacture it: a verdict requires two valid signatures over heads
+// the log cannot prove consistent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ctwatch/chaos/fault.hpp"
+#include "ctwatch/gossip/view.hpp"
+#include "ctwatch/util/rng.hpp"
+#include "ctwatch/util/time.hpp"
+
+namespace ctwatch::gossip {
+
+/// The verdict: cryptographic evidence of log misbehaviour. `sth_a` and
+/// `sth_b` both carry valid signatures from the log; either they share a
+/// size with different roots (`same_size`), or `proof` is the log's own
+/// consistency answer for the pair and it does not verify. Verifiable by
+/// anyone holding the log's public key — no trust in the detector needed.
+struct SplitViewDetected {
+  std::size_t actor = 0;    ///< detecting actor id
+  std::uint64_t round = 0;  ///< gossip round of detection (1-based)
+  std::int64_t at_unix = 0;
+  ct::SignedTreeHead sth_a;
+  ct::SignedTreeHead sth_b;
+  std::vector<crypto::Digest> proof;  ///< failing proof; empty when same_size
+  bool same_size = false;
+  std::string reason;
+};
+
+struct NetConfig {
+  /// Gossip targets per actor per round (Dahlberg's pollination rate).
+  std::size_t fanout = 2;
+  /// Drives the per-actor neighbour choices; independent of chaos.
+  std::uint64_t seed = 0x60551f60551f60ULL;
+  /// Optional fault seams (not owned). Points consulted, named under
+  /// `chaos_prefix`:
+  ///   "<prefix>.fetch"        — a peer's get-sth poll is lost this round
+  ///   "<prefix>.link.<a>-<b>" — the gossip edge (a,b) drops this round's
+  ///                             pollination (a < b; outage windows model
+  ///                             partitions in virtual time)
+  ///   "<prefix>.challenge"    — a consistency challenge is lost; the
+  ///                             pair stays pending and is retried
+  chaos::FaultInjector* chaos = nullptr;
+  std::string chaos_prefix = "gossip";
+  /// Per-actor STH pool cap (deduped by (size, root)); oldest evicted.
+  std::size_t max_known = 256;
+};
+
+struct NetStats {
+  std::uint64_t sths_fetched = 0;
+  std::uint64_t sths_gossiped = 0;   ///< deliveries (per STH per edge)
+  std::uint64_t sths_accepted = 0;   ///< novel signed heads entering a pool
+  std::uint64_t forged_dropped = 0;  ///< signature-invalid heads rejected
+  std::uint64_t fetch_faults = 0;
+  std::uint64_t link_faults = 0;
+  std::uint64_t challenge_faults = 0;
+  std::uint64_t challenges_run = 0;
+  std::uint64_t challenges_pending = 0;  ///< currently queued pairs (gauge)
+};
+
+class GossipNet {
+ public:
+  GossipNet(NetConfig config, Bytes log_public_key);
+
+  GossipNet(const GossipNet&) = delete;
+  GossipNet& operator=(const GossipNet&) = delete;
+
+  /// A polling actor (monitor/client). `view` is the log face the
+  /// adversary assigned it; must outlive the net. Returns the actor id.
+  std::size_t add_peer(LogView& view);
+  /// An aggregation point: never polls, observes the fetches of the
+  /// peers it covers, challenges through `view`.
+  std::size_t add_aggregator(LogView& view);
+
+  /// Undirected gossip edge. Self-loops and duplicates are ignored.
+  void connect(std::size_t a, std::size_t b);
+  /// `aggregator` observes every STH `peer` fetches from the log.
+  void cover(std::size_t aggregator, std::size_t peer);
+
+  /// Test hook: hands `actor` a signed head out of band (e.g. an
+  /// adversary-signed degenerate STH). Returns false iff the signature
+  /// was invalid (the head is dropped, exactly like a forged gossip).
+  bool inject(std::size_t actor, const ct::SignedTreeHead& sth, SimTime now);
+
+  /// One gossip round: peers poll (aggregators observing), everyone
+  /// pollinates `fanout` neighbours with its known heads, pending
+  /// challenges run. Call on a monotonically advancing simulated clock.
+  void step(SimTime now);
+
+  [[nodiscard]] std::uint64_t rounds() const { return round_; }
+  [[nodiscard]] const std::vector<SplitViewDetected>& detections() const { return detections_; }
+  [[nodiscard]] bool detected() const { return !detections_.empty(); }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  /// Signed heads actor currently holds (deduped; test introspection).
+  [[nodiscard]] const std::vector<ct::SignedTreeHead>& known(std::size_t actor) const {
+    return actors_[actor].known;
+  }
+
+ private:
+  struct Actor {
+    LogView* view = nullptr;
+    bool aggregator = false;
+    std::vector<std::size_t> neighbors;
+    std::vector<std::size_t> observers;  ///< aggregators covering this peer
+    std::vector<ct::SignedTreeHead> known;
+    std::vector<std::pair<ct::SignedTreeHead, ct::SignedTreeHead>> pending;
+    bool verdict = false;  ///< stops challenging after its first detection
+    Rng rng;               ///< fanout target choices
+  };
+
+  std::size_t add_actor(LogView& view, bool aggregator);
+  /// Validates, dedupes, raises same-size conflicts, queues proof
+  /// challenges. Returns false iff the signature was invalid.
+  bool receive(std::size_t actor, const ct::SignedTreeHead& sth, SimTime now);
+  void run_challenges(std::size_t actor, SimTime now);
+  void record_detection(std::size_t actor, SimTime now, const ct::SignedTreeHead& a,
+                        const ct::SignedTreeHead& b, std::vector<crypto::Digest> proof,
+                        bool same_size, std::string reason);
+  [[nodiscard]] std::uint64_t now_us(SimTime now) const {
+    return static_cast<std::uint64_t>(now.unix_seconds()) * 1'000'000;
+  }
+
+  NetConfig config_;
+  Bytes log_public_key_;
+  Rng master_rng_;
+  std::vector<Actor> actors_;
+  std::vector<SplitViewDetected> detections_;
+  NetStats stats_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace ctwatch::gossip

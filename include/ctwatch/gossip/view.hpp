@@ -1,0 +1,88 @@
+// ctwatch::gossip — STH exchange and split-view detection.
+//
+// A CT log can equivocate: maintain several internally-consistent trees
+// and serve each client partition exactly one of them. Per-client
+// auditing (verify the STH signature, check consistency between the
+// STHs *you* saw) never fires, because every answer a single client
+// receives is coherent. The countermeasure is gossip: clients and
+// monitors exchange the signed STHs they observed, and any actor holding
+// STHs from two different views challenges the log for a consistency
+// proof between them. The log signed both heads, so it must prove them
+// consistent — failure to do so is cryptographic evidence of
+// misbehaviour (Dahlberg et al., "Aggregation-Based Certificate
+// Transparency Gossip").
+//
+// This header is the challenger side: `LogView` is an actor's read
+// window onto the log (the adversary controls which face it talks to),
+// and `challenge_pair` turns one STH pair plus the view's answer into a
+// fail-closed verdict.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctwatch/ct/merkle.hpp"
+#include "ctwatch/ct/sct.hpp"
+#include "ctwatch/logsvc/service.hpp"
+
+namespace ctwatch::gossip {
+
+/// A read-only window onto a CT log, as one client partition sees it.
+/// Implementations must be callable from any thread.
+class LogView {
+ public:
+  virtual ~LogView() = default;
+
+  /// get-sth: the latest head this face publishes.
+  virtual ct::SignedTreeHead get_sth() = 0;
+
+  /// get-sth-consistency between two tree sizes. Returns nullopt when the
+  /// face cannot serve the pair *yet* (its tree has not reached `second`)
+  /// — the challenger keeps the pair pending and retries; an answered
+  /// proof that fails verification is the detection signal.
+  virtual std::optional<std::vector<crypto::Digest>> get_consistency(std::uint64_t first,
+                                                                     std::uint64_t second) = 0;
+};
+
+/// LogView over a live LogService (the face the adversary assigned us).
+class ServiceView final : public LogView {
+ public:
+  explicit ServiceView(logsvc::LogService& service) : service_(&service) {}
+
+  ct::SignedTreeHead get_sth() override { return service_->get_sth(); }
+  std::optional<std::vector<crypto::Digest>> get_consistency(std::uint64_t first,
+                                                             std::uint64_t second) override;
+
+  [[nodiscard]] logsvc::LogService& service() const { return *service_; }
+
+ private:
+  logsvc::LogService* service_;
+};
+
+enum class ChallengeStatus : std::uint8_t {
+  consistent,  ///< the log proved the pair consistent
+  pending,     ///< the face cannot serve the pair yet; retry later
+  split_view,  ///< signed heads the log cannot reconcile — misbehaviour
+};
+
+struct ChallengeResult {
+  ChallengeStatus status = ChallengeStatus::pending;
+  /// The proof the face served (kept as evidence when it fails to
+  /// verify); empty for same-size conflicts, where the two signed heads
+  /// are self-evident.
+  std::vector<crypto::Digest> proof;
+  /// Two signed heads of the same size with different roots: the
+  /// strongest evidence — no proof fetch is even needed.
+  bool same_size_conflict = false;
+  std::string reason;
+};
+
+/// Challenges a log face with a pair of STHs that both carry valid
+/// signatures from the log. Orders the pair by tree size internally.
+/// Pure apart from the view call; safe to run from any thread.
+ChallengeResult challenge_pair(LogView& view, const ct::SignedTreeHead& a,
+                               const ct::SignedTreeHead& b);
+
+}  // namespace ctwatch::gossip

@@ -30,9 +30,22 @@ struct CtApiOptions {
   std::size_t max_chain = 8;
 };
 
+/// Picks the backing log for one request — the partition-aware serving
+/// seam. An honest deployment returns the same service for every
+/// request; an equivocating one keys on the client (header, IP, ...) and
+/// hands each partition its own face (see gossip::EquivocatingLog).
+/// Returning nullptr yields a 503. Called from event-loop threads; must
+/// be thread-safe and cheap.
+using ViewSelector = std::function<logsvc::LogService*(const Request&)>;
+
 /// Registers /ct/v1/{add-chain, add-pre-chain, get-sth,
 /// get-sth-consistency, get-proof-by-hash, get-entries} on `router`.
 /// `service` must outlive the server the router is given to.
 void register_ct_api(Router& router, logsvc::LogService& service, CtApiOptions options = {});
+
+/// Same endpoints, but every request is routed to the LogService the
+/// selector picks. Everything the selector can reach must outlive the
+/// server.
+void register_ct_api(Router& router, ViewSelector select, CtApiOptions options = {});
 
 }  // namespace ctwatch::httpd

@@ -122,7 +122,11 @@ bool verify_consistency(std::uint64_t old_size, std::uint64_t new_size, const Di
                         const Digest& new_root, const std::vector<Digest>& proof) {
   if (old_size > new_size) return false;
   if (old_size == new_size) return proof.empty() && old_root == new_root;
-  if (old_size == 0) return proof.empty();  // anything is consistent with the empty tree
+  // Only the *real* empty tree is consistent with everything: a signed
+  // size-0 head with any other root is an equivocation attempt, and
+  // accepting it here would let such a head pair with every honest head
+  // without ever failing a gossip challenge.
+  if (old_size == 0) return proof.empty() && old_root == empty_tree_root();
   std::uint64_t fn = old_size - 1;
   std::uint64_t sn = new_size - 1;
   while (fn & 1) {

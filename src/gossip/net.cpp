@@ -1,0 +1,208 @@
+#include "ctwatch/gossip/net.hpp"
+
+#include <algorithm>
+
+#include "ctwatch/obs/obs.hpp"
+
+namespace ctwatch::gossip {
+
+namespace {
+
+struct Metrics {
+  obs::Counter& fetched = obs::Registry::global().counter("gossip.sth_fetched");
+  obs::Counter& gossiped = obs::Registry::global().counter("gossip.sth_gossiped");
+  obs::Counter& accepted = obs::Registry::global().counter("gossip.sth_accepted");
+  obs::Counter& forged = obs::Registry::global().counter("gossip.forged_dropped");
+  obs::Counter& challenges = obs::Registry::global().counter("gossip.challenges");
+  obs::Counter& detections = obs::Registry::global().counter("gossip.split_view_detected");
+};
+
+Metrics& metrics() {
+  static Metrics m;
+  return m;
+}
+
+}  // namespace
+
+GossipNet::GossipNet(NetConfig config, Bytes log_public_key)
+    : config_(std::move(config)),
+      log_public_key_(std::move(log_public_key)),
+      master_rng_(config_.seed) {}
+
+std::size_t GossipNet::add_actor(LogView& view, bool aggregator) {
+  Actor actor;
+  actor.view = &view;
+  actor.aggregator = aggregator;
+  actor.rng = master_rng_.fork();
+  actors_.push_back(std::move(actor));
+  return actors_.size() - 1;
+}
+
+std::size_t GossipNet::add_peer(LogView& view) { return add_actor(view, false); }
+
+std::size_t GossipNet::add_aggregator(LogView& view) { return add_actor(view, true); }
+
+void GossipNet::connect(std::size_t a, std::size_t b) {
+  if (a == b || a >= actors_.size() || b >= actors_.size()) return;
+  auto& na = actors_[a].neighbors;
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;
+  na.push_back(b);
+  actors_[b].neighbors.push_back(a);
+}
+
+void GossipNet::cover(std::size_t aggregator, std::size_t peer) {
+  if (aggregator >= actors_.size() || peer >= actors_.size()) return;
+  if (!actors_[aggregator].aggregator || aggregator == peer) return;
+  auto& observers = actors_[peer].observers;
+  if (std::find(observers.begin(), observers.end(), aggregator) == observers.end()) {
+    observers.push_back(aggregator);
+  }
+}
+
+bool GossipNet::inject(std::size_t actor, const ct::SignedTreeHead& sth, SimTime now) {
+  return receive(actor, sth, now);
+}
+
+bool GossipNet::receive(std::size_t index, const ct::SignedTreeHead& sth, SimTime now) {
+  // Gossiped heads are untrusted input: only the log's signature makes
+  // one admissible (and makes the eventual verdict self-certifying).
+  if (!ct::verify_sth(sth, log_public_key_)) {
+    ++stats_.forged_dropped;
+    metrics().forged.inc();
+    return false;
+  }
+  Actor& actor = actors_[index];
+  for (const ct::SignedTreeHead& k : actor.known) {
+    if (k.tree_size == sth.tree_size && k.root_hash == sth.root_hash) return true;  // known
+  }
+  ++stats_.sths_accepted;
+  metrics().accepted.inc();
+  for (const ct::SignedTreeHead& k : actor.known) {
+    if (k.tree_size == sth.tree_size) {
+      // Same size, different root (dedup above): no proof could
+      // reconcile them, the pair alone is the evidence.
+      if (!actor.verdict) {
+        record_detection(index, now, k, sth, {}, true,
+                         "two signed heads of size " + std::to_string(k.tree_size) +
+                             " with different roots");
+      }
+    } else {
+      actor.pending.emplace_back(k, sth);
+    }
+  }
+  actor.known.push_back(sth);
+  if (actor.known.size() > config_.max_known) actor.known.erase(actor.known.begin());
+  return true;
+}
+
+void GossipNet::record_detection(std::size_t actor, SimTime now, const ct::SignedTreeHead& a,
+                                 const ct::SignedTreeHead& b, std::vector<crypto::Digest> proof,
+                                 bool same_size, std::string reason) {
+  SplitViewDetected detection;
+  detection.actor = actor;
+  detection.round = round_;
+  detection.at_unix = now.unix_seconds();
+  detection.sth_a = a;
+  detection.sth_b = b;
+  detection.proof = std::move(proof);
+  detection.same_size = same_size;
+  detection.reason = std::move(reason);
+  detections_.push_back(std::move(detection));
+  actors_[actor].verdict = true;
+  actors_[actor].pending.clear();
+  metrics().detections.inc();
+  obs::flight_note("gossip.split_view", round_);
+}
+
+void GossipNet::run_challenges(std::size_t index, SimTime now) {
+  Actor& actor = actors_[index];
+  if (actor.verdict || actor.pending.empty()) return;
+  // record_detection clears the member; drain into a local first.
+  auto pending = std::move(actor.pending);
+  actor.pending.clear();
+  std::vector<std::pair<ct::SignedTreeHead, ct::SignedTreeHead>> keep;
+  keep.reserve(pending.size());
+  for (auto& pair : pending) {
+    if (actor.verdict) break;  // the verdict is one-shot: stop challenging
+    if (config_.chaos != nullptr &&
+        config_.chaos->evaluate(config_.chaos_prefix + ".challenge", now_us(now)).faulted()) {
+      ++stats_.challenge_faults;
+      keep.push_back(std::move(pair));
+      continue;
+    }
+    ++stats_.challenges_run;
+    metrics().challenges.inc();
+    ChallengeResult result = challenge_pair(*actor.view, pair.first, pair.second);
+    switch (result.status) {
+      case ChallengeStatus::consistent:
+        break;  // reconciled: drop the pair
+      case ChallengeStatus::pending:
+        keep.push_back(std::move(pair));  // face can't serve yet: retry
+        break;
+      case ChallengeStatus::split_view:
+        record_detection(index, now, pair.first, pair.second, std::move(result.proof),
+                         result.same_size_conflict, std::move(result.reason));
+        break;
+    }
+  }
+  if (!actor.verdict) actor.pending = std::move(keep);
+}
+
+void GossipNet::step(SimTime now) {
+  ++round_;
+  const std::uint64_t virtual_us = now_us(now);
+
+  // Phase 1 — peers poll their face; covering aggregation points see the
+  // same head in transit (the in-network observation of Dahlberg et al.).
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    Actor& actor = actors_[i];
+    if (actor.aggregator) continue;
+    if (config_.chaos != nullptr &&
+        config_.chaos->evaluate(config_.chaos_prefix + ".fetch", virtual_us).faulted()) {
+      ++stats_.fetch_faults;
+      continue;
+    }
+    const ct::SignedTreeHead sth = actor.view->get_sth();
+    ++stats_.sths_fetched;
+    metrics().fetched.inc();
+    receive(i, sth, now);
+    for (const std::size_t observer : actor.observers) receive(observer, sth, now);
+  }
+
+  // Phase 2 — pollination. Outboxes are snapshotted first so a head
+  // travels at most one hop per round regardless of iteration order.
+  std::vector<std::vector<ct::SignedTreeHead>> outbox(actors_.size());
+  for (std::size_t i = 0; i < actors_.size(); ++i) outbox[i] = actors_[i].known;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    Actor& actor = actors_[i];
+    if (actor.neighbors.empty() || outbox[i].empty()) continue;
+    std::vector<std::size_t> targets = actor.neighbors;
+    actor.rng.shuffle(targets);
+    if (targets.size() > config_.fanout) targets.resize(config_.fanout);
+    for (const std::size_t j : targets) {
+      if (config_.chaos != nullptr) {
+        const std::string link = config_.chaos_prefix + ".link." +
+                                 std::to_string(std::min(i, j)) + "-" +
+                                 std::to_string(std::max(i, j));
+        if (config_.chaos->evaluate(link, virtual_us).faulted()) {
+          ++stats_.link_faults;
+          continue;
+        }
+      }
+      for (const ct::SignedTreeHead& sth : outbox[i]) {
+        ++stats_.sths_gossiped;
+        metrics().gossiped.inc();
+        receive(j, sth, now);
+      }
+    }
+  }
+
+  // Phase 3 — every actor challenges its own face on what it cannot
+  // reconcile; pairs the face cannot serve yet stay pending.
+  for (std::size_t i = 0; i < actors_.size(); ++i) run_challenges(i, now);
+
+  stats_.challenges_pending = 0;
+  for (const Actor& actor : actors_) stats_.challenges_pending += actor.pending.size();
+}
+
+}  // namespace ctwatch::gossip

@@ -1,0 +1,60 @@
+#include "ctwatch/gossip/view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ctwatch::gossip {
+
+std::optional<std::vector<crypto::Digest>> ServiceView::get_consistency(std::uint64_t first,
+                                                                        std::uint64_t second) {
+  // A face that has not grown to `second` cannot answer yet; the
+  // service's read path throws out_of_range for exactly that. Either way
+  // the challenger treats it as "retry later", never as evidence.
+  if (second > service_->tree_size()) return std::nullopt;
+  try {
+    return service_->consistency_proof(first, second);
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+ChallengeResult challenge_pair(LogView& view, const ct::SignedTreeHead& a,
+                               const ct::SignedTreeHead& b) {
+  const ct::SignedTreeHead& old_sth = a.tree_size <= b.tree_size ? a : b;
+  const ct::SignedTreeHead& new_sth = a.tree_size <= b.tree_size ? b : a;
+
+  ChallengeResult result;
+  if (old_sth.tree_size == new_sth.tree_size) {
+    if (old_sth.root_hash == new_sth.root_hash) {
+      result.status = ChallengeStatus::consistent;
+      return result;
+    }
+    // Two signed heads over the same size with different roots cannot
+    // both be honest — no proof can reconcile them, so don't ask.
+    result.status = ChallengeStatus::split_view;
+    result.same_size_conflict = true;
+    result.reason = "two signed heads of size " + std::to_string(old_sth.tree_size) +
+                    " with different roots";
+    return result;
+  }
+
+  auto proof = view.get_consistency(old_sth.tree_size, new_sth.tree_size);
+  if (!proof) {
+    result.status = ChallengeStatus::pending;
+    result.reason = "face cannot serve (" + std::to_string(old_sth.tree_size) + ", " +
+                    std::to_string(new_sth.tree_size) + ") yet";
+    return result;
+  }
+  if (ct::verify_consistency(old_sth.tree_size, new_sth.tree_size, old_sth.root_hash,
+                             new_sth.root_hash, *proof)) {
+    result.status = ChallengeStatus::consistent;
+    return result;
+  }
+  result.status = ChallengeStatus::split_view;
+  result.proof = *std::move(proof);
+  result.reason = "log served a proof for (" + std::to_string(old_sth.tree_size) + ", " +
+                  std::to_string(new_sth.tree_size) + ") that does not verify";
+  return result;
+}
+
+}  // namespace ctwatch::gossip

@@ -153,10 +153,30 @@ void handle_add(logsvc::LogService& service, const CtApiOptions& options, bool p
   }
 }
 
+/// Resolves the backing service for a request, answering 503 when the
+/// selector declines. Every handler below goes through this, so the
+/// per-request view decision covers the whole RFC 6962 surface.
+logsvc::LogService* select_or_fail(const ViewSelector& select, const Request& request,
+                                   const Completion& done) {
+  logsvc::LogService* service = select(request);
+  if (service == nullptr) {
+    done(error_response(503, "no_backend", "no log view for this client"));
+  }
+  return service;
+}
+
 }  // namespace
 
 void register_ct_api(Router& router, logsvc::LogService& service, CtApiOptions options) {
-  router.get("/ct/v1/get-sth", [&service](const Request&, Completion done) {
+  register_ct_api(
+      router, [&service](const Request&) { return &service; }, std::move(options));
+}
+
+void register_ct_api(Router& router, ViewSelector select, CtApiOptions options) {
+  router.get("/ct/v1/get-sth", [select](const Request& request, Completion done) {
+    logsvc::LogService* backend = select_or_fail(select, request, done);
+    if (backend == nullptr) return;
+    logsvc::LogService& service = *backend;
     const ct::SignedTreeHead sth = service.get_sth();
     Bytes sig;
     ct::wire::put_u8(sig, static_cast<std::uint8_t>(sth.signature.scheme));
@@ -169,7 +189,10 @@ void register_ct_api(Router& router, logsvc::LogService& service, CtApiOptions o
     done(json_response(200, json::Value(std::move(out)).dump()));
   });
 
-  router.get("/ct/v1/get-sth-consistency", [&service](const Request& request, Completion done) {
+  router.get("/ct/v1/get-sth-consistency", [select](const Request& request, Completion done) {
+    logsvc::LogService* backend = select_or_fail(select, request, done);
+    if (backend == nullptr) return;
+    logsvc::LogService& service = *backend;
     const auto first = param_u64(request, "first");
     const auto second = param_u64(request, "second");
     if (!first || !second) {
@@ -184,7 +207,10 @@ void register_ct_api(Router& router, logsvc::LogService& service, CtApiOptions o
     }
   });
 
-  router.get("/ct/v1/get-proof-by-hash", [&service](const Request& request, Completion done) {
+  router.get("/ct/v1/get-proof-by-hash", [select](const Request& request, Completion done) {
+    logsvc::LogService* backend = select_or_fail(select, request, done);
+    if (backend == nullptr) return;
+    logsvc::LogService& service = *backend;
     const auto tree_size = param_u64(request, "tree_size");
     auto hash_b64 = request.query_param("hash");
     if (!tree_size || !hash_b64) {
@@ -217,7 +243,10 @@ void register_ct_api(Router& router, logsvc::LogService& service, CtApiOptions o
     }
   });
 
-  router.get("/ct/v1/get-entries", [&service](const Request& request, Completion done) {
+  router.get("/ct/v1/get-entries", [select](const Request& request, Completion done) {
+    logsvc::LogService* backend = select_or_fail(select, request, done);
+    if (backend == nullptr) return;
+    logsvc::LogService& service = *backend;
     const auto start = param_u64(request, "start");
     const auto end = param_u64(request, "end");
     if (!start || !end || *end < *start) {
@@ -248,15 +277,19 @@ void register_ct_api(Router& router, logsvc::LogService& service, CtApiOptions o
   });
 
   router.post("/ct/v1/add-chain",
-              [&service, options](const Request& request, Completion done) {
+              [select, options](const Request& request, Completion done) {
                 CTWATCH_SPAN("httpd.add_chain");
-                handle_add(service, options, /*pre=*/false, request, std::move(done));
+                logsvc::LogService* backend = select_or_fail(select, request, done);
+                if (backend == nullptr) return;
+                handle_add(*backend, options, /*pre=*/false, request, std::move(done));
               });
 
   router.post("/ct/v1/add-pre-chain",
-              [&service, options](const Request& request, Completion done) {
+              [select, options](const Request& request, Completion done) {
                 CTWATCH_SPAN("httpd.add_pre_chain");
-                handle_add(service, options, /*pre=*/true, request, std::move(done));
+                logsvc::LogService* backend = select_or_fail(select, request, done);
+                if (backend == nullptr) return;
+                handle_add(*backend, options, /*pre=*/true, request, std::move(done));
               });
 }
 

@@ -34,6 +34,7 @@
 #include "ctwatch/ct/log.hpp"
 #include "ctwatch/ct/merkle.hpp"
 #include "ctwatch/ct/wire.hpp"
+#include "ctwatch/gossip/gossip.hpp"
 #include "ctwatch/httpd/ct_handlers.hpp"
 #include "ctwatch/httpd/http.hpp"
 #include "ctwatch/httpd/json.hpp"
@@ -871,6 +872,69 @@ TEST(HttpdCtApiTest, GracefulShutdownLosesNoSealedEntry) {
     EXPECT_TRUE(ct::verify_inclusion(restarted.leaf_hash_at(i), i, 5, proof, before.root_hash));
   }
   restarted.stop();
+}
+
+TEST(HttpdCtApiTest, PartitionAwareSelectorServesCoherentSplitViews) {
+  // The ViewSelector overload is the split-view serving seam: one front
+  // end, two divergent faces behind it, routed on a client attribute.
+  // Each partition must see a coherent log (repeat reads agree, proofs
+  // come from its own tree) while the two partitions diverge — the
+  // precondition for the gossip tests' detection scenarios.
+  gossip::EquivocationPlan plan;
+  plan.base = fast_log("Httpd Split Log");
+  plan.base.scheme = crypto::SignatureScheme::hmac_sha256_simulated;
+  plan.fork_index = 1;
+  gossip::EquivocatingLog log(plan);
+  log.grow(3, SimTime::parse("2018-04-01"));
+
+  Router router;
+  register_ct_api(router, [&log](const Request& request) -> logsvc::LogService* {
+    const auto partition = request.header("x-partition");
+    if (!partition || *partition == "left") return &log.service(gossip::Side::left);
+    if (*partition == "right") return &log.service(gossip::Side::right);
+    return nullptr;  // unknown partition: fail closed, don't pick a face
+  });
+  Server server(ServerOptions{}, std::move(router));
+  ASSERT_TRUE(server.start());
+
+  const auto get = [&server](const std::string& path, const std::string& partition) {
+    WireClient client(server.port());
+    EXPECT_TRUE(client.connected());
+    EXPECT_TRUE(client.send_all("GET " + path + " HTTP/1.1\r\nHost: t\r\nX-Partition: " +
+                                partition + "\r\nConnection: close\r\n\r\n"));
+    return client.read_response();
+  };
+
+  // Each partition sees a stable head across repeat reads...
+  const auto left_a = get("/ct/v1/get-sth", "left");
+  const auto left_b = get("/ct/v1/get-sth", "left");
+  const auto right = get("/ct/v1/get-sth", "right");
+  ASSERT_TRUE(left_a && left_b && right);
+  EXPECT_EQ(left_a->status, 200);
+  EXPECT_EQ(right->status, 200);
+  EXPECT_EQ(left_a->body, left_b->body);
+  // ...but the two partitions are handed divergent signed heads.
+  EXPECT_NE(left_a->body, right->body);
+
+  // Consistency is answered from the partition's own tree, so a client
+  // that only ever talks to one face sees a log consistent with itself.
+  const auto left_proof = get("/ct/v1/get-sth-consistency?first=1&second=3", "left");
+  const auto right_proof = get("/ct/v1/get-sth-consistency?first=1&second=3", "right");
+  ASSERT_TRUE(left_proof && right_proof);
+  EXPECT_EQ(left_proof->status, 200);
+  EXPECT_EQ(right_proof->status, 200);
+  EXPECT_NE(left_proof->body, right_proof->body);  // fork at 1: paths differ
+
+  // No partition header: routed to the default (left) face.
+  const auto naked = wire_get(server.port(), "/ct/v1/get-sth");
+  ASSERT_TRUE(naked);
+  EXPECT_EQ(naked->body, left_a->body);
+
+  // Unknown partition: the selector declines and the API fails closed.
+  const auto unknown = get("/ct/v1/get-sth", "mars");
+  ASSERT_TRUE(unknown);
+  EXPECT_EQ(unknown->status, 503);
+  EXPECT_NE(unknown->body.find("no_backend"), std::string::npos);
 }
 
 TEST(HttpdCtApiTest, ErrorShapes) {

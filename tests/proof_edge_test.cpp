@@ -37,6 +37,22 @@ TEST(ProofEdgeTest, EverythingIsConsistentWithTheEmptyTree) {
   EXPECT_TRUE(verify_consistency(0, 0, empty_tree_root(), empty_tree_root(), {}));
 }
 
+TEST(ProofEdgeTest, OnlyTheRealEmptyRootIsConsistentWithEverything) {
+  // Regression: a signed size-0 head with an arbitrary root used to pass
+  // consistency with ANY tree (the old-size-0 branch ignored old_root).
+  // An equivocating log could mint such heads freely and every gossip
+  // challenge on them would succeed. Size 0 pins the one root the empty
+  // tree actually has.
+  MerkleTree tree;
+  for (int i = 0; i < 5; ++i) tree.append(leaf_of("e" + std::to_string(i)));
+  const Digest junk = leaf_of("junk-empty-root");
+  EXPECT_FALSE(verify_consistency(0, 5, junk, tree.root(), {}));
+  EXPECT_FALSE(verify_consistency(0, 1, junk, leaf_of("e0"), {}));
+  EXPECT_FALSE(verify_consistency(0, 0, junk, empty_tree_root(), {}));
+  // The real empty root still passes, proof-free, against any tree.
+  EXPECT_TRUE(verify_consistency(0, 5, empty_tree_root(), tree.root(), {}));
+}
+
 // --- single leaf ---
 
 TEST(ProofEdgeTest, SingleLeafTreeRootIsTheLeafHash) {

@@ -6,6 +6,7 @@
 
 #include "ctwatch/ct/auditor.hpp"
 #include "ctwatch/dns/psl.hpp"
+#include "ctwatch/gossip/gossip.hpp"
 #include "ctwatch/namepool/namepool.hpp"
 #include "ctwatch/par/par.hpp"
 #include "ctwatch/sim/ca.hpp"
@@ -329,6 +330,137 @@ TEST_P(SeededProperty, PooledParseAndPslSplitAgreeWithStringPath) {
     if (ref_split->subdomain_label_count > 0) {
       EXPECT_EQ(pool.label(*ref, 0), split->subdomain_labels[0]) << name;
     }
+  }
+}
+
+// ---------- gossip ----------
+
+/// A random gossip topology over an equivocating log: every peer polls
+/// one face; edges may be chaos-dead (a permanent link outage — the
+/// edge exists but never delivers).
+struct GossipTopology {
+  std::size_t peers = 0;
+  std::vector<bool> polls_right;                         // side per peer
+  std::vector<std::pair<std::size_t, std::size_t>> alive;
+  std::vector<std::pair<std::size_t, std::size_t>> dead;
+
+  [[nodiscard]] std::string describe() const {
+    std::string out = "peers=" + std::to_string(peers) + " sides=";
+    for (const bool r : polls_right) out += r ? 'R' : 'L';
+    out += " alive={";
+    for (const auto& [a, b] : alive) out += std::to_string(a) + "-" + std::to_string(b) + " ";
+    out += "} dead={";
+    for (const auto& [a, b] : dead) out += std::to_string(a) + "-" + std::to_string(b) + " ";
+    return out + "}";
+  }
+};
+
+/// The oracle: detection must occur iff some connected component of the
+/// ALIVE gossip graph contains peers polling both faces (only then can
+/// any actor ever hold signed heads from both sides of the fork).
+bool gossip_partitions_connected(const GossipTopology& topology) {
+  std::vector<std::size_t> parent(topology.peers);
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& [a, b] : topology.alive) parent[find(a)] = find(b);
+  std::vector<std::uint8_t> has_left(topology.peers, 0), has_right(topology.peers, 0);
+  for (std::size_t i = 0; i < topology.peers; ++i) {
+    (topology.polls_right[i] ? has_right : has_left)[find(i)] = 1;
+  }
+  for (std::size_t i = 0; i < topology.peers; ++i) {
+    if (has_left[i] && has_right[i]) return true;
+  }
+  return false;
+}
+
+/// Runs the real machinery (two LogService faces, chaos-killed links,
+/// flood-fanout gossip) and reports whether a verdict fired.
+bool gossip_trial_detects(const GossipTopology& topology, std::uint64_t seed) {
+  gossip::EquivocationPlan plan;
+  plan.base.name = "Property Equivocator";
+  plan.base.scheme = SignatureScheme::hmac_sha256_simulated;
+  plan.base.merge_delay = std::chrono::microseconds(500);
+  plan.fork_index = 1;
+  gossip::EquivocatingLog log(plan);
+  const SimTime start = SimTime::parse("2018-04-01");
+  log.grow(3, start);
+
+  chaos::FaultInjector injector(seed);
+  chaos::FaultPlan dead_plan;
+  dead_plan.outages.push_back(chaos::OutageWindow{0, ~std::uint64_t{0}});
+  dead_plan.outage_kind = chaos::FaultKind::error;
+  for (const auto& [a, b] : topology.dead) {
+    injector.plan("gossip.link." + std::to_string(std::min(a, b)) + "-" +
+                      std::to_string(std::max(a, b)),
+                  dead_plan);
+  }
+
+  gossip::NetConfig config;
+  config.fanout = topology.peers;  // flood: fanout covers every neighbour
+  config.seed = seed;
+  config.chaos = &injector;
+  gossip::GossipNet net(config, log.public_key());
+  for (std::size_t i = 0; i < topology.peers; ++i) {
+    net.add_peer(log.view(topology.polls_right[i] ? gossip::Side::right : gossip::Side::left));
+  }
+  for (const auto& [a, b] : topology.alive) net.connect(a, b);
+  for (const auto& [a, b] : topology.dead) net.connect(a, b);  // present but chaos-dead
+
+  const std::uint64_t rounds = topology.peers + 4;  // >= graph diameter + slack
+  for (std::uint64_t round = 1; round <= rounds && !net.detected(); ++round) {
+    net.step(SimTime{start.unix_seconds() + static_cast<std::int64_t>(round) * 60});
+  }
+  return net.detected();
+}
+
+TEST_P(SeededProperty, GossipDetectsIffPartitionsAreGossipConnected) {
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    GossipTopology topology;
+    topology.peers = 4 + rng_.below(5);
+    topology.polls_right.resize(topology.peers, false);
+    for (std::size_t i = 0; i < topology.peers; ++i) topology.polls_right[i] = rng_.chance(0.5);
+    topology.polls_right[0] = false;  // at least one peer per side
+    topology.polls_right[1] = true;
+    for (std::size_t a = 0; a < topology.peers; ++a) {
+      for (std::size_t b = a + 1; b < topology.peers; ++b) {
+        if (!rng_.chance(0.3)) continue;
+        (rng_.chance(0.3) ? topology.dead : topology.alive).emplace_back(a, b);
+      }
+    }
+    const std::uint64_t seed = GetParam() * 1000 + static_cast<std::uint64_t>(iteration);
+
+    const bool expected = gossip_partitions_connected(topology);
+    const bool detected = gossip_trial_detects(topology, seed);
+    if (detected == expected) continue;
+
+    // Shrink: drop edges one at a time while the disagreement persists,
+    // then report the minimal failing topology for replay.
+    GossipTopology minimal = topology;
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (auto* edges : {&minimal.alive, &minimal.dead}) {
+        for (std::size_t e = 0; e < edges->size(); ++e) {
+          GossipTopology candidate = minimal;
+          auto& candidate_edges = edges == &minimal.alive ? candidate.alive : candidate.dead;
+          candidate_edges.erase(candidate_edges.begin() + static_cast<std::ptrdiff_t>(e));
+          if (gossip_trial_detects(candidate, seed) != gossip_partitions_connected(candidate)) {
+            minimal = std::move(candidate);
+            shrunk = true;
+            break;
+          }
+        }
+        if (shrunk) break;
+      }
+    }
+    ADD_FAILURE() << "gossip detection disagreed with the connectivity oracle\n"
+                  << "  seed " << seed << ": detected=" << detected << " expected=" << expected
+                  << "\n  original: " << topology.describe()
+                  << "\n  minimal:  " << minimal.describe();
+    return;
   }
 }
 
